@@ -1,0 +1,394 @@
+// Package repro_test is the repository-level benchmark harness: one
+// benchmark per table and figure in the paper's evaluation section, plus
+// ablations for the design choices DESIGN.md calls out. Each benchmark
+// runs the corresponding experiment end to end and reports the paper's
+// headline quantity as a custom metric (normalized seconds, ns/key,
+// ratios), so `go test -bench=. -benchmem` regenerates the evaluation.
+//
+// The simulated experiments use steady-state sampling to keep the suite
+// fast; cmd/figure3 -exact runs the full 2^23-query workloads.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/dcindex"
+	"repro/internal/arch"
+	"repro/internal/buffering"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Table 1 — the index structure setup.
+
+func BenchmarkTable1_Setup(b *testing.B) {
+	keys := workload.EvenKeys(327680)
+	var tree *index.Tree
+	for i := 0; i < b.N; i++ {
+		tree = index.NewNaryTree(keys, 0)
+	}
+	b.ReportMetric(float64(tree.Levels()), "T_levels")
+	b.ReportMetric(float64(tree.SizeBytes())/(1<<20), "tree_MB")
+	part := keys[:32768]
+	slave := index.NewCSBTree(part, 0)
+	b.ReportMetric(float64(slave.Levels()), "L_levels")
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — the measured machine parameters. The benchmark measures this
+// host's sequential vs random bandwidth the way the paper measured its
+// cluster (Section 2.1: 647 vs 48 MB/s), reporting both as metrics.
+
+func BenchmarkTable2_Calibrate(b *testing.B) {
+	const n = 32 << 20 / 4 // 32 MB working set
+	data := make([]uint32, n)
+	perm := make([]uint32, n)
+	for i := range data {
+		data[i] = uint32(i)
+		perm[i] = uint32(i)
+	}
+	r := workload.NewRNG(1)
+	for i := n - 1; i > 0; i-- { // Sattolo: one full cycle
+		j := r.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+
+	b.Run("Sequential", func(b *testing.B) {
+		var sum uint64
+		b.SetBytes(int64(n * 4))
+		for i := 0; i < b.N; i++ {
+			for _, v := range data {
+				sum += uint64(v)
+			}
+		}
+		if sum == 0xFFFF {
+			b.Log(sum)
+		}
+	})
+	b.Run("Random4Byte", func(b *testing.B) {
+		idx := uint32(0)
+		b.SetBytes(int64(n * 4))
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				idx = perm[idx]
+			}
+		}
+		if idx == 0xFFFFFFFF {
+			b.Log(idx)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — search time vs batch size for all five methods. Each
+// sub-benchmark simulates one (method, batch) cell and reports the
+// paper's y-axis as "paper_sec".
+
+func figure3Cell(b *testing.B, m core.Method, batchBytes, sample int) {
+	b.Helper()
+	cfg := core.SimConfig{
+		P:             arch.PentiumIIICluster(),
+		Method:        m,
+		IndexKeys:     workload.EvenKeys(327680),
+		TotalQueries:  1 << 23,
+		QuerySeed:     42,
+		BatchBytes:    batchBytes,
+		Masters:       1,
+		Slaves:        10,
+		SampleQueries: sample,
+	}
+	var r core.SimReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.NormalizedSec, "paper_sec")
+	b.ReportMetric(r.SlaveIdleFrac*100, "idle_%")
+	b.ReportMetric(r.L2MissesPerKey, "L2miss/key")
+}
+
+func BenchmarkFigure3_MethodA(b *testing.B) {
+	for _, bb := range []int{8 << 10, 128 << 10, 4 << 20} {
+		b.Run(byteLabel(bb), func(b *testing.B) { figure3Cell(b, core.MethodA, bb, 120_000) })
+	}
+}
+
+func BenchmarkFigure3_MethodB(b *testing.B) {
+	for _, bb := range []int{8 << 10, 128 << 10, 1 << 20} {
+		b.Run(byteLabel(bb), func(b *testing.B) { figure3Cell(b, core.MethodB, bb, 262_144) })
+	}
+}
+
+func BenchmarkFigure3_MethodC1(b *testing.B) {
+	for _, bb := range []int{8 << 10, 64 << 10, 1 << 20} {
+		b.Run(byteLabel(bb), func(b *testing.B) { figure3Cell(b, core.MethodC1, bb, 262_144) })
+	}
+}
+
+func BenchmarkFigure3_MethodC2(b *testing.B) {
+	for _, bb := range []int{8 << 10, 64 << 10, 1 << 20} {
+		b.Run(byteLabel(bb), func(b *testing.B) { figure3Cell(b, core.MethodC2, bb, 262_144) })
+	}
+}
+
+func BenchmarkFigure3_MethodC3(b *testing.B) {
+	for _, bb := range []int{8 << 10, 64 << 10, 128 << 10, 1 << 20} {
+		b.Run(byteLabel(bb), func(b *testing.B) { figure3Cell(b, core.MethodC3, bb, 262_144) })
+	}
+}
+
+// ---------------------------------------------------------------------
+// Table 3 — analytical model vs simulated experiment at 128 KB.
+
+func BenchmarkTable3_ModelVsSim(b *testing.B) {
+	p := arch.PentiumIIICluster()
+	var rows []model.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = model.Table3(p)
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.PredictedSec, "model_"+row.Method+"_sec")
+	}
+	sim, err := core.Run(core.SimConfig{
+		P: p, Method: core.MethodC3,
+		IndexKeys:    workload.EvenKeys(327680),
+		TotalQueries: 1 << 23, QuerySeed: 42,
+		BatchBytes: 128 << 10, Masters: 1, Slaves: 10,
+		SampleQueries: 262_144,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(sim.NormalizedSec, "sim_C-3_sec")
+}
+
+// ---------------------------------------------------------------------
+// Figure 4 — the future-trends projection.
+
+func BenchmarkFigure4_FutureTrends(b *testing.B) {
+	var pts []model.YearPoint
+	for i := 0; i < b.N; i++ {
+		pts = model.Figure4(arch.PentiumIIICluster(), 5, arch.PaperScaling())
+	}
+	r0 := pts[0].BNs / pts[0].C3Ns
+	r5 := pts[5].BNs / pts[5].C3Ns
+	b.ReportMetric(r0, "BoverC3_year0")
+	b.ReportMetric(r5, "BoverC3_year5")
+	b.ReportMetric(r5/r0, "advantage_growth")
+}
+
+// ---------------------------------------------------------------------
+// Real-runtime throughput: the adoptable library on this host. Not a
+// paper artifact, but the numbers a downstream user cares about.
+
+func benchReal(b *testing.B, m dcindex.Method) {
+	keys := dcindex.GenerateKeys(327680, 1)
+	queries := dcindex.GenerateQueries(1<<20, 2)
+	idx, err := dcindex.Open(keys, dcindex.Options{Method: m, Workers: 8, BatchKeys: 16384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	b.SetBytes(int64(len(queries) * workload.KeyBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.RankBatch(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealCluster_MethodA(b *testing.B)  { benchReal(b, dcindex.MethodA) }
+func BenchmarkRealCluster_MethodB(b *testing.B)  { benchReal(b, dcindex.MethodB) }
+func BenchmarkRealCluster_MethodC1(b *testing.B) { benchReal(b, dcindex.MethodC1) }
+func BenchmarkRealCluster_MethodC2(b *testing.B) { benchReal(b, dcindex.MethodC2) }
+func BenchmarkRealCluster_MethodC3(b *testing.B) { benchReal(b, dcindex.MethodC3) }
+
+// ---------------------------------------------------------------------
+// Ablations.
+
+// AblationPartitionPressure doubles the index so each slave's partition
+// no longer fits its L2 alongside the message slots: the paper's cache-
+// residency argument (Section 4.1, why C-3 beats C-1) becomes visible as
+// diverging L2 miss rates.
+func BenchmarkAblation_PartitionPressure(b *testing.B) {
+	run := func(b *testing.B, m core.Method) core.SimReport {
+		b.Helper()
+		r, err := core.Run(core.SimConfig{
+			P:             arch.PentiumIIICluster(),
+			Method:        m,
+			IndexKeys:     workload.EvenKeys(1 << 20), // 1M keys: 400KB arrays, ~1MB trees
+			TotalQueries:  1 << 23,
+			QuerySeed:     42,
+			BatchBytes:    128 << 10,
+			Masters:       1,
+			Slaves:        10,
+			SampleQueries: 262_144,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	var c1, c3 core.SimReport
+	for i := 0; i < b.N; i++ {
+		c1 = run(b, core.MethodC1)
+		c3 = run(b, core.MethodC3)
+	}
+	b.ReportMetric(c1.NormalizedSec, "C1_sec")
+	b.ReportMetric(c3.NormalizedSec, "C3_sec")
+	b.ReportMetric(c1.L2MissesPerKey, "C1_L2miss/key")
+	b.ReportMetric(c3.L2MissesPerKey, "C3_L2miss/key")
+}
+
+// AblationGigE swaps Myrinet for Gigabit Ethernet (Section 2.2): the
+// 100 us latency pushes Method C's viable batch size up by an order of
+// magnitude.
+func BenchmarkAblation_GigabitEthernet(b *testing.B) {
+	run := func(p arch.Params, batch int) core.SimReport {
+		r, err := core.Run(core.SimConfig{
+			P: p, Method: core.MethodC3,
+			IndexKeys:    workload.EvenKeys(327680),
+			TotalQueries: 1 << 23, QuerySeed: 42,
+			BatchBytes: batch, Masters: 1, Slaves: 10,
+			SampleQueries: 200_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	var myr8, gig8, gig256 core.SimReport
+	for i := 0; i < b.N; i++ {
+		myr8 = run(arch.PentiumIIICluster(), 8<<10)
+		gig8 = run(arch.GigabitEthernet(), 8<<10)
+		gig256 = run(arch.GigabitEthernet(), 256<<10)
+	}
+	b.ReportMetric(myr8.NormalizedSec, "myrinet_8KB_sec")
+	b.ReportMetric(gig8.NormalizedSec, "gige_8KB_sec")
+	b.ReportMetric(gig256.NormalizedSec, "gige_256KB_sec")
+}
+
+// AblationBufferBudget removes the Zhou-Ross constraint that a subtree
+// and its buffers fit the cache together, by planning Method B's
+// decomposition with the full L2 instead of half: the deeper subtrees
+// thrash against their own buffers.
+func BenchmarkAblation_BufferBudget(b *testing.B) {
+	keys := workload.SortedKeys(327680, 1)
+	tree := index.NewNaryTree(keys, 0)
+	queries := workload.UniformQueries(1<<16, 2)
+	out := make([]int, len(queries))
+	for _, budget := range []int{64 << 10, 256 << 10, 2 << 20} {
+		plan := buffering.NewPlan(tree, budget)
+		b.Run(byteLabel(budget), func(b *testing.B) {
+			b.SetBytes(int64(len(queries) * workload.KeyBytes))
+			for i := 0; i < b.N; i++ {
+				plan.RankBatch(queries, out, buffering.Hooks{})
+			}
+			b.ReportMetric(float64(plan.Segments()), "segments")
+		})
+	}
+}
+
+// AblationMultiMaster quantifies the paper's Section 3.2 remark: replicating
+// the master removes the dispatch bottleneck at large batches.
+func BenchmarkAblation_MultiMaster(b *testing.B) {
+	run := func(masters int) core.SimReport {
+		r, err := core.Run(core.SimConfig{
+			P: arch.PentiumIIICluster(), Method: core.MethodC3,
+			IndexKeys:    workload.EvenKeys(327680),
+			TotalQueries: 1 << 23, QuerySeed: 42,
+			BatchBytes: 256 << 10, Masters: masters, Slaves: 10,
+			SampleQueries: 400_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	var one, two core.SimReport
+	for i := 0; i < b.N; i++ {
+		one = run(1)
+		two = run(2)
+	}
+	b.ReportMetric(one.NormalizedSec, "1master_sec")
+	b.ReportMetric(two.NormalizedSec, "2masters_sec")
+}
+
+// AblationSkew measures the load-imbalance cost of Zipf-skewed queries —
+// the regime the paper's uniform-workload assumption hides.
+func BenchmarkAblation_Skew(b *testing.B) {
+	run := func(skew float64) core.SimReport {
+		r, err := core.Run(core.SimConfig{
+			P: arch.PentiumIIICluster(), Method: core.MethodC3,
+			IndexKeys:    workload.EvenKeys(327680),
+			TotalQueries: 1 << 23, QuerySeed: 42,
+			BatchBytes: 64 << 10, Masters: 1, Slaves: 10,
+			SampleQueries: 300_000, Skew: skew,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	var uni, skewed core.SimReport
+	for i := 0; i < b.N; i++ {
+		uni = run(0)
+		skewed = run(1.1)
+	}
+	b.ReportMetric(uni.NormalizedSec, "uniform_sec")
+	b.ReportMetric(skewed.NormalizedSec, "zipf1.1_sec")
+	b.ReportMetric(skewed.LoadImbalance, "zipf_imbalance")
+}
+
+// AblationWorkers sweeps the real cluster's worker count for Method C-3:
+// the scaling curve a deployment would use to size the cluster.
+func BenchmarkAblation_Workers(b *testing.B) {
+	keys := dcindex.GenerateKeys(327680, 1)
+	queries := dcindex.GenerateQueries(1<<20, 2)
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		b.Run(label("w", w), func(b *testing.B) {
+			idx, err := dcindex.Open(keys, dcindex.Options{Method: dcindex.MethodC3, Workers: w, BatchKeys: 16384})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer idx.Close()
+			b.SetBytes(int64(len(queries) * workload.KeyBytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.RankBatch(queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func byteLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return label("", n>>20) + "MB"
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return label("", n>>10) + "KB"
+	default:
+		return label("", n) + "B"
+	}
+}
+
+func label(prefix string, n int) string {
+	digits := ""
+	if n == 0 {
+		digits = "0"
+	}
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return prefix + digits
+}

@@ -1,0 +1,53 @@
+// Command dcnode runs one slave node of a TCP-distributed in-cache
+// index: it owns one partition of the (deterministically generated) key
+// set and serves rank lookups over the netrun wire protocol. Start one
+// per machine (or port), then point a client at all of them:
+//
+//	dcnode -n 327680 -seed 1 -parts 4 -part 0 -listen :7000 &
+//	dcnode -n 327680 -seed 1 -parts 4 -part 1 -listen :7001 &
+//	dcnode -n 327680 -seed 1 -parts 4 -part 2 -listen :7002 &
+//	dcnode -n 327680 -seed 1 -parts 4 -part 3 -listen :7003 &
+//	dcq -connect localhost:7000,localhost:7001,localhost:7002,localhost:7003 -n 327680 -seed 1
+//
+// Every process regenerates the same key set from (n, seed), so the
+// routing table and partitions agree by construction; the hello
+// handshake re-verifies this at connect time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/netrun"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 327680, "total index key count")
+		seed   = flag.Uint64("seed", 1, "index key seed (must match the client)")
+		parts  = flag.Int("parts", 4, "total partition count")
+		part   = flag.Int("part", 0, "this node's partition id (0-based)")
+		listen = flag.String("listen", ":7000", "listen address")
+	)
+	flag.Parse()
+
+	if *part < 0 || *part >= *parts {
+		fmt.Fprintf(os.Stderr, "dcnode: -part %d out of range [0,%d)\n", *part, *parts)
+		os.Exit(2)
+	}
+	keys := workload.SortedKeys(*n, *seed)
+	p, err := core.NewPartitioning(keys, *parts)
+	if err != nil {
+		log.Fatalf("dcnode: %v", err)
+	}
+	mine := p.Parts[*part]
+	log.Printf("dcnode: partition %d/%d: %d keys, rank base %d",
+		*part, *parts, len(mine.Keys), mine.RankBase)
+	if err := netrun.ListenAndServe(*listen, mine.Keys, mine.RankBase); err != nil {
+		log.Fatalf("dcnode: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+// Command figure4 regenerates Figure 4 of the paper: the analytical
+// model's projection of per-key query time for Methods A, B and C-3 over
+// future years, under Section 4.2's technology scaling assumptions (CPU
+// x2 / 18 months, network x2 / 3 years, memory bandwidth +20%/year,
+// memory latency constant).
+//
+// Usage:
+//
+//	go run ./cmd/figure4 [-years N] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/tab"
+)
+
+func main() {
+	years := flag.Int("years", 5, "projection horizon in years")
+	csvPath := flag.String("csv", "", "also write CSV to this file")
+	flag.Parse()
+
+	base := arch.PentiumIIICluster()
+	pts := model.Figure4(base, *years, arch.PaperScaling())
+
+	t := tab.NewTable("year", "A (ns/key)", "B (ns/key)", "C-3 (ns/key)", "B/C-3", "masters")
+	labels := make([]string, len(pts))
+	sa := tab.Series{Name: "A"}
+	sb := tab.Series{Name: "B"}
+	sc := tab.Series{Name: "C-3"}
+	for i, pt := range pts {
+		labels[i] = fmt.Sprintf("%.0f", pt.Year)
+		t.Row(labels[i],
+			fmt.Sprintf("%.1f", pt.ANs),
+			fmt.Sprintf("%.1f", pt.BNs),
+			fmt.Sprintf("%.1f", pt.C3Ns),
+			fmt.Sprintf("%.2fx", pt.BNs/pt.C3Ns),
+			pt.MastersUsed)
+		sa.Values = append(sa.Values, pt.ANs)
+		sb.Values = append(sb.Values, pt.BNs)
+		sc.Values = append(sc.Values, pt.C3Ns)
+	}
+
+	fmt.Println("Figure 4 — future trends (normalized per-key time, 128 KB batches)")
+	fmt.Printf("scaling: CPU x2/18mo, network x2/3y, memory BW +20%%/y, memory latency constant\n\n")
+	fmt.Print(t)
+	fmt.Println()
+	fmt.Print(tab.Chart(labels, []tab.Series{sa, sb, sc}, 14))
+	r0 := pts[0].BNs / pts[0].C3Ns
+	rN := pts[len(pts)-1].BNs / pts[len(pts)-1].C3Ns
+	fmt.Printf("\nB : C-3 advantage grows %.2fx -> %.2fx over %d years (paper: ~2x -> ~10x).\n",
+		r0, rN, *years)
+
+	if *csvPath != "" {
+		csv := tab.CSV("year", labels, []tab.Series{sa, sb, sc})
+		if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "figure4: write csv:", err)
+			os.Exit(1)
+		}
+		fmt.Println("CSV written to", *csvPath)
+	}
+}

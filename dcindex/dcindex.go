@@ -1,0 +1,315 @@
+// Package dcindex is the public API of the distributed in-cache index
+// described in "Fast Query Processing by Distributing an Index over CPU
+// Caches" (Ma & Cooperman, CLUSTER 2005).
+//
+// The index answers rank queries over a large sorted key set: Rank(k)
+// returns how many indexed keys are <= k, which identifies the sub-range
+// — and therefore the responsible node — for any incoming key. Instead
+// of replicating the index on every node and paying a cache miss per
+// tree level (the index is far larger than any CPU cache), the index is
+// partitioned so every partition fits inside one node's cache, and
+// queries travel in batches over the interconnect to the partition
+// owner.
+//
+// Three layers are exposed:
+//
+//   - The real runtime (Open/Rank/RankBatch): goroutine nodes and
+//     channel interconnect executing actual lookups on the host. All
+//     five of the paper's methods are available; results are identical
+//     across methods, only performance differs.
+//   - The simulator (Simulate, Sweep): a trace-driven cache/network/
+//     cluster simulation parameterized by the paper's measured Pentium
+//     III constants (Table 2), which reproduces the paper's Figure 3 and
+//     Table 3 numbers deterministically on any host.
+//   - The analytical model (PredictTable3, ProjectFigure4): Appendix A's
+//     closed-form cost equations and the Section 4.2 future projection.
+//
+// Quickstart:
+//
+//	keys := dcindex.GenerateKeys(327680, 1)
+//	idx, _ := dcindex.Open(keys, dcindex.Options{Method: dcindex.MethodC3})
+//	defer idx.Close()
+//	ranks, _ := idx.RankBatch(queries)
+package dcindex
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/netrun"
+	"repro/internal/workload"
+)
+
+// Key is a 4-byte search key, the unit the paper indexes.
+type Key = workload.Key
+
+// Method selects one of the paper's five query-processing strategies.
+type Method = core.Method
+
+// The five methods of Section 3. MethodC3 — the partitioned sorted array
+// with binary search — is the paper's overall winner.
+const (
+	MethodA  = core.MethodA
+	MethodB  = core.MethodB
+	MethodC1 = core.MethodC1
+	MethodC2 = core.MethodC2
+	MethodC3 = core.MethodC3
+)
+
+// Methods lists all five strategies in presentation order.
+func Methods() []Method { return core.Methods() }
+
+// Arch is an architecture parameter set for the simulator and model.
+type Arch = arch.Params
+
+// PentiumIII returns Table 2: the paper's measured cluster parameters.
+func PentiumIII() Arch { return arch.PentiumIIICluster() }
+
+// Pentium4 returns the Section 2.2 Pentium 4 variant (128-byte lines).
+func Pentium4() Arch { return arch.Pentium4() }
+
+// GigabitEthernet returns the Pentium III cluster with the slower, high-
+// latency Gigabit Ethernet interconnect of Section 2.2.
+func GigabitEthernet() Arch { return arch.GigabitEthernet() }
+
+// FutureArch projects an architecture forward by years under the paper's
+// Section 4.2 technology scaling assumptions.
+func FutureArch(base Arch, years float64) Arch {
+	return arch.Future(base, years, arch.PaperScaling())
+}
+
+// GenerateKeys returns n distinct, sorted, uniformly distributed keys —
+// a ready-to-index key set (deterministic per seed).
+func GenerateKeys(n int, seed uint64) []Key { return workload.SortedKeys(n, seed) }
+
+// GenerateQueries returns q uniformly random query keys (deterministic
+// per seed) — the paper's workload.
+func GenerateQueries(q int, seed uint64) []Key { return workload.UniformQueries(q, seed) }
+
+// Options configures the real runtime.
+type Options struct {
+	// Method selects the strategy; the zero value is MethodA. Use
+	// MethodC3 for the paper's recommended configuration.
+	Method Method
+	// Workers is the number of processing goroutines (default 8): the
+	// slave count for Method C, the replica count for A/B.
+	Workers int
+	// BatchKeys is the pipeline granularity in keys (default 16384,
+	// i.e. a 64 KB batch — the paper's throughput/response sweet spot).
+	BatchKeys int
+	// QueueDepth bounds in-flight batches per worker (default 4).
+	QueueDepth int
+}
+
+func (o Options) withDefaults() core.RealConfig {
+	cfg := core.RealConfig{
+		Method:     o.Method,
+		Workers:    o.Workers,
+		BatchKeys:  o.BatchKeys,
+		QueueDepth: o.QueueDepth,
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 8
+	}
+	if cfg.BatchKeys == 0 {
+		cfg.BatchKeys = 16384
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 4
+	}
+	return cfg
+}
+
+// Index is a running distributed index. It is safe for concurrent
+// lookups; Close releases the worker goroutines.
+type Index struct {
+	c    *core.Cluster
+	keys []Key
+	opt  core.RealConfig
+}
+
+// Open builds the index over sorted keys (ascending; duplicates allowed)
+// and starts the runtime. It returns an error for unsorted or empty
+// input or invalid options.
+func Open(keys []Key, opt Options) (*Index, error) {
+	cfg := opt.withDefaults()
+	c, err := core.NewCluster(keys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{c: c, keys: keys, opt: cfg}, nil
+}
+
+// N returns the number of indexed keys.
+func (ix *Index) N() int { return len(ix.keys) }
+
+// Method returns the strategy the index runs.
+func (ix *Index) Method() Method { return ix.opt.Method }
+
+// Rank returns the number of indexed keys <= k.
+func (ix *Index) Rank(k Key) (int, error) { return ix.c.Lookup(k) }
+
+// RankBatch resolves a query batch, returning global ranks in query
+// order. Batching is how the paper's design amortizes communication;
+// prefer it over Rank for throughput.
+func (ix *Index) RankBatch(queries []Key) ([]int, error) {
+	return ix.c.LookupBatch(queries)
+}
+
+// Owner returns the worker (slave) that owns key k's sub-range: the
+// routing decision a master makes. For replicated methods every worker
+// owns every key, and Owner returns 0.
+func (ix *Index) Owner(k Key) int {
+	if !ix.opt.Method.Distributed() {
+		return 0
+	}
+	p, err := core.NewPartitioning(ix.keys, ix.opt.Workers)
+	if err != nil {
+		return 0
+	}
+	return p.Route(k)
+}
+
+// Stats snapshots the runtime's work counters.
+func (ix *Index) Stats() core.RealStats { return ix.c.Stats() }
+
+// Close shuts down the runtime. It is idempotent.
+func (ix *Index) Close() { ix.c.Close() }
+
+// SimOptions configures one simulated experiment.
+type SimOptions struct {
+	// Arch is the simulated machine; zero value means PentiumIII().
+	Arch Arch
+	// Method under test.
+	Method Method
+	// IndexKeys is the key count of the Table 1 index (default 327680).
+	IndexKeys int
+	// Queries is the workload size (default 2^23, the paper's).
+	Queries int
+	// BatchBytes is Figure 3's x-axis (default 128 KB, Table 3's point).
+	BatchBytes int
+	// Masters and Slaves shape the cluster (defaults 1 and 10).
+	Masters, Slaves int
+	// SampleQueries caps the simulated work before extrapolation;
+	// 0 picks an automatic steady-state sample. Set equal to Queries
+	// for an exact full run.
+	SampleQueries int
+	// Seed makes the query stream reproducible.
+	Seed uint64
+	// Skew > 0 draws queries Zipf-distributed over the index instead
+	// of uniformly (load-imbalance ablation; the paper assumes 0).
+	Skew float64
+}
+
+func (o SimOptions) toConfig() core.SimConfig {
+	cfg := core.SimConfig{
+		P:             o.Arch,
+		Method:        o.Method,
+		TotalQueries:  o.Queries,
+		BatchBytes:    o.BatchBytes,
+		Masters:       o.Masters,
+		Slaves:        o.Slaves,
+		SampleQueries: o.SampleQueries,
+		QuerySeed:     o.Seed,
+		Skew:          o.Skew,
+	}
+	if cfg.P.Name == "" {
+		cfg.P = arch.PentiumIIICluster()
+	}
+	n := o.IndexKeys
+	if n == 0 {
+		n = 327680
+	}
+	cfg.IndexKeys = workload.EvenKeys(n)
+	if cfg.TotalQueries == 0 {
+		cfg.TotalQueries = 1 << 23
+	}
+	if cfg.BatchBytes == 0 {
+		cfg.BatchBytes = 128 << 10
+	}
+	if cfg.Masters == 0 {
+		cfg.Masters = 1
+	}
+	if cfg.Slaves == 0 {
+		cfg.Slaves = 10
+	}
+	if cfg.QuerySeed == 0 {
+		cfg.QuerySeed = 42
+	}
+	return cfg
+}
+
+// Report is a simulated experiment's outcome (see core.SimReport for
+// field documentation).
+type Report = core.SimReport
+
+// Simulate runs one simulated experiment.
+func Simulate(o SimOptions) (Report, error) {
+	return core.Run(o.toConfig())
+}
+
+// Sweep runs the method across Figure 3's batch-size axis (or the given
+// sizes) and returns one report per size.
+func Sweep(o SimOptions, batchBytes ...int) ([]Report, error) {
+	if len(batchBytes) == 0 {
+		batchBytes = workload.Figure3BatchBytes()
+	}
+	out := make([]Report, 0, len(batchBytes))
+	for _, b := range batchBytes {
+		oo := o
+		oo.BatchBytes = b
+		r, err := Simulate(oo)
+		if err != nil {
+			return nil, fmt.Errorf("dcindex: sweep at %d bytes: %w", b, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// TCPCluster is a distributed index over real sockets: each partition is
+// served by a separate node process (cmd/dcnode or ServePartition), and
+// this client routes query batches to partition owners — the paper's
+// deployment model, with TCP in place of MPI.
+type TCPCluster = netrun.Cluster
+
+// DialCluster connects to one node address per partition of keys and
+// verifies that each node serves the partition the local routing table
+// expects. batchKeys <= 0 selects the 16384-key default.
+func DialCluster(addrs []string, keys []Key, batchKeys int) (*TCPCluster, error) {
+	return netrun.Dial(addrs, keys, netrun.DialOptions{BatchKeys: batchKeys})
+}
+
+// ServePartition serves partition part of parts over addr, blocking
+// until the listener fails. The key set must be identical on every node
+// and client (use GenerateKeys with a shared seed, or distribute the key
+// file).
+func ServePartition(addr string, keys []Key, parts, part int) error {
+	p, err := core.NewPartitioning(keys, parts)
+	if err != nil {
+		return err
+	}
+	if part < 0 || part >= parts {
+		return fmt.Errorf("dcindex: partition %d out of range [0,%d)", part, parts)
+	}
+	return netrun.ListenAndServe(addr, p.Parts[part].Keys, p.Parts[part].RankBase)
+}
+
+// Table3Row mirrors model.Table3Row: one method's predicted time next to
+// the paper's own numbers.
+type Table3Row = model.Table3Row
+
+// PredictTable3 evaluates the Appendix A model at Table 3's operating
+// point for the given architecture.
+func PredictTable3(a Arch) []Table3Row { return model.Table3(a) }
+
+// YearPoint mirrors model.YearPoint: one Figure 4 projection point.
+type YearPoint = model.YearPoint
+
+// ProjectFigure4 projects the model over the given number of years under
+// the paper's scaling assumptions.
+func ProjectFigure4(a Arch, years int) []YearPoint {
+	return model.Figure4(a, years, arch.PaperScaling())
+}

@@ -1,0 +1,156 @@
+package dcindex
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestOpenRankClose(t *testing.T) {
+	keys := GenerateKeys(10000, 1)
+	idx, err := Open(keys, Options{Method: MethodC3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	if idx.N() != 10000 || idx.Method() != MethodC3 {
+		t.Errorf("header: N=%d method=%v", idx.N(), idx.Method())
+	}
+	queries := GenerateQueries(5000, 2)
+	ranks, err := idx.RankBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		if want := workload.ReferenceRank(keys, q); ranks[i] != want {
+			t.Fatalf("rank[%d] = %d, want %d", i, ranks[i], want)
+		}
+	}
+	r, err := idx.Rank(keys[0])
+	if err != nil || r != 1 {
+		t.Errorf("Rank(first key) = %d, %v", r, err)
+	}
+	if s := idx.Stats(); s.KeysProcessed != 5001 {
+		t.Errorf("stats keys = %d, want 5001", s.KeysProcessed)
+	}
+}
+
+func TestAllMethodsAgree(t *testing.T) {
+	keys := GenerateKeys(5000, 3)
+	queries := GenerateQueries(2000, 4)
+	var base []int
+	for _, m := range Methods() {
+		idx, err := Open(keys, Options{Method: m, Workers: 5, BatchKeys: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := idx.RankBatch(queries)
+		idx.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("method %v disagrees at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	keys := GenerateKeys(1000, 5)
+	idx, err := Open(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if _, err := idx.RankBatch(GenerateQueries(100, 6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(nil, Options{}); err == nil {
+		t.Error("empty keys accepted")
+	}
+	if _, err := Open([]Key{3, 1}, Options{}); err == nil {
+		t.Error("unsorted keys accepted")
+	}
+	if _, err := Open(GenerateKeys(2, 1), Options{Method: MethodC3, Workers: 10}); err == nil {
+		t.Error("more slaves than keys accepted")
+	}
+}
+
+func TestOwnerRouting(t *testing.T) {
+	keys := GenerateKeys(1000, 7)
+	idx, err := Open(keys, Options{Method: MethodC3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if o := idx.Owner(0); o != 0 {
+		t.Errorf("smallest key owner = %d", o)
+	}
+	if o := idx.Owner(^Key(0)); o != 3 {
+		t.Errorf("largest key owner = %d, want 3", o)
+	}
+	// Replicated method: always 0.
+	idxA, err := Open(keys, Options{Method: MethodA, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idxA.Close()
+	if o := idxA.Owner(^Key(0)); o != 0 {
+		t.Errorf("replicated owner = %d, want 0", o)
+	}
+}
+
+func TestSimulateDefaultsToTable3Point(t *testing.T) {
+	r, err := Simulate(SimOptions{Method: MethodC3, SampleQueries: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BatchBytes != 128<<10 || r.Nodes != 11 || r.TotalQueries != 1<<23 {
+		t.Errorf("defaults wrong: %+v", r)
+	}
+	if r.NormalizedSec <= 0 {
+		t.Errorf("time = %v", r.NormalizedSec)
+	}
+}
+
+func TestSweepCoversFigure3Axis(t *testing.T) {
+	rs, err := Sweep(SimOptions{Method: MethodA, SampleQueries: 20_000}, 8<<10, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].BatchBytes != 8<<10 || rs[1].BatchBytes != 64<<10 {
+		t.Errorf("sweep: %+v", rs)
+	}
+}
+
+func TestPredictAndProject(t *testing.T) {
+	rows := PredictTable3(PentiumIII())
+	if len(rows) != 3 {
+		t.Fatalf("table3 rows = %d", len(rows))
+	}
+	pts := ProjectFigure4(PentiumIII(), 5)
+	if len(pts) != 6 {
+		t.Fatalf("figure4 points = %d", len(pts))
+	}
+	if pts[5].C3Ns >= pts[0].C3Ns {
+		t.Error("C-3 projection did not improve over 5 years")
+	}
+}
+
+func TestArchConstructors(t *testing.T) {
+	for _, a := range []Arch{PentiumIII(), Pentium4(), GigabitEthernet(), FutureArch(PentiumIII(), 3)} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package dcindex_test
+
+import (
+	"fmt"
+
+	"repro/dcindex"
+)
+
+// The basic flow: build a distributed in-cache index over a sorted key
+// set and resolve a batch of rank queries through the Method C-3
+// pipeline.
+func ExampleOpen() {
+	keys := dcindex.GenerateKeys(100000, 1)
+	idx, err := dcindex.Open(keys, dcindex.Options{
+		Method:  dcindex.MethodC3,
+		Workers: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer idx.Close()
+
+	// Rank(k) = number of indexed keys <= k; it identifies the
+	// sub-range (and owner node) for k.
+	ranks, err := idx.RankBatch([]dcindex.Key{0, keys[41], ^dcindex.Key(0)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ranks[0], ranks[1], ranks[2])
+	// Output: 0 42 100000
+}
+
+// Reproduce one cell of the paper's Figure 3 on the simulated Pentium
+// III cluster: Method C-3, 64 KB batches, 2^23 keys, 1 master + 10
+// slaves.
+func ExampleSimulate() {
+	r, err := dcindex.Simulate(dcindex.SimOptions{
+		Method:        dcindex.MethodC3,
+		BatchBytes:    64 << 10,
+		SampleQueries: 200_000, // steady-state sample; 0 = automatic
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("batch=%dKB nodes=%d\n", r.BatchBytes>>10, r.Nodes)
+	fmt.Println("search time in the paper's band:", r.NormalizedSec > 0.20 && r.NormalizedSec < 0.30)
+	// Output:
+	// batch=64KB nodes=11
+	// search time in the paper's band: true
+}
+
+// Query the Appendix A analytical model for the Figure 4 projection.
+func ExampleProjectFigure4() {
+	pts := dcindex.ProjectFigure4(dcindex.PentiumIII(), 5)
+	first, last := pts[0], pts[len(pts)-1]
+	fmt.Println("C-3 improves every year:", last.C3Ns < first.C3Ns)
+	fmt.Println("B/C-3 advantage grows:", last.BNs/last.C3Ns > first.BNs/first.C3Ns)
+	// Output:
+	// C-3 improves every year: true
+	// B/C-3 advantage grows: true
+}

@@ -1,0 +1,118 @@
+package dcindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Key-set snapshot format: a TCP deployment needs every node and client
+// to agree on the exact indexed key set (cmd/dcnode regenerates it from
+// a seed; real deployments load it from a file).
+//
+//	snapshot := magic(u32 = 0xDC1DF11E) version(u32 = 1) count(u64) count*key(u32)
+//
+// Keys must be sorted ascending; WriteKeys enforces it and ReadKeys
+// verifies it, so a snapshot on disk is always a valid index input.
+
+const (
+	snapshotMagic   uint32 = 0xDC1DF11E
+	snapshotVersion uint32 = 1
+)
+
+// WriteKeys streams a sorted key set to w in snapshot format.
+func WriteKeys(w io.Writer, keys []Key) error {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return fmt.Errorf("dcindex: WriteKeys input not sorted at %d", i)
+		}
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	head := make([]byte, 16)
+	binary.LittleEndian.PutUint32(head[0:4], snapshotMagic)
+	binary.LittleEndian.PutUint32(head[4:8], snapshotVersion)
+	binary.LittleEndian.PutUint64(head[8:16], uint64(len(keys)))
+	if _, err := bw.Write(head); err != nil {
+		return fmt.Errorf("dcindex: write snapshot header: %w", err)
+	}
+	var buf [4]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint32(buf[:], uint32(k))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("dcindex: write snapshot keys: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadKeys loads a snapshot written by WriteKeys, validating the header
+// and the sort order.
+func ReadKeys(r io.Reader) ([]Key, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, 16)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("dcindex: read snapshot header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(head[0:4]); got != snapshotMagic {
+		return nil, fmt.Errorf("dcindex: bad snapshot magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(head[4:8]); got != snapshotVersion {
+		return nil, fmt.Errorf("dcindex: unsupported snapshot version %d", got)
+	}
+	count := binary.LittleEndian.Uint64(head[8:16])
+	const maxKeys = 1 << 32
+	if count > maxKeys {
+		return nil, fmt.Errorf("dcindex: snapshot claims %d keys", count)
+	}
+	keys := make([]Key, count)
+	buf := make([]byte, 4*4096)
+	for i := 0; i < int(count); {
+		chunk := (int(count) - i) * 4
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		if _, err := io.ReadFull(br, buf[:chunk]); err != nil {
+			return nil, fmt.Errorf("dcindex: snapshot truncated at key %d: %w", i, err)
+		}
+		for off := 0; off < chunk; off += 4 {
+			keys[i] = Key(binary.LittleEndian.Uint32(buf[off:]))
+			if i > 0 && keys[i] < keys[i-1] {
+				return nil, fmt.Errorf("dcindex: snapshot keys not sorted at %d", i)
+			}
+			i++
+		}
+	}
+	return keys, nil
+}
+
+// SaveKeys writes a snapshot to path (atomically via a temp file in the
+// same directory).
+func SaveKeys(path string, keys []Key) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteKeys(f, keys); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadKeys reads a snapshot from path.
+func LoadKeys(path string) ([]Key, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadKeys(f)
+}

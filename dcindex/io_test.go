@@ -1,0 +1,162 @@
+package dcindex
+
+import (
+	"bytes"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netrun"
+	"repro/internal/workload"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	keys := GenerateKeys(50000, 1)
+	var buf bytes.Buffer
+	if err := WriteKeys(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadKeys(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d differs", i)
+		}
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteKeys(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadKeys(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v %v", got, err)
+	}
+}
+
+func TestSnapshotRejectsUnsorted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteKeys(&buf, []Key{5, 3}); err == nil {
+		t.Fatal("unsorted write accepted")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	keys := GenerateKeys(100, 2)
+	var buf bytes.Buffer
+	if err := WriteKeys(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xFF
+	if _, err := ReadKeys(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Bad version.
+	bad = append([]byte(nil), raw...)
+	bad[4] = 99
+	if _, err := ReadKeys(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: %v", err)
+	}
+	// Truncated body.
+	if _, err := ReadKeys(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncation accepted")
+	}
+	// Unsorted payload (flip two keys in place).
+	bad = append([]byte(nil), raw...)
+	copy(bad[16:20], raw[20:24])
+	copy(bad[20:24], raw[16:20])
+	if _, err := ReadKeys(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "sorted") {
+		t.Errorf("unsorted payload: %v", err)
+	}
+}
+
+func TestSaveLoadKeysFile(t *testing.T) {
+	keys := GenerateKeys(10000, 3)
+	path := filepath.Join(t.TempDir(), "index.dcx")
+	if err := SaveKeys(path, keys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadKeys(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d differs after file round trip", i)
+		}
+	}
+}
+
+// End-to-end: snapshot -> nodes over TCP -> DialCluster -> correct ranks.
+func TestTCPDeploymentEndToEnd(t *testing.T) {
+	keys := GenerateKeys(8000, 4)
+	path := filepath.Join(t.TempDir(), "index.dcx")
+	if err := SaveKeys(path, keys); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadKeys(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const parts = 4
+	p, err := core.NewPartitioning(loaded, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	var nodes []*netrun.Node
+	for i := 0; i < parts; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := netrun.NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
+		nodes = append(nodes, n)
+		addrs = append(addrs, lis.Addr().String())
+		go n.Serve(lis)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	c, err := DialCluster(addrs, loaded, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Nodes() != parts {
+		t.Fatalf("nodes = %d", c.Nodes())
+	}
+
+	queries := GenerateQueries(5000, 5)
+	deadline := time.Now().Add(10 * time.Second)
+	ranks, err := c.LookupBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Now().After(deadline) {
+		t.Fatal("lookup took too long")
+	}
+	for i, q := range queries {
+		if want := workload.ReferenceRank(keys, q); ranks[i] != want {
+			t.Fatalf("rank[%d] = %d, want %d", i, ranks[i], want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Iprouter: packet forwarding over the internet — the paper's second
+// motivating application ("routing packets over internet", Section 1).
+//
+// A forwarding table of CIDR prefixes is flattened into disjoint address
+// ranges (the standard longest-prefix-match-to-interval transformation):
+// each range start becomes an index key, and the next hop for a packet
+// is determined by the rank of its destination address. The distributed
+// in-cache index is the forwarding plane: packets are routed in batches,
+// each landing at the line card whose cache owns its address range.
+//
+//	go run ./examples/iprouter
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/dcindex"
+)
+
+const (
+	prefixes  = 60000 // CIDR entries (a mid-2000s BGP table)
+	lineCards = 8
+	packets   = 2_000_000
+)
+
+func main() {
+	// Build a synthetic forwarding table: random /8-/24 prefixes with
+	// random next hops, flattened to sorted range starts.
+	rng := newRand(17)
+	type route struct {
+		start, end uint32 // inclusive address range
+		nextHop    int
+	}
+	routes := make([]route, 0, prefixes)
+	for i := 0; i < prefixes; i++ {
+		length := 8 + int(rng.next()%17) // /8 .. /24
+		base := uint32(rng.next())
+		mask := ^uint32(0) << (32 - length)
+		start := base & mask
+		routes = append(routes, route{
+			start:   start,
+			end:     start | ^mask,
+			nextHop: int(rng.next() % 64),
+		})
+	}
+	// Longest-prefix flattening. CIDR blocks are power-of-two aligned,
+	// so any two are either nested or disjoint; sorting by (start asc,
+	// end desc) puts enclosing blocks before their sub-blocks, giving a
+	// clean nesting stack: a narrower prefix overwrites its parent at
+	// its start, and the parent's hop resumes after it ends.
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i].start != routes[j].start {
+			return routes[i].start < routes[j].start
+		}
+		if routes[i].end != routes[j].end {
+			return routes[i].end > routes[j].end
+		}
+		return routes[i].nextHop < routes[j].nextHop
+	})
+	// Random tables can contain the same prefix twice with different
+	// hops; keep the highest hop (any deterministic rule works, it just
+	// has to match the verification below).
+	dedup := routes[:0]
+	for _, r := range routes {
+		if n := len(dedup); n > 0 && dedup[n-1].start == r.start && dedup[n-1].end == r.end {
+			dedup[n-1].nextHop = r.nextHop
+			continue
+		}
+		dedup = append(dedup, r)
+	}
+	routes = dedup
+	type flat struct {
+		start   uint32
+		nextHop int
+	}
+	var table []flat
+	var stack []route
+	emit := func(at uint32, hop int) {
+		if len(table) > 0 && table[len(table)-1].start == at {
+			table[len(table)-1].nextHop = hop
+			return
+		}
+		table = append(table, flat{start: at, nextHop: hop})
+	}
+	pop := func(upTo uint32) {
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.end >= upTo {
+				break
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 && top.end < ^uint32(0) {
+				emit(top.end+1, stack[len(stack)-1].nextHop)
+			}
+		}
+	}
+	emit(0, -1) // default route: drop
+	for _, r := range routes {
+		pop(r.start)
+		stack = append(stack, r)
+		emit(r.start, r.nextHop)
+	}
+	pop(^uint32(0))
+
+	// Index keys are the range starts (skip the sentinel at 0: rank 0
+	// means "before every range start", which maps to table[0]).
+	keys := make([]dcindex.Key, 0, len(table)-1)
+	for _, f := range table[1:] {
+		keys = append(keys, dcindex.Key(f.start))
+	}
+
+	idx, err := dcindex.Open(keys, dcindex.Options{
+		Method:    dcindex.MethodC3,
+		Workers:   lineCards,
+		BatchKeys: 8192,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	fmt.Printf("forwarding table: %d prefixes -> %d disjoint ranges on %d line cards\n\n",
+		prefixes, len(table), lineCards)
+
+	// Route a packet burst.
+	dests := make([]dcindex.Key, packets)
+	for i := range dests {
+		dests[i] = dcindex.Key(rng.next())
+	}
+	start := time.Now()
+	ranks, err := idx.RankBatch(dests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	hops := make(map[int]int)
+	dropped := 0
+	for _, r := range ranks {
+		hop := table[r].nextHop
+		if hop < 0 {
+			dropped++
+		} else {
+			hops[hop]++
+		}
+	}
+	fmt.Printf("routed %d packets in %s (%.2f Mpps)\n",
+		packets, elapsed.Round(time.Millisecond), float64(packets)/elapsed.Seconds()/1e6)
+	fmt.Printf("distinct next hops used: %d; packets without a route: %d (%.1f%%)\n\n",
+		len(hops), dropped, 100*float64(dropped)/packets)
+
+	// Spot-check against a linear longest-prefix match.
+	for probe := 0; probe < 2000; probe++ {
+		addr := uint32(rng.next())
+		r, err := idx.Rank(dcindex.Key(addr))
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := table[r].nextHop
+		want := -1
+		bestSpan := ^uint32(0)
+		for _, rt := range routes {
+			if rt.start <= addr && addr <= rt.end {
+				// Smaller span = longer prefix = more specific.
+				if span := rt.end - rt.start; want < 0 || span < bestSpan {
+					bestSpan, want = span, rt.nextHop
+				}
+			}
+		}
+		if got != want {
+			log.Fatalf("LPM mismatch for %08x: index says %d, reference says %d", addr, got, want)
+		}
+	}
+	fmt.Println("longest-prefix match verified against linear scan for 2000 addresses")
+}
+
+type rand struct{ s uint64 }
+
+func newRand(seed uint64) *rand { return &rand{s: seed} }
+
+func (r *rand) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return (z ^ (z >> 31)) >> 32
+}

@@ -1,0 +1,232 @@
+package arch
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPentiumIIIClusterMatchesTable2(t *testing.T) {
+	p := PentiumIIICluster()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"L2Size", float64(p.L2Size), 512 * KB},
+		{"L1Size", float64(p.L1Size), 16 * KB},
+		{"L2Line", float64(p.L2Line), 32},
+		{"L1Line", float64(p.L1Line), 32},
+		{"B2MissPenaltyNs", p.B2MissPenaltyNs, 110},
+		{"B1MissPenaltyNs", p.B1MissPenaltyNs, 16.25},
+		{"TLBEntries", float64(p.TLBEntries), 64},
+		{"CompCostNodeNs", p.CompCostNodeNs, 30},
+		{"W1", p.MemSeqBps, 647 * MB},
+		{"W2", p.NetBps, 138 * MB},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v (Table 2)", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestDerivedGeometry(t *testing.T) {
+	p := PentiumIIICluster()
+	if got := p.L2Lines(); got != 16384 {
+		t.Errorf("L2Lines = %d, want 16384 (C2/B2 in the model)", got)
+	}
+	if got := p.L1Lines(); got != 512 {
+		t.Errorf("L1Lines = %d, want 512", got)
+	}
+	if got := p.KeysPerLine(); got != 8 {
+		t.Errorf("KeysPerLine = %d, want 8 (n-ary tree fan)", got)
+	}
+}
+
+func TestSeqCostMatchesW1(t *testing.T) {
+	p := PentiumIIICluster()
+	// Moving 647 MB at 647 MB/s must take one second.
+	got := p.SeqCostNs(647 * MB)
+	if math.Abs(got-1e9) > 1 {
+		t.Errorf("SeqCostNs(647MB) = %v ns, want 1e9", got)
+	}
+	if p.SeqCostNs(0) != 0 {
+		t.Errorf("SeqCostNs(0) = %v, want 0", p.SeqCostNs(0))
+	}
+}
+
+func TestNetTransferMatchesW2(t *testing.T) {
+	p := PentiumIIICluster()
+	got := p.NetTransferNs(138 * MB)
+	if math.Abs(got-1e9) > 1 {
+		t.Errorf("NetTransferNs(138MB) = %v ns, want 1e9", got)
+	}
+	// Section 2.2: a 10 KB Myrinet message takes about 80 us, clearly
+	// dominating the 7 us latency.
+	tx := p.NetTransferNs(10 * 1000)
+	if tx < 60_000 || tx > 90_000 {
+		t.Errorf("10KB transfer = %.0f ns, want ~80us (Section 2.2)", tx)
+	}
+	if tx < p.NetLatencyNs {
+		t.Errorf("10KB transfer %.0f ns should dominate latency %.0f ns", tx, p.NetLatencyNs)
+	}
+}
+
+func TestRandomBandwidthConsistentWithMissPenalty(t *testing.T) {
+	// Section 2.1 measures 48 MB/s for dependent random 4-byte reads.
+	// One such read costs one full line fetch; the implied per-access
+	// time 4B / 48MB/s = 83 ns should be the same order as the 110 ns
+	// B2 penalty (DRAM precharge effects make the penalty the larger).
+	p := PentiumIIICluster()
+	implied := WordBytes / p.MemRandBps * 1e9
+	if implied < 40 || implied > 200 {
+		t.Fatalf("implied random access time %.1f ns out of plausible range", implied)
+	}
+	ratio := p.B2MissPenaltyNs / implied
+	if ratio < 0.5 || ratio > 3 {
+		t.Errorf("B2 penalty %.0f ns vs implied %.1f ns: ratio %.2f outside [0.5,3]", p.B2MissPenaltyNs, implied, ratio)
+	}
+}
+
+func TestPentium4Variant(t *testing.T) {
+	p := Pentium4()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.L2Line != 128 {
+		t.Errorf("P4 L2 line = %d, want 128 (Section 2.2)", p.L2Line)
+	}
+	// Degradation factor for random 4-byte accesses: line/word = 32.
+	if f := p.L2Line / WordBytes; f != 32 {
+		t.Errorf("P4 degradation factor = %d, want 32", f)
+	}
+	if p.B2MissPenaltyNs != 150 {
+		t.Errorf("P4 B2 penalty = %v, want 150 ns (Section 2.1)", p.B2MissPenaltyNs)
+	}
+}
+
+func TestGigabitEthernetVariant(t *testing.T) {
+	p := GigabitEthernet()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.NetLatencyNs != 100_000 {
+		t.Errorf("GigE latency = %v, want 100us (Section 2.2)", p.NetLatencyNs)
+	}
+	// Section 2.2: GigE needs a ~200 KB batch for transmission to
+	// dominate latency. At 200 KB, transfer should exceed latency; at
+	// 10 KB it must not.
+	if tx := p.NetTransferNs(200 * KB); tx < p.NetLatencyNs {
+		t.Errorf("200KB GigE transfer %.0f ns should exceed latency %.0f ns", tx, p.NetLatencyNs)
+	}
+	if tx := p.NetTransferNs(10 * KB); tx > p.NetLatencyNs {
+		t.Errorf("10KB GigE transfer %.0f ns should be below latency %.0f ns", tx, p.NetLatencyNs)
+	}
+}
+
+func TestFutureYearZeroIsIdentityOnScaledFields(t *testing.T) {
+	base := PentiumIIICluster()
+	f := Future(base, 0, PaperScaling())
+	if f.CompCostNodeNs != base.CompCostNodeNs ||
+		f.NetBps != base.NetBps ||
+		f.MemSeqBps != base.MemSeqBps ||
+		f.B2MissPenaltyNs != base.B2MissPenaltyNs {
+		t.Errorf("Future(base, 0) changed scaled fields: %+v", f)
+	}
+}
+
+func TestFutureScalingRates(t *testing.T) {
+	base := PentiumIIICluster()
+	s := PaperScaling()
+
+	// 18 months: CPU costs halve.
+	f := Future(base, 1.5, s)
+	if math.Abs(f.CompCostNodeNs-base.CompCostNodeNs/2) > 1e-9 {
+		t.Errorf("after 1.5y CompCostNode = %v, want %v", f.CompCostNodeNs, base.CompCostNodeNs/2)
+	}
+	// 3 years: network doubles.
+	f = Future(base, 3, s)
+	if math.Abs(f.NetBps-2*base.NetBps) > 1e-3 {
+		t.Errorf("after 3y NetBps = %v, want %v", f.NetBps, 2*base.NetBps)
+	}
+	// 1 year: memory bandwidth +20%.
+	f = Future(base, 1, s)
+	if math.Abs(f.MemSeqBps-1.2*base.MemSeqBps) > 1e-3 {
+		t.Errorf("after 1y MemSeqBps = %v, want %v", f.MemSeqBps, 1.2*base.MemSeqBps)
+	}
+	// Memory latency never changes.
+	f = Future(base, 5, s)
+	if f.B2MissPenaltyNs != base.B2MissPenaltyNs {
+		t.Errorf("B2 penalty changed under scaling: %v", f.B2MissPenaltyNs)
+	}
+	if f.TLBMissPenaltyNs != base.TLBMissPenaltyNs {
+		t.Errorf("TLB penalty changed under scaling: %v", f.TLBMissPenaltyNs)
+	}
+}
+
+func TestFutureMonotonic(t *testing.T) {
+	base := PentiumIIICluster()
+	s := PaperScaling()
+	prev := Future(base, 0, s)
+	for y := 1; y <= 10; y++ {
+		f := Future(base, float64(y), s)
+		if f.CompCostNodeNs >= prev.CompCostNodeNs {
+			t.Errorf("year %d: CompCostNode not strictly decreasing", y)
+		}
+		if f.NetBps <= prev.NetBps {
+			t.Errorf("year %d: NetBps not strictly increasing", y)
+		}
+		if f.MemSeqBps <= prev.MemSeqBps {
+			t.Errorf("year %d: MemSeqBps not strictly increasing", y)
+		}
+		prev = f
+	}
+}
+
+func TestFutureNegativeYearsClamped(t *testing.T) {
+	base := PentiumIIICluster()
+	f := Future(base, -3, PaperScaling())
+	if f.CompCostNodeNs != base.CompCostNodeNs {
+		t.Errorf("negative years should clamp to 0, got CompCostNode=%v", f.CompCostNodeNs)
+	}
+}
+
+func TestValidateCatchesBadGeometry(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero L1", func(p *Params) { p.L1Size = 0 }},
+		{"negative L2", func(p *Params) { p.L2Size = -1 }},
+		{"non-pow2 line", func(p *Params) { p.L2Line = 48 }},
+		{"size not multiple of line", func(p *Params) { p.L2Size = 512*KB + 16 }},
+		{"zero assoc", func(p *Params) { p.L2Assoc = 0 }},
+		{"assoc not dividing lines", func(p *Params) { p.L2Assoc = 7 }},
+		{"zero B2 penalty", func(p *Params) { p.B2MissPenaltyNs = 0 }},
+		{"zero page", func(p *Params) { p.PageBytes = 0 }},
+		{"zero W1", func(p *Params) { p.MemSeqBps = 0 }},
+		{"zero W2", func(p *Params) { p.NetBps = 0 }},
+		{"negative latency", func(p *Params) { p.NetLatencyNs = -1 }},
+		{"negative comp cost", func(p *Params) { p.CompCostNodeNs = -1 }},
+	}
+	for _, c := range cases {
+		p := PentiumIIICluster()
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid params", c.name)
+		}
+	}
+}
+
+func TestStringMentionsKeyNumbers(t *testing.T) {
+	s := PentiumIIICluster().String()
+	for _, want := range []string{"512KB", "110", "647", "138"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

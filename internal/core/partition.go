@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// Partition is one slave's share of the index: a contiguous run of the
+// sorted key array ("the sorted array is decomposed into equal size
+// partitions and each partition is stored at a slave node", Section 3.2).
+type Partition struct {
+	// Slave is the owning slave's id, 0-based.
+	Slave int
+	// Keys aliases the owning run of the sorted array.
+	Keys []workload.Key
+	// RankBase is the global rank of the partition's first key minus
+	// one: a local rank within the partition plus RankBase is the
+	// global rank.
+	RankBase int
+}
+
+// Partitioning is the full decomposition plus the master's dispatch
+// structure: the sorted array of partition delimiters (Section 3.2,
+// Figure 2).
+type Partitioning struct {
+	Parts []Partition
+	// delims[i] is the first key of partition i+1; a query key routes
+	// to the last partition whose range begins at or before it.
+	delims []workload.Key
+}
+
+// NewPartitioning splits sorted keys into the given number of equal-size
+// partitions. It returns an error for a non-positive count or more
+// partitions than keys (a slave with an empty partition could never own
+// a key range).
+func NewPartitioning(keys []workload.Key, parts int) (*Partitioning, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("core: partition count %d must be positive", parts)
+	}
+	if len(keys) < parts {
+		return nil, fmt.Errorf("core: %d keys cannot fill %d partitions", len(keys), parts)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return nil, fmt.Errorf("core: keys not sorted at %d", i)
+		}
+	}
+	p := &Partitioning{
+		Parts:  make([]Partition, parts),
+		delims: make([]workload.Key, 0, parts-1),
+	}
+	for i := 0; i < parts; i++ {
+		lo := i * len(keys) / parts
+		hi := (i + 1) * len(keys) / parts
+		p.Parts[i] = Partition{Slave: i, Keys: keys[lo:hi], RankBase: lo}
+		if i > 0 {
+			p.delims = append(p.delims, keys[lo])
+		}
+	}
+	return p, nil
+}
+
+// Route returns the slave responsible for query key k: the last
+// partition whose first key is <= k (keys below every delimiter belong
+// to partition 0). This is the master's dispatch operation.
+func (p *Partitioning) Route(k workload.Key) int {
+	return sort.Search(len(p.delims), func(i int) bool { return p.delims[i] > k })
+}
+
+// Delimiters returns the master's dispatch array (len = partitions-1).
+func (p *Partitioning) Delimiters() []workload.Key { return p.delims }
+
+// DelimiterBytes returns the dispatch structure's footprint: the tiny
+// sorted array that stays resident in the master's L1.
+func (p *Partitioning) DelimiterBytes() int {
+	return len(p.delims) * workload.KeyBytes
+}
+
+// GlobalRank composes a slave-local rank into a global one.
+func (p *Partitioning) GlobalRank(slave, localRank int) int {
+	return p.Parts[slave].RankBase + localRank
+}
+
+// MaxPartKeys returns the largest partition's key count, the value that
+// must fit in a slave's cache.
+func (p *Partitioning) MaxPartKeys() int {
+	max := 0
+	for _, part := range p.Parts {
+		if len(part.Keys) > max {
+			max = len(part.Keys)
+		}
+	}
+	return max
+}

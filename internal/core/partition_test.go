@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestNewPartitioningBasics(t *testing.T) {
+	keys := workload.EvenKeys(1000)
+	p, err := NewPartitioning(keys, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Parts) != 10 {
+		t.Fatalf("parts = %d", len(p.Parts))
+	}
+	total := 0
+	for i, part := range p.Parts {
+		if part.Slave != i {
+			t.Errorf("part %d has slave id %d", i, part.Slave)
+		}
+		if part.RankBase != total {
+			t.Errorf("part %d rank base = %d, want %d", i, part.RankBase, total)
+		}
+		total += len(part.Keys)
+	}
+	if total != len(keys) {
+		t.Errorf("partitions cover %d keys, want %d", total, len(keys))
+	}
+	if len(p.Delimiters()) != 9 {
+		t.Errorf("delimiters = %d, want parts-1", len(p.Delimiters()))
+	}
+	if p.DelimiterBytes() != 9*workload.KeyBytes {
+		t.Errorf("delimiter bytes = %d", p.DelimiterBytes())
+	}
+}
+
+func TestPartitioningEqualSizes(t *testing.T) {
+	keys := workload.EvenKeys(327680)
+	p, err := NewPartitioning(keys, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, part := range p.Parts {
+		if len(part.Keys) != 32768 {
+			t.Errorf("part %d has %d keys, want 32768 (equal-size partitions)", i, len(part.Keys))
+		}
+	}
+	if p.MaxPartKeys() != 32768 {
+		t.Errorf("MaxPartKeys = %d", p.MaxPartKeys())
+	}
+}
+
+func TestPartitioningUnevenSizes(t *testing.T) {
+	keys := workload.EvenKeys(103)
+	p, err := NewPartitioning(keys, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, part := range p.Parts {
+		n := len(part.Keys)
+		if n < 10 || n > 11 {
+			t.Errorf("uneven split: partition of %d keys", n)
+		}
+		total += n
+	}
+	if total != 103 {
+		t.Errorf("total %d", total)
+	}
+}
+
+func TestPartitioningErrors(t *testing.T) {
+	keys := workload.EvenKeys(10)
+	if _, err := NewPartitioning(keys, 0); err == nil {
+		t.Error("0 parts accepted")
+	}
+	if _, err := NewPartitioning(keys, -1); err == nil {
+		t.Error("negative parts accepted")
+	}
+	if _, err := NewPartitioning(keys, 11); err == nil {
+		t.Error("more parts than keys accepted")
+	}
+	if _, err := NewPartitioning([]workload.Key{3, 1, 2}, 2); err == nil {
+		t.Error("unsorted keys accepted")
+	}
+}
+
+func TestRouteBoundaries(t *testing.T) {
+	keys := []workload.Key{10, 20, 30, 40, 50, 60}
+	p, err := NewPartitioning(keys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partitions: [10,20] [30,40] [50,60]; delimiters 30, 50.
+	cases := []struct {
+		k    workload.Key
+		want int
+	}{
+		{0, 0}, {10, 0}, {29, 0}, {30, 1}, {49, 1}, {50, 2}, {100, 2},
+	}
+	for _, c := range cases {
+		if got := p.Route(c.k); got != c.want {
+			t.Errorf("Route(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+// The fundamental distributed-index invariant: routing + local rank +
+// rank base reproduces the global rank for every query.
+func TestRouteComposesToGlobalRank(t *testing.T) {
+	keys := workload.SortedKeys(5000, 3)
+	for _, parts := range []int{1, 2, 7, 10, 50} {
+		p, err := NewPartitioning(keys, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := workload.NewRNG(9)
+		for i := 0; i < 5000; i++ {
+			q := r.Key()
+			s := p.Route(q)
+			local := workload.ReferenceRank(p.Parts[s].Keys, q)
+			if got, want := p.GlobalRank(s, local), workload.ReferenceRank(keys, q); got != want {
+				t.Fatalf("parts=%d: key %d routed to %d gives rank %d, want %d", parts, q, s, got, want)
+			}
+		}
+	}
+}
+
+// Property version over random key sets and partition counts.
+func TestRouteComposesProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, partsRaw uint8, probes []uint32) bool {
+		n := int(nRaw%3000) + 1
+		parts := int(partsRaw%16) + 1
+		if parts > n {
+			parts = n
+		}
+		keys := workload.SortedKeys(n, seed)
+		p, err := NewPartitioning(keys, parts)
+		if err != nil {
+			return false
+		}
+		for _, pr := range probes {
+			q := workload.Key(pr)
+			s := p.Route(q)
+			local := workload.ReferenceRank(p.Parts[s].Keys, q)
+			if p.GlobalRank(s, local) != workload.ReferenceRank(keys, q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	want := map[Method]string{
+		MethodA: "A", MethodB: "B", MethodC1: "C-1", MethodC2: "C-2", MethodC3: "C-3",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+		if !m.Valid() {
+			t.Errorf("%v not valid", m)
+		}
+	}
+	if Method(99).Valid() {
+		t.Error("Method(99) valid")
+	}
+	if MethodA.Distributed() || MethodB.Distributed() {
+		t.Error("A/B are not distributed")
+	}
+	if !MethodC1.Distributed() || !MethodC2.Distributed() || !MethodC3.Distributed() {
+		t.Error("C variants are distributed")
+	}
+	if len(Methods()) != 5 {
+		t.Error("Methods() should list all five")
+	}
+}
+
+func TestSimConfigValidate(t *testing.T) {
+	good := SimConfig{
+		P:            pentium(),
+		Method:       MethodC3,
+		IndexKeys:    workload.EvenKeys(1000),
+		TotalQueries: 1000,
+		BatchBytes:   8 << 10,
+		Masters:      1,
+		Slaves:       10,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := map[string]func(*SimConfig){
+		"bad method":   func(c *SimConfig) { c.Method = Method(42) },
+		"empty index":  func(c *SimConfig) { c.IndexKeys = nil },
+		"no queries":   func(c *SimConfig) { c.TotalQueries = 0 },
+		"tiny batch":   func(c *SimConfig) { c.BatchBytes = 2 },
+		"no slaves":    func(c *SimConfig) { c.Slaves = 0 },
+		"no masters":   func(c *SimConfig) { c.Masters = 0 },
+		"too few keys": func(c *SimConfig) { c.IndexKeys = workload.EvenKeys(5) },
+		"neg sample":   func(c *SimConfig) { c.SampleQueries = -1 },
+	}
+	for name, mutate := range cases {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

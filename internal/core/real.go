@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buffering"
+	"repro/internal/index"
+	"repro/internal/workload"
+)
+
+// RealConfig configures the real concurrent runtime: goroutine nodes
+// connected by channels, executing actual lookups on the host. This is
+// the adoptable library the simulated engines validate against — every
+// method returns bit-identical ranks; only performance differs.
+type RealConfig struct {
+	// Method selects the strategy. Method A/B replicate the index on
+	// Workers nodes and balance batches round-robin (the paper's
+	// dispatcher with a load-balancing algorithm); Method C partitions
+	// the index over Workers slaves with the caller acting as master.
+	Method Method
+	// Workers is the number of processing goroutines (the paper's 10
+	// slaves / 11 worker nodes).
+	Workers int
+	// BatchKeys is the pipeline granularity: keys per message.
+	BatchKeys int
+	// QueueDepth bounds in-flight batches per worker (backpressure).
+	QueueDepth int
+}
+
+// DefaultRealConfig returns a ready-to-use configuration for m.
+func DefaultRealConfig(m Method) RealConfig {
+	return RealConfig{Method: m, Workers: 8, BatchKeys: 16384, QueueDepth: 4}
+}
+
+func (c RealConfig) validate() error {
+	if !c.Method.Valid() {
+		return fmt.Errorf("core: invalid method %d", int(c.Method))
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("core: Workers = %d", c.Workers)
+	}
+	if c.BatchKeys <= 0 {
+		return fmt.Errorf("core: BatchKeys = %d", c.BatchKeys)
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("core: QueueDepth = %d", c.QueueDepth)
+	}
+	return nil
+}
+
+// realBatch is one message on the channel interconnect: keys plus their
+// positions in the caller's query slice, so results scatter back.
+type realBatch struct {
+	keys []workload.Key
+	pos  []int32
+}
+
+// workerStats tracks one worker's processed volume.
+type workerStats struct {
+	keys    int64
+	batches int64
+	busy    time.Duration
+}
+
+// Cluster is the running real engine. Create with NewCluster, query with
+// Lookup/LookupBatch, and Close when done. LookupBatch is safe for one
+// caller at a time (the caller is the master); Lookup may be called
+// concurrently with itself.
+type Cluster struct {
+	cfg  RealConfig
+	keys []workload.Key
+	part *Partitioning // Method C only
+
+	in      []chan realBatch
+	results chan realResult
+	wg      sync.WaitGroup
+	stats   []workerStats
+
+	mu     sync.Mutex // serializes LookupBatch callers
+	closed bool
+
+	rr int // round-robin cursor for replicated methods
+}
+
+type realResult struct {
+	worker int
+	pos    []int32
+	ranks  []int
+}
+
+// NewCluster builds the index (replicated or partitioned per the
+// method), spawns the worker goroutines, and returns the running
+// cluster.
+func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("core: empty index")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return nil, fmt.Errorf("core: index keys not sorted at %d", i)
+		}
+	}
+
+	c := &Cluster{
+		cfg:     cfg,
+		keys:    keys,
+		in:      make([]chan realBatch, cfg.Workers),
+		results: make(chan realResult, cfg.Workers*cfg.QueueDepth),
+		stats:   make([]workerStats, cfg.Workers),
+	}
+
+	if cfg.Method.Distributed() {
+		part, err := NewPartitioning(keys, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		c.part = part
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		c.in[w] = make(chan realBatch, cfg.QueueDepth)
+		proc, err := newRealWorker(cfg, keys, c.part, w)
+		if err != nil {
+			return nil, err
+		}
+		c.wg.Add(1)
+		go c.runWorker(w, proc)
+	}
+	return c, nil
+}
+
+// realWorker computes local ranks for a batch.
+type realWorker struct {
+	rankBase int
+	arr      *index.SortedArray
+	tree     *index.Tree
+	plan     buffering.Plan
+	buffered bool
+	out      []int
+}
+
+func newRealWorker(cfg RealConfig, keys []workload.Key, part *Partitioning, w int) (*realWorker, error) {
+	rw := &realWorker{}
+	switch cfg.Method {
+	case MethodA:
+		rw.tree = index.NewNaryTree(keys, 0)
+	case MethodB:
+		rw.tree = index.NewNaryTree(keys, 0)
+		// Budget mirrors the simulated engine: half of a typical L2.
+		rw.plan = buffering.NewPlan(rw.tree, 256<<10)
+		rw.buffered = true
+	case MethodC1:
+		rw.tree = index.NewNaryTree(part.Parts[w].Keys, 0)
+		rw.rankBase = part.Parts[w].RankBase
+	case MethodC2:
+		rw.tree = index.NewNaryTree(part.Parts[w].Keys, 0)
+		rw.plan = buffering.NewPlan(rw.tree, 8<<10)
+		rw.buffered = true
+		rw.rankBase = part.Parts[w].RankBase
+	case MethodC3:
+		rw.arr = index.NewSortedArray(part.Parts[w].Keys, 0)
+		rw.rankBase = part.Parts[w].RankBase
+	default:
+		return nil, fmt.Errorf("core: unsupported method %v", cfg.Method)
+	}
+	return rw, nil
+}
+
+// process computes the global ranks for the batch into a fresh slice.
+func (rw *realWorker) process(b realBatch) []int {
+	n := len(b.keys)
+	if cap(rw.out) < n {
+		rw.out = make([]int, n)
+	}
+	out := rw.out[:n]
+	switch {
+	case rw.buffered:
+		rw.plan.RankBatch(b.keys, out, buffering.Hooks{})
+	case rw.tree != nil:
+		for i, k := range b.keys {
+			out[i] = rw.tree.Rank(k)
+		}
+	default:
+		for i, k := range b.keys {
+			out[i] = rw.arr.Rank(k)
+		}
+	}
+	ranks := make([]int, n)
+	for i := range out {
+		ranks[i] = out[i] + rw.rankBase
+	}
+	return ranks
+}
+
+func (c *Cluster) runWorker(w int, proc *realWorker) {
+	defer c.wg.Done()
+	for b := range c.in[w] {
+		start := time.Now()
+		ranks := proc.process(b)
+		c.stats[w].busy += time.Since(start)
+		c.stats[w].keys += int64(len(b.keys))
+		c.stats[w].batches++
+		c.results <- realResult{worker: w, pos: b.pos, ranks: ranks}
+	}
+}
+
+// LookupBatch routes queries through the cluster and returns their
+// global ranks, in query order. The caller plays the master: it
+// partitions (Method C) or round-robins (A/B) the stream into batches,
+// dispatches them over the channel interconnect, and gathers replies.
+func (c *Cluster) LookupBatch(queries []workload.Key) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("core: cluster is closed")
+	}
+	out := make([]int, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+
+	pending := 0
+	drain := func(block bool) {
+		for {
+			if block && pending > 0 {
+				r := <-c.results
+				copyResult(out, r)
+				pending--
+				block = false
+				continue
+			}
+			select {
+			case r := <-c.results:
+				copyResult(out, r)
+				pending--
+			default:
+				return
+			}
+		}
+	}
+	send := func(w int, b realBatch) {
+		for {
+			select {
+			case c.in[w] <- b:
+				return
+			case r := <-c.results:
+				// Keep draining while backpressured so the pipeline
+				// cannot deadlock.
+				copyResult(out, r)
+				pending--
+			}
+		}
+	}
+
+	bk := c.cfg.BatchKeys
+	if c.cfg.Method.Distributed() {
+		// Master dispatch: per-slave accumulation, flush at BatchKeys.
+		bufK := make([][]workload.Key, c.cfg.Workers)
+		bufP := make([][]int32, c.cfg.Workers)
+		flush := func(s int) {
+			if len(bufK[s]) == 0 {
+				return
+			}
+			b := realBatch{
+				keys: append([]workload.Key(nil), bufK[s]...),
+				pos:  append([]int32(nil), bufP[s]...),
+			}
+			bufK[s], bufP[s] = bufK[s][:0], bufP[s][:0]
+			pending++
+			send(s, b)
+		}
+		for i, q := range queries {
+			s := c.part.Route(q)
+			bufK[s] = append(bufK[s], q)
+			bufP[s] = append(bufP[s], int32(i))
+			if len(bufK[s]) >= bk {
+				flush(s)
+			}
+		}
+		for s := range bufK {
+			flush(s)
+		}
+	} else {
+		// Replicated index: round-robin load balancing.
+		for start := 0; start < len(queries); start += bk {
+			end := start + bk
+			if end > len(queries) {
+				end = len(queries)
+			}
+			pos := make([]int32, end-start)
+			for i := range pos {
+				pos[i] = int32(start + i)
+			}
+			b := realBatch{keys: queries[start:end], pos: pos}
+			pending++
+			send(c.rr, b)
+			c.rr = (c.rr + 1) % c.cfg.Workers
+		}
+	}
+
+	for pending > 0 {
+		drain(true)
+	}
+	return out, nil
+}
+
+func copyResult(out []int, r realResult) {
+	for i, p := range r.pos {
+		out[p] = r.ranks[i]
+	}
+}
+
+// Lookup resolves a single key synchronously (a convenience wrapper; for
+// throughput use LookupBatch).
+func (c *Cluster) Lookup(q workload.Key) (int, error) {
+	r, err := c.LookupBatch([]workload.Key{q})
+	if err != nil {
+		return 0, err
+	}
+	return r[0], nil
+}
+
+// RealStats summarizes the cluster's lifetime work.
+type RealStats struct {
+	Method        Method
+	Workers       int
+	KeysProcessed int64
+	Batches       int64
+	// BusyPerWorker is each worker's cumulative processing time.
+	BusyPerWorker []time.Duration
+}
+
+// Stats snapshots the per-worker counters. Call after LookupBatch
+// returns (counters are not synchronized mid-flight).
+func (c *Cluster) Stats() RealStats {
+	s := RealStats{
+		Method:        c.cfg.Method,
+		Workers:       c.cfg.Workers,
+		BusyPerWorker: make([]time.Duration, c.cfg.Workers),
+	}
+	for w := range c.stats {
+		s.KeysProcessed += c.stats[w].keys
+		s.Batches += c.stats[w].batches
+		s.BusyPerWorker[w] = c.stats[w].busy
+	}
+	return s
+}
+
+// Close shuts the workers down and waits for them to exit. Further
+// lookups fail. Close is idempotent.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, ch := range c.in {
+		close(ch)
+	}
+	c.wg.Wait()
+	close(c.results)
+}

@@ -1,0 +1,105 @@
+// Package des is a minimal deterministic discrete-event scheduler used by
+// the cluster simulation. Events carry a firing time in virtual
+// nanoseconds; Run drains them in time order, breaking ties by insertion
+// sequence so that simulations are reproducible regardless of map or
+// goroutine scheduling on the host.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine owns the virtual clock and the pending event queue. The zero
+// value is ready to use.
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventHeap
+	fired uint64
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns how many events have executed, a cheap progress and
+// determinism probe for tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled-but-unfired events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule registers fn to run at absolute virtual time at. Scheduling
+// in the past (before Now) panics: it always indicates a bookkeeping bug
+// in the caller, and silently clamping would hide causality violations.
+func (e *Engine) Schedule(at float64, fn func()) {
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("des: scheduling at non-finite time %v", at))
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling at %.3f before now %.3f", at, e.now))
+	}
+	if fn == nil {
+		panic("des: scheduling nil event")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After registers fn to run delay nanoseconds from now. Negative delays
+// panic.
+func (e *Engine) After(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run executes events in time order until the queue is empty, and
+// returns the final virtual time. Events may schedule further events.
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with firing time <= deadline and then stops,
+// leaving later events queued and the clock at min(deadline, last event).
+// It returns the number of events fired.
+func (e *Engine) RunUntil(deadline float64) uint64 {
+	start := e.fired
+	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	if e.now < deadline && e.queue.Len() > 0 {
+		e.now = deadline
+	}
+	return e.fired - start
+}

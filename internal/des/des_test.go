@@ -1,0 +1,202 @@
+package des
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestRunFiresInTimeOrder(t *testing.T) {
+	var e Engine
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, at := range times {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	end := e.Run()
+	want := []float64{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("firing order %v, want %v", got, want)
+	}
+	if end != 5 {
+		t.Errorf("final time %v, want 5", end)
+	}
+}
+
+func TestTieBreakByInsertionOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	var e Engine
+	var trace []string
+	e.Schedule(1, func() {
+		trace = append(trace, "a")
+		e.After(2, func() { trace = append(trace, "c") })
+		e.Schedule(2, func() { trace = append(trace, "b") })
+	})
+	e.Run()
+	if !reflect.DeepEqual(trace, []string{"a", "b", "c"}) {
+		t.Errorf("trace = %v", trace)
+	}
+	if e.Now() != 3 {
+		t.Errorf("now = %v, want 3", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling before now did not panic")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestNilEventPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil fn did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestNonFiniteTimePanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN time did not panic")
+		}
+	}()
+	e.Schedule(nan(), func() {})
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	var e Engine
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 10, 20} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	fired := e.RunUntil(5)
+	if fired != 3 {
+		t.Errorf("fired %d events, want 3", fired)
+	}
+	if !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Errorf("got %v", got)
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock = %v, want advanced to deadline 5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Now() != 20 || e.Pending() != 0 {
+		t.Errorf("after Run: now=%v pending=%d", e.Now(), e.Pending())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	var e Engine
+	for i := 0; i < 7; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7", e.Fired())
+	}
+}
+
+// Property: for any random set of times, events fire in non-decreasing
+// time order and all of them fire.
+func TestRunOrderProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		r := workload.NewRNG(seed)
+		var e Engine
+		var fired []float64
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = float64(r.Intn(1000))
+			at := times[i]
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		sort.Float64s(times)
+		return reflect.DeepEqual(fired, times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Simulations must be bit-for-bit deterministic: same schedule, same
+// trace, across repeated runs.
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int {
+		var e Engine
+		var trace []int
+		r := workload.NewRNG(5)
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			id := r.Intn(1000)
+			e.After(float64(r.Intn(50)), func() {
+				trace = append(trace, id)
+				spawn(depth + 1)
+				spawn(depth + 1)
+			})
+		}
+		spawn(0)
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical simulations produced different traces")
+	}
+}

@@ -1,0 +1,109 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/workload"
+)
+
+// SortedArray is Method C-3's structure: the sorted key array itself,
+// searched by binary search. It is the densest possible layout — the
+// reason the paper finds C-3 beats C-1/C-2 ("the n-ary trees ... occupy
+// more space than a sorted array. This produces more pressure on the
+// cache", Section 4.1).
+type SortedArray struct {
+	keys []workload.Key
+	base memsim.Addr
+}
+
+// NewSortedArray wraps keys (which must already be sorted ascending; the
+// constructor panics otherwise, since a silently unsorted array would
+// corrupt every downstream result) at virtual address base.
+func NewSortedArray(keys []workload.Key, base memsim.Addr) *SortedArray {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			panic(fmt.Sprintf("index: NewSortedArray input not sorted at %d", i))
+		}
+	}
+	return &SortedArray{keys: keys, base: base}
+}
+
+// Name implements Index.
+func (a *SortedArray) Name() string { return "sorted-array" }
+
+// N implements Index.
+func (a *SortedArray) N() int { return len(a.keys) }
+
+// Base implements Index.
+func (a *SortedArray) Base() memsim.Addr { return a.base }
+
+// SizeBytes implements Index.
+func (a *SortedArray) SizeBytes() int { return len(a.keys) * workload.KeyBytes }
+
+// Keys exposes the backing slice (read-only by convention); the
+// partitioner and the buffered engines slice it.
+func (a *SortedArray) Keys() []workload.Key { return a.keys }
+
+// Rank implements Index with an explicit binary search (upper bound).
+func (a *SortedArray) Rank(k workload.Key) int {
+	lo, hi := 0, len(a.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// RankTrace implements Index; every probed element contributes one
+// address.
+func (a *SortedArray) RankTrace(k workload.Key, trace []memsim.Addr) (int, []memsim.Addr) {
+	lo, hi := 0, len(a.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		trace = append(trace, a.base+memsim.Addr(mid*workload.KeyBytes))
+		if a.keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, trace
+}
+
+// Levels implements Index: the number of binary-search probes,
+// ceil(log2(n+1)).
+func (a *SortedArray) Levels() int {
+	levels := 0
+	for n := len(a.keys); n > 0; n >>= 1 {
+		levels++
+	}
+	return levels
+}
+
+// LevelLines implements Index. Probe depth d can land on at most 2^(d-1)
+// distinct midpoints; each midpoint is one line, and the count saturates
+// at the array's total line count.
+func (a *SortedArray) LevelLines() []int {
+	totalLines := (a.SizeBytes() + 31) / 32
+	if totalLines == 0 {
+		return nil
+	}
+	out := make([]int, a.Levels())
+	spread := 1
+	for i := range out {
+		if spread > totalLines {
+			out[i] = totalLines
+		} else {
+			out[i] = spread
+		}
+		if spread <= totalLines {
+			spread *= 2
+		}
+	}
+	return out
+}

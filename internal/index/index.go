@@ -1,0 +1,79 @@
+// Package index implements the three index structures the paper
+// compares, over 4-byte keys:
+//
+//   - SortedArray: the Method C-3 structure — a plain sorted array
+//     searched with binary search.
+//   - Tree with 4-key leaves: the Method A/B structure — an 8-ary search
+//     tree whose 32-byte nodes fill exactly one Pentium III cache line
+//     (7 separator keys + a first-child pointer in internal nodes; 4 keys
+//     plus room for their associated words in leaves). With Table 1's
+//     327,680 keys this yields exactly T = 7 levels and a ~3 MB arena,
+//     matching the paper's setup.
+//   - Tree with 7-key leaves: the CSB+ layout of Rao and Ross used by
+//     Methods C-1/C-2 — identical internal nodes, but leaves are pure
+//     key arrays (the CSB+ trick of storing only the first-child pointer
+//     leaves all remaining words for keys). A 32,768-key slave partition
+//     yields exactly 6 levels, matching Table 1's L = 6.
+//
+// Every structure answers Rank(k): the number of index keys <= k, which
+// identifies the sub-range (and hence the responsible cluster node) for
+// k. All implementations agree exactly with workload.ReferenceRank; the
+// engines and the property tests rely on that.
+//
+// Structures live at caller-assigned virtual base addresses so that the
+// cache simulator can model their residency; RankTrace reports the probe
+// addresses of a lookup for trace-driven simulation.
+package index
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/workload"
+)
+
+// Index is the common read API of all three structures.
+type Index interface {
+	// Name identifies the structure ("sorted-array", "nary-tree",
+	// "csb+-tree") in reports.
+	Name() string
+	// N returns the number of indexed keys.
+	N() int
+	// Rank returns the number of indexed keys <= k.
+	Rank(k workload.Key) int
+	// RankTrace is Rank, also appending the virtual address of every
+	// memory probe the lookup performs to trace (which it returns,
+	// append-style). Each probe touches at most one cache line.
+	RankTrace(k workload.Key, trace []memsim.Addr) (int, []memsim.Addr)
+	// Base and SizeBytes describe the structure's arena, for cache
+	// preloading and footprint reports.
+	Base() memsim.Addr
+	SizeBytes() int
+	// Levels returns the number of probe levels a lookup visits: tree
+	// height for trees, ceil(log2 n) for the array. This is T (or L)
+	// in the analytical model.
+	Levels() int
+	// LevelLines returns lambda_i, the number of distinct cache lines
+	// at each probe level (Appendix A's per-level line counts), root
+	// level first.
+	LevelLines() []int
+}
+
+// BuildChecked verifies idx agrees with the reference rank on a sample
+// of boundary probes; constructors call it in debug paths and tests use
+// it directly. It returns the first disagreeing key, or ok=true.
+func BuildChecked(idx Index, keys []workload.Key) (bad workload.Key, ok bool) {
+	probe := func(k workload.Key) bool {
+		return idx.Rank(k) == workload.ReferenceRank(keys, k)
+	}
+	if !probe(0) || !probe(^workload.Key(0)) {
+		return 0, false
+	}
+	for _, k := range keys {
+		if !probe(k) {
+			return k, false
+		}
+		if k > 0 && !probe(k-1) {
+			return k - 1, false
+		}
+	}
+	return 0, true
+}

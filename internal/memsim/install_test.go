@@ -1,0 +1,82 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestCacheInstallSkipsCounters(t *testing.T) {
+	c := NewCache(1024, 32, 4)
+	c.Install(0)
+	c.Install(32)
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatalf("Install touched counters: hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if !c.Contains(0) || !c.Contains(32) {
+		t.Fatal("Install did not make lines resident")
+	}
+	// Installed lines participate in LRU like any other.
+	if !c.Access(0) {
+		t.Fatal("installed line should hit")
+	}
+}
+
+func TestCacheInstallEvictsLRU(t *testing.T) {
+	c := NewCache(2*32, 32, 2) // 1 set, 2 ways
+	c.Install(0)
+	c.Install(32)
+	c.Install(64) // evicts line 0 (LRU)
+	if c.Contains(0) {
+		t.Fatal("Install did not evict LRU")
+	}
+	if !c.Contains(32) || !c.Contains(64) {
+		t.Fatal("resident set wrong after Install eviction")
+	}
+}
+
+func TestInstallQuietPollutesWithoutCost(t *testing.T) {
+	p := arch.PentiumIIICluster()
+	h := NewHierarchy(p)
+	h.Preload(1<<30, p.L2Size/2)
+	before := h.C
+
+	// InstallQuiet a full-L2 region: residency changes, counters don't.
+	h.InstallQuiet(0, p.L2Size)
+	if h.C != before {
+		t.Fatalf("InstallQuiet changed counters: %+v -> %+v", before, h.C)
+	}
+	evicted := 0
+	for off := 0; off < p.L2Size/2; off += p.L2Line {
+		if !h.L2.Contains(Addr(1<<30 + off)) {
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("InstallQuiet caused no pollution")
+	}
+}
+
+func TestPreloadMidRunIsCounterNeutral(t *testing.T) {
+	p := arch.PentiumIIICluster()
+	h := NewHierarchy(p)
+	// Accumulate some real counters first.
+	for i := 0; i < 100; i++ {
+		h.Touch(Addr(i * 32))
+	}
+	before := h.C
+	h.Preload(1<<20, 64<<10)
+	if h.C != before {
+		t.Fatalf("mid-run Preload changed counters: %+v -> %+v", before, h.C)
+	}
+	// The preloaded region must be L2- and TLB-resident. The region is
+	// larger than L1, so early lines may pay a B1 fill, but never a B2
+	// miss or a TLB walk.
+	if cost := h.Touch(1 << 20); cost > p.B1MissPenaltyNs {
+		t.Fatalf("preloaded line cost %v, want <= B1 penalty %v", cost, p.B1MissPenaltyNs)
+	}
+	// The tail of the preload is still L1-hot: free.
+	if cost := h.Touch(Addr(1<<20 + 64<<10 - 32)); cost != 0 {
+		t.Fatalf("preload tail cost %v, want 0", cost)
+	}
+}

@@ -1,0 +1,323 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func p3() arch.Params { return arch.PentiumIIICluster() }
+
+func TestXDBasics(t *testing.T) {
+	if got := XD(1, 100); got != 1 {
+		t.Errorf("XD(1, q) = %v, want 1 (the root line is always touched)", got)
+	}
+	if got := XD(100, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("XD(lambda, 1) = %v, want 1 (one lookup touches one line)", got)
+	}
+	if got := XD(0, 5); got != 0 {
+		t.Errorf("XD(0, q) = %v", got)
+	}
+	if got := XD(100, 0); got != 0 {
+		t.Errorf("XD(lambda, 0) = %v", got)
+	}
+	// Saturation: q >> lambda touches everything.
+	if got := XD(50, 1e6); math.Abs(got-50) > 1e-6 {
+		t.Errorf("XD saturation = %v, want 50", got)
+	}
+}
+
+// Property: XD is increasing in q and bounded by lambda.
+func TestXDMonotoneBoundedProperty(t *testing.T) {
+	f := func(lRaw, qaRaw, qbRaw uint16) bool {
+		lambda := float64(lRaw%10000) + 1
+		qa, qb := float64(qaRaw), float64(qbRaw)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		a, b := XD(lambda, qa), XD(lambda, qb)
+		return a <= b+1e-9 && b <= lambda+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveQ0InvertsSumXD(t *testing.T) {
+	lines := []int{1, 8, 64, 512, 4096, 32768, 262144}
+	target := 16384.0 // C2/B2 on the Pentium III
+	q0 := SolveQ0(lines, target)
+	if math.IsInf(q0, 1) {
+		t.Fatal("q0 infinite for a tree much larger than cache")
+	}
+	got := SumXD(lines, q0)
+	if math.Abs(got-target)/target > 1e-3 {
+		t.Errorf("SumXD(q0) = %v, want %v", got, target)
+	}
+}
+
+func TestSolveQ0TreeFitsInCache(t *testing.T) {
+	lines := []int{1, 8, 64} // 73 lines, far under 16384
+	if q0 := SolveQ0(lines, 16384); !math.IsInf(q0, 1) {
+		t.Errorf("q0 = %v, want +Inf when the tree fits", q0)
+	}
+	if m := SteadyMissesPerLookup(lines, 16384); m != 0 {
+		t.Errorf("steady misses = %v, want 0 for an in-cache tree", m)
+	}
+}
+
+func TestSteadyMissesRange(t *testing.T) {
+	lines := []int{1, 3, 20, 160, 1280, 10240, 81920}
+	m := SteadyMissesPerLookup(lines, 16384)
+	if m <= 0 || m > float64(len(lines)) {
+		t.Fatalf("steady misses = %v, want in (0, T]", m)
+	}
+	// The deep levels dominate: between 1 and 3 misses per lookup for
+	// the Table 1 tree in a 512 KB cache.
+	if m < 0.8 || m > 3.5 {
+		t.Errorf("steady misses = %v, want ~1-3 for the Table 1 geometry", m)
+	}
+}
+
+func TestSteadyMissesMonotoneInCacheSize(t *testing.T) {
+	lines := []int{1, 3, 20, 160, 1280, 10240, 81920}
+	prev := math.Inf(1)
+	for _, c := range []int{1024, 4096, 16384, 65536} {
+		m := SteadyMissesPerLookup(lines, c)
+		if m > prev+1e-9 {
+			t.Errorf("misses grew with cache size at %d: %v > %v", c, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestIdealLevelLines(t *testing.T) {
+	got := IdealLevelLines(4)
+	want := []int{1, 8, 64, 512}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IdealLevelLines = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewConfigDerivesTable1Geometry(t *testing.T) {
+	cfg := NewConfig(p3(), PaperSetup(), 128<<10)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(cfg.LevelLines) != 7 {
+		t.Errorf("T = %d, want 7 (Table 1)", len(cfg.LevelLines))
+	}
+	if cfg.SlaveLevels != 6 {
+		t.Errorf("L = %d, want 6 (Table 1)", cfg.SlaveLevels)
+	}
+	if cfg.SlavePartKeys != 32768 {
+		t.Errorf("partition keys = %d, want 32768", cfg.SlavePartKeys)
+	}
+	if cfg.BatchKeys != 32768 {
+		t.Errorf("batch keys = %d, want 32768 for 128 KB", cfg.BatchKeys)
+	}
+	if cfg.Segments < 2 {
+		t.Errorf("segments = %d, want >= 2 for a 3 MB tree under L2/2", cfg.Segments)
+	}
+}
+
+func TestMethodABreakdownStructure(t *testing.T) {
+	cfg := NewConfig(p3(), PaperSetup(), 128<<10)
+	b := cfg.MethodA()
+	if b.CompNs != 7*30 {
+		t.Errorf("A comp = %v, want T*CompCostNode = 210", b.CompNs)
+	}
+	if b.CacheNs <= 0 {
+		t.Errorf("A cache term = %v, want positive (tree >> cache)", b.CacheNs)
+	}
+	sum := b.CompNs + b.MemNs + b.CacheNs + b.NetNs
+	if math.Abs(sum-b.PerKeyNs) > 1e-9 {
+		t.Errorf("A breakdown does not sum: %v vs %v", sum, b.PerKeyNs)
+	}
+}
+
+func TestMethodBImprovesWithBatchSize(t *testing.T) {
+	// theta1 amortizes subtree loads over the batch, so Method B's
+	// per-key cost must fall monotonically with batch size (the Figure 3
+	// trend for B).
+	prev := math.Inf(1)
+	for _, batch := range []int{8 << 10, 32 << 10, 128 << 10, 512 << 10, 4 << 20} {
+		cfg := NewConfig(p3(), PaperSetup(), batch)
+		c := cfg.MethodB().PerKeyNs
+		if c >= prev {
+			t.Errorf("Method B per-key at %d = %v, not below %v", batch, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestMethodBBeatsAAtLargeBatch(t *testing.T) {
+	// At 4 MB batches the buffering fully amortizes subtree loads and B
+	// must beat A (Figure 3's right-hand side, where B sits below A).
+	cfg := NewConfig(p3(), PaperSetup(), 4<<20)
+	if a, b := cfg.MethodA().PerKeyNs, cfg.MethodB().PerKeyNs; b >= a {
+		t.Errorf("at 4MB batch B (%v) should beat A (%v)", b, a)
+	}
+}
+
+func TestMethodCVariantsSimilarAndOrdered(t *testing.T) {
+	cfg := NewConfig(p3(), PaperSetup(), 128<<10)
+	c1 := cfg.MethodC(C1).PerKeyNs
+	c2 := cfg.MethodC(C2).PerKeyNs
+	c3 := cfg.MethodC(C3).PerKeyNs
+	// "They have similar performance" (Section A.2.3): within 2x. The
+	// *experimental* ranking of C-3 over C-1/C-2 comes from cache
+	// pressure the model does not see (Section 4.1); the simulator in
+	// internal/core is what reproduces that ordering, not Equation 8.
+	max := math.Max(c1, math.Max(c2, c3))
+	min := math.Min(c1, math.Min(c2, c3))
+	if max/min > 2 {
+		t.Errorf("C variants spread too far: C1=%v C2=%v C3=%v", c1, c2, c3)
+	}
+}
+
+func TestMethodCMasterSlaveMax(t *testing.T) {
+	cfg := NewConfig(p3(), PaperSetup(), 128<<10)
+	// With enough slaves, the master must become the bottleneck and
+	// adding more slaves must stop helping.
+	cfg.Slaves = 1000
+	withMany := cfg.MethodC(C3).PerKeyNs
+	cfg.Slaves = 2000
+	withMore := cfg.MethodC(C3).PerKeyNs
+	if withMore < withMany-1e-12 {
+		t.Errorf("2000 slaves (%v) beat 1000 slaves (%v): master cap missing", withMore, withMany)
+	}
+}
+
+func TestMethodCScaledMastersRemovesBottleneck(t *testing.T) {
+	cfg := NewConfig(arch.Future(p3(), 5, arch.PaperScaling()), PaperSetup(), 128<<10)
+	plain := cfg.MethodC(C3)
+	scaled, masters := cfg.MethodCScaledMasters(C3)
+	if masters < 1 {
+		t.Fatalf("masters = %d", masters)
+	}
+	if scaled.PerKeyNs > plain.PerKeyNs+1e-12 {
+		t.Errorf("scaling masters made things worse: %v > %v", scaled.PerKeyNs, plain.PerKeyNs)
+	}
+}
+
+func TestTable3AgainstPaper(t *testing.T) {
+	rows := Table3(p3())
+	if len(rows) != 3 {
+		t.Fatalf("Table3 rows = %d", len(rows))
+	}
+	byMethod := map[string]Table3Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if r.PredictedSec <= 0 {
+			t.Errorf("%s predicted %v", r.Method, r.PredictedSec)
+		}
+	}
+	// The paper's own model/experiment agreement is "within 25%"
+	// (Table 3 discussion). Our model drops TLB effects entirely, so we
+	// assert each prediction lies within 40% of the paper's experiment
+	// and that the decisive ordering holds: C-3 is the fastest.
+	for _, r := range rows {
+		rel := math.Abs(r.PredictedSec-r.PaperExperimentSec) / r.PaperExperimentSec
+		if rel > 0.40 {
+			t.Errorf("%s predicted %.3fs vs paper experiment %.3fs (%.0f%% off)",
+				r.Method, r.PredictedSec, r.PaperExperimentSec, rel*100)
+		}
+	}
+	if c3, b := byMethod["C-3"].PredictedSec, byMethod["B"].PredictedSec; c3 >= b {
+		t.Errorf("C-3 (%v) should beat B (%v)", c3, b)
+	}
+	// C-3 prediction should land near the paper's predicted 0.28s.
+	c3 := byMethod["C-3"].PredictedSec
+	if c3 < 0.20 || c3 > 0.36 {
+		t.Errorf("C-3 predicted %.3fs, want ~0.28s (Table 3)", c3)
+	}
+	// B prediction near the paper's 0.38s.
+	b := byMethod["B"].PredictedSec
+	if b < 0.28 || b > 0.48 {
+		t.Errorf("B predicted %.3fs, want ~0.38s (Table 3)", b)
+	}
+}
+
+func TestFigure4TrendsMatchPaper(t *testing.T) {
+	pts := Figure4(p3(), 5, arch.PaperScaling())
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6 (years 0-5)", len(pts))
+	}
+	// C-3 must improve strictly year over year.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].C3Ns >= pts[i-1].C3Ns {
+			t.Errorf("year %d: C-3 %.2f did not improve on %.2f", i, pts[i].C3Ns, pts[i-1].C3Ns)
+		}
+	}
+	// The B : C-3 ratio must grow monotonically (the paper's headline:
+	// "the ratio ... grows from approximately a factor of 2 in year 0
+	// to about a factor of 10 in year 5").
+	prevRatio := 0.0
+	for i, pt := range pts {
+		ratio := pt.BNs / pt.C3Ns
+		if ratio < prevRatio-1e-9 {
+			t.Errorf("year %d: B/C-3 ratio %.2f shrank from %.2f", i, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	r0 := pts[0].BNs / pts[0].C3Ns
+	r5 := pts[5].BNs / pts[5].C3Ns
+	if r5/r0 < 2 {
+		t.Errorf("B/C-3 advantage grew only %.2fx over 5 years (%.2f -> %.2f); paper: ~5x", r5/r0, r0, r5)
+	}
+	// Method A stays latency-bound: it must improve far less than C-3.
+	aGain := pts[0].ANs / pts[5].ANs
+	cGain := pts[0].C3Ns / pts[5].C3Ns
+	if cGain < 2*aGain {
+		t.Errorf("C-3 gain %.2fx should far exceed A gain %.2fx", cGain, aGain)
+	}
+}
+
+func TestCrossoverBatchBytes(t *testing.T) {
+	// Figure 3: Methods C lose to B below ~16-32 KB batches and win
+	// above. The model's crossover must land in that neighborhood.
+	b := CrossoverBatchBytes(p3())
+	if b < 2<<10 || b > 128<<10 {
+		t.Errorf("modeled crossover at %d bytes, want in [2KB, 128KB] (paper: 16-32KB)", b)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	good := NewConfig(p3(), PaperSetup(), 128<<10)
+	cases := map[string]func(*Config){
+		"no lines":    func(c *Config) { c.LevelLines = nil },
+		"no segments": func(c *Config) { c.Segments = 0 },
+		"no slaves":   func(c *Config) { c.Slaves = 0 },
+		"no masters":  func(c *Config) { c.Masters = 0 },
+		"no batch":    func(c *Config) { c.BatchKeys = 0 },
+		"bad L":       func(c *Config) { c.SlaveLevels = 0 },
+	}
+	for name, mutate := range cases {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestUnknownVariantPanics(t *testing.T) {
+	cfg := NewConfig(p3(), PaperSetup(), 128<<10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown variant did not panic")
+		}
+	}()
+	cfg.MethodC(CVariant(99))
+}
+
+func TestCVariantString(t *testing.T) {
+	if C1.String() != "C-1" || C2.String() != "C-2" || C3.String() != "C-3" {
+		t.Error("CVariant names wrong")
+	}
+}

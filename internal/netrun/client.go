@@ -1,0 +1,219 @@
+package netrun
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Cluster is the master side over TCP: it holds one connection per
+// slave node, the delimiter routing table, and per-slave batch buffers.
+// LookupBatch routes each query to the node whose cache holds its
+// sub-range and gathers replies — Figure 2 over real sockets.
+//
+// A Cluster serializes LookupBatch callers (the master is a sequential
+// dispatcher, as in the paper); run several Clusters for parallel
+// masters (the Section 3.2 remark).
+type Cluster struct {
+	part  *core.Partitioning
+	nodes []clusterNode
+	batch int
+
+	mu     sync.Mutex
+	closed bool
+	reqID  uint32
+}
+
+type clusterNode struct {
+	conn net.Conn
+	bc   bufferedConn
+	// meta from the hello handshake.
+	rankBase int
+	keyCount int
+}
+
+// DialOptions configures Dial.
+type DialOptions struct {
+	// BatchKeys is the per-node message granularity (default 16384
+	// keys = 64 KB, the paper's sweet spot).
+	BatchKeys int
+	// Timeout bounds each dial and the hello exchange (default 5s).
+	Timeout time.Duration
+}
+
+// Dial connects to one node address per partition of keys, performs the
+// hello handshake, and cross-checks each node's advertised partition
+// against the local routing table. addrs[i] must serve partition i.
+func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("netrun: no node addresses")
+	}
+	if opt.BatchKeys <= 0 {
+		opt.BatchKeys = 16384
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 5 * time.Second
+	}
+	part, err := core.NewPartitioning(keys, len(addrs))
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{part: part, batch: opt.BatchKeys}
+	for i, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, opt.Timeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netrun: dial node %d (%s): %w", i, addr, err)
+		}
+		node := clusterNode{conn: conn, bc: newBufferedConn(conn)}
+		if err := hello(&node, part.Parts[i], opt.Timeout); err != nil {
+			conn.Close()
+			c.Close()
+			return nil, fmt.Errorf("netrun: node %d (%s): %w", i, addr, err)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
+	n.conn.SetDeadline(time.Now().Add(timeout))
+	defer n.conn.SetDeadline(time.Time{})
+	if err := WriteFrame(n.bc.w, Frame{Op: OpHello}); err != nil {
+		return err
+	}
+	if err := n.bc.w.Flush(); err != nil {
+		return err
+	}
+	f, err := ReadFrame(n.bc.r)
+	if err != nil {
+		return err
+	}
+	if f.Op != OpHelloAck || len(f.Payload) != 4 {
+		return fmt.Errorf("bad hello ack (op %d, %d words)", f.Op, len(f.Payload))
+	}
+	n.rankBase = int(f.Payload[0])
+	n.keyCount = int(f.Payload[1])
+	if n.rankBase != want.RankBase || n.keyCount != len(want.Keys) {
+		return fmt.Errorf("partition mismatch: node serves base=%d n=%d, routing table expects base=%d n=%d",
+			n.rankBase, n.keyCount, want.RankBase, len(want.Keys))
+	}
+	return nil
+}
+
+// LookupBatch routes queries to the owning nodes in batches and returns
+// global ranks in query order.
+func (c *Cluster) LookupBatch(queries []workload.Key) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("netrun: cluster closed")
+	}
+	out := make([]int, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+
+	// Per-node buffers of keys and original positions.
+	bufK := make([][]uint32, len(c.nodes))
+	bufP := make([][]int32, len(c.nodes))
+
+	type inflight struct {
+		node int
+		pos  []int32
+	}
+	pending := map[uint32]inflight{}
+
+	flush := func(ni int) error {
+		if len(bufK[ni]) == 0 {
+			return nil
+		}
+		c.reqID++
+		id := c.reqID
+		f := Frame{Op: OpLookup, ReqID: id, Payload: bufK[ni]}
+		if err := WriteFrame(c.nodes[ni].bc.w, f); err != nil {
+			return err
+		}
+		if err := c.nodes[ni].bc.w.Flush(); err != nil {
+			return err
+		}
+		pending[id] = inflight{node: ni, pos: bufP[ni]}
+		bufK[ni] = nil
+		bufP[ni] = nil
+		return nil
+	}
+
+	for i, q := range queries {
+		ni := c.part.Route(q)
+		bufK[ni] = append(bufK[ni], uint32(q))
+		bufP[ni] = append(bufP[ni], int32(i))
+		if len(bufK[ni]) >= c.batch {
+			if err := flush(ni); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for ni := range c.nodes {
+		if err := flush(ni); err != nil {
+			return nil, err
+		}
+	}
+
+	// Gather: responses per node arrive in the order sent on that
+	// connection, so reading node-by-node drains everything.
+	byNode := make(map[int][]uint32)
+	for id, inf := range pending {
+		byNode[inf.node] = append(byNode[inf.node], id)
+	}
+	for ni, ids := range byNode {
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for range ids {
+			f, err := ReadFrame(c.nodes[ni].bc.r)
+			if err != nil {
+				return nil, fmt.Errorf("netrun: node %d reply: %w", ni, err)
+			}
+			if f.Op != OpRanks {
+				return nil, fmt.Errorf("netrun: node %d sent op %d, want ranks", ni, f.Op)
+			}
+			inf, ok := pending[f.ReqID]
+			if !ok || inf.node != ni {
+				return nil, fmt.Errorf("netrun: node %d sent unknown reqID %d", ni, f.ReqID)
+			}
+			if len(f.Payload) != len(inf.pos) {
+				return nil, fmt.Errorf("netrun: node %d: %d ranks for %d keys", ni, len(f.Payload), len(inf.pos))
+			}
+			for i, p := range inf.pos {
+				out[p] = int(f.Payload[i])
+			}
+			delete(pending, f.ReqID)
+		}
+	}
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("netrun: %d batches unanswered", len(pending))
+	}
+	return out, nil
+}
+
+// Nodes returns the number of connected nodes.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Close closes all node connections. Idempotent.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, n := range c.nodes {
+		if n.conn != nil {
+			n.conn.Close()
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package netrun
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// --- protocol ---
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Op: OpHello},
+		{Op: OpLookup, ReqID: 42, Payload: []uint32{1, 2, 3, 0xFFFFFFFF}},
+		{Op: OpRanks, ReqID: 7, Payload: make([]uint32, 10000)},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Op != want.Op || got.ReqID != want.ReqID || len(got.Payload) != len(want.Payload) {
+			t.Fatalf("frame mismatch: %+v vs %+v", got.Op, want.Op)
+		}
+		for i := range want.Payload {
+			if got.Payload[i] != want.Payload[i] {
+				t.Fatalf("payload[%d] = %d, want %d", i, got.Payload[i], want.Payload[i])
+			}
+		}
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(op uint8, id uint32, payload []uint32) bool {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, Frame{Op: op, ReqID: id, Payload: payload}); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil || got.Op != op || got.ReqID != id || len(got.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFrameRejectsBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer(bytes.Repeat([]byte{0xAB}, 13))
+	if _, err := ReadFrame(buf); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v, want bad magic", err)
+	}
+}
+
+func TestReadFrameRejectsHugeCount(t *testing.T) {
+	var buf bytes.Buffer
+	head := make([]byte, 13)
+	head[0], head[1], head[2], head[3] = 0x05, 0x20, 0x1D, 0xDC // Magic LE
+	head[4] = OpLookup
+	head[9], head[10], head[11], head[12] = 0xFF, 0xFF, 0xFF, 0xFF
+	buf.Write(head)
+	if _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("err = %v, want payload limit", err)
+	}
+}
+
+func TestWriteFrameRejectsHugePayload(t *testing.T) {
+	w := io.Discard
+	err := WriteFrame(w, Frame{Op: OpLookup, Payload: make([]uint32, MaxFrameWords+1)})
+	if err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Op: OpLookup, Payload: []uint32{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// --- node + cluster over loopback ---
+
+// startCluster spawns one node per partition on loopback listeners and
+// dials them, returning the client and a shutdown func.
+func startCluster(t *testing.T, keys []workload.Key, parts, batch int) (*Cluster, func()) {
+	t.Helper()
+	p, err := core.NewPartitioning(keys, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	var addrs []string
+	var wg sync.WaitGroup
+	for i := 0; i < parts; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
+		nodes = append(nodes, node)
+		addrs = append(addrs, lis.Addr().String())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node.Serve(lis)
+		}()
+	}
+	c, err := Dial(addrs, keys, DialOptions{BatchKeys: batch, Timeout: 5 * time.Second})
+	if err != nil {
+		for _, n := range nodes {
+			n.Close()
+		}
+		t.Fatal(err)
+	}
+	return c, func() {
+		c.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+		wg.Wait()
+	}
+}
+
+func TestTCPClusterReturnsReferenceRanks(t *testing.T) {
+	keys := workload.SortedKeys(20000, 1)
+	c, shutdown := startCluster(t, keys, 6, 512)
+	defer shutdown()
+
+	queries := workload.UniformQueries(25000, 2)
+	ranks, err := c.LookupBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		if want := workload.ReferenceRank(keys, q); ranks[i] != want {
+			t.Fatalf("rank[%d] = %d, want %d", i, ranks[i], want)
+		}
+	}
+	if c.Nodes() != 6 {
+		t.Errorf("Nodes = %d", c.Nodes())
+	}
+}
+
+func TestTCPClusterRepeatedBatchesAndEmpty(t *testing.T) {
+	keys := workload.SortedKeys(3000, 3)
+	c, shutdown := startCluster(t, keys, 3, 100)
+	defer shutdown()
+
+	if out, err := c.LookupBatch(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+	for round := 0; round < 4; round++ {
+		queries := workload.UniformQueries(1500, uint64(round))
+		ranks, err := c.LookupBatch(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range queries {
+			if want := workload.ReferenceRank(keys, q); ranks[i] != want {
+				t.Fatalf("round %d: wrong rank", round)
+			}
+		}
+	}
+}
+
+func TestTCPClusterSingleNode(t *testing.T) {
+	keys := workload.SortedKeys(500, 5)
+	c, shutdown := startCluster(t, keys, 1, 64)
+	defer shutdown()
+	queries := workload.UniformQueries(1000, 6)
+	ranks, err := c.LookupBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		if want := workload.ReferenceRank(keys, q); ranks[i] != want {
+			t.Fatal("wrong rank on single node")
+		}
+	}
+}
+
+func TestDialRejectsPartitionMismatch(t *testing.T) {
+	keys := workload.SortedKeys(1000, 7)
+	p, _ := core.NewPartitioning(keys, 2)
+
+	// Node 0 serves partition 1's data: the hello cross-check must
+	// refuse to build a cluster with a wrong routing table.
+	lis0, _ := net.Listen("tcp", "127.0.0.1:0")
+	lis1, _ := net.Listen("tcp", "127.0.0.1:0")
+	n0 := NewPartitionNode(p.Parts[1].Keys, p.Parts[1].RankBase) // wrong!
+	n1 := NewPartitionNode(p.Parts[1].Keys, p.Parts[1].RankBase)
+	go n0.Serve(lis0)
+	go n1.Serve(lis1)
+	defer n0.Close()
+	defer n1.Close()
+
+	_, err := Dial([]string{lis0.Addr().String(), lis1.Addr().String()}, keys, DialOptions{})
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("err = %v, want partition mismatch", err)
+	}
+}
+
+func TestDialFailsFastOnDeadAddress(t *testing.T) {
+	keys := workload.SortedKeys(100, 8)
+	_, err := Dial([]string{"127.0.0.1:1"}, keys, DialOptions{Timeout: 500 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+}
+
+func TestClusterClosedLookupFails(t *testing.T) {
+	keys := workload.SortedKeys(300, 9)
+	c, shutdown := startCluster(t, keys, 2, 32)
+	shutdown()
+	if _, err := c.LookupBatch(workload.UniformQueries(5, 1)); err == nil {
+		t.Fatal("lookup on closed cluster succeeded")
+	}
+}
+
+func TestNodeSurvivesGarbageConnection(t *testing.T) {
+	keys := workload.SortedKeys(400, 10)
+	c, shutdown := startCluster(t, keys, 2, 32)
+	defer shutdown()
+
+	// Throw garbage at node 0's address out-of-band.
+	addr := c.nodes[0].conn.RemoteAddr().String()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(bytes.Repeat([]byte{0x00}, 64))
+	conn.Close()
+
+	// The real client must still work.
+	queries := workload.UniformQueries(500, 11)
+	ranks, err := c.LookupBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		if want := workload.ReferenceRank(keys, q); ranks[i] != want {
+			t.Fatal("wrong rank after garbage connection")
+		}
+	}
+}
+
+func TestNodeCloseIdempotentAndServeAfterCloseFails(t *testing.T) {
+	keys := workload.SortedKeys(100, 12)
+	n := NewPartitionNode(keys, 0)
+	n.Close()
+	n.Close()
+	lis, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer lis.Close()
+	if err := n.Serve(lis); err == nil {
+		t.Fatal("Serve after Close succeeded")
+	}
+}
+
+func TestServeReturnsOnListenerClose(t *testing.T) {
+	keys := workload.SortedKeys(100, 13)
+	n := NewPartitionNode(keys, 0)
+	lis, _ := net.Listen("tcp", "127.0.0.1:0")
+	done := make(chan error, 1)
+	go func() { done <- n.Serve(lis) }()
+	time.Sleep(50 * time.Millisecond)
+	lis.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Serve returned %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after listener close")
+	}
+}
+
+// Property: TCP cluster equals reference for random shapes.
+func TestTCPClusterProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed uint64, nRaw uint16, partsRaw, batchRaw uint8) bool {
+		n := int(nRaw%2000) + 20
+		parts := int(partsRaw%4) + 1
+		batch := int(batchRaw%100) + 1
+		keys := workload.SortedKeys(n, seed)
+		var ok bool
+		func() {
+			c, shutdown := startCluster(t, keys, parts, batch)
+			defer shutdown()
+			queries := workload.UniformQueries(300, seed+1)
+			ranks, err := c.LookupBatch(queries)
+			if err != nil {
+				return
+			}
+			for i, q := range queries {
+				if ranks[i] != workload.ReferenceRank(keys, q) {
+					return
+				}
+			}
+			ok = true
+		}()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTCPClusterLookupBatch(b *testing.B) {
+	keys := workload.SortedKeys(327680, 1)
+	p, _ := core.NewPartitioning(keys, 8)
+	var nodes []*Node
+	var addrs []string
+	for i := 0; i < 8; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		node := NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
+		nodes = append(nodes, node)
+		addrs = append(addrs, lis.Addr().String())
+		go node.Serve(lis)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	c, err := Dial(addrs, keys, DialOptions{BatchKeys: 16384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	queries := workload.UniformQueries(1<<18, 2)
+	b.SetBytes(int64(len(queries) * workload.KeyBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.LookupBatch(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

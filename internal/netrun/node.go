@@ -1,0 +1,175 @@
+package netrun
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/workload"
+)
+
+// Node serves one index partition (or a full replica) over TCP: the
+// slave side of the paper's Figure 2. A Node is safe for any number of
+// concurrent client connections; each connection gets its own goroutine,
+// and lookups against the static index need no locking.
+type Node struct {
+	idx      index.Index
+	rankBase int
+	lo, hi   workload.Key
+
+	lis    net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf receives connection-level errors; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// NewNode wraps an index partition for serving. rankBase is the global
+// rank of the partition's first key; lo/hi document the served key range
+// for the hello handshake (hi is inclusive).
+func NewNode(idx index.Index, rankBase int, lo, hi workload.Key) *Node {
+	return &Node{
+		idx:      idx,
+		rankBase: rankBase,
+		lo:       lo,
+		hi:       hi,
+		conns:    map[net.Conn]struct{}{},
+	}
+}
+
+// NewPartitionNode builds a Method C-3 node (sorted-array partition).
+func NewPartitionNode(partKeys []workload.Key, rankBase int) *Node {
+	if len(partKeys) == 0 {
+		panic("netrun: empty partition")
+	}
+	arr := index.NewSortedArray(partKeys, 0)
+	return NewNode(arr, rankBase, partKeys[0], partKeys[len(partKeys)-1])
+}
+
+// Serve accepts connections on lis until Close. It returns the listener
+// error that ended the accept loop (net.ErrClosed after Close).
+func (n *Node) Serve(lis net.Listener) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("netrun: node closed")
+	}
+	n.lis = lis
+	n.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		n.conns[conn] = struct{}{}
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go n.handle(conn)
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// handlers to drain.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	if n.lis != nil {
+		n.lis.Close()
+	}
+	for c := range n.conns {
+		c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.Logf != nil {
+		n.Logf(format, args...)
+	}
+}
+
+func (n *Node) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+		n.wg.Done()
+		if r := recover(); r != nil {
+			// A malformed frame must not take the node down.
+			n.logf("netrun: handler panic: %v", r)
+		}
+	}()
+
+	bc := newBufferedConn(conn)
+	for {
+		f, err := ReadFrame(bc.r)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				n.logf("netrun: %v", err)
+			}
+			return
+		}
+		switch f.Op {
+		case OpHello:
+			ack := Frame{Op: OpHelloAck, ReqID: f.ReqID, Payload: []uint32{
+				uint32(n.rankBase), uint32(n.idx.N()), uint32(n.lo), uint32(n.hi),
+			}}
+			if err := WriteFrame(bc.w, ack); err != nil {
+				n.logf("netrun: hello ack: %v", err)
+				return
+			}
+			if err := bc.w.Flush(); err != nil {
+				return
+			}
+		case OpLookup:
+			ranks := make([]uint32, len(f.Payload))
+			for i, k := range f.Payload {
+				ranks[i] = uint32(n.rankBase + n.idx.Rank(workload.Key(k)))
+			}
+			if err := WriteFrame(bc.w, Frame{Op: OpRanks, ReqID: f.ReqID, Payload: ranks}); err != nil {
+				n.logf("netrun: ranks: %v", err)
+				return
+			}
+			if err := bc.w.Flush(); err != nil {
+				return
+			}
+		default:
+			n.logf("netrun: unexpected op %d", f.Op)
+			_ = WriteFrame(bc.w, Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}})
+			_ = bc.w.Flush()
+			return
+		}
+	}
+}
+
+// ListenAndServe is the one-call node entry point used by cmd/dcnode:
+// it serves the partition on addr until the process dies.
+func ListenAndServe(addr string, partKeys []workload.Key, rankBase int) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("netrun: listen %s: %w", addr, err)
+	}
+	node := NewPartitionNode(partKeys, rankBase)
+	node.Logf = log.Printf
+	log.Printf("netrun: serving %d keys (rank base %d) on %s", len(partKeys), rankBase, lis.Addr())
+	return node.Serve(lis)
+}

@@ -1,0 +1,123 @@
+// Package netrun runs the distributed in-cache index over real sockets:
+// slave nodes serve index partitions over TCP, and a master-side client
+// batches queries to them — the paper's MPI deployment translated to a
+// stdlib-only wire protocol. The in-process runtime (internal/core)
+// remains the fast path for a single host; netrun is for actually
+// spreading the partitions across machines so that each node's share
+// fits in its cache.
+//
+// Wire protocol (little-endian, length-delimited frames):
+//
+//	frame := magic(u32) op(u8) reqID(u32) count(u32) payload(count*u32)
+//
+// A lookup request's payload is count keys; the response's payload is
+// count ranks (as uint32), in request order. A hello exchange carries
+// the node's partition metadata so the client can verify its routing
+// table against what the node actually serves.
+package netrun
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic identifies protocol frames; a mismatch means the peer is not a
+// netrun node (or the stream desynchronized) and the connection dies.
+const Magic uint32 = 0xDC1D_2005
+
+// Op codes.
+const (
+	// OpHello is sent by the client on connect; the node answers with
+	// OpHelloAck whose payload is [rankBase, keyCount, loKey, hiKey].
+	OpHello uint8 = 1
+	// OpHelloAck is the node's hello response.
+	OpHelloAck uint8 = 2
+	// OpLookup carries keys; the node answers OpRanks with ranks.
+	OpLookup uint8 = 3
+	// OpRanks is the node's lookup response.
+	OpRanks uint8 = 4
+	// OpErr signals a node-side failure; payload[0] is an errno-like
+	// code, and the connection should be abandoned.
+	OpErr uint8 = 5
+)
+
+// MaxFrameWords bounds a frame payload (16M words = 64 MB) so a corrupt
+// length cannot force an absurd allocation.
+const MaxFrameWords = 16 << 20
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Op      uint8
+	ReqID   uint32
+	Payload []uint32
+}
+
+// WriteFrame encodes f to w. The payload aliasing is safe: the data is
+// fully written before return.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrameWords {
+		return fmt.Errorf("netrun: frame payload %d words exceeds limit", len(f.Payload))
+	}
+	head := make([]byte, 13)
+	binary.LittleEndian.PutUint32(head[0:4], Magic)
+	head[4] = f.Op
+	binary.LittleEndian.PutUint32(head[5:9], f.ReqID)
+	binary.LittleEndian.PutUint32(head[9:13], uint32(len(f.Payload)))
+	if _, err := w.Write(head); err != nil {
+		return fmt.Errorf("netrun: write header: %w", err)
+	}
+	if len(f.Payload) == 0 {
+		return nil
+	}
+	buf := make([]byte, 4*len(f.Payload))
+	for i, v := range f.Payload {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("netrun: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame decodes one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	head := make([]byte, 13)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return Frame{}, err
+	}
+	if got := binary.LittleEndian.Uint32(head[0:4]); got != Magic {
+		return Frame{}, fmt.Errorf("netrun: bad magic %#x", got)
+	}
+	f := Frame{
+		Op:    head[4],
+		ReqID: binary.LittleEndian.Uint32(head[5:9]),
+	}
+	count := binary.LittleEndian.Uint32(head[9:13])
+	if count > MaxFrameWords {
+		return Frame{}, fmt.Errorf("netrun: frame payload %d words exceeds limit", count)
+	}
+	if count > 0 {
+		buf := make([]byte, 4*count)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Frame{}, fmt.Errorf("netrun: read payload: %w", err)
+		}
+		f.Payload = make([]uint32, count)
+		for i := range f.Payload {
+			f.Payload[i] = binary.LittleEndian.Uint32(buf[4*i:])
+		}
+	}
+	return f, nil
+}
+
+// bufferedConn pairs buffered reader/writer over one stream; Flush after
+// writing a batch of frames.
+type bufferedConn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newBufferedConn(rw io.ReadWriter) bufferedConn {
+	return bufferedConn{r: bufio.NewReaderSize(rw, 1<<16), w: bufio.NewWriterSize(rw, 1<<16)}
+}

@@ -1,0 +1,127 @@
+// Package netsim models the cluster interconnect: point-to-point message
+// transfers with per-message software overhead (MPI + OS protocol stack),
+// one-way wire latency, bandwidth-limited transmission, and sender-side
+// NIC serialization. These four terms are exactly the knobs Section 2.2
+// of the paper discusses — batching exists to amortize the 7 us Myrinet
+// latency and the per-message overhead against the 1/W2 transmission
+// time — and the model deliberately has nothing else in it.
+//
+// Communication/computation overlap (MPI_Isend in the paper) is expressed
+// by the split between SenderBusyUntil (when the sending CPU may resume
+// work) and Arrival (when the receiver may start on the data).
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// NIC is one node's network interface. Transmissions through a single
+// NIC serialize: a message cannot start on the wire before the previous
+// one finished transmitting. This is what makes the Method C master a
+// potential bottleneck (Section 3.2's remark about multiple masters).
+type NIC struct {
+	// Name identifies the owner in error messages ("master", "slave3").
+	Name string
+	// wireBusyUntil is when the NIC finishes its current transmission.
+	wireBusyUntil float64
+	// bytesSent and msgsSent are lifetime counters.
+	bytesSent uint64
+	msgsSent  uint64
+}
+
+// BytesSent returns the cumulative payload bytes transmitted.
+func (n *NIC) BytesSent() uint64 { return n.bytesSent }
+
+// MsgsSent returns the number of messages transmitted.
+func (n *NIC) MsgsSent() uint64 { return n.msgsSent }
+
+// WireBusyUntil returns when the NIC's current transmission completes.
+func (n *NIC) WireBusyUntil() float64 { return n.wireBusyUntil }
+
+// Xfer describes one message transfer on the virtual timeline.
+type Xfer struct {
+	// CPURelease is when the sending CPU has finished the per-message
+	// software overhead and may continue computing (MPI_Isend returns;
+	// "communication can overlap with computation", Section 2.1).
+	CPURelease float64
+	// TxStart and TxDone bound the wire occupancy of this message on
+	// the sender's NIC.
+	TxStart float64
+	TxDone  float64
+	// Arrival is when the last byte reaches the receiver: TxDone plus
+	// the one-way latency. The receiver may begin processing then.
+	Arrival float64
+	// Bytes echoes the payload size.
+	Bytes int
+}
+
+// Net computes transfer timings from an architecture's network
+// parameters. It holds no global state; per-sender state lives in NICs.
+type Net struct {
+	p arch.Params
+}
+
+// New returns a network model for p. It panics on invalid parameters;
+// validate upstream.
+func New(p arch.Params) *Net {
+	if err := p.Validate(); err != nil {
+		panic("netsim: " + err.Error())
+	}
+	return &Net{p: p}
+}
+
+// Params returns the parameter set the network was built with.
+func (n *Net) Params() arch.Params { return n.p }
+
+// Send models transmitting a bytes-long message from nic at virtual time
+// now. The sending CPU pays the per-message overhead immediately; the
+// wire transmission starts as soon as both the overhead is paid and the
+// NIC is free, and the message arrives one latency after its last byte
+// leaves. Send panics on negative sizes; zero-byte messages are legal
+// (pure synchronization) and cost overhead + latency only.
+func (n *Net) Send(nic *NIC, now float64, bytes int) Xfer {
+	if bytes < 0 {
+		panic(fmt.Sprintf("netsim: negative message size %d from %s", bytes, nic.Name))
+	}
+	cpuRelease := now + n.p.NetPerMsgOverheadNs
+	txStart := cpuRelease
+	if nic.wireBusyUntil > txStart {
+		txStart = nic.wireBusyUntil
+	}
+	txDone := txStart + n.p.NetTransferNs(bytes)
+	arrival := txDone + n.p.NetLatencyNs
+
+	nic.wireBusyUntil = txDone
+	nic.bytesSent += uint64(bytes)
+	nic.msgsSent++
+
+	return Xfer{
+		CPURelease: cpuRelease,
+		TxStart:    txStart,
+		TxDone:     txDone,
+		Arrival:    arrival,
+		Bytes:      bytes,
+	}
+}
+
+// OneWayNs returns the unloaded end-to-end time for a single message of
+// the given size: overhead + transmission + latency. Handy for analytic
+// sanity checks and the examples.
+func (n *Net) OneWayNs(bytes int) float64 {
+	return n.p.NetPerMsgOverheadNs + n.p.NetTransferNs(bytes) + n.p.NetLatencyNs
+}
+
+// BatchAmortizedNsPerKey returns the per-key network cost of sending
+// batches of batchBytes carrying 4-byte keys: the model's 4/W2 term plus
+// the amortized latency and overhead. As batchBytes grows this tends to
+// 4/W2, which is the limit Appendix A uses ("transmission time is
+// considered, but not latency").
+func (n *Net) BatchAmortizedNsPerKey(batchBytes int) float64 {
+	if batchBytes < arch.WordBytes {
+		batchBytes = arch.WordBytes
+	}
+	keys := float64(batchBytes) / arch.WordBytes
+	return (n.p.NetPerMsgOverheadNs + n.p.NetLatencyNs + n.p.NetTransferNs(batchBytes)) / keys
+}

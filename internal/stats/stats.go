@@ -1,0 +1,246 @@
+// Package stats provides the small statistical toolkit the engines and
+// harnesses use: running means (Welford), fixed-bucket histograms with
+// quantile queries, busy/idle interval accounting for the slave-idle
+// figures the paper reports, and throughput/response-time summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a mean and variance incrementally (Welford's
+// algorithm) without storing samples. The zero value is ready to use.
+type Running struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one sample.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the sample count.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min and Max return the extrema, or 0 with no samples.
+func (r *Running) Min() float64 { return r.min }
+func (r *Running) Max() float64 { return r.max }
+
+// Var returns the unbiased sample variance (0 for fewer than 2 samples).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Sum returns n*mean, the total.
+func (r *Running) Sum() float64 { return r.mean * float64(r.n) }
+
+// Histogram collects samples into geometric buckets for quantile
+// estimation without retaining every value. Buckets span [lo, hi) with a
+// constant ratio; values outside the range clamp to the end buckets.
+type Histogram struct {
+	lo, ratio float64
+	counts    []uint64
+	total     uint64
+	exact     Running
+}
+
+// NewHistogram builds a histogram of n geometric buckets covering
+// [lo, hi). It panics on degenerate ranges.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if !(lo > 0) || !(hi > lo) || n <= 0 {
+		panic(fmt.Sprintf("stats: bad histogram range [%v,%v) n=%d", lo, hi, n))
+	}
+	return &Histogram{
+		lo:     lo,
+		ratio:  math.Pow(hi/lo, 1/float64(n)),
+		counts: make([]uint64, n),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.exact.Add(x)
+	h.total++
+	var idx int
+	switch {
+	case x < h.lo:
+		idx = 0
+	default:
+		idx = int(math.Log(x/h.lo) / math.Log(h.ratio))
+		if idx >= len(h.counts) {
+			idx = len(h.counts) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+	}
+	h.counts[idx]++
+}
+
+// N returns the number of samples recorded.
+func (h *Histogram) N() uint64 { return h.total }
+
+// Mean returns the exact running mean of the samples.
+func (h *Histogram) Mean() float64 { return h.exact.Mean() }
+
+// Max returns the exact maximum sample.
+func (h *Histogram) Max() float64 { return h.exact.Max() }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) as the
+// upper edge of the bucket containing it. With no samples it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return h.lo * math.Pow(h.ratio, float64(i+1))
+		}
+	}
+	return h.lo * math.Pow(h.ratio, float64(len(h.counts)))
+}
+
+// BusyTracker accounts busy vs idle time for one simulated node. The
+// paper reports "slaves were idle for 50% of the time for 8 KB batch
+// sizes, and 20% of the time for 4 MB" (Section 4.1); this is the
+// instrument that produces those fractions from the DES timeline.
+type BusyTracker struct {
+	busyNs  float64
+	firstNs float64
+	lastNs  float64
+	started bool
+}
+
+// AddBusy records a busy interval [start, end) on the node's timeline.
+// Intervals must not overlap (the engines run each node's work serially,
+// so they never do); end < start panics.
+func (b *BusyTracker) AddBusy(start, end float64) {
+	if end < start {
+		panic(fmt.Sprintf("stats: busy interval ends before it starts: [%v,%v)", start, end))
+	}
+	if !b.started || start < b.firstNs {
+		b.firstNs = start
+		b.started = true
+	}
+	if end > b.lastNs {
+		b.lastNs = end
+	}
+	b.busyNs += end - start
+}
+
+// ObserveEnd extends the observation window to at least t (a node that
+// finishes early and then waits for the run to end is idle for the
+// remainder).
+func (b *BusyTracker) ObserveEnd(t float64) {
+	if t > b.lastNs {
+		b.lastNs = t
+	}
+}
+
+// BusyNs returns total busy time.
+func (b *BusyTracker) BusyNs() float64 { return b.busyNs }
+
+// SpanNs returns the observation window length.
+func (b *BusyTracker) SpanNs() float64 {
+	if !b.started {
+		return 0
+	}
+	return b.lastNs - b.firstNs
+}
+
+// IdleFraction returns idle/span in [0,1], or 0 for an empty tracker.
+func (b *BusyTracker) IdleFraction() float64 {
+	span := b.SpanNs()
+	if span <= 0 {
+		return 0
+	}
+	f := 1 - b.busyNs/span
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// Summary condenses one experiment run for reports: total time,
+// throughput, and response-time quantiles.
+type Summary struct {
+	TotalNs      float64
+	Keys         int
+	P50Ns        float64
+	P99Ns        float64
+	MaxNs        float64
+	MeanNs       float64
+	KeysPerSec   float64
+	IdleFraction float64
+}
+
+// NewSummary derives throughput from totalNs and keys and attaches
+// response-time quantiles from h (which may be nil).
+func NewSummary(totalNs float64, keys int, h *Histogram, idle float64) Summary {
+	s := Summary{TotalNs: totalNs, Keys: keys, IdleFraction: idle}
+	if totalNs > 0 {
+		s.KeysPerSec = float64(keys) / (totalNs / 1e9)
+	}
+	if h != nil && h.N() > 0 {
+		s.P50Ns = h.Quantile(0.50)
+		s.P99Ns = h.Quantile(0.99)
+		s.MaxNs = h.Max()
+		s.MeanNs = h.Mean()
+	}
+	return s
+}
+
+// Median returns the median of xs (average of middle two for even
+// lengths). It copies the input. Empty input returns 0.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.N() != 0 || r.Var() != 0 {
+		t.Error("zero value not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", r.Mean())
+	}
+	// Population std of this classic set is 2; sample variance = 32/7.
+	if math.Abs(r.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var = %v, want %v", r.Var(), 32.0/7)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if math.Abs(r.Sum()-40) > 1e-9 {
+		t.Errorf("sum = %v", r.Sum())
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var r Running
+	r.Add(3.5)
+	if r.Mean() != 3.5 || r.Var() != 0 || r.Min() != 3.5 || r.Max() != 3.5 {
+		t.Errorf("single sample stats wrong: %+v", r)
+	}
+}
+
+// Property: Running mean matches the naive mean within float tolerance.
+func TestRunningMeanProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r Running
+		sum := 0.0
+		for _, v := range raw {
+			x := float64(v % 100000)
+			r.Add(x)
+			sum += x
+		}
+		naive := sum / float64(len(raw))
+		return math.Abs(r.Mean()-naive) < 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(1, 1e6, 240)
+	// 1..1000 uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 1000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 400 || p50 > 650 {
+		t.Errorf("p50 = %v, want ~500", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900 || p99 > 1200 {
+		t.Errorf("p99 = %v, want ~990", p99)
+	}
+	if h.Quantile(0) <= 0 {
+		t.Errorf("q0 = %v", h.Quantile(0))
+	}
+	if q1 := h.Quantile(1); q1 < 1000*(1-1e-9) {
+		t.Errorf("q1 = %v, want >= max (modulo float rounding)", q1)
+	}
+	if math.Abs(h.Mean()-500.5) > 1e-9 {
+		t.Errorf("mean = %v, want exact 500.5", h.Mean())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(10, 100, 8)
+	h.Add(1)    // below range
+	h.Add(1e9)  // above range
+	h.Add(50.0) // inside
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+	// Quantile must stay within the configured range.
+	if q := h.Quantile(1); q > 101 {
+		t.Errorf("q1 = %v escaped the range", q)
+	}
+}
+
+func TestHistogramEmptyAndPanics(t *testing.T) {
+	h := NewHistogram(1, 10, 4)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	for name, fn := range map[string]func(){
+		"zero lo":   func() { NewHistogram(0, 10, 4) },
+		"hi <= lo":  func() { NewHistogram(10, 10, 4) },
+		"no bucket": func() { NewHistogram(1, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	h := NewHistogram(1, 1e6, 100)
+	r := workload.NewRNG(4)
+	for i := 0; i < 5000; i++ {
+		h.Add(float64(r.Intn(1_000_000) + 1))
+	}
+	f := func(qa, qb float64) bool {
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyTrackerIdleFraction(t *testing.T) {
+	var b BusyTracker
+	if b.IdleFraction() != 0 || b.SpanNs() != 0 {
+		t.Error("empty tracker not neutral")
+	}
+	b.AddBusy(0, 30)
+	b.AddBusy(50, 80)
+	// Span [0,80), busy 60 => idle 25%.
+	if got := b.IdleFraction(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("idle = %v, want 0.25", got)
+	}
+	b.ObserveEnd(120)
+	// Span [0,120), busy 60 => idle 50%.
+	if got := b.IdleFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("idle after ObserveEnd = %v, want 0.5", got)
+	}
+	// ObserveEnd earlier than last must not shrink the window.
+	b.ObserveEnd(10)
+	if got := b.IdleFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ObserveEnd shrank window: idle = %v", got)
+	}
+}
+
+func TestBusyTrackerFullyBusy(t *testing.T) {
+	var b BusyTracker
+	b.AddBusy(10, 110)
+	if got := b.IdleFraction(); got != 0 {
+		t.Errorf("fully busy idle = %v", got)
+	}
+	if b.SpanNs() != 100 || b.BusyNs() != 100 {
+		t.Errorf("span/busy = %v/%v", b.SpanNs(), b.BusyNs())
+	}
+}
+
+func TestBusyTrackerPanicsOnInvertedInterval(t *testing.T) {
+	var b BusyTracker
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted interval did not panic")
+		}
+	}()
+	b.AddBusy(10, 5)
+}
+
+func TestNewSummary(t *testing.T) {
+	h := NewHistogram(1, 1e6, 60)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i) * 1000)
+	}
+	s := NewSummary(2e9, 1000, h, 0.3)
+	if math.Abs(s.KeysPerSec-500) > 1e-9 {
+		t.Errorf("throughput = %v keys/s, want 500", s.KeysPerSec)
+	}
+	if s.P50Ns <= 0 || s.P99Ns < s.P50Ns {
+		t.Errorf("quantiles p50=%v p99=%v", s.P50Ns, s.P99Ns)
+	}
+	if s.IdleFraction != 0.3 {
+		t.Errorf("idle = %v", s.IdleFraction)
+	}
+	// nil histogram and zero time must not divide by zero.
+	s0 := NewSummary(0, 10, nil, 0)
+	if s0.KeysPerSec != 0 || s0.P50Ns != 0 {
+		t.Errorf("degenerate summary: %+v", s0)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	// Must not mutate input.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated its input")
+	}
+}

@@ -1,0 +1,205 @@
+// Package tab renders ASCII tables and line charts for the experiment
+// harnesses (cmd/figure3 and friends), with no dependencies beyond the
+// standard library. Charts are deliberately simple: the harnesses also
+// emit CSV for real plotting; the ASCII view exists so a terminal run
+// shows the paper's shapes at a glance.
+package tab
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart renders series as an ASCII line chart: x positions are the
+// labels (one column group per label), y is scaled into height rows.
+// Each series draws with its own rune.
+func Chart(labels []string, series []Series, height int) string {
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) || hi == lo {
+		hi, lo = lo+1, lo-1
+	}
+	pad := (hi - lo) * 0.05
+	hi += pad
+	lo -= pad
+
+	marks := []rune{'A', 'B', '1', '2', '3', '*', '+', 'o'}
+	colW := 6
+	grid := make([][]rune, height)
+	for y := range grid {
+		grid[y] = []rune(strings.Repeat(" ", len(labels)*colW))
+	}
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		for xi, v := range s.Values {
+			if xi >= len(labels) {
+				break
+			}
+			y := int((hi - v) / (hi - lo) * float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			x := xi*colW + colW/2
+			if grid[y][x] == ' ' {
+				grid[y][x] = m
+			} else {
+				// Collision: nudge right so coincident curves stay
+				// visible.
+				for dx := 1; dx < colW/2; dx++ {
+					if grid[y][x+dx] == ' ' {
+						grid[y][x+dx] = m
+						break
+					}
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	for y, row := range grid {
+		val := hi - (hi-lo)*float64(y)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s\n", val, string(row))
+	}
+	b.WriteString("         +")
+	b.WriteString(strings.Repeat("-", len(labels)*colW))
+	b.WriteByte('\n')
+	b.WriteString("          ")
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%-*s", colW, trunc(l, colW-1))
+	}
+	b.WriteByte('\n')
+	b.WriteString("          legend: ")
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%c=%s", marks[si%len(marks)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// CSV renders labels and series as comma-separated values with a header
+// row, for external plotting.
+func CSV(xName string, labels []string, series []Series) string {
+	var b strings.Builder
+	b.WriteString(xName)
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for i, l := range labels {
+		b.WriteString(l)
+		for _, s := range series {
+			b.WriteByte(',')
+			if i < len(s.Values) {
+				fmt.Fprintf(&b, "%.6g", s.Values[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package tab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	s := NewTable("method", "time (s)").
+		Row("A", 0.39).
+		Row("C-3", 0.32).
+		String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "method") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "A") || !strings.Contains(lines[2], "0.39") {
+		t.Errorf("row: %q", lines[2])
+	}
+	// All data lines must be equally indented at column 2 start.
+	if strings.Index(lines[2], "0.39") != strings.Index(lines[3], "0.32") {
+		t.Error("columns not aligned")
+	}
+}
+
+func TestTableHandlesWideCells(t *testing.T) {
+	s := NewTable("x").Row("averyveryverylongcell").String()
+	if !strings.Contains(s, "averyveryverylongcell") {
+		t.Error("cell truncated")
+	}
+}
+
+func TestChartContainsSeriesAndLegend(t *testing.T) {
+	s := Chart(
+		[]string{"8KB", "64KB", "4MB"},
+		[]Series{
+			{Name: "A", Values: []float64{0.39, 0.39, 0.39}},
+			{Name: "C-3", Values: []float64{0.44, 0.24, 0.30}},
+		},
+		10,
+	)
+	if !strings.Contains(s, "legend") || !strings.Contains(s, "C-3") {
+		t.Errorf("legend missing:\n%s", s)
+	}
+	if !strings.Contains(s, "8KB") || !strings.Contains(s, "4MB") {
+		t.Errorf("x labels missing:\n%s", s)
+	}
+	// Marks must appear.
+	if !strings.ContainsRune(s, 'A') {
+		t.Errorf("series A mark missing:\n%s", s)
+	}
+}
+
+func TestChartDegenerateData(t *testing.T) {
+	// Constant series and tiny height must not panic or divide by zero.
+	s := Chart([]string{"x"}, []Series{{Name: "c", Values: []float64{1, 1}}}, 1)
+	if s == "" {
+		t.Error("empty chart")
+	}
+	s = Chart(nil, nil, 5)
+	if s == "" {
+		t.Error("empty chart for no data")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := CSV("batch", []string{"8192", "65536"}, []Series{
+		{Name: "A", Values: []float64{0.39, 0.39}},
+		{Name: "C-3", Values: []float64{0.44, 0.24}},
+	})
+	want := "batch,A,C-3\n8192,0.39,0.44\n65536,0.39,0.24\n"
+	if s != want {
+		t.Errorf("CSV = %q, want %q", s, want)
+	}
+}
+
+func TestCSVShortSeries(t *testing.T) {
+	s := CSV("x", []string{"1", "2"}, []Series{{Name: "a", Values: []float64{5}}})
+	if !strings.Contains(s, "2,\n") {
+		t.Errorf("missing value should render empty: %q", s)
+	}
+}
