@@ -204,6 +204,62 @@ func benchReal(b *testing.B, m dcindex.Method) {
 	}
 }
 
+// BenchmarkReal_RankBatch is the headline serving-path number: Method
+// C-3 at the paper's index size, 2^20 uniform queries per op, steady
+// state. RankBatchInto + pooled batch buffers mean `-benchmem` shows
+// ~0 allocs/op once warm.
+func benchRealInto(b *testing.B, layout dcindex.Layout) {
+	keys := dcindex.GenerateKeys(327680, 1)
+	queries := dcindex.GenerateQueries(1<<20, 2)
+	idx, err := dcindex.Open(keys, dcindex.Options{
+		Method: dcindex.MethodC3, Workers: 8, BatchKeys: 16384, Layout: layout,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	out := make([]int, len(queries))
+	if err := idx.RankBatchInto(queries, out); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(queries) * workload.KeyBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.RankBatchInto(queries, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(queries)), "ns/key")
+}
+
+func BenchmarkReal_RankBatch(b *testing.B) { benchRealInto(b, dcindex.LayoutSortedArray) }
+
+func BenchmarkReal_RankBatch_Eytzinger(b *testing.B) { benchRealInto(b, dcindex.LayoutEytzinger) }
+
+// BenchmarkReal_ConcurrentCallers drives the cluster from 4 client
+// goroutines at once — the pipelining the per-call gather channels buy.
+func BenchmarkReal_ConcurrentCallers(b *testing.B) {
+	keys := dcindex.GenerateKeys(327680, 1)
+	queries := dcindex.GenerateQueries(1<<18, 2)
+	idx, err := dcindex.Open(keys, dcindex.Options{Method: dcindex.MethodC3, Workers: 8, BatchKeys: 16384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	b.SetBytes(int64(len(queries) * workload.KeyBytes))
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		out := make([]int, len(queries))
+		for pb.Next() {
+			if err := idx.RankBatchInto(queries, out); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 func BenchmarkRealCluster_MethodA(b *testing.B)  { benchReal(b, dcindex.MethodA) }
 func BenchmarkRealCluster_MethodB(b *testing.B)  { benchReal(b, dcindex.MethodB) }
 func BenchmarkRealCluster_MethodC1(b *testing.B) { benchReal(b, dcindex.MethodC1) }

@@ -16,7 +16,19 @@
 //   - The real runtime (Open/Rank/RankBatch): goroutine nodes and
 //     channel interconnect executing actual lookups on the host. All
 //     five of the paper's methods are available; results are identical
-//     across methods, only performance differs.
+//     across methods, only performance differs. An Index is safe for
+//     any number of concurrent callers: every RankBatch call gathers
+//     replies on its own channel, so callers pipeline through the
+//     shared worker pool instead of serializing behind a lock. Batch
+//     buffers are pooled; with RankBatchInto reusing the result slice,
+//     the array-layout methods (MethodC3 in either Layout, MethodA's
+//     and MethodC1's trees) allocate nothing per call in steady state
+//     (the buffered methods B and C-2 still allocate inside the
+//     Zhou-Ross buffering plan). Close blocks until
+//     in-flight calls drain. Options.Layout selects the Method C-3
+//     slave structure: the paper's sorted array (default) or the
+//     opt-in Eytzinger layout, whose interleaved branchless descent
+//     overlaps cache misses across a batch.
 //   - The simulator (Simulate, Sweep): a trace-driven cache/network/
 //     cluster simulation parameterized by the paper's measured Pentium
 //     III constants (Table 2), which reproduces the paper's Figure 3 and
@@ -61,6 +73,22 @@ const (
 // Methods lists all five strategies in presentation order.
 func Methods() []Method { return core.Methods() }
 
+// Layout selects the slave-side index structure for MethodC3.
+type Layout = core.Layout
+
+const (
+	// LayoutSortedArray is the paper's C-3 structure — the partition's
+	// sorted key run, binary-searched. The default.
+	LayoutSortedArray = core.LayoutSortedArray
+	// LayoutEytzinger lays each partition out in Eytzinger (BFS) order
+	// and searches it with an interleaved branchless descent that
+	// overlaps cache misses across the batch. It doubles the per-key
+	// footprint (a rank table rides along), so it is opt-in: pick it
+	// when the partition still fits the target cache at 2x. Only valid
+	// with MethodC3.
+	LayoutEytzinger = core.LayoutEytzinger
+)
+
 // Arch is an architecture parameter set for the simulator and model.
 type Arch = arch.Params
 
@@ -101,6 +129,9 @@ type Options struct {
 	BatchKeys int
 	// QueueDepth bounds in-flight batches per worker (default 4).
 	QueueDepth int
+	// Layout selects the MethodC3 slave structure; the zero value is
+	// LayoutSortedArray. See LayoutEytzinger for the tradeoff.
+	Layout Layout
 }
 
 func (o Options) withDefaults() core.RealConfig {
@@ -109,6 +140,7 @@ func (o Options) withDefaults() core.RealConfig {
 		Workers:    o.Workers,
 		BatchKeys:  o.BatchKeys,
 		QueueDepth: o.QueueDepth,
+		Layout:     o.Layout,
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 8
@@ -122,8 +154,10 @@ func (o Options) withDefaults() core.RealConfig {
 	return cfg
 }
 
-// Index is a running distributed index. It is safe for concurrent
-// lookups; Close releases the worker goroutines.
+// Index is a running distributed index. All lookup methods are safe for
+// any number of concurrent callers — calls pipeline through the shared
+// worker pool, each gathering on its own channel. Close blocks until
+// in-flight calls finish, then releases the worker goroutines.
 type Index struct {
 	c    *core.Cluster
 	keys []Key
@@ -158,15 +192,20 @@ func (ix *Index) RankBatch(queries []Key) ([]int, error) {
 	return ix.c.LookupBatch(queries)
 }
 
+// RankBatchInto is RankBatch writing into a caller-provided slice
+// (len(out) >= len(queries)): the zero-allocation steady-state entry
+// point for callers that recycle their result buffers.
+func (ix *Index) RankBatchInto(queries []Key, out []int) error {
+	return ix.c.LookupBatchInto(queries, out)
+}
+
 // Owner returns the worker (slave) that owns key k's sub-range: the
-// routing decision a master makes. For replicated methods every worker
-// owns every key, and Owner returns 0.
+// routing decision a master makes, answered from the cluster's own
+// routing table. For replicated methods every worker owns every key,
+// and Owner returns 0.
 func (ix *Index) Owner(k Key) int {
-	if !ix.opt.Method.Distributed() {
-		return 0
-	}
-	p, err := core.NewPartitioning(ix.keys, ix.opt.Workers)
-	if err != nil {
+	p := ix.c.Partitioning()
+	if p == nil {
 		return 0
 	}
 	return p.Route(k)

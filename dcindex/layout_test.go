@@ -1,0 +1,104 @@
+package dcindex_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/dcindex"
+	"repro/internal/workload"
+)
+
+// The Layout knob: Eytzinger-layout C-3 must return bit-identical ranks
+// to the default sorted-array layout, and RankBatchInto must fill a
+// caller-provided slice.
+func TestLayoutEytzingerMatchesDefault(t *testing.T) {
+	keys := dcindex.GenerateKeys(30000, 1)
+	queries := dcindex.GenerateQueries(40000, 2)
+
+	def, err := dcindex.Open(keys, dcindex.Options{Method: dcindex.MethodC3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer def.Close()
+	eytz, err := dcindex.Open(keys, dcindex.Options{
+		Method: dcindex.MethodC3, Workers: 4, Layout: dcindex.LayoutEytzinger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eytz.Close()
+
+	want, err := def.RankBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, len(queries))
+	if err := eytz.RankBatchInto(queries, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("layouts disagree at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLayoutEytzingerRejectedForNonC3(t *testing.T) {
+	keys := dcindex.GenerateKeys(1000, 1)
+	if _, err := dcindex.Open(keys, dcindex.Options{
+		Method: dcindex.MethodA, Layout: dcindex.LayoutEytzinger,
+	}); err == nil {
+		t.Fatal("MethodA with LayoutEytzinger accepted")
+	}
+}
+
+// Concurrent RankBatch callers through the public API, with Owner
+// answered from the cluster's own routing table while lookups run.
+func TestConcurrentRankBatchAndOwner(t *testing.T) {
+	keys := dcindex.GenerateKeys(20000, 3)
+	idx, err := dcindex.Open(keys, dcindex.Options{Method: dcindex.MethodC3, Workers: 6, BatchKeys: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			queries := dcindex.GenerateQueries(5000, seed)
+			got, err := idx.RankBatch(queries)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, q := range queries {
+				if got[i] != workload.ReferenceRank(keys, q) {
+					errs <- errWrong
+					return
+				}
+			}
+			// Owner is read-only routing metadata; hammer it during
+			// lookups to prove it shares the cluster's partitioning.
+			for _, q := range queries[:100] {
+				if o := idx.Owner(q); o < 0 || o >= 6 {
+					errs <- errWrong
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errWrong = errString("wrong result under concurrency")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The tentpole guarantee: N goroutines issuing overlapping batches
+// through one cluster — across all five methods — all receive exactly
+// the serial reference ranks. Run under -race this also proves the
+// per-call gather state keeps callers fully isolated.
+func TestConcurrentLookupBatchAllMethods(t *testing.T) {
+	keys := workload.SortedKeys(20000, 11)
+	const callers = 6
+	const rounds = 4
+	for _, m := range Methods() {
+		t.Run(m.String(), func(t *testing.T) {
+			c := newTestCluster(t, m, keys, 5, 512)
+			var wg sync.WaitGroup
+			errs := make(chan error, callers)
+			for g := 0; g < callers; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					out := make([]int, 0)
+					for r := 0; r < rounds; r++ {
+						queries := workload.UniformQueries(2500+int(seed), seed*10+uint64(r))
+						if cap(out) < len(queries) {
+							out = make([]int, len(queries))
+						}
+						out = out[:len(queries)]
+						if err := c.LookupBatchInto(queries, out); err != nil {
+							errs <- err
+							return
+						}
+						for i, q := range queries {
+							if out[i] != workload.ReferenceRank(keys, q) {
+								errs <- errWrongRank
+								return
+							}
+						}
+					}
+				}(uint64(g))
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Close must block until in-flight calls complete (they finish with
+// correct results), and late calls must fail cleanly.
+func TestCloseWhileCallsInFlight(t *testing.T) {
+	keys := workload.SortedKeys(30000, 12)
+	c, err := NewCluster(keys, RealConfig{Method: MethodC3, Workers: 4, BatchKeys: 256, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 5
+	var wg sync.WaitGroup
+	started := make(chan struct{}, callers)
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			queries := workload.UniformQueries(60000, seed)
+			started <- struct{}{}
+			got, err := c.LookupBatch(queries)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, q := range queries {
+				if got[i] != workload.ReferenceRank(keys, q) {
+					errs <- errWrongRank
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	for g := 0; g < callers; g++ {
+		<-started
+	}
+	c.Close() // blocks until the in-flight batches drain
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if _, err := c.LookupBatch(workload.UniformQueries(10, 1)); err == nil {
+		t.Fatal("lookup after Close succeeded")
+	}
+	c.Close() // still idempotent
+}
+
+func TestLookupBatchIntoShortOut(t *testing.T) {
+	keys := workload.SortedKeys(1000, 13)
+	c := newTestCluster(t, MethodC3, keys, 2, 64)
+	if err := c.LookupBatchInto(workload.UniformQueries(10, 1), make([]int, 9)); err == nil {
+		t.Fatal("short out slice accepted")
+	}
+}
+
+func TestEytzingerLayoutCluster(t *testing.T) {
+	keys := workload.SortedKeys(20000, 14)
+	queries := workload.UniformQueries(30000, 15)
+	c, err := NewCluster(keys, RealConfig{
+		Method: MethodC3, Workers: 7, BatchKeys: 1024, QueueDepth: 4,
+		Layout: LayoutEytzinger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.LookupBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		if got[i] != workload.ReferenceRank(keys, q) {
+			t.Fatalf("eytzinger layout: query %d (%d) = %d, want %d",
+				i, q, got[i], workload.ReferenceRank(keys, q))
+		}
+	}
+}
+
+func TestEytzingerLayoutRequiresC3(t *testing.T) {
+	keys := workload.SortedKeys(1000, 16)
+	for _, m := range []Method{MethodA, MethodB, MethodC1, MethodC2} {
+		cfg := DefaultRealConfig(m)
+		cfg.Layout = LayoutEytzinger
+		if _, err := NewCluster(keys, cfg); err == nil {
+			t.Errorf("%v with LayoutEytzinger accepted", m)
+		}
+	}
+	cfg := DefaultRealConfig(MethodC3)
+	cfg.Layout = Layout(9)
+	if _, err := NewCluster(keys, cfg); err == nil {
+		t.Error("invalid layout accepted")
+	}
+}
+
+// Route must agree with the sort.Search definition on both the linear
+// (small) and binary (large) code paths.
+func TestRouteMatchesSortSearch(t *testing.T) {
+	for _, parts := range []int{1, 2, 7, 10, 64, 65, 100, 333} {
+		keys := workload.SortedKeys(10*parts, uint64(parts))
+		p, err := NewPartitioning(keys, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := p.Delimiters()
+		probes := workload.UniformQueries(2000, uint64(parts)+1)
+		probes = append(probes, 0, ^workload.Key(0))
+		for _, dk := range d {
+			probes = append(probes, dk, dk-1, dk+1)
+		}
+		for _, q := range probes {
+			want := sort.Search(len(d), func(i int) bool { return d[i] > q })
+			if got := p.Route(q); got != want {
+				t.Fatalf("parts=%d: Route(%d) = %d, want %d", parts, q, got, want)
+			}
+		}
+	}
+}

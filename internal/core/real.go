@@ -3,12 +3,39 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffering"
 	"repro/internal/index"
 	"repro/internal/workload"
 )
+
+// Layout selects the slave-side index structure for Method C-3 (the
+// other methods fix their structure by definition).
+type Layout int
+
+const (
+	// LayoutSortedArray is the paper's C-3 structure: the partition's
+	// sorted key run, binary-searched. The default.
+	LayoutSortedArray Layout = iota
+	// LayoutEytzinger stores each partition in Eytzinger (BFS) order and
+	// searches it with an interleaved branchless descent — 2x the
+	// footprint (rank table) for a hot top-of-tree and overlapping
+	// cache misses. Opt-in; only valid with MethodC3.
+	LayoutEytzinger
+)
+
+// String names the layout for reports.
+func (l Layout) String() string {
+	switch l {
+	case LayoutSortedArray:
+		return "sorted-array"
+	case LayoutEytzinger:
+		return "eytzinger"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
 
 // RealConfig configures the real concurrent runtime: goroutine nodes
 // connected by channels, executing actual lookups on the host. This is
@@ -27,6 +54,10 @@ type RealConfig struct {
 	BatchKeys int
 	// QueueDepth bounds in-flight batches per worker (backpressure).
 	QueueDepth int
+	// Layout selects the Method C-3 slave structure; the zero value is
+	// the paper's sorted array. Setting LayoutEytzinger with any other
+	// method is a configuration error.
+	Layout Layout
 }
 
 // DefaultRealConfig returns a ready-to-use configuration for m.
@@ -47,47 +78,88 @@ func (c RealConfig) validate() error {
 	if c.QueueDepth <= 0 {
 		return fmt.Errorf("core: QueueDepth = %d", c.QueueDepth)
 	}
+	switch c.Layout {
+	case LayoutSortedArray:
+	case LayoutEytzinger:
+		if c.Method != MethodC3 {
+			return fmt.Errorf("core: LayoutEytzinger requires MethodC3, got %v", c.Method)
+		}
+	default:
+		return fmt.Errorf("core: invalid layout %d", int(c.Layout))
+	}
 	return nil
 }
 
-// realBatch is one message on the channel interconnect: keys plus their
-// positions in the caller's query slice, so results scatter back.
+// realBatch is one message on the channel interconnect. Batches are
+// pooled per cluster: the dispatcher checks one out, fills keys (and pos
+// for scattered batches), the worker fills ranks, and the gatherer
+// returns it to the pool after copying the ranks out — steady state
+// allocates nothing.
 type realBatch struct {
 	keys []workload.Key
-	pos  []int32
+	// pos[i] is keys[i]'s position in the caller's query slice. A nil
+	// pos means the batch is a contiguous run starting at posBase (the
+	// replicated methods' round-robin slices), so results copy back
+	// without a scatter.
+	pos     []int32
+	posBase int
+	// ranks is the worker's reply, global ranks (rank base folded in).
+	ranks []int
+	// reply routes the processed batch back to the issuing call; each
+	// LookupBatch call gathers on its own channel, which is what makes
+	// concurrent callers safe without a global lock.
+	reply chan *realBatch
 }
 
-// workerStats tracks one worker's processed volume.
+// workerStats tracks one worker's processed volume. Fields are atomics
+// (callers may snapshot Stats while other goroutines query), and the
+// struct is padded to a cache line so per-worker counters don't false-
+// share.
 type workerStats struct {
-	keys    int64
-	batches int64
-	busy    time.Duration
+	keys    atomic.Int64
+	batches atomic.Int64
+	busyNs  atomic.Int64
+	_       [40]byte
 }
 
 // Cluster is the running real engine. Create with NewCluster, query with
-// Lookup/LookupBatch, and Close when done. LookupBatch is safe for one
-// caller at a time (the caller is the master); Lookup may be called
-// concurrently with itself.
+// Lookup/LookupBatch/LookupBatchInto, and Close when done. All lookup
+// methods are safe for any number of concurrent callers: each call
+// gathers replies on its own channel, so callers pipeline through the
+// shared worker pool instead of serializing behind a lock. Close blocks
+// until in-flight calls drain.
 type Cluster struct {
 	cfg  RealConfig
 	keys []workload.Key
 	part *Partitioning // Method C only
 
-	in      []chan realBatch
-	results chan realResult
-	wg      sync.WaitGroup
-	stats   []workerStats
+	in    []chan *realBatch
+	wg    sync.WaitGroup
+	stats []workerStats
 
-	mu     sync.Mutex // serializes LookupBatch callers
+	// batches pools *realBatch between dispatch and gather; calls pools
+	// per-call dispatch state (gather channel + accumulation slots).
+	batches sync.Pool
+	calls   sync.Pool
+
+	// mu is held shared by lookups for their full duration and
+	// exclusively by Close, which therefore waits out in-flight calls.
+	mu     sync.RWMutex
 	closed bool
 
-	rr int // round-robin cursor for replicated methods
+	rr atomic.Uint32 // round-robin cursor for replicated methods
 }
 
-type realResult struct {
-	worker int
-	pos    []int32
-	ranks  []int
+// callState is one LookupBatch call's dispatch/gather scratch, pooled on
+// the cluster.
+type callState struct {
+	// reply receives processed batches. LookupBatchInto grows it to
+	// cover every batch the call can have in flight, so a worker never
+	// blocks delivering a result (which would head-of-line-block other
+	// callers' batches queued behind it); the pool keeps the largest.
+	reply chan *realBatch
+	// accum[w] is worker w's accumulating batch (Method C dispatch).
+	accum []*realBatch
 }
 
 // NewCluster builds the index (replicated or partitioned per the
@@ -100,22 +172,27 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("core: empty index")
 	}
-	for i := 1; i < len(keys); i++ {
-		if keys[i] < keys[i-1] {
-			return nil, fmt.Errorf("core: index keys not sorted at %d", i)
-		}
+	if err := checkSorted(keys); err != nil {
+		return nil, err
 	}
 
 	c := &Cluster{
-		cfg:     cfg,
-		keys:    keys,
-		in:      make([]chan realBatch, cfg.Workers),
-		results: make(chan realResult, cfg.Workers*cfg.QueueDepth),
-		stats:   make([]workerStats, cfg.Workers),
+		cfg:   cfg,
+		keys:  keys,
+		in:    make([]chan *realBatch, cfg.Workers),
+		stats: make([]workerStats, cfg.Workers),
+	}
+	c.batches.New = func() any { return new(realBatch) }
+	replyCap := cfg.Workers*cfg.QueueDepth + cfg.Workers
+	c.calls.New = func() any {
+		return &callState{
+			reply: make(chan *realBatch, replyCap),
+			accum: make([]*realBatch, cfg.Workers),
+		}
 	}
 
 	if cfg.Method.Distributed() {
-		part, err := NewPartitioning(keys, cfg.Workers)
+		part, err := newPartitioningSorted(keys, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +200,7 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 	}
 
 	for w := 0; w < cfg.Workers; w++ {
-		c.in[w] = make(chan realBatch, cfg.QueueDepth)
+		c.in[w] = make(chan *realBatch, cfg.QueueDepth)
 		proc, err := newRealWorker(cfg, keys, c.part, w)
 		if err != nil {
 			return nil, err
@@ -134,14 +211,18 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// realWorker computes local ranks for a batch.
+// Partitioning exposes the cluster's routing structure (nil for the
+// replicated methods); callers reuse it instead of rebuilding one.
+func (c *Cluster) Partitioning() *Partitioning { return c.part }
+
+// realWorker computes global ranks for a batch.
 type realWorker struct {
 	rankBase int
 	arr      *index.SortedArray
+	eytz     *index.Eytzinger
 	tree     *index.Tree
 	plan     buffering.Plan
 	buffered bool
-	out      []int
 }
 
 func newRealWorker(cfg RealConfig, keys []workload.Key, part *Partitioning, w int) (*realWorker, error) {
@@ -163,7 +244,11 @@ func newRealWorker(cfg RealConfig, keys []workload.Key, part *Partitioning, w in
 		rw.buffered = true
 		rw.rankBase = part.Parts[w].RankBase
 	case MethodC3:
-		rw.arr = index.NewSortedArray(part.Parts[w].Keys, 0)
+		if cfg.Layout == LayoutEytzinger {
+			rw.eytz = index.NewEytzinger(part.Parts[w].Keys, 0)
+		} else {
+			rw.arr = index.NewSortedArray(part.Parts[w].Keys, 0)
+		}
 		rw.rankBase = part.Parts[w].RankBase
 	default:
 		return nil, fmt.Errorf("core: unsupported method %v", cfg.Method)
@@ -171,158 +256,195 @@ func newRealWorker(cfg RealConfig, keys []workload.Key, part *Partitioning, w in
 	return rw, nil
 }
 
-// process computes the global ranks for the batch into a fresh slice.
-func (rw *realWorker) process(b realBatch) []int {
+// process computes the batch's global ranks into b.ranks, folding the
+// partition rank base into the one write per key (no second add pass,
+// no per-batch allocation once b.ranks has grown to batch size).
+func (rw *realWorker) process(b *realBatch) {
 	n := len(b.keys)
-	if cap(rw.out) < n {
-		rw.out = make([]int, n)
+	if cap(b.ranks) < n {
+		b.ranks = make([]int, n)
 	}
-	out := rw.out[:n]
+	out := b.ranks[:n]
+	b.ranks = out
 	switch {
 	case rw.buffered:
 		rw.plan.RankBatch(b.keys, out, buffering.Hooks{})
-	case rw.tree != nil:
-		for i, k := range b.keys {
-			out[i] = rw.tree.Rank(k)
+		if rw.rankBase != 0 {
+			for i := range out {
+				out[i] += rw.rankBase
+			}
 		}
+	case rw.eytz != nil:
+		rw.eytz.RankBatch(b.keys, out, rw.rankBase)
+	case rw.arr != nil:
+		rw.arr.RankBatch(b.keys, out, rw.rankBase)
 	default:
+		base := rw.rankBase
 		for i, k := range b.keys {
-			out[i] = rw.arr.Rank(k)
+			out[i] = rw.tree.Rank(k) + base
 		}
 	}
-	ranks := make([]int, n)
-	for i := range out {
-		ranks[i] = out[i] + rw.rankBase
-	}
-	return ranks
 }
 
 func (c *Cluster) runWorker(w int, proc *realWorker) {
 	defer c.wg.Done()
+	st := &c.stats[w]
 	for b := range c.in[w] {
 		start := time.Now()
-		ranks := proc.process(b)
-		c.stats[w].busy += time.Since(start)
-		c.stats[w].keys += int64(len(b.keys))
-		c.stats[w].batches++
-		c.results <- realResult{worker: w, pos: b.pos, ranks: ranks}
+		proc.process(b)
+		st.busyNs.Add(time.Since(start).Nanoseconds())
+		st.keys.Add(int64(len(b.keys)))
+		st.batches.Add(1)
+		b.reply <- b
 	}
 }
 
+// getBatch checks a pooled batch out for a call's reply channel.
+func (c *Cluster) getBatch(reply chan *realBatch) *realBatch {
+	b := c.batches.Get().(*realBatch)
+	b.keys = b.keys[:0]
+	b.pos = b.pos[:0]
+	b.posBase = 0
+	b.reply = reply
+	return b
+}
+
+// putBatch recycles b after its ranks were copied out. Aliased key
+// slices (the replicated methods point keys at the caller's queries) are
+// dropped rather than recycled.
+func (c *Cluster) putBatch(b *realBatch, aliased bool) {
+	if aliased {
+		b.keys = nil
+	}
+	b.reply = nil
+	c.batches.Put(b)
+}
+
 // LookupBatch routes queries through the cluster and returns their
-// global ranks, in query order. The caller plays the master: it
-// partitions (Method C) or round-robins (A/B) the stream into batches,
-// dispatches them over the channel interconnect, and gathers replies.
+// global ranks, in query order. It is safe for concurrent callers.
 func (c *Cluster) LookupBatch(queries []workload.Key) ([]int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, fmt.Errorf("core: cluster is closed")
-	}
 	out := make([]int, len(queries))
-	if len(queries) == 0 {
-		return out, nil
-	}
-
-	pending := 0
-	drain := func(block bool) {
-		for {
-			if block && pending > 0 {
-				r := <-c.results
-				copyResult(out, r)
-				pending--
-				block = false
-				continue
-			}
-			select {
-			case r := <-c.results:
-				copyResult(out, r)
-				pending--
-			default:
-				return
-			}
-		}
-	}
-	send := func(w int, b realBatch) {
-		for {
-			select {
-			case c.in[w] <- b:
-				return
-			case r := <-c.results:
-				// Keep draining while backpressured so the pipeline
-				// cannot deadlock.
-				copyResult(out, r)
-				pending--
-			}
-		}
-	}
-
-	bk := c.cfg.BatchKeys
-	if c.cfg.Method.Distributed() {
-		// Master dispatch: per-slave accumulation, flush at BatchKeys.
-		bufK := make([][]workload.Key, c.cfg.Workers)
-		bufP := make([][]int32, c.cfg.Workers)
-		flush := func(s int) {
-			if len(bufK[s]) == 0 {
-				return
-			}
-			b := realBatch{
-				keys: append([]workload.Key(nil), bufK[s]...),
-				pos:  append([]int32(nil), bufP[s]...),
-			}
-			bufK[s], bufP[s] = bufK[s][:0], bufP[s][:0]
-			pending++
-			send(s, b)
-		}
-		for i, q := range queries {
-			s := c.part.Route(q)
-			bufK[s] = append(bufK[s], q)
-			bufP[s] = append(bufP[s], int32(i))
-			if len(bufK[s]) >= bk {
-				flush(s)
-			}
-		}
-		for s := range bufK {
-			flush(s)
-		}
-	} else {
-		// Replicated index: round-robin load balancing.
-		for start := 0; start < len(queries); start += bk {
-			end := start + bk
-			if end > len(queries) {
-				end = len(queries)
-			}
-			pos := make([]int32, end-start)
-			for i := range pos {
-				pos[i] = int32(start + i)
-			}
-			b := realBatch{keys: queries[start:end], pos: pos}
-			pending++
-			send(c.rr, b)
-			c.rr = (c.rr + 1) % c.cfg.Workers
-		}
-	}
-
-	for pending > 0 {
-		drain(true)
+	if err := c.LookupBatchInto(queries, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func copyResult(out []int, r realResult) {
-	for i, p := range r.pos {
-		out[p] = r.ranks[i]
+// LookupBatchInto is LookupBatch writing into a caller-provided slice
+// (len(out) >= len(queries)), the zero-allocation steady-state entry
+// point. The caller plays the master: it partitions (Method C) or
+// round-robins (A/B) the stream into batches, dispatches them over the
+// channel interconnect, and gathers replies on a per-call channel —
+// concurrent callers pipeline through the same worker pool.
+func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
+	if len(out) < len(queries) {
+		return fmt.Errorf("core: out len %d < %d queries", len(out), len(queries))
 	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return fmt.Errorf("core: cluster is closed")
+	}
+	if len(queries) == 0 {
+		return nil
+	}
+
+	cs := c.calls.Get().(*callState)
+	defer c.calls.Put(cs)
+	bk := c.cfg.BatchKeys
+	// Worst-case batches in flight: one full batch per BatchKeys run
+	// plus one final partial flush per worker. Steady state this is a
+	// no-op (the pooled channel already grew).
+	if need := len(queries)/bk + c.cfg.Workers + 1; cap(cs.reply) < need {
+		cs.reply = make(chan *realBatch, need)
+	}
+	distributed := c.cfg.Method.Distributed()
+	pending := 0
+
+	gather := func(b *realBatch) {
+		if b.pos == nil {
+			copy(out[b.posBase:b.posBase+len(b.ranks)], b.ranks)
+		} else {
+			for i, p := range b.pos {
+				out[p] = b.ranks[i]
+			}
+		}
+		c.putBatch(b, !distributed)
+		pending--
+	}
+	send := func(w int, b *realBatch) {
+		pending++
+		for {
+			select {
+			case c.in[w] <- b:
+				return
+			case r := <-cs.reply:
+				// Keep gathering while backpressured so the pipeline
+				// cannot stall and buffers recycle at steady state.
+				gather(r)
+			}
+		}
+	}
+
+	if distributed {
+		// Master dispatch: per-slave accumulation directly into pooled
+		// batches, handed off whole at BatchKeys (no copy).
+		for i, q := range queries {
+			s := c.part.Route(q)
+			b := cs.accum[s]
+			if b == nil {
+				b = c.getBatch(cs.reply)
+				cs.accum[s] = b
+			}
+			b.keys = append(b.keys, q)
+			b.pos = append(b.pos, int32(i))
+			if len(b.keys) >= bk {
+				cs.accum[s] = nil
+				send(s, b)
+			}
+		}
+		for s, b := range cs.accum {
+			if b == nil {
+				continue
+			}
+			cs.accum[s] = nil
+			if len(b.keys) == 0 {
+				c.putBatch(b, false)
+				continue
+			}
+			send(s, b)
+		}
+	} else {
+		// Replicated index: round-robin load balancing over contiguous
+		// query runs (keys alias the caller's slice; no copy, and the
+		// gather is a straight copy instead of a scatter).
+		for start := 0; start < len(queries); start += bk {
+			end := min(start+bk, len(queries))
+			b := c.getBatch(cs.reply)
+			b.keys = queries[start:end]
+			b.pos = nil
+			b.posBase = start
+			w := int(c.rr.Add(1)-1) % c.cfg.Workers
+			send(w, b)
+		}
+	}
+
+	for pending > 0 {
+		gather(<-cs.reply)
+	}
+	return nil
 }
 
 // Lookup resolves a single key synchronously (a convenience wrapper; for
 // throughput use LookupBatch).
 func (c *Cluster) Lookup(q workload.Key) (int, error) {
-	r, err := c.LookupBatch([]workload.Key{q})
-	if err != nil {
+	var one [1]workload.Key
+	var res [1]int
+	one[0] = q
+	if err := c.LookupBatchInto(one[:], res[:]); err != nil {
 		return 0, err
 	}
-	return r[0], nil
+	return res[0], nil
 }
 
 // RealStats summarizes the cluster's lifetime work.
@@ -335,8 +457,9 @@ type RealStats struct {
 	BusyPerWorker []time.Duration
 }
 
-// Stats snapshots the per-worker counters. Call after LookupBatch
-// returns (counters are not synchronized mid-flight).
+// Stats snapshots the per-worker counters. Safe to call concurrently
+// with lookups; a snapshot taken mid-call reflects the batches completed
+// so far.
 func (c *Cluster) Stats() RealStats {
 	s := RealStats{
 		Method:        c.cfg.Method,
@@ -344,15 +467,15 @@ func (c *Cluster) Stats() RealStats {
 		BusyPerWorker: make([]time.Duration, c.cfg.Workers),
 	}
 	for w := range c.stats {
-		s.KeysProcessed += c.stats[w].keys
-		s.Batches += c.stats[w].batches
-		s.BusyPerWorker[w] = c.stats[w].busy
+		s.KeysProcessed += c.stats[w].keys.Load()
+		s.Batches += c.stats[w].batches.Load()
+		s.BusyPerWorker[w] = time.Duration(c.stats[w].busyNs.Load())
 	}
 	return s
 }
 
-// Close shuts the workers down and waits for them to exit. Further
-// lookups fail. Close is idempotent.
+// Close shuts the workers down and waits for them to exit. Calls in
+// flight complete first; further lookups fail. Close is idempotent.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -364,5 +487,4 @@ func (c *Cluster) Close() {
 		close(ch)
 	}
 	c.wg.Wait()
-	close(c.results)
 }

@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/memsim"
 	"repro/internal/workload"
@@ -15,6 +16,15 @@ import (
 type SortedArray struct {
 	keys []workload.Key
 	base memsim.Addr
+	// slope precomputes (n-1)/(max-min) for RankBatch's interpolation
+	// probe; 0 when the key range is degenerate (all keys equal).
+	slope float64
+	// maxStrides bounds RankBatch's gallop before it falls back to
+	// binary search: ~4 standard deviations of a uniform order
+	// statistic (sqrt(n)/2 positions), so near-uniform keys essentially
+	// never fall back while skewed ones pay at most O(sqrt(n)/stride)
+	// sequential probes plus one binary search.
+	maxStrides int
 }
 
 // NewSortedArray wraps keys (which must already be sorted ascending; the
@@ -26,7 +36,12 @@ func NewSortedArray(keys []workload.Key, base memsim.Addr) *SortedArray {
 			panic(fmt.Sprintf("index: NewSortedArray input not sorted at %d", i))
 		}
 	}
-	return &SortedArray{keys: keys, base: base}
+	a := &SortedArray{keys: keys, base: base}
+	if n := len(keys); n > 1 && keys[n-1] > keys[0] {
+		a.slope = float64(n-1) / float64(keys[n-1]-keys[0])
+		a.maxStrides = gallopMax + 2*int(math.Sqrt(float64(n)))/gallopStride
+	}
+	return a
 }
 
 // Name implements Index.
@@ -46,11 +61,103 @@ func (a *SortedArray) SizeBytes() int { return len(a.keys) * workload.KeyBytes }
 func (a *SortedArray) Keys() []workload.Key { return a.keys }
 
 // Rank implements Index with an explicit binary search (upper bound).
+// This is the paper's C-3 probe sequence; RankTrace mirrors it exactly,
+// so the simulator's traces stay faithful. The batch entry point
+// (RankBatch) uses a faster interpolation-guided search with identical
+// results.
 func (a *SortedArray) Rank(k workload.Key) int {
-	lo, hi := 0, len(a.keys)
+	return upperBound(a.keys, k)
+}
+
+// gallopStride is RankBatch's scan stride around the interpolated
+// position (half a cache line of keys per step, so the walk is
+// prefetcher-friendly); gallopMax is the floor of the per-array stride
+// budget (see SortedArray.maxStrides).
+const (
+	gallopStride = 8
+	gallopMax    = 8
+)
+
+// RankBatch resolves qs into out (which must be at least len(qs) long),
+// adding add to every rank so a partition's rank base folds into the
+// single result write.
+//
+// Each query starts from one interpolation probe (a precomputed-slope
+// multiply, no division) and walks stride-wise to the exact rank: on
+// near-uniform keys — the paper's workload and what hash-sharded or
+// sequence keys look like in practice — that is ~2 cache lines touched
+// instead of log2(n) dependent probes, which measures several times
+// faster than binary search even with the partition L2-resident. A
+// query whose neighborhood is locally skewed exceeds the gallop bound
+// and finishes with plain binary search, so results are always exact;
+// the worst case is the sqrt(n)-bounded gallop (cheap sequential
+// probes) plus one binary search.
+func (a *SortedArray) RankBatch(qs []workload.Key, out []int, add int) {
+	keys := a.keys
+	n := len(keys)
+	if n == 0 {
+		for i := range qs {
+			out[i] = add
+		}
+		return
+	}
+	min := keys[0]
+	slope := a.slope
+	budget := a.maxStrides
+	for i, q := range qs {
+		if q < min {
+			out[i] = add
+			continue
+		}
+		// Clamp in float space before converting: the product can
+		// exceed the int range (notably 32-bit ints) for narrow key
+		// ranges probed far above max, and Go's out-of-range
+		// float-to-int conversion is unspecified.
+		fp := float64(q-min) * slope
+		pos := n - 1
+		if fp < float64(n-1) {
+			pos = int(fp)
+		}
+		var r int
+		if keys[pos] <= q {
+			j, s := pos+1, 0
+			for j+gallopStride <= n && keys[j+gallopStride-1] <= q && s < budget {
+				j += gallopStride
+				s++
+			}
+			if s == budget {
+				r = j + upperBound(keys[j:], q)
+			} else {
+				for j < n && keys[j] <= q {
+					j++
+				}
+				r = j
+			}
+		} else {
+			j, s := pos, 0
+			for j-gallopStride >= 0 && keys[j-gallopStride] > q && s < budget {
+				j -= gallopStride
+				s++
+			}
+			if s == budget {
+				r = upperBound(keys[:j], q)
+			} else {
+				for j > 0 && keys[j-1] > q {
+					j--
+				}
+				r = j
+			}
+		}
+		out[i] = r + add
+	}
+}
+
+// upperBound is the number of keys <= k, by binary search.
+func upperBound(keys []workload.Key, k workload.Key) int {
+	lo, hi := 0, len(keys)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if a.keys[mid] <= k {
+		if keys[mid] <= k {
 			lo = mid + 1
 		} else {
 			hi = mid

@@ -1,0 +1,203 @@
+package index
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/memsim"
+	"repro/internal/workload"
+)
+
+// Eytzinger is a sorted key set laid out in Eytzinger (BFS heap) order:
+// the root at slot 1, the children of slot i at 2i and 2i+1. The layout
+// turns binary search into a pure left/right descent with no mid-point
+// arithmetic on the critical path, which compiles to a branchless
+// conditional-move loop, and it clusters the first few comparison levels
+// onto a handful of cache lines, so the top of every search is
+// cache-resident ("Index Search Algorithms for Databases and Modern
+// CPUs", Gross 2010). RankBatch additionally interleaves G independent
+// descents so the out-of-order core overlaps their cache misses — the
+// memory-level-parallelism trick the paper's batching thesis predicts.
+//
+// The structure stores two arrays: the keys in Eytzinger order and, per
+// slot, the key's rank in sorted order (so a descent ends with a single
+// table load instead of a position reconstruction). Footprint is
+// therefore 8 bytes per key, double a SortedArray; it is the opt-in
+// Layout for Method C-3 slaves where the partition still fits the cache
+// at 2x.
+type Eytzinger struct {
+	// a[1..n] are the keys in Eytzinger order; a[0] is unused padding so
+	// the child arithmetic is shift-only.
+	a []workload.Key
+	// sidx[i] is a[i]'s index in sorted order.
+	sidx []int32
+	n    int
+	base memsim.Addr
+	// levels is the deepest slot's depth + 1 == bits.Len(n), the fixed
+	// trip count of the interleaved descent.
+	levels int
+}
+
+// eytzLanes is the number of interleaved descents in RankBatch. Eight
+// independent probe streams are enough to saturate the load ports on
+// current cores without spilling the lane state out of registers.
+const eytzLanes = 8
+
+// NewEytzinger builds the Eytzinger layout over keys (which must be
+// sorted ascending; the constructor panics otherwise, matching
+// NewSortedArray) at virtual address base.
+func NewEytzinger(keys []workload.Key, base memsim.Addr) *Eytzinger {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			panic(fmt.Sprintf("index: NewEytzinger input not sorted at %d", i))
+		}
+	}
+	n := len(keys)
+	e := &Eytzinger{
+		a:      make([]workload.Key, n+1),
+		sidx:   make([]int32, n+1),
+		n:      n,
+		base:   base,
+		levels: bits.Len(uint(n)),
+	}
+	// In-order traversal of the implicit tree visits slots in sorted-key
+	// order, so filling during it places every key at its Eytzinger slot.
+	pos := 0
+	var fill func(i int)
+	fill = func(i int) {
+		if i > n {
+			return
+		}
+		fill(2 * i)
+		e.a[i] = keys[pos]
+		e.sidx[i] = int32(pos)
+		pos++
+		fill(2*i + 1)
+	}
+	fill(1)
+	return e
+}
+
+// Name implements Index.
+func (e *Eytzinger) Name() string { return "eytzinger" }
+
+// N implements Index.
+func (e *Eytzinger) N() int { return e.n }
+
+// Base implements Index.
+func (e *Eytzinger) Base() memsim.Addr { return e.base }
+
+// SizeBytes implements Index: keys plus the rank table (the search only
+// streams the key array; the rank table is one load per query).
+func (e *Eytzinger) SizeBytes() int {
+	return e.n*workload.KeyBytes + e.n*4
+}
+
+// restore maps a finished descent cursor to the Eytzinger slot of the
+// first key > q: shifting off the trailing 1-bits (the final run of
+// right turns) plus one lands on the last ancestor reached by a left
+// turn. A zero result means every key was <= q.
+func restore(j uint) uint {
+	return j >> uint(bits.TrailingZeros(^j)+1)
+}
+
+// Rank implements Index: the number of keys <= k, via a branchless
+// descent.
+func (e *Eytzinger) Rank(k workload.Key) int {
+	a := e.a
+	n := uint(e.n)
+	j := uint(1)
+	for j <= n {
+		// One conditional-move per level: right child if a[j] <= k.
+		if a[j] <= k {
+			j = 2*j + 1
+		} else {
+			j = 2 * j
+		}
+	}
+	if j = restore(j); j == 0 {
+		return e.n
+	}
+	return int(e.sidx[j])
+}
+
+// RankBatch resolves qs into out (which must be at least len(qs) long),
+// adding add to every rank — the partition rank base folds into the
+// single result write. Queries are processed in groups of eytzLanes
+// lock-step descents so their cache misses overlap.
+func (e *Eytzinger) RankBatch(qs []workload.Key, out []int, add int) {
+	a, sidx, n := e.a, e.sidx, uint(e.n)
+	i := 0
+	for ; i+eytzLanes <= len(qs); i += eytzLanes {
+		var j [eytzLanes]uint
+		for g := range j {
+			j[g] = 1
+		}
+		// All lanes step together for exactly `levels` iterations; lanes
+		// whose descent ended early (shallow leaves) hold still.
+		for d := 0; d < e.levels; d++ {
+			for g := 0; g < eytzLanes; g++ {
+				t := j[g]
+				if t <= n {
+					if a[t] <= qs[i+g] {
+						j[g] = 2*t + 1
+					} else {
+						j[g] = 2 * t
+					}
+				}
+			}
+		}
+		for g := 0; g < eytzLanes; g++ {
+			if t := restore(j[g]); t == 0 {
+				out[i+g] = int(n) + add
+			} else {
+				out[i+g] = int(sidx[t]) + add
+			}
+		}
+	}
+	for ; i < len(qs); i++ {
+		out[i] = e.Rank(qs[i]) + add
+	}
+}
+
+// RankTrace implements Index; every probed slot contributes one address
+// (the trailing rank-table load shares the final level's locality and is
+// not traced separately).
+func (e *Eytzinger) RankTrace(k workload.Key, trace []memsim.Addr) (int, []memsim.Addr) {
+	a := e.a
+	n := uint(e.n)
+	j := uint(1)
+	for j <= n {
+		trace = append(trace, e.base+memsim.Addr(j)*workload.KeyBytes)
+		if a[j] <= k {
+			j = 2*j + 1
+		} else {
+			j = 2 * j
+		}
+	}
+	if j = restore(j); j == 0 {
+		return e.n, trace
+	}
+	return int(e.sidx[j]), trace
+}
+
+// Levels implements Index: the fixed descent depth, bits.Len(n).
+func (e *Eytzinger) Levels() int { return e.levels }
+
+// LevelLines implements Index. Level d occupies the contiguous slot run
+// [2^d, min(2^(d+1)-1, n)] — the Eytzinger layout's defining property —
+// so the line count is the run's byte extent over 32-byte lines.
+func (e *Eytzinger) LevelLines() []int {
+	if e.n == 0 {
+		return nil
+	}
+	out := make([]int, e.levels)
+	for d := range out {
+		lo := 1 << d
+		hi := min(2*lo-1, e.n)
+		firstLine := (lo * workload.KeyBytes) / 32
+		lastLine := (hi*workload.KeyBytes + workload.KeyBytes - 1) / 32
+		out[d] = lastLine - firstLine + 1
+	}
+	return out
+}

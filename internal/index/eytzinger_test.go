@@ -1,0 +1,158 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestEytzingerMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 15, 100, 4096, 40960} {
+		keys := workload.SortedKeys(n, uint64(n))
+		e := NewEytzinger(keys, 0)
+		if bad, ok := BuildChecked(e, keys); !ok {
+			t.Fatalf("n=%d: BuildChecked failed at key %d", n, bad)
+		}
+	}
+}
+
+func TestEytzingerEmpty(t *testing.T) {
+	e := NewEytzinger(nil, 0)
+	if got := e.Rank(123); got != 0 {
+		t.Fatalf("empty Rank = %d", got)
+	}
+	out := make([]int, 3)
+	e.RankBatch([]workload.Key{1, 2, 3}, out, 7)
+	for i, r := range out {
+		if r != 7 {
+			t.Fatalf("empty RankBatch[%d] = %d, want 7 (the add)", i, r)
+		}
+	}
+}
+
+func TestEytzingerDuplicatesAndExtremes(t *testing.T) {
+	keys := []workload.Key{5, 5, 5, 9, 9, ^workload.Key(0), ^workload.Key(0)}
+	e := NewEytzinger(keys, 0)
+	cases := []struct {
+		q    workload.Key
+		want int
+	}{
+		{0, 0}, {4, 0}, {5, 3}, {6, 3}, {9, 5}, {10, 5}, {^workload.Key(0), 7},
+	}
+	for _, c := range cases {
+		if got := e.Rank(c.q); got != c.want {
+			t.Errorf("Rank(%d) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestEytzingerUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted input did not panic")
+		}
+	}()
+	NewEytzinger([]workload.Key{2, 1}, 0)
+}
+
+// RankBatch (the interleaved lock-step descent) must agree with the
+// scalar Rank on every lane position, including the non-multiple tail,
+// and fold the add into the result.
+func TestEytzingerRankBatchMatchesScalar(t *testing.T) {
+	keys := workload.SortedKeys(12345, 3)
+	e := NewEytzinger(keys, 0)
+	for _, nq := range []int{1, 7, 8, 9, 64, 1000} {
+		qs := workload.UniformQueries(nq, uint64(nq))
+		out := make([]int, nq)
+		e.RankBatch(qs, out, 10)
+		for i, q := range qs {
+			if want := e.Rank(q) + 10; out[i] != want {
+				t.Fatalf("nq=%d: RankBatch[%d](%d) = %d, want %d", nq, i, q, out[i], want)
+			}
+		}
+	}
+}
+
+func TestEytzingerProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, qRaw uint8) bool {
+		n := int(nRaw%5000) + 1
+		keys := workload.SortedKeys(n, seed)
+		e := NewEytzinger(keys, 0)
+		qs := workload.UniformQueries(int(qRaw)+1, seed+1)
+		out := make([]int, len(qs))
+		e.RankBatch(qs, out, 0)
+		for i, q := range qs {
+			if out[i] != workload.ReferenceRank(keys, q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEytzingerShape(t *testing.T) {
+	keys := workload.SortedKeys(1000, 1)
+	e := NewEytzinger(keys, 0)
+	if e.Name() != "eytzinger" || e.N() != 1000 {
+		t.Fatalf("identity wrong: %s %d", e.Name(), e.N())
+	}
+	if e.Levels() != 10 { // bits.Len(1000)
+		t.Errorf("Levels = %d, want 10", e.Levels())
+	}
+	ll := e.LevelLines()
+	if len(ll) != e.Levels() {
+		t.Fatalf("LevelLines len %d != Levels %d", len(ll), e.Levels())
+	}
+	if ll[0] != 1 {
+		t.Errorf("root level lines = %d, want 1", ll[0])
+	}
+	// A full descent traces at most Levels probes.
+	_, trace := e.RankTrace(keys[500], nil)
+	if len(trace) == 0 || len(trace) > e.Levels() {
+		t.Errorf("trace length %d outside (0, %d]", len(trace), e.Levels())
+	}
+	if e.SizeBytes() != 1000*workload.KeyBytes+1000*4 {
+		t.Errorf("SizeBytes = %d", e.SizeBytes())
+	}
+}
+
+// The interpolation-guided SortedArray.RankBatch must agree with the
+// binary-search Rank everywhere, including distributions engineered to
+// defeat interpolation (heavy skew triggers the binary fallback).
+func TestSortedArrayRankBatchSkewed(t *testing.T) {
+	keys := make([]workload.Key, 0, 10000)
+	for i := 0; i < 9000; i++ { // dense cluster at the bottom
+		keys = append(keys, workload.Key(i))
+	}
+	for i := 0; i < 1000; i++ { // sparse tail to the top
+		keys = append(keys, workload.Key(4_000_000_000+uint32(i)*100_000))
+	}
+	a := NewSortedArray(keys, 0)
+	qs := workload.UniformQueries(20000, 9)
+	qs = append(qs, 0, 8999, 9000, ^workload.Key(0), 4_000_000_000)
+	out := make([]int, len(qs))
+	a.RankBatch(qs, out, 5)
+	for i, q := range qs {
+		if want := a.Rank(q) + 5; out[i] != want {
+			t.Fatalf("RankBatch[%d](%d) = %d, want %d", i, q, out[i], want)
+		}
+	}
+}
+
+func TestSortedArrayRankBatchConstantKeys(t *testing.T) {
+	keys := []workload.Key{7, 7, 7, 7}
+	a := NewSortedArray(keys, 0)
+	qs := []workload.Key{0, 6, 7, 8}
+	out := make([]int, len(qs))
+	a.RankBatch(qs, out, 0)
+	want := []int{0, 0, 4, 4}
+	for i := range qs {
+		if out[i] != want[i] {
+			t.Fatalf("constant keys: RankBatch(%d) = %d, want %d", qs[i], out[i], want[i])
+		}
+	}
+}

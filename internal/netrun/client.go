@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
@@ -17,13 +16,16 @@ import (
 // LookupBatch routes each query to the node whose cache holds its
 // sub-range and gathers replies — Figure 2 over real sockets.
 //
-// A Cluster serializes LookupBatch callers (the master is a sequential
-// dispatcher, as in the paper); run several Clusters for parallel
-// masters (the Section 3.2 remark).
+// A Cluster serializes LookupBatch callers (one socket per node; run
+// several Clusters for parallel masters — the Section 3.2 remark), but
+// the per-call dispatch state is pooled, so a master in steady state
+// allocates nothing per batch.
 type Cluster struct {
 	part  *core.Partitioning
 	nodes []clusterNode
 	batch int
+
+	calls sync.Pool // *netCall
 
 	mu     sync.Mutex
 	closed bool
@@ -32,10 +34,44 @@ type Cluster struct {
 
 type clusterNode struct {
 	conn net.Conn
-	bc   bufferedConn
+	bc   *bufferedConn
 	// meta from the hello handshake.
 	rankBase int
 	keyCount int
+}
+
+// pendingBatch is one dispatched frame awaiting its reply.
+type pendingBatch struct {
+	reqID uint32
+	pos   []int32
+}
+
+// netCall is one LookupBatch call's dispatch scratch: per-node key and
+// position accumulation, per-node FIFOs of in-flight batches (replies on
+// a connection arrive in dispatch order), and a free list that recycles
+// position slices within and across calls.
+type netCall struct {
+	keys    [][]uint32
+	pos     [][]int32
+	queue   [][]pendingBatch
+	posFree [][]int32
+}
+
+func newNetCall(nodes int) *netCall {
+	return &netCall{
+		keys:  make([][]uint32, nodes),
+		pos:   make([][]int32, nodes),
+		queue: make([][]pendingBatch, nodes),
+	}
+}
+
+func (nc *netCall) getPos() []int32 {
+	if n := len(nc.posFree); n > 0 {
+		p := nc.posFree[n-1]
+		nc.posFree = nc.posFree[:n-1]
+		return p[:0]
+	}
+	return nil
 }
 
 // DialOptions configures Dial.
@@ -65,6 +101,7 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 		return nil, err
 	}
 	c := &Cluster{part: part, batch: opt.BatchKeys}
+	c.calls.New = func() any { return newNetCall(len(addrs)) }
 	for i, addr := range addrs {
 		conn, err := net.DialTimeout("tcp", addr, opt.Timeout)
 		if err != nil {
@@ -85,13 +122,13 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
 	n.conn.SetDeadline(time.Now().Add(timeout))
 	defer n.conn.SetDeadline(time.Time{})
-	if err := WriteFrame(n.bc.w, Frame{Op: OpHello}); err != nil {
+	if err := n.bc.writeFrame(Frame{Op: OpHello}); err != nil {
 		return err
 	}
 	if err := n.bc.w.Flush(); err != nil {
 		return err
 	}
-	f, err := ReadFrame(n.bc.r)
+	f, err := n.bc.readFrame()
 	if err != nil {
 		return err
 	}
@@ -104,100 +141,121 @@ func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
 		return fmt.Errorf("partition mismatch: node serves base=%d n=%d, routing table expects base=%d n=%d",
 			n.rankBase, n.keyCount, want.RankBase, len(want.Keys))
 	}
+	// Shape alone doesn't prove the same key set (equal-size partitions
+	// of any n keys have identical bases and counts): cross-check the
+	// served key range the node advertises.
+	lo, hi := workload.Key(f.Payload[2]), workload.Key(f.Payload[3])
+	if len(want.Keys) > 0 && (lo != want.Keys[0] || hi != want.Keys[len(want.Keys)-1]) {
+		return fmt.Errorf("key-set mismatch: node serves range [%d, %d], routing table expects [%d, %d] (different keys or seed?)",
+			lo, hi, want.Keys[0], want.Keys[len(want.Keys)-1])
+	}
 	return nil
 }
 
 // LookupBatch routes queries to the owning nodes in batches and returns
 // global ranks in query order.
 func (c *Cluster) LookupBatch(queries []workload.Key) ([]int, error) {
+	out := make([]int, len(queries))
+	if err := c.LookupBatchInto(queries, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LookupBatchInto is LookupBatch writing into a caller-provided slice
+// (len(out) >= len(queries)) — with the pooled dispatch state this is
+// the zero-allocation steady-state entry point.
+func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
+	if len(out) < len(queries) {
+		return fmt.Errorf("netrun: out len %d < %d queries", len(out), len(queries))
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, errors.New("netrun: cluster closed")
+		return errors.New("netrun: cluster closed")
 	}
-	out := make([]int, len(queries))
 	if len(queries) == 0 {
-		return out, nil
+		return nil
 	}
 
-	// Per-node buffers of keys and original positions.
-	bufK := make([][]uint32, len(c.nodes))
-	bufP := make([][]int32, len(c.nodes))
-
-	type inflight struct {
-		node int
-		pos  []int32
-	}
-	pending := map[uint32]inflight{}
+	nc := c.calls.Get().(*netCall)
+	defer func() {
+		// Reset on every exit path (including errors) so a dirty call
+		// state never re-enters the pool; position slices go back to
+		// the free list.
+		for i := range nc.keys {
+			nc.keys[i] = nc.keys[i][:0]
+			if nc.pos[i] != nil {
+				nc.pos[i] = nc.pos[i][:0]
+			}
+			for _, pb := range nc.queue[i] {
+				nc.posFree = append(nc.posFree, pb.pos)
+			}
+			nc.queue[i] = nc.queue[i][:0]
+		}
+		c.calls.Put(nc)
+	}()
 
 	flush := func(ni int) error {
-		if len(bufK[ni]) == 0 {
+		if len(nc.keys[ni]) == 0 {
 			return nil
 		}
 		c.reqID++
 		id := c.reqID
-		f := Frame{Op: OpLookup, ReqID: id, Payload: bufK[ni]}
-		if err := WriteFrame(c.nodes[ni].bc.w, f); err != nil {
+		f := Frame{Op: OpLookup, ReqID: id, Payload: nc.keys[ni]}
+		if err := c.nodes[ni].bc.writeFrame(f); err != nil {
 			return err
 		}
 		if err := c.nodes[ni].bc.w.Flush(); err != nil {
 			return err
 		}
-		pending[id] = inflight{node: ni, pos: bufP[ni]}
-		bufK[ni] = nil
-		bufP[ni] = nil
+		// The frame is fully written, so the key buffer recycles now;
+		// positions wait on the node's reply FIFO.
+		nc.keys[ni] = nc.keys[ni][:0]
+		nc.queue[ni] = append(nc.queue[ni], pendingBatch{reqID: id, pos: nc.pos[ni]})
+		nc.pos[ni] = nc.getPos()
 		return nil
 	}
 
 	for i, q := range queries {
 		ni := c.part.Route(q)
-		bufK[ni] = append(bufK[ni], uint32(q))
-		bufP[ni] = append(bufP[ni], int32(i))
-		if len(bufK[ni]) >= c.batch {
+		nc.keys[ni] = append(nc.keys[ni], uint32(q))
+		nc.pos[ni] = append(nc.pos[ni], int32(i))
+		if len(nc.keys[ni]) >= c.batch {
 			if err := flush(ni); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
 	for ni := range c.nodes {
 		if err := flush(ni); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
 	// Gather: responses per node arrive in the order sent on that
-	// connection, so reading node-by-node drains everything.
-	byNode := make(map[int][]uint32)
-	for id, inf := range pending {
-		byNode[inf.node] = append(byNode[inf.node], id)
-	}
-	for ni, ids := range byNode {
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		for range ids {
-			f, err := ReadFrame(c.nodes[ni].bc.r)
+	// connection, so draining each node's FIFO covers everything.
+	for ni := range c.nodes {
+		for _, pb := range nc.queue[ni] {
+			f, err := c.nodes[ni].bc.readFrame()
 			if err != nil {
-				return nil, fmt.Errorf("netrun: node %d reply: %w", ni, err)
+				return fmt.Errorf("netrun: node %d reply: %w", ni, err)
 			}
 			if f.Op != OpRanks {
-				return nil, fmt.Errorf("netrun: node %d sent op %d, want ranks", ni, f.Op)
+				return fmt.Errorf("netrun: node %d sent op %d, want ranks", ni, f.Op)
 			}
-			inf, ok := pending[f.ReqID]
-			if !ok || inf.node != ni {
-				return nil, fmt.Errorf("netrun: node %d sent unknown reqID %d", ni, f.ReqID)
+			if f.ReqID != pb.reqID {
+				return fmt.Errorf("netrun: node %d sent reqID %d, want %d", ni, f.ReqID, pb.reqID)
 			}
-			if len(f.Payload) != len(inf.pos) {
-				return nil, fmt.Errorf("netrun: node %d: %d ranks for %d keys", ni, len(f.Payload), len(inf.pos))
+			if len(f.Payload) != len(pb.pos) {
+				return fmt.Errorf("netrun: node %d: %d ranks for %d keys", ni, len(f.Payload), len(pb.pos))
 			}
-			for i, p := range inf.pos {
+			for i, p := range pb.pos {
 				out[p] = int(f.Payload[i])
 			}
-			delete(pending, f.ReqID)
 		}
 	}
-	if len(pending) != 0 {
-		return nil, fmt.Errorf("netrun: %d batches unanswered", len(pending))
-	}
-	return out, nil
+	return nil
 }
 
 // Nodes returns the number of connected nodes.

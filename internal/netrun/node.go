@@ -120,8 +120,16 @@ func (n *Node) handle(conn net.Conn) {
 	}()
 
 	bc := newBufferedConn(conn)
+	// Per-connection lookup scratch, reused across requests so the
+	// steady state allocates nothing: keys (payload converted to
+	// workload.Key), ranks as ints for the batch ranker, ranks on the
+	// wire as uint32.
+	batcher, _ := n.idx.(batchRanker)
+	var keyBuf []workload.Key
+	var intBuf []int
+	var rankBuf []uint32
 	for {
-		f, err := ReadFrame(bc.r)
+		f, err := bc.readFrame()
 		if err != nil {
 			if !errors.Is(err, net.ErrClosed) {
 				n.logf("netrun: %v", err)
@@ -133,7 +141,7 @@ func (n *Node) handle(conn net.Conn) {
 			ack := Frame{Op: OpHelloAck, ReqID: f.ReqID, Payload: []uint32{
 				uint32(n.rankBase), uint32(n.idx.N()), uint32(n.lo), uint32(n.hi),
 			}}
-			if err := WriteFrame(bc.w, ack); err != nil {
+			if err := bc.writeFrame(ack); err != nil {
 				n.logf("netrun: hello ack: %v", err)
 				return
 			}
@@ -141,11 +149,30 @@ func (n *Node) handle(conn net.Conn) {
 				return
 			}
 		case OpLookup:
-			ranks := make([]uint32, len(f.Payload))
-			for i, k := range f.Payload {
-				ranks[i] = uint32(n.rankBase + n.idx.Rank(workload.Key(k)))
+			nq := len(f.Payload)
+			if cap(rankBuf) < nq {
+				rankBuf = make([]uint32, nq)
 			}
-			if err := WriteFrame(bc.w, Frame{Op: OpRanks, ReqID: f.ReqID, Payload: ranks}); err != nil {
+			ranks := rankBuf[:nq]
+			if batcher != nil {
+				if cap(keyBuf) < nq {
+					keyBuf = make([]workload.Key, nq)
+					intBuf = make([]int, nq)
+				}
+				keys, ints := keyBuf[:nq], intBuf[:nq]
+				for i, k := range f.Payload {
+					keys[i] = workload.Key(k)
+				}
+				batcher.RankBatch(keys, ints, n.rankBase)
+				for i, r := range ints {
+					ranks[i] = uint32(r)
+				}
+			} else {
+				for i, k := range f.Payload {
+					ranks[i] = uint32(n.rankBase + n.idx.Rank(workload.Key(k)))
+				}
+			}
+			if err := bc.writeFrame(Frame{Op: OpRanks, ReqID: f.ReqID, Payload: ranks}); err != nil {
 				n.logf("netrun: ranks: %v", err)
 				return
 			}
@@ -154,11 +181,18 @@ func (n *Node) handle(conn net.Conn) {
 			}
 		default:
 			n.logf("netrun: unexpected op %d", f.Op)
-			_ = WriteFrame(bc.w, Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}})
+			_ = bc.writeFrame(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}})
 			_ = bc.w.Flush()
 			return
 		}
 	}
+}
+
+// batchRanker is the optional fast path an index can offer: batch rank
+// resolution with the rank base folded into the output writes.
+// index.SortedArray and index.Eytzinger implement it.
+type batchRanker interface {
+	RankBatch(qs []workload.Key, out []int, add int)
 }
 
 // ListenAndServe is the one-call node entry point used by cmd/dcnode:

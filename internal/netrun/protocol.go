@@ -55,55 +55,94 @@ type Frame struct {
 }
 
 // WriteFrame encodes f to w. The payload aliasing is safe: the data is
-// fully written before return.
+// fully written before return. Allocates a scratch buffer per call; the
+// hot paths use a reusable frameWriter instead.
 func WriteFrame(w io.Writer, f Frame) error {
+	var fw frameWriter
+	return fw.writeTo(w, f)
+}
+
+// ReadFrame decodes one frame from r, allocating a fresh payload; the
+// hot paths use a reusable frameReader instead.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var fr frameReader
+	f, err := fr.readFrom(r)
+	if err != nil {
+		return Frame{}, err
+	}
+	// Detach the payload from the reader's scratch.
+	f.Payload = append([]uint32(nil), f.Payload...)
+	return f, nil
+}
+
+// frameWriter encodes frames, reusing one scratch buffer across calls so
+// the steady state allocates nothing. Not safe for concurrent use.
+type frameWriter struct {
+	buf []byte
+}
+
+func (fw *frameWriter) writeTo(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrameWords {
 		return fmt.Errorf("netrun: frame payload %d words exceeds limit", len(f.Payload))
 	}
-	head := make([]byte, 13)
-	binary.LittleEndian.PutUint32(head[0:4], Magic)
-	head[4] = f.Op
-	binary.LittleEndian.PutUint32(head[5:9], f.ReqID)
-	binary.LittleEndian.PutUint32(head[9:13], uint32(len(f.Payload)))
-	if _, err := w.Write(head); err != nil {
-		return fmt.Errorf("netrun: write header: %w", err)
+	need := 13 + 4*len(f.Payload)
+	if cap(fw.buf) < need {
+		fw.buf = make([]byte, need)
 	}
-	if len(f.Payload) == 0 {
-		return nil
-	}
-	buf := make([]byte, 4*len(f.Payload))
+	buf := fw.buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:4], Magic)
+	buf[4] = f.Op
+	binary.LittleEndian.PutUint32(buf[5:9], f.ReqID)
+	binary.LittleEndian.PutUint32(buf[9:13], uint32(len(f.Payload)))
 	for i, v := range f.Payload {
-		binary.LittleEndian.PutUint32(buf[4*i:], v)
+		binary.LittleEndian.PutUint32(buf[13+4*i:], v)
 	}
 	if _, err := w.Write(buf); err != nil {
-		return fmt.Errorf("netrun: write payload: %w", err)
+		return fmt.Errorf("netrun: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame decodes one frame from r.
-func ReadFrame(r io.Reader) (Frame, error) {
-	head := make([]byte, 13)
-	if _, err := io.ReadFull(r, head); err != nil {
+// frameReader decodes frames, reusing its payload buffers: a decoded
+// frame's payload is valid only until the next read. Not safe for
+// concurrent use.
+type frameReader struct {
+	head    [13]byte
+	buf     []byte
+	payload []uint32
+}
+
+func (fr *frameReader) readFrom(r io.Reader) (Frame, error) {
+	if _, err := io.ReadFull(r, fr.head[:]); err != nil {
 		return Frame{}, err
 	}
-	if got := binary.LittleEndian.Uint32(head[0:4]); got != Magic {
+	if got := binary.LittleEndian.Uint32(fr.head[0:4]); got != Magic {
 		return Frame{}, fmt.Errorf("netrun: bad magic %#x", got)
 	}
 	f := Frame{
-		Op:    head[4],
-		ReqID: binary.LittleEndian.Uint32(head[5:9]),
+		Op:    fr.head[4],
+		ReqID: binary.LittleEndian.Uint32(fr.head[5:9]),
 	}
-	count := binary.LittleEndian.Uint32(head[9:13])
-	if count > MaxFrameWords {
-		return Frame{}, fmt.Errorf("netrun: frame payload %d words exceeds limit", count)
+	// Bounds-check as uint32 before converting: on 32-bit platforms a
+	// corrupt length word >= 2^31 would wrap negative as int and slip
+	// past the limit check.
+	count32 := binary.LittleEndian.Uint32(fr.head[9:13])
+	if count32 > MaxFrameWords {
+		return Frame{}, fmt.Errorf("netrun: frame payload %d words exceeds limit", count32)
 	}
+	count := int(count32)
 	if count > 0 {
-		buf := make([]byte, 4*count)
+		if cap(fr.buf) < 4*count {
+			fr.buf = make([]byte, 4*count)
+		}
+		buf := fr.buf[:4*count]
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return Frame{}, fmt.Errorf("netrun: read payload: %w", err)
 		}
-		f.Payload = make([]uint32, count)
+		if cap(fr.payload) < count {
+			fr.payload = make([]uint32, count)
+		}
+		f.Payload = fr.payload[:count]
 		for i := range f.Payload {
 			f.Payload[i] = binary.LittleEndian.Uint32(buf[4*i:])
 		}
@@ -111,13 +150,20 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return f, nil
 }
 
-// bufferedConn pairs buffered reader/writer over one stream; Flush after
-// writing a batch of frames.
+// bufferedConn pairs buffered reader/writer over one stream with
+// reusable frame codecs; Flush after writing a batch of frames.
 type bufferedConn struct {
-	r *bufio.Reader
-	w *bufio.Writer
+	r  *bufio.Reader
+	w  *bufio.Writer
+	fr frameReader
+	fw frameWriter
 }
 
-func newBufferedConn(rw io.ReadWriter) bufferedConn {
-	return bufferedConn{r: bufio.NewReaderSize(rw, 1<<16), w: bufio.NewWriterSize(rw, 1<<16)}
+func newBufferedConn(rw io.ReadWriter) *bufferedConn {
+	return &bufferedConn{r: bufio.NewReaderSize(rw, 1<<16), w: bufio.NewWriterSize(rw, 1<<16)}
+}
+
+func (bc *bufferedConn) writeFrame(f Frame) error { return bc.fw.writeTo(bc.w, f) }
+func (bc *bufferedConn) readFrame() (Frame, error) {
+	return bc.fr.readFrom(bc.r)
 }

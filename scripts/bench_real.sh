@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench_real.sh — run the real-runtime serving benchmarks and record the
+# results as BENCH_real.json (one object per benchmark), so the perf
+# trajectory is comparable across PRs.
+#
+# Usage: scripts/bench_real.sh [benchtime]
+#   benchtime: go test -benchtime value (default 20x)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-20x}"
+OUT="${BENCH_OUT:-BENCH_real.json}"
+
+go test -run '^$' -bench 'BenchmarkReal_' -benchmem -benchtime "$BENCHTIME" . |
+	tee /dev/stderr |
+	awk '
+	/^Benchmark/ {
+		name = $1
+		iters = $2
+		ns = mbs = nskey = bop = aop = "null"
+		for (i = 3; i < NF; i++) {
+			if ($(i+1) == "ns/op")     ns    = $i
+			if ($(i+1) == "MB/s")      mbs   = $i
+			if ($(i+1) == "ns/key")    nskey = $i
+			if ($(i+1) == "B/op")      bop   = $i
+			if ($(i+1) == "allocs/op") aop   = $i
+		}
+		printf "%s{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"mb_per_s\":%s,\"ns_per_key\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
+			(n++ ? ",\n  " : "  "), name, iters, ns, mbs, nskey, bop, aop
+	}
+	/^(goos|goarch|pkg|cpu):/ { meta[$1] = $2 }
+	BEGIN { printf "{\n\"benchmarks\": [\n" }
+	END {
+		printf "\n],\n"
+		printf "\"goos\": \"%s\",\n", meta["goos:"]
+		printf "\"goarch\": \"%s\"\n", meta["goarch:"]
+		printf "}\n"
+	}' > "$OUT"
+
+echo "wrote $OUT" >&2
