@@ -1,7 +1,7 @@
 // Command dcnode runs one slave node of a TCP-distributed in-cache
-// index: it owns one partition of the (deterministically generated) key
-// set and serves rank lookups over the netrun wire protocol. Start one
-// per machine (or port), then point a client at all of them:
+// index: it owns one partition of the key set and serves rank lookups
+// over the netrun wire protocol. Start one per machine (or port), then
+// point a client at all of them:
 //
 //	dcnode -n 327680 -seed 1 -parts 4 -part 0 -listen :7000 &
 //	dcnode -n 327680 -seed 1 -parts 4 -part 1 -listen :7001 &
@@ -11,7 +11,10 @@
 //
 // Every process regenerates the same key set from (n, seed), so the
 // routing table and partitions agree by construction; the hello
-// handshake re-verifies this at connect time.
+// handshake re-verifies this at connect time. Real deployments index a
+// concrete key set instead: write it once with dcindex.SaveKeys,
+// distribute the file, and start every node and client with
+// -keysfile index.dcx (which overrides -n/-seed).
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"log"
 	"os"
 
+	"repro/dcindex"
 	"repro/internal/core"
 	"repro/internal/netrun"
 	"repro/internal/workload"
@@ -27,11 +31,12 @@ import (
 
 func main() {
 	var (
-		n      = flag.Int("n", 327680, "total index key count")
-		seed   = flag.Uint64("seed", 1, "index key seed (must match the client)")
-		parts  = flag.Int("parts", 4, "total partition count")
-		part   = flag.Int("part", 0, "this node's partition id (0-based)")
-		listen = flag.String("listen", ":7000", "listen address")
+		n        = flag.Int("n", 327680, "total index key count (ignored with -keysfile)")
+		seed     = flag.Uint64("seed", 1, "index key seed, must match the client (ignored with -keysfile)")
+		keysfile = flag.String("keysfile", "", "load the key set from a dcindex snapshot instead of generating it")
+		parts    = flag.Int("parts", 4, "total partition count")
+		part     = flag.Int("part", 0, "this node's partition id (0-based)")
+		listen   = flag.String("listen", ":7000", "listen address")
 	)
 	flag.Parse()
 
@@ -39,7 +44,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dcnode: -part %d out of range [0,%d)\n", *part, *parts)
 		os.Exit(2)
 	}
-	keys := workload.SortedKeys(*n, *seed)
+	var keys []workload.Key
+	if *keysfile != "" {
+		loaded, err := dcindex.LoadKeys(*keysfile)
+		if err != nil {
+			log.Fatalf("dcnode: %v", err)
+		}
+		keys = loaded
+		log.Printf("dcnode: loaded %d keys from %s", len(keys), *keysfile)
+	} else {
+		keys = workload.SortedKeys(*n, *seed)
+	}
 	p, err := core.NewPartitioning(keys, *parts)
 	if err != nil {
 		log.Fatalf("dcnode: %v", err)

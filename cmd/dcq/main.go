@@ -1,18 +1,24 @@
 // Command dcq is a demonstration CLI over the real runtime: it builds a
 // distributed in-cache index from generated keys, runs a query workload
 // through the chosen method, and reports throughput and per-worker load.
-// It doubles as a quick way to compare methods on the actual host.
+// It doubles as a quick way to compare methods on the actual host, and
+// with -connect it drives a TCP cluster of dcnode processes instead —
+// -masters M multiplexes M concurrent callers over the shared
+// connections, the paper's "multiple master nodes" configuration.
 //
 // Usage:
 //
 //	go run ./cmd/dcq [-method C-3] [-n 327680] [-q 1000000] [-workers 8] [-batch 16384] [-compare]
+//	go run ./cmd/dcq -connect host:7000,host:7001,... [-masters 4] [-optimeout 10s]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/dcindex"
@@ -22,21 +28,33 @@ import (
 func main() {
 	var (
 		methodName = flag.String("method", "C-3", "method: A, B, C-1, C-2, C-3")
-		n          = flag.Int("n", 327680, "index key count")
+		n          = flag.Int("n", 327680, "index key count (ignored with -keysfile)")
 		q          = flag.Int("q", 1_000_000, "query count")
 		workers    = flag.Int("workers", 8, "worker goroutines")
 		batch      = flag.Int("batch", 16384, "batch size in keys")
 		compare    = flag.Bool("compare", false, "run every method and compare throughput")
 		seed       = flag.Uint64("seed", 1, "workload seed")
+		keysfile   = flag.String("keysfile", "", "load the key set from a dcindex snapshot instead of generating it")
 		connect    = flag.String("connect", "", "comma-separated dcnode addresses: query a TCP cluster instead of the in-process runtime")
+		masters    = flag.Int("masters", 1, "concurrent master callers over the TCP cluster (with -connect)")
+		optimeout  = flag.Duration("optimeout", 10*time.Second, "per-op progress timeout on the TCP cluster (with -connect)")
 	)
 	flag.Parse()
 
-	keys := dcindex.GenerateKeys(*n, *seed)
+	var keys []dcindex.Key
+	if *keysfile != "" {
+		loaded, err := dcindex.LoadKeys(*keysfile)
+		if err != nil {
+			log.Fatalf("dcq: %v", err)
+		}
+		keys = loaded
+	} else {
+		keys = dcindex.GenerateKeys(*n, *seed)
+	}
 	queries := dcindex.GenerateQueries(*q, *seed+1)
 
 	if *connect != "" {
-		runTCP(strings.Split(*connect, ","), keys, queries, *batch)
+		runTCP(strings.Split(*connect, ","), keys, queries, *batch, *masters, *optimeout)
 		return
 	}
 
@@ -48,7 +66,7 @@ func main() {
 				fmt.Sprintf("%.1f", float64(*q)/el.Seconds()/1e6),
 				fmt.Sprintf("%08x", sum))
 		}
-		fmt.Printf("real runtime, %d keys, %d queries, %d workers, batch %d\n\n", *n, *q, *workers, *batch)
+		fmt.Printf("real runtime, %d keys, %d queries, %d workers, batch %d\n\n", len(keys), *q, *workers, *batch)
 		fmt.Print(t)
 		fmt.Println("\nIdentical checksums confirm all methods return identical ranks.")
 		return
@@ -61,7 +79,7 @@ func main() {
 	}
 	el, sum := run(keys, queries, m, *workers, *batch)
 	fmt.Printf("method %s: %d queries over %d keys in %s (%.1f Mkeys/s), checksum %08x\n",
-		m, *q, *n, el.Round(time.Millisecond), float64(*q)/el.Seconds()/1e6, sum)
+		m, *q, len(keys), el.Round(time.Millisecond), float64(*q)/el.Seconds()/1e6, sum)
 }
 
 func run(keys, queries []dcindex.Key, m dcindex.Method, workers, batch int) (time.Duration, uint32) {
@@ -78,34 +96,58 @@ func run(keys, queries []dcindex.Key, m dcindex.Method, workers, batch int) (tim
 		fmt.Fprintln(os.Stderr, "dcq:", err)
 		os.Exit(1)
 	}
-	var sum uint32
-	for _, r := range ranks {
-		sum = sum*31 + uint32(r)
-	}
-	return el, sum
+	return el, checksum(ranks)
 }
 
-func runTCP(addrs []string, keys, queries []dcindex.Key, batch int) {
-	c, err := dcindex.DialCluster(addrs, keys, batch)
+// runTCP drives a dcnode cluster: masters concurrent callers split the
+// query stream into contiguous shares and multiplex their batches over
+// the one shared connection set.
+func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters int, opTimeout time.Duration) {
+	if masters < 1 {
+		masters = 1
+	}
+	c, err := dcindex.DialClusterOptions(addrs, keys, dcindex.TCPOptions{
+		BatchKeys: batch,
+		OpTimeout: opTimeout,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcq:", err)
 		os.Exit(1)
 	}
 	defer c.Close()
+
+	out := make([]int, len(queries))
+	errs := make([]error, masters)
+	var wg sync.WaitGroup
 	start := time.Now()
-	ranks, err := c.LookupBatch(queries)
-	el := time.Since(start)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcq:", err)
-		os.Exit(1)
+	for m := 0; m < masters; m++ {
+		lo := m * len(queries) / masters
+		hi := (m + 1) * len(queries) / masters
+		wg.Add(1)
+		go func(m, lo, hi int) {
+			defer wg.Done()
+			errs[m] = c.LookupBatchInto(queries[lo:hi], out[lo:hi])
+		}(m, lo, hi)
 	}
+	wg.Wait()
+	el := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcq:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("TCP cluster (%d nodes, %d masters): %d queries in %s (%.1f Mkeys/s), checksum %08x\n",
+		c.Nodes(), masters, len(queries), el.Round(time.Millisecond),
+		float64(len(queries))/el.Seconds()/1e6, checksum(out))
+}
+
+func checksum(ranks []int) uint32 {
 	var sum uint32
 	for _, r := range ranks {
 		sum = sum*31 + uint32(r)
 	}
-	fmt.Printf("TCP cluster (%d nodes): %d queries in %s (%.1f Mkeys/s), checksum %08x\n",
-		c.Nodes(), len(queries), el.Round(time.Millisecond),
-		float64(len(queries))/el.Seconds()/1e6, sum)
+	return sum
 }
 
 func parseMethod(s string) (dcindex.Method, bool) {

@@ -312,13 +312,37 @@ func Sweep(o SimOptions, batchBytes ...int) ([]Report, error) {
 // served by a separate node process (cmd/dcnode or ServePartition), and
 // this client routes query batches to partition owners — the paper's
 // deployment model, with TCP in place of MPI.
+//
+// A TCPCluster is safe for any number of concurrent LookupBatch /
+// LookupBatchInto callers: requests multiplex over the shared node
+// connections by request id, so concurrent masters pipeline instead of
+// serializing behind a lock, and the steady state allocates nothing per
+// batch. Failures are terminal: any connection error, per-op timeout,
+// or protocol violation fails the whole cluster — every in-flight and
+// subsequent call returns the root-cause error (TCPCluster.Err reports
+// it) — because a partitioned index with an unreachable partition
+// cannot answer arbitrary queries. Recovery is explicit via
+// TCPCluster.Redial, which reconnects to the original addresses and
+// re-verifies the partition layout.
 type TCPCluster = netrun.Cluster
+
+// TCPOptions configures DialClusterOptions: batch granularity, the
+// dial/handshake timeout, and the per-op progress timeout that turns a
+// hung node into a prompt error instead of a blocked master.
+type TCPOptions = netrun.DialOptions
 
 // DialCluster connects to one node address per partition of keys and
 // verifies that each node serves the partition the local routing table
-// expects. batchKeys <= 0 selects the 16384-key default.
+// expects. batchKeys <= 0 selects the 16384-key default; other options
+// take their defaults (use DialClusterOptions to set them).
 func DialCluster(addrs []string, keys []Key, batchKeys int) (*TCPCluster, error) {
 	return netrun.Dial(addrs, keys, netrun.DialOptions{BatchKeys: batchKeys})
+}
+
+// DialClusterOptions is DialCluster with full control over the dial,
+// handshake, and per-op timeout configuration.
+func DialClusterOptions(addrs []string, keys []Key, opt TCPOptions) (*TCPCluster, error) {
+	return netrun.Dial(addrs, keys, opt)
 }
 
 // ServePartition serves partition part of parts over addr, blocking

@@ -66,23 +66,34 @@ func ReadKeys(r io.Reader) ([]Key, error) {
 	if count > maxKeys {
 		return nil, fmt.Errorf("dcindex: snapshot claims %d keys", count)
 	}
-	keys := make([]Key, count)
+	// Grow the key slice while reading instead of trusting the header:
+	// a corrupt or hostile count near 2^32 must not trigger a ~16 GiB
+	// up-front allocation. A truncated stream errors after at most one
+	// chunk; an honest giant snapshot still loads, paying only append's
+	// amortized growth. The cursor stays uint64 — int(count) would wrap
+	// negative on 32-bit platforms and silently return an empty key set.
+	initCap := 1 << 16
+	if count < uint64(initCap) {
+		initCap = int(count)
+	}
+	keys := make([]Key, 0, initCap)
 	buf := make([]byte, 4*4096)
-	for i := 0; i < int(count); {
-		chunk := (int(count) - i) * 4
-		if chunk > len(buf) {
-			chunk = len(buf)
+	for remaining := count; remaining > 0; {
+		chunk := len(buf)
+		if byteCount := remaining * 4; byteCount < uint64(chunk) {
+			chunk = int(byteCount)
 		}
 		if _, err := io.ReadFull(br, buf[:chunk]); err != nil {
-			return nil, fmt.Errorf("dcindex: snapshot truncated at key %d: %w", i, err)
+			return nil, fmt.Errorf("dcindex: snapshot truncated at key %d: %w", len(keys), err)
 		}
 		for off := 0; off < chunk; off += 4 {
-			keys[i] = Key(binary.LittleEndian.Uint32(buf[off:]))
-			if i > 0 && keys[i] < keys[i-1] {
-				return nil, fmt.Errorf("dcindex: snapshot keys not sorted at %d", i)
+			k := Key(binary.LittleEndian.Uint32(buf[off:]))
+			if len(keys) > 0 && k < keys[len(keys)-1] {
+				return nil, fmt.Errorf("dcindex: snapshot keys not sorted at %d", len(keys))
 			}
-			i++
+			keys = append(keys, k)
 		}
+		remaining -= uint64(chunk / 4)
 	}
 	return keys, nil
 }

@@ -2,8 +2,10 @@ package dcindex
 
 import (
 	"bytes"
+	"encoding/binary"
 	"net"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -158,5 +160,33 @@ func TestTCPDeploymentEndToEnd(t *testing.T) {
 		if want := workload.ReferenceRank(keys, q); ranks[i] != want {
 			t.Fatalf("rank[%d] = %d, want %d", i, ranks[i], want)
 		}
+	}
+}
+
+// A hostile header claiming ~2^32 keys over a tiny body must fail with
+// a truncation error quickly — without attempting the ~16 GiB up-front
+// allocation the count implies.
+func TestSnapshotHostileCountDoesNotPreallocate(t *testing.T) {
+	head := make([]byte, 16)
+	binary.LittleEndian.PutUint32(head[0:4], snapshotMagic)
+	binary.LittleEndian.PutUint32(head[4:8], snapshotVersion)
+	binary.LittleEndian.PutUint64(head[8:16], (1<<32)-1)
+	body := append(head, make([]byte, 64)...) // 16 of the claimed ~4G keys
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := ReadKeys(bytes.NewReader(body))
+	runtime.ReadMemStats(&after)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncation", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<22 {
+		t.Fatalf("ReadKeys allocated %d bytes for a hostile header, want bounded", grew)
+	}
+	// A count beyond the 2^32 key-space cap is rejected outright.
+	binary.LittleEndian.PutUint64(head[8:16], 1<<33)
+	if _, err := ReadKeys(bytes.NewReader(head)); err == nil || !strings.Contains(err.Error(), "claims") {
+		t.Fatalf("err = %v, want claim rejection", err)
 	}
 }

@@ -170,3 +170,25 @@ func TestRouteMatchesSortSearch(t *testing.T) {
 		}
 	}
 }
+
+// The round-robin cursor must stay unbiased when it crosses 2^32: the
+// old uint32 Add(1) % Workers skewed toward low workers at every wrap
+// when Workers didn't divide 2^32. The cursor is 64-bit now, so the
+// boundary is just another stretch of a perfectly fair cycle.
+func TestNextWorkerUnbiasedAcrossWrap(t *testing.T) {
+	for _, workers := range []int{3, 5, 7} {
+		c := &Cluster{cfg: RealConfig{Workers: workers}}
+		c.rr.Store((1 << 32) - 7)
+		counts := make([]int, workers)
+		draws := workers * 100
+		for i := 0; i < draws; i++ {
+			counts[c.nextWorker()]++
+		}
+		for w, got := range counts {
+			if got != 100 {
+				t.Fatalf("workers=%d: worker %d selected %d times across 2^32, want 100",
+					workers, w, got)
+			}
+		}
+	}
+}

@@ -14,9 +14,12 @@ type Partition struct {
 	Slave int
 	// Keys aliases the owning run of the sorted array.
 	Keys []workload.Key
-	// RankBase is the global rank of the partition's first key minus
-	// one: a local rank within the partition plus RankBase is the
-	// global rank.
+	// RankBase is the number of keys that precede this partition in the
+	// sorted array: a local rank within the partition plus RankBase is
+	// the global rank. (Under "rank = count of keys <= k" it is not the
+	// global rank of the partition's first key minus one — that key's
+	// global rank is RankBase plus its local rank, which exceeds
+	// RankBase+1 when the partition starts with duplicates.)
 	RankBase int
 }
 

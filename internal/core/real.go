@@ -147,7 +147,7 @@ type Cluster struct {
 	mu     sync.RWMutex
 	closed bool
 
-	rr atomic.Uint32 // round-robin cursor for replicated methods
+	rr atomic.Uint64 // round-robin cursor for replicated methods
 }
 
 // callState is one LookupBatch call's dispatch/gather scratch, pooled on
@@ -424,8 +424,7 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 			b.keys = queries[start:end]
 			b.pos = nil
 			b.posBase = start
-			w := int(c.rr.Add(1)-1) % c.cfg.Workers
-			send(w, b)
+			send(c.nextWorker(), b)
 		}
 	}
 
@@ -433,6 +432,16 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		gather(<-cs.reply)
 	}
 	return nil
+}
+
+// nextWorker advances the round-robin cursor. The cursor is 64-bit so
+// the modulo stays unbiased for any realistic lifetime: the previous
+// uint32 cursor skewed selection toward low-numbered workers every time
+// it wrapped when Workers didn't divide 2^32, whereas a uint64 never
+// wraps in practice (584 years at a batch per nanosecond... per 584
+// dispatchers) and the increment stays a single wait-free Add.
+func (c *Cluster) nextWorker() int {
+	return int((c.rr.Add(1) - 1) % uint64(c.cfg.Workers))
 }
 
 // Lookup resolves a single key synchronously (a convenience wrapper; for

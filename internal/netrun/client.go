@@ -4,74 +4,142 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/workload"
 )
 
+// ErrClusterClosed is returned by lookups on a Cluster after Close.
+var ErrClusterClosed = errors.New("netrun: cluster closed")
+
 // Cluster is the master side over TCP: it holds one connection per
-// slave node, the delimiter routing table, and per-slave batch buffers.
-// LookupBatch routes each query to the node whose cache holds its
-// sub-range and gathers replies — Figure 2 over real sockets.
+// slave node, the delimiter routing table, and per-node send/receive
+// machinery. LookupBatch routes each query to the node whose cache
+// holds its sub-range and gathers replies — Figure 2 over real sockets.
 //
-// A Cluster serializes LookupBatch callers (one socket per node; run
-// several Clusters for parallel masters — the Section 3.2 remark), but
-// the per-call dispatch state is pooled, so a master in steady state
+// A Cluster is safe for any number of concurrent LookupBatch callers:
+// requests are multiplexed over the shared sockets by request id, so
+// callers pipeline instead of serializing behind a lock (the paper's
+// Section 3.2 "multiple master nodes" remark, realized as multiple
+// in-process masters sharing one connection set). Per-call dispatch
+// state and frame buffers are pooled, so a master in steady state
 // allocates nothing per batch.
+//
+// Failure model: the connection set is fail-fast and terminal. Any I/O
+// error, per-op timeout, or protocol violation on any node connection
+// moves the whole Cluster to a failed state — every in-flight and
+// subsequent call returns the root-cause error (see Err) — because a
+// partitioned index with a dead partition cannot answer arbitrary
+// queries. Recovery is opt-in via Redial.
 type Cluster struct {
 	part  *core.Partitioning
-	nodes []clusterNode
+	addrs []string
 	batch int
+	opt   DialOptions
 
 	calls sync.Pool // *netCall
+	pends sync.Pool // *pending
+	reqID atomic.Uint32
 
-	mu     sync.Mutex
+	ep atomic.Pointer[epoch]
+
+	mu     sync.Mutex // serializes Close and Redial
 	closed bool
-	reqID  uint32
 }
 
+// epoch is one generation of node connections. A failure poisons the
+// epoch, never the Cluster value itself: Redial installs a fresh epoch
+// while calls racing the failure keep draining the old one.
+type epoch struct {
+	nodes  []*clusterNode
+	wg     sync.WaitGroup
+	failed chan struct{} // closed on first failure
+	once   sync.Once
+	err    error // root cause; written once before failed closes
+}
+
+// Err returns the epoch's terminal error, or nil while healthy.
+func (ep *epoch) Err() error {
+	select {
+	case <-ep.failed:
+		return ep.err
+	default:
+		return nil
+	}
+}
+
+// fail records the first root-cause error, closes every connection
+// (unblocking both loops of every node), and marks the nodes dead so
+// enqueuers and send loops stop accepting work. Idempotent; concurrent
+// callers block until the first completes, so ep.err is always set when
+// fail returns.
+func (ep *epoch) fail(err error) {
+	ep.once.Do(func() {
+		ep.err = err
+		close(ep.failed)
+		for _, n := range ep.nodes {
+			n.conn.Close()
+			n.mu.Lock()
+			n.dead = true
+			n.mu.Unlock()
+			n.cond.Broadcast()
+		}
+	})
+}
+
+// clusterNode is one node connection plus its send queue and in-flight
+// request table. The send loop owns the write half (bc.w/bc.fw), the
+// read loop owns the read half (bc.r/bc.fr); mu guards the queue, the
+// pending map, and the read-deadline decisions that depend on them.
 type clusterNode struct {
+	id   int
 	conn net.Conn
 	bc   *bufferedConn
 	// meta from the hello handshake.
 	rankBase int
 	keyCount int
+
+	opTimeout time.Duration // <= 0: deadlines disabled
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sendq    []*pending
+	sendHead int
+	pending  map[uint32]*pending
+	dead     bool
 }
 
-// pendingBatch is one dispatched frame awaiting its reply.
-type pendingBatch struct {
+// pending is one lookup frame's lifecycle: the caller accumulates keys
+// and positions into it, the send loop writes and registers it, the
+// read loop scatters the reply into out and completes it back to the
+// issuing call's gather channel. Key/position capacity is recycled
+// through the cluster's pending pool.
+type pending struct {
 	reqID uint32
+	keys  []uint32
 	pos   []int32
+	out   []int
+	err   error
+	done  chan *pending
 }
 
-// netCall is one LookupBatch call's dispatch scratch: per-node key and
-// position accumulation, per-node FIFOs of in-flight batches (replies on
-// a connection arrive in dispatch order), and a free list that recycles
-// position slices within and across calls.
+func (p *pending) complete(err error) {
+	p.err = err
+	p.done <- p
+}
+
+// netCall is one LookupBatch call's pooled dispatch state: per-node
+// accumulating pendings plus the gather channel. The channel's capacity
+// always covers the call's worst-case in-flight count, so the read
+// loops never block delivering a completion (which would head-of-line
+// block other callers' replies on that connection).
 type netCall struct {
-	keys    [][]uint32
-	pos     [][]int32
-	queue   [][]pendingBatch
-	posFree [][]int32
-}
-
-func newNetCall(nodes int) *netCall {
-	return &netCall{
-		keys:  make([][]uint32, nodes),
-		pos:   make([][]int32, nodes),
-		queue: make([][]pendingBatch, nodes),
-	}
-}
-
-func (nc *netCall) getPos() []int32 {
-	if n := len(nc.posFree); n > 0 {
-		p := nc.posFree[n-1]
-		nc.posFree = nc.posFree[:n-1]
-		return p[:0]
-	}
-	return nil
+	done  chan *pending
+	accum []*pending
 }
 
 // DialOptions configures Dial.
@@ -81,6 +149,13 @@ type DialOptions struct {
 	BatchKeys int
 	// Timeout bounds each dial and the hello exchange (default 5s).
 	Timeout time.Duration
+	// OpTimeout bounds progress on each connection while lookups are in
+	// flight: if a node neither accepts writes nor produces a reply for
+	// this long, the cluster fails with a timeout error instead of
+	// blocking forever on a hung node. Replies and new requests extend
+	// the deadline, so slow-but-alive nodes are fine. Default 10s;
+	// negative disables deadlines entirely.
+	OpTimeout time.Duration
 }
 
 // Dial connects to one node address per partition of keys, performs the
@@ -93,30 +168,72 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 	if opt.BatchKeys <= 0 {
 		opt.BatchKeys = 16384
 	}
+	if opt.BatchKeys > MaxFrameWords {
+		opt.BatchKeys = MaxFrameWords
+	}
 	if opt.Timeout <= 0 {
 		opt.Timeout = 5 * time.Second
+	}
+	if opt.OpTimeout == 0 {
+		opt.OpTimeout = 10 * time.Second
 	}
 	part, err := core.NewPartitioning(keys, len(addrs))
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{part: part, batch: opt.BatchKeys}
-	c.calls.New = func() any { return newNetCall(len(addrs)) }
-	for i, addr := range addrs {
-		conn, err := net.DialTimeout("tcp", addr, opt.Timeout)
+	c := &Cluster{part: part, addrs: addrs, batch: opt.BatchKeys, opt: opt}
+	nParts := len(part.Parts)
+	c.calls.New = func() any { return &netCall{accum: make([]*pending, nParts)} }
+	c.pends.New = func() any { return new(pending) }
+	ep, err := c.dialEpoch()
+	if err != nil {
+		return nil, err
+	}
+	c.ep.Store(ep)
+	return c, nil
+}
+
+// dialEpoch dials and handshakes every node, then starts the per-node
+// send and read loops.
+func (c *Cluster) dialEpoch() (*epoch, error) {
+	ep := &epoch{failed: make(chan struct{})}
+	opT := c.opt.OpTimeout
+	if opT < 0 {
+		opT = 0
+	}
+	for i, addr := range c.addrs {
+		conn, err := net.DialTimeout("tcp", addr, c.opt.Timeout)
 		if err != nil {
-			c.Close()
+			closeNodes(ep.nodes)
 			return nil, fmt.Errorf("netrun: dial node %d (%s): %w", i, addr, err)
 		}
-		node := clusterNode{conn: conn, bc: newBufferedConn(conn)}
-		if err := hello(&node, part.Parts[i], opt.Timeout); err != nil {
+		n := &clusterNode{
+			id:        i,
+			conn:      conn,
+			bc:        newBufferedConn(conn),
+			opTimeout: opT,
+			pending:   map[uint32]*pending{},
+		}
+		n.cond = sync.NewCond(&n.mu)
+		if err := hello(n, c.part.Parts[i], c.opt.Timeout); err != nil {
 			conn.Close()
-			c.Close()
+			closeNodes(ep.nodes)
 			return nil, fmt.Errorf("netrun: node %d (%s): %w", i, addr, err)
 		}
-		c.nodes = append(c.nodes, node)
+		ep.nodes = append(ep.nodes, n)
 	}
-	return c, nil
+	for _, n := range ep.nodes {
+		ep.wg.Add(2)
+		go n.sendLoop(ep)
+		go n.readLoop(ep)
+	}
+	return ep, nil
+}
+
+func closeNodes(nodes []*clusterNode) {
+	for _, n := range nodes {
+		n.conn.Close()
+	}
 }
 
 func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
@@ -152,8 +269,218 @@ func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
 	return nil
 }
 
+// enqueue hands p to the node's send loop, or completes it immediately
+// with the epoch error if the node is already dead. The dead check and
+// the append are under the same mutex the send loop's exit drain takes,
+// so a pending can never be stranded in a queue nobody services.
+func (n *clusterNode) enqueue(ep *epoch, p *pending) {
+	n.mu.Lock()
+	if n.dead {
+		n.mu.Unlock()
+		p.complete(ep.Err())
+		return
+	}
+	n.sendq = append(n.sendq, p)
+	n.mu.Unlock()
+	n.cond.Signal()
+}
+
+// sendLoop writes queued frames to the node. Flushes coalesce: the
+// bufio writer is flushed only when the queue drains, so pipelined
+// batches from concurrent callers share syscalls. Each pending is
+// registered in the in-flight table (and the read deadline armed)
+// before its frame hits the wire, so a reply — or a failure drain —
+// always finds it.
+func (n *clusterNode) sendLoop(ep *epoch) {
+	defer ep.wg.Done()
+	unflushed := false
+	for {
+		n.mu.Lock()
+		for n.sendHead == len(n.sendq) && !n.dead {
+			if unflushed {
+				n.mu.Unlock()
+				unflushed = false
+				if err := n.flush(); err != nil {
+					ep.fail(fmt.Errorf("netrun: node %d write: %w", n.id, err))
+				} else {
+					n.armRead()
+				}
+				n.mu.Lock()
+				continue
+			}
+			n.cond.Wait()
+		}
+		if n.dead {
+			rest := n.sendq[n.sendHead:]
+			n.sendq = nil
+			n.sendHead = 0
+			n.mu.Unlock()
+			err := ep.Err()
+			for _, p := range rest {
+				p.complete(err)
+			}
+			return
+		}
+		p := n.sendq[n.sendHead]
+		n.sendq[n.sendHead] = nil
+		n.sendHead++
+		if n.sendHead == len(n.sendq) {
+			n.sendq = n.sendq[:0]
+			n.sendHead = 0
+		}
+		n.pending[p.reqID] = p
+		// Encode while still holding mu: the moment p is registered it
+		// can complete (reply or failure drain) and be recycled by its
+		// caller, so p.keys must not be read outside the lock. After
+		// encode the frame lives in the writer's scratch, and the
+		// blocking socket I/O below never touches p.
+		buf, encErr := n.bc.fw.encode(Frame{Op: OpLookup, ReqID: p.reqID, Payload: p.keys})
+		n.mu.Unlock()
+
+		if encErr != nil {
+			// Unreachable with BatchKeys clamped to MaxFrameWords, but
+			// p is registered: fail and let the read loop's drain
+			// complete it.
+			ep.fail(fmt.Errorf("netrun: node %d: %w", n.id, encErr))
+			continue
+		}
+		if n.opTimeout > 0 {
+			n.conn.SetWriteDeadline(time.Now().Add(n.opTimeout))
+		}
+		if _, err := n.bc.w.Write(buf); err != nil {
+			// p is registered: the read loop's drain completes it. The
+			// next iteration sees dead and drains the rest of the queue.
+			ep.fail(fmt.Errorf("netrun: node %d write: %w", n.id, err))
+			continue
+		}
+		n.armRead()
+		unflushed = true
+	}
+}
+
+func (n *clusterNode) flush() error {
+	if n.opTimeout > 0 {
+		n.conn.SetWriteDeadline(time.Now().Add(n.opTimeout))
+	}
+	return n.bc.w.Flush()
+}
+
+// armRead extends the read deadline if requests are in flight; the send
+// loop calls it after each write or flush makes progress toward the
+// node, so the reply clock starts when the request actually moves, not
+// when it is registered (a slow-but-successful write must not eat into
+// the node's reply window). The map check is under mu so the invariant
+// "deadline armed iff requests outstanding" holds against the read
+// loop's clear-when-empty.
+func (n *clusterNode) armRead() {
+	if n.opTimeout <= 0 {
+		return
+	}
+	n.mu.Lock()
+	if len(n.pending) > 0 {
+		n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
+	}
+	n.mu.Unlock()
+}
+
+// readLoop demultiplexes reply frames by request id to the issuing
+// calls' gather channels. Any read error, timeout, or protocol
+// violation fails the epoch; on exit every still-registered pending is
+// completed with the root-cause error so no caller hangs.
+func (n *clusterNode) readLoop(ep *epoch) {
+	defer ep.wg.Done()
+	defer n.drain(ep)
+	for {
+		f, err := n.bc.readFrame()
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				err = fmt.Errorf("no reply within %v (node hung?): %w", n.opTimeout, err)
+			}
+			ep.fail(fmt.Errorf("netrun: node %d read: %w", n.id, err))
+			return
+		}
+		switch f.Op {
+		case OpRanks:
+			n.mu.Lock()
+			p, ok := n.pending[f.ReqID]
+			if ok {
+				delete(n.pending, f.ReqID)
+				if n.opTimeout > 0 {
+					if len(n.pending) == 0 {
+						// Idle connections carry no deadline; the next
+						// registration re-arms it.
+						n.conn.SetReadDeadline(time.Time{})
+					} else {
+						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
+					}
+				}
+			}
+			n.mu.Unlock()
+			if !ok {
+				ep.fail(fmt.Errorf("netrun: node %d sent unknown reqID %d (corrupt or stale stream)", n.id, f.ReqID))
+				return
+			}
+			if len(f.Payload) != len(p.pos) {
+				err := fmt.Errorf("netrun: node %d: %d ranks for %d keys", n.id, len(f.Payload), len(p.pos))
+				ep.fail(err)
+				p.complete(err) // removed from the table, so drain can't
+				return
+			}
+			for i, pos := range p.pos {
+				p.out[pos] = int(f.Payload[i])
+			}
+			p.complete(nil)
+		case OpErr:
+			code := uint32(0)
+			if len(f.Payload) > 0 {
+				code = f.Payload[0]
+			}
+			ep.fail(fmt.Errorf("netrun: node %d reported error %d", n.id, code))
+			return
+		default:
+			ep.fail(fmt.Errorf("netrun: node %d sent op %d, want ranks", n.id, f.Op))
+			return
+		}
+	}
+}
+
+// drain completes every registered pending with the epoch error. The
+// epoch is always failed by the time the read loop exits.
+func (n *clusterNode) drain(ep *epoch) {
+	n.mu.Lock()
+	ps := n.pending
+	n.pending = map[uint32]*pending{}
+	n.mu.Unlock()
+	err := ep.Err()
+	for _, p := range ps {
+		p.complete(err)
+	}
+}
+
+func (c *Cluster) getPending() *pending {
+	p := c.pends.Get().(*pending)
+	p.keys = p.keys[:0]
+	p.pos = p.pos[:0]
+	p.err = nil
+	return p
+}
+
+func (c *Cluster) putPending(p *pending) {
+	p.out = nil
+	p.done = nil
+	c.pends.Put(p)
+}
+
+// dispatch stamps p with a fresh request id and hands it to node ni.
+func (c *Cluster) dispatch(ep *epoch, ni int, p *pending, out []int, done chan *pending) {
+	p.reqID = c.reqID.Add(1)
+	p.out = out
+	p.done = done
+	ep.nodes[ni].enqueue(ep, p)
+}
+
 // LookupBatch routes queries to the owning nodes in batches and returns
-// global ranks in query order.
+// global ranks in query order. Safe for concurrent callers.
 func (c *Cluster) LookupBatch(queries []workload.Key) ([]int, error) {
 	out := make([]int, len(queries))
 	if err := c.LookupBatchInto(queries, out); err != nil {
@@ -164,114 +491,122 @@ func (c *Cluster) LookupBatch(queries []workload.Key) ([]int, error) {
 
 // LookupBatchInto is LookupBatch writing into a caller-provided slice
 // (len(out) >= len(queries)) — with the pooled dispatch state this is
-// the zero-allocation steady-state entry point.
+// the zero-allocation steady-state entry point. Concurrent callers
+// multiplex over the shared node connections by request id; replies
+// scatter directly into out from the connection read loops.
 func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 	if len(out) < len(queries) {
 		return fmt.Errorf("netrun: out len %d < %d queries", len(out), len(queries))
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return errors.New("netrun: cluster closed")
+	ep := c.ep.Load()
+	if ep == nil {
+		return ErrClusterClosed
+	}
+	if err := ep.Err(); err != nil {
+		return err
 	}
 	if len(queries) == 0 {
 		return nil
 	}
 
+	nodes := ep.nodes
 	nc := c.calls.Get().(*netCall)
-	defer func() {
-		// Reset on every exit path (including errors) so a dirty call
-		// state never re-enters the pool; position slices go back to
-		// the free list.
-		for i := range nc.keys {
-			nc.keys[i] = nc.keys[i][:0]
-			if nc.pos[i] != nil {
-				nc.pos[i] = nc.pos[i][:0]
-			}
-			for _, pb := range nc.queue[i] {
-				nc.posFree = append(nc.posFree, pb.pos)
-			}
-			nc.queue[i] = nc.queue[i][:0]
-		}
-		c.calls.Put(nc)
-	}()
-
-	flush := func(ni int) error {
-		if len(nc.keys[ni]) == 0 {
-			return nil
-		}
-		c.reqID++
-		id := c.reqID
-		f := Frame{Op: OpLookup, ReqID: id, Payload: nc.keys[ni]}
-		if err := c.nodes[ni].bc.writeFrame(f); err != nil {
-			return err
-		}
-		if err := c.nodes[ni].bc.w.Flush(); err != nil {
-			return err
-		}
-		// The frame is fully written, so the key buffer recycles now;
-		// positions wait on the node's reply FIFO.
-		nc.keys[ni] = nc.keys[ni][:0]
-		nc.queue[ni] = append(nc.queue[ni], pendingBatch{reqID: id, pos: nc.pos[ni]})
-		nc.pos[ni] = nc.getPos()
-		return nil
+	if len(nc.accum) < len(nodes) {
+		nc.accum = make([]*pending, len(nodes))
+	}
+	// Worst-case in flight: one full batch per BatchKeys run plus one
+	// final partial flush per node. Sizing the gather channel to cover
+	// it means the read loops never block completing this call.
+	if need := len(queries)/c.batch + len(nodes) + 1; cap(nc.done) < need {
+		nc.done = make(chan *pending, need)
 	}
 
+	inflight := 0
 	for i, q := range queries {
 		ni := c.part.Route(q)
-		nc.keys[ni] = append(nc.keys[ni], uint32(q))
-		nc.pos[ni] = append(nc.pos[ni], int32(i))
-		if len(nc.keys[ni]) >= c.batch {
-			if err := flush(ni); err != nil {
-				return err
-			}
+		p := nc.accum[ni]
+		if p == nil {
+			p = c.getPending()
+			nc.accum[ni] = p
+		}
+		p.keys = append(p.keys, uint32(q))
+		p.pos = append(p.pos, int32(i))
+		if len(p.keys) >= c.batch {
+			nc.accum[ni] = nil
+			c.dispatch(ep, ni, p, out, nc.done)
+			inflight++
 		}
 	}
-	for ni := range c.nodes {
-		if err := flush(ni); err != nil {
-			return err
+	for ni, p := range nc.accum[:len(nodes)] {
+		if p == nil {
+			continue
 		}
+		nc.accum[ni] = nil
+		c.dispatch(ep, ni, p, out, nc.done)
+		inflight++
 	}
 
-	// Gather: responses per node arrive in the order sent on that
-	// connection, so draining each node's FIFO covers everything.
-	for ni := range c.nodes {
-		for _, pb := range nc.queue[ni] {
-			f, err := c.nodes[ni].bc.readFrame()
-			if err != nil {
-				return fmt.Errorf("netrun: node %d reply: %w", ni, err)
-			}
-			if f.Op != OpRanks {
-				return fmt.Errorf("netrun: node %d sent op %d, want ranks", ni, f.Op)
-			}
-			if f.ReqID != pb.reqID {
-				return fmt.Errorf("netrun: node %d sent reqID %d, want %d", ni, f.ReqID, pb.reqID)
-			}
-			if len(f.Payload) != len(pb.pos) {
-				return fmt.Errorf("netrun: node %d: %d ranks for %d keys", ni, len(f.Payload), len(pb.pos))
-			}
-			for i, p := range pb.pos {
-				out[p] = int(f.Payload[i])
-			}
+	var firstErr error
+	for inflight > 0 {
+		p := <-nc.done
+		inflight--
+		if p.err != nil && firstErr == nil {
+			firstErr = p.err
 		}
+		c.putPending(p)
 	}
-	return nil
+	c.calls.Put(nc)
+	return firstErr
 }
 
-// Nodes returns the number of connected nodes.
-func (c *Cluster) Nodes() int { return len(c.nodes) }
+// Nodes returns the number of cluster nodes (partitions).
+func (c *Cluster) Nodes() int { return len(c.part.Parts) }
 
-// Close closes all node connections. Idempotent.
-func (c *Cluster) Close() {
+// Err reports the cluster's terminal state: nil while healthy,
+// ErrClusterClosed after Close, or the root-cause connection error
+// after a failure (until Redial re-establishes the connections).
+func (c *Cluster) Err() error {
+	ep := c.ep.Load()
+	if ep == nil {
+		return ErrClusterClosed
+	}
+	return ep.Err()
+}
+
+// Redial tears down a failed connection set and dials a fresh one to
+// the original addresses, re-running the hello verification. It is the
+// opt-in recovery path — a Cluster never reconnects on its own — and
+// errors if the cluster is healthy (nothing to recover) or closed.
+func (c *Cluster) Redial() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return
+		return ErrClusterClosed
 	}
-	c.closed = true
-	for _, n := range c.nodes {
-		if n.conn != nil {
-			n.conn.Close()
+	if old := c.ep.Load(); old != nil {
+		if old.Err() == nil {
+			return errors.New("netrun: Redial on a healthy cluster")
 		}
+		old.wg.Wait()
+	}
+	ep, err := c.dialEpoch()
+	if err != nil {
+		return err
+	}
+	c.ep.Store(ep)
+	return nil
+}
+
+// Close fails the connection set with ErrClusterClosed (completing any
+// in-flight calls with that error) and waits for the per-node loops to
+// exit. Idempotent; Redial after Close is refused.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	c.closed = true
+	ep := c.ep.Swap(nil)
+	c.mu.Unlock()
+	if ep != nil {
+		ep.fail(ErrClusterClosed)
+		ep.wg.Wait()
 	}
 }

@@ -253,7 +253,7 @@ func TestNodeSurvivesGarbageConnection(t *testing.T) {
 	defer shutdown()
 
 	// Throw garbage at node 0's address out-of-band.
-	addr := c.nodes[0].conn.RemoteAddr().String()
+	addr := c.ep.Load().nodes[0].conn.RemoteAddr().String()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
@@ -337,7 +337,12 @@ func TestTCPClusterProperty(t *testing.T) {
 	}
 }
 
-func BenchmarkTCPClusterLookupBatch(b *testing.B) {
+// benchCluster spins up 8 loopback nodes over the standard benchmark
+// key set and dials them. delay > 0 interposes a latency proxy per node
+// emulating a link with that one-way propagation time (Table 2's
+// per-message latency, which loopback otherwise lacks).
+func benchCluster(b *testing.B, batch int, delay time.Duration) (*Cluster, func()) {
+	b.Helper()
 	keys := workload.SortedKeys(327680, 1)
 	p, _ := core.NewPartitioning(keys, 8)
 	var nodes []*Node
@@ -349,26 +354,153 @@ func BenchmarkTCPClusterLookupBatch(b *testing.B) {
 		}
 		node := NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
 		nodes = append(nodes, node)
-		addrs = append(addrs, lis.Addr().String())
+		addr := lis.Addr().String()
+		if delay > 0 {
+			addr = latencyProxy(b, addr, delay)
+		}
+		addrs = append(addrs, addr)
 		go node.Serve(lis)
 	}
-	defer func() {
-		for _, n := range nodes {
-			n.Close()
-		}
-	}()
-	c, err := Dial(addrs, keys, DialOptions{BatchKeys: 16384})
+	c, err := Dial(addrs, keys, DialOptions{BatchKeys: batch})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer c.Close()
+	return c, func() {
+		c.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+}
+
+// latencyProxy forwards bytes between client connections and nodeAddr,
+// delaying each direction by delay. Propagation overlaps across
+// in-flight data — like a real link, and unlike sleeping inside the
+// node handler, which would serialize the delays.
+func latencyProxy(b *testing.B, nodeAddr string, delay time.Duration) string {
+	b.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			cli, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			srv, err := net.Dial("tcp", nodeAddr)
+			if err != nil {
+				cli.Close()
+				return
+			}
+			go delayPipe(cli, srv, delay)
+			go delayPipe(srv, cli, delay)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+type timedChunk struct {
+	at  time.Time
+	buf []byte
+}
+
+func delayPipe(src, dst net.Conn, delay time.Duration) {
+	defer dst.Close()
+	ch := make(chan timedChunk, 1024)
+	go func() {
+		defer close(ch)
+		for {
+			buf := make([]byte, 32<<10)
+			n, err := src.Read(buf)
+			if n > 0 {
+				ch <- timedChunk{at: time.Now().Add(delay), buf: buf[:n]}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for c := range ch {
+		if d := time.Until(c.at); d > 0 {
+			time.Sleep(d)
+		}
+		if _, err := dst.Write(c.buf); err != nil {
+			return
+		}
+	}
+}
+
+func BenchmarkTCPClusterLookupBatch(b *testing.B) {
+	c, shutdown := benchCluster(b, 16384, 0)
+	defer shutdown()
 
 	queries := workload.UniformQueries(1<<18, 2)
+	out := make([]int, len(queries))
 	b.SetBytes(int64(len(queries) * workload.KeyBytes))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.LookupBatch(queries); err != nil {
+		if err := c.LookupBatchInto(queries, out); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Concurrent vs Serialized pairs: 4 masters multiplexing over one
+// shared connection set, against the same 4 callers forced through one
+// big lock (what the old single-mutex client did to every caller). The
+// raw-loopback pair is CPU-bound and shows the multiplexed path keeps
+// up on throughput; the SlowLink pair adds an emulated 500µs one-way
+// link and shows the structural win — concurrent masters overlap
+// round-trip latency the mutex serializes.
+func BenchmarkTCPClusterConcurrent4(b *testing.B) {
+	benchConcurrent(b, nil, 16384, 1<<16, 0)
+}
+
+func BenchmarkTCPClusterSerialized4(b *testing.B) {
+	benchConcurrent(b, &sync.Mutex{}, 16384, 1<<16, 0)
+}
+
+func BenchmarkTCPClusterConcurrent4SlowLink(b *testing.B) {
+	benchConcurrent(b, nil, 2048, 1<<14, 500*time.Microsecond)
+}
+
+func BenchmarkTCPClusterSerialized4SlowLink(b *testing.B) {
+	benchConcurrent(b, &sync.Mutex{}, 2048, 1<<14, 500*time.Microsecond)
+}
+
+func benchConcurrent(b *testing.B, serialize *sync.Mutex, batch, perCall int, delay time.Duration) {
+	c, shutdown := benchCluster(b, batch, delay)
+	defer shutdown()
+
+	const callers = 4
+	b.SetBytes(int64(callers * perCall * workload.KeyBytes))
+	b.ReportAllocs()
+	var wg sync.WaitGroup
+	queries := make([][]workload.Key, callers)
+	outs := make([][]int, callers)
+	for g := range queries {
+		queries[g] = workload.UniformQueries(perCall, uint64(2+g))
+		outs[g] = make([]int, perCall)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				if serialize != nil {
+					serialize.Lock()
+					defer serialize.Unlock()
+				}
+				if err := c.LookupBatchInto(queries[g], outs[g]); err != nil {
+					b.Error(err)
+				}
+			}(g)
+		}
+		wg.Wait()
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/index"
 	"repro/internal/workload"
@@ -28,6 +29,12 @@ type Node struct {
 
 	// Logf receives connection-level errors; nil silences them.
 	Logf func(format string, args ...any)
+
+	// WriteTimeout bounds each reply write so a client that stopped
+	// reading cannot wedge a handler goroutine forever (a healthy
+	// client's read loop always drains, so only dead peers hit it).
+	// Zero disables the deadline.
+	WriteTimeout time.Duration
 }
 
 // NewNode wraps an index partition for serving. rankBase is the global
@@ -106,6 +113,13 @@ func (n *Node) logf(format string, args ...any) {
 	}
 }
 
+// armWrite applies the node's write deadline to conn, if configured.
+func (n *Node) armWrite(conn net.Conn) {
+	if n.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(n.WriteTimeout))
+	}
+}
+
 func (n *Node) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -141,6 +155,7 @@ func (n *Node) handle(conn net.Conn) {
 			ack := Frame{Op: OpHelloAck, ReqID: f.ReqID, Payload: []uint32{
 				uint32(n.rankBase), uint32(n.idx.N()), uint32(n.lo), uint32(n.hi),
 			}}
+			n.armWrite(conn)
 			if err := bc.writeFrame(ack); err != nil {
 				n.logf("netrun: hello ack: %v", err)
 				return
@@ -172,6 +187,7 @@ func (n *Node) handle(conn net.Conn) {
 					ranks[i] = uint32(n.rankBase + n.idx.Rank(workload.Key(k)))
 				}
 			}
+			n.armWrite(conn)
 			if err := bc.writeFrame(Frame{Op: OpRanks, ReqID: f.ReqID, Payload: ranks}); err != nil {
 				n.logf("netrun: ranks: %v", err)
 				return
@@ -181,6 +197,7 @@ func (n *Node) handle(conn net.Conn) {
 			}
 		default:
 			n.logf("netrun: unexpected op %d", f.Op)
+			n.armWrite(conn)
 			_ = bc.writeFrame(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}})
 			_ = bc.w.Flush()
 			return
@@ -204,6 +221,7 @@ func ListenAndServe(addr string, partKeys []workload.Key, rankBase int) error {
 	}
 	node := NewPartitionNode(partKeys, rankBase)
 	node.Logf = log.Printf
+	node.WriteTimeout = 30 * time.Second
 	log.Printf("netrun: serving %d keys (rank base %d) on %s", len(partKeys), rankBase, lis.Addr())
 	return node.Serve(lis)
 }

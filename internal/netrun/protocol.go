@@ -14,6 +14,12 @@
 // count ranks (as uint32), in request order. A hello exchange carries
 // the node's partition metadata so the client can verify its routing
 // table against what the node actually serves.
+//
+// reqID multiplexes concurrent requests over one connection: the master
+// pipelines any number of OpLookup frames and the reply carries the
+// request's id back, so a per-connection read loop can demultiplex
+// OpRanks frames to the issuing callers in any order. Nodes today reply
+// in request order; the client does not rely on it.
 package netrun
 
 import (
@@ -81,9 +87,13 @@ type frameWriter struct {
 	buf []byte
 }
 
-func (fw *frameWriter) writeTo(w io.Writer, f Frame) error {
+// encode serializes f into the writer's scratch buffer and returns it
+// (valid until the next encode). Splitting encoding from the socket
+// write lets a caller stop referencing f.Payload before any blocking
+// I/O starts.
+func (fw *frameWriter) encode(f Frame) ([]byte, error) {
 	if len(f.Payload) > MaxFrameWords {
-		return fmt.Errorf("netrun: frame payload %d words exceeds limit", len(f.Payload))
+		return nil, fmt.Errorf("netrun: frame payload %d words exceeds limit", len(f.Payload))
 	}
 	need := 13 + 4*len(f.Payload)
 	if cap(fw.buf) < need {
@@ -96,6 +106,14 @@ func (fw *frameWriter) writeTo(w io.Writer, f Frame) error {
 	binary.LittleEndian.PutUint32(buf[9:13], uint32(len(f.Payload)))
 	for i, v := range f.Payload {
 		binary.LittleEndian.PutUint32(buf[13+4*i:], v)
+	}
+	return buf, nil
+}
+
+func (fw *frameWriter) writeTo(w io.Writer, f Frame) error {
+	buf, err := fw.encode(f)
+	if err != nil {
+		return err
 	}
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("netrun: write frame: %w", err)

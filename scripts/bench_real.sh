@@ -1,7 +1,8 @@
 #!/bin/sh
-# bench_real.sh — run the real-runtime serving benchmarks and record the
-# results as BENCH_real.json (one object per benchmark), so the perf
-# trajectory is comparable across PRs.
+# bench_real.sh — run the real-runtime serving benchmarks plus the
+# netrun TCP-loopback benchmarks and record the results as
+# BENCH_real.json (one object per benchmark), so the perf trajectory is
+# comparable across PRs.
 #
 # Usage: scripts/bench_real.sh [benchtime]
 #   benchtime: go test -benchtime value (default 20x)
@@ -11,9 +12,18 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-20x}"
 OUT="${BENCH_OUT:-BENCH_real.json}"
 
-go test -run '^$' -bench 'BenchmarkReal_' -benchmem -benchtime "$BENCHTIME" . |
-	tee /dev/stderr |
-	awk '
+# Collect bench output in a temp file first so a failing bench run
+# aborts the script (a pipeline would swallow go test's exit status and
+# emit a well-formed but empty BENCH_real.json).
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -run '^$' -bench 'BenchmarkReal_' -benchmem -benchtime "$BENCHTIME" . > "$RAW"
+# TCP loopback mode: the multiplexed master over real sockets, solo and
+# with 4 concurrent callers (plus the serialized baseline).
+go test -run '^$' -bench 'BenchmarkTCPCluster' -benchmem -benchtime "$BENCHTIME" ./internal/netrun >> "$RAW"
+cat "$RAW" >&2
+
+awk '
 	/^Benchmark/ {
 		name = $1
 		iters = $2
@@ -35,6 +45,6 @@ go test -run '^$' -bench 'BenchmarkReal_' -benchmem -benchtime "$BENCHTIME" . |
 		printf "\"goos\": \"%s\",\n", meta["goos:"]
 		printf "\"goarch\": \"%s\"\n", meta["goarch:"]
 		printf "}\n"
-	}' > "$OUT"
+	}' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
