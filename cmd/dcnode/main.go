@@ -15,6 +15,22 @@
 // concrete key set instead: write it once with dcindex.SaveKeys,
 // distribute the file, and start every node and client with
 // -keysfile index.dcx (which overrides -n/-seed).
+//
+// Replication is deployment-level: a replica is simply another dcnode
+// serving the same -part on a different port or machine. Start R
+// processes per partition and hand the client every replica, grouped
+// per partition:
+//
+//	dcnode -n 327680 -seed 1 -parts 2 -part 0 -listen :7000 &
+//	dcnode -n 327680 -seed 1 -parts 2 -part 0 -listen :7100 &   # replica
+//	dcnode -n 327680 -seed 1 -parts 2 -part 1 -listen :7001 &
+//	dcnode -n 327680 -seed 1 -parts 2 -part 1 -listen :7101 &   # replica
+//	dcq -connect 'localhost:7000|localhost:7100,localhost:7001|localhost:7101' -n 327680 -seed 1
+//
+// The client round-robins each partition's batches across its healthy
+// replicas, fails over in-flight batches when a replica dies, and
+// re-admits it (after re-verifying the partition handshake) when the
+// process comes back.
 package main
 
 import (

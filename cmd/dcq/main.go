@@ -10,6 +10,16 @@
 //
 //	go run ./cmd/dcq [-method C-3] [-n 327680] [-q 1000000] [-workers 8] [-batch 16384] [-compare]
 //	go run ./cmd/dcq -connect host:7000,host:7001,... [-masters 4] [-optimeout 10s]
+//
+// Replicated clusters list every replica of a partition either grouped
+// with "|" or flat with -replicas (addresses grouped consecutively):
+//
+//	dcq -connect 'host:7000|host:7100,host:7001|host:7101'
+//	dcq -connect host:7000,host:7100,host:7001,host:7101 -replicas 2
+//
+// A replica failure mid-run fails over to its partition sibling instead
+// of aborting; dcq prints a per-replica health summary when that
+// happens.
 package main
 
 import (
@@ -35,9 +45,10 @@ func main() {
 		compare    = flag.Bool("compare", false, "run every method and compare throughput")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		keysfile   = flag.String("keysfile", "", "load the key set from a dcindex snapshot instead of generating it")
-		connect    = flag.String("connect", "", "comma-separated dcnode addresses: query a TCP cluster instead of the in-process runtime")
+		connect    = flag.String("connect", "", "comma-separated dcnode addresses: query a TCP cluster instead of the in-process runtime (group a partition's replicas with '|')")
 		masters    = flag.Int("masters", 1, "concurrent master callers over the TCP cluster (with -connect)")
 		optimeout  = flag.Duration("optimeout", 10*time.Second, "per-op progress timeout on the TCP cluster (with -connect)")
+		replicas   = flag.Int("replicas", 1, "replicas per partition in a flat -connect list (grouped '|' syntax overrides)")
 	)
 	flag.Parse()
 
@@ -54,7 +65,7 @@ func main() {
 	queries := dcindex.GenerateQueries(*q, *seed+1)
 
 	if *connect != "" {
-		runTCP(strings.Split(*connect, ","), keys, queries, *batch, *masters, *optimeout)
+		runTCP(strings.Split(*connect, ","), keys, queries, *batch, *masters, *replicas, *optimeout)
 		return
 	}
 
@@ -101,14 +112,17 @@ func run(keys, queries []dcindex.Key, m dcindex.Method, workers, batch int) (tim
 
 // runTCP drives a dcnode cluster: masters concurrent callers split the
 // query stream into contiguous shares and multiplex their batches over
-// the one shared connection set.
-func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters int, opTimeout time.Duration) {
+// the one shared connection set. Replicated partitions fail over and
+// load-spread automatically; any failover that occurred is summarized
+// from Cluster.Health after the run.
+func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters, replicas int, opTimeout time.Duration) {
 	if masters < 1 {
 		masters = 1
 	}
 	c, err := dcindex.DialClusterOptions(addrs, keys, dcindex.TCPOptions{
 		BatchKeys: batch,
 		OpTimeout: opTimeout,
+		Replicas:  replicas,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcq:", err)
@@ -137,9 +151,29 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters int, opT
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("TCP cluster (%d nodes, %d masters): %d queries in %s (%.1f Mkeys/s), checksum %08x\n",
+	fmt.Printf("TCP cluster (%d partitions, %d masters): %d queries in %s (%.1f Mkeys/s), checksum %08x\n",
 		c.Nodes(), masters, len(queries), el.Round(time.Millisecond),
 		float64(len(queries))/el.Seconds()/1e6, checksum(out))
+
+	health := c.Health()
+	degraded := false
+	for _, h := range health {
+		if !h.Healthy || h.Failures > 0 {
+			degraded = true
+			break
+		}
+	}
+	if degraded {
+		fmt.Println("replica health (failover occurred during the run):")
+		for _, h := range health {
+			state := "healthy"
+			if !h.Healthy {
+				state = "DOWN"
+			}
+			fmt.Printf("  partition %d  %-21s  %-7s  dispatched %d, failures %d, rejoins %d\n",
+				h.Partition, h.Addr, state, h.Dispatched, h.Failures, h.Rejoins)
+		}
+	}
 }
 
 func checksum(ranks []int) uint32 {

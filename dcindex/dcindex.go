@@ -309,31 +309,46 @@ func Sweep(o SimOptions, batchBytes ...int) ([]Report, error) {
 }
 
 // TCPCluster is a distributed index over real sockets: each partition is
-// served by a separate node process (cmd/dcnode or ServePartition), and
-// this client routes query batches to partition owners — the paper's
-// deployment model, with TCP in place of MPI.
+// served by one or more node processes (cmd/dcnode or ServePartition),
+// and this client routes query batches to a healthy replica of each
+// partition owner — the paper's deployment model, with TCP in place of
+// MPI and a replica-group availability layer on top.
 //
 // A TCPCluster is safe for any number of concurrent LookupBatch /
 // LookupBatchInto callers: requests multiplex over the shared node
 // connections by request id, so concurrent masters pipeline instead of
 // serializing behind a lock, and the steady state allocates nothing per
-// batch. Failures are terminal: any connection error, per-op timeout,
-// or protocol violation fails the whole cluster — every in-flight and
+// batch. Failures are per replica: a connection error, per-op timeout,
+// or protocol violation drops only that replica from its partition's
+// group — its in-flight batches are re-dispatched to a surviving
+// replica and a background rejoin loop re-dials it with capped
+// exponential backoff until it rejoins (TCPCluster.Health reports
+// per-replica liveness and traffic). Only when a partition loses its
+// last replica does the cluster become terminal — every in-flight and
 // subsequent call returns the root-cause error (TCPCluster.Err reports
 // it) — because a partitioned index with an unreachable partition
-// cannot answer arbitrary queries. Recovery is explicit via
-// TCPCluster.Redial, which reconnects to the original addresses and
-// re-verifies the partition layout.
+// cannot answer arbitrary queries. Recovery from a terminal failure is
+// explicit via TCPCluster.Redial, which reconnects to every configured
+// replica and re-verifies the partition layout.
 type TCPCluster = netrun.Cluster
 
 // TCPOptions configures DialClusterOptions: batch granularity, the
-// dial/handshake timeout, and the per-op progress timeout that turns a
-// hung node into a prompt error instead of a blocked master.
+// dial/handshake timeout, the per-op progress timeout that turns a hung
+// node into prompt failover instead of a blocked master, the replica
+// count for flat address lists, and the rejoin backoff envelope.
 type TCPOptions = netrun.DialOptions
 
-// DialCluster connects to one node address per partition of keys and
+// ReplicaHealth is one replica's liveness and traffic counters, as
+// reported by TCPCluster.Health: partition, address, current liveness,
+// and dispatched/failure/rejoin counts for the current epoch.
+type ReplicaHealth = netrun.ReplicaHealth
+
+// DialCluster connects to every replica of every partition of keys and
 // verifies that each node serves the partition the local routing table
-// expects. batchKeys <= 0 selects the 16384-key default; other options
+// expects. Each element of addrs names partition i's replica set: a
+// single address, or several packed as "host:a|host:b" (replicas fail
+// over behind one routing slot; see TCPOptions.Replicas for flat
+// lists). batchKeys <= 0 selects the 16384-key default; other options
 // take their defaults (use DialClusterOptions to set them).
 func DialCluster(addrs []string, keys []Key, batchKeys int) (*TCPCluster, error) {
 	return netrun.Dial(addrs, keys, netrun.DialOptions{BatchKeys: batchKeys})

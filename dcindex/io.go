@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Key-set snapshot format: a TCP deployment needs every node and client
@@ -98,24 +99,57 @@ func ReadKeys(r io.Reader) ([]Key, error) {
 	return keys, nil
 }
 
-// SaveKeys writes a snapshot to path (atomically via a temp file in the
-// same directory).
+// SaveKeys writes a snapshot to path atomically: the bytes are written
+// to a uniquely named temp file in the target directory, fsynced, and
+// renamed into place. The unique temp name keeps concurrent savers of
+// the same path from clobbering each other's half-written file (the
+// last rename wins with a complete snapshot); the fsync keeps a crash
+// right after the rename from surfacing an empty or truncated "atomic"
+// snapshot on journaled filesystems.
 func SaveKeys(path string, keys []Key) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	// os.CreateTemp creates 0600; a snapshot is meant to be distributed
+	// (every node and client reads it), so widen to the target's
+	// existing permissions, or the conventional 0644 for a new file.
+	mode := os.FileMode(0o644)
+	if st, err := os.Stat(path); err == nil {
+		mode = st.Mode().Perm()
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := WriteKeys(f, keys); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	if err := f.Chmod(mode); err != nil {
+		return fail(err)
+	}
+	if err := WriteKeys(f, keys); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The rename itself is durable only once the directory entry is on
+	// disk: fsync the parent so a crash right after SaveKeys returns
+	// cannot resurrect the old snapshot (or, for a first save, nothing).
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }
 
 // LoadKeys reads a snapshot from path.

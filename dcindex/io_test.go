@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"net"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -188,5 +190,217 @@ func TestSnapshotHostileCountDoesNotPreallocate(t *testing.T) {
 	binary.LittleEndian.PutUint64(head[8:16], 1<<33)
 	if _, err := ReadKeys(bytes.NewReader(head)); err == nil || !strings.Contains(err.Error(), "claims") {
 		t.Fatalf("err = %v, want claim rejection", err)
+	}
+}
+
+// TestSaveKeysConcurrent hammers one snapshot path from many savers:
+// with the old fixed path+".tmp" name, two writers interleaved on the
+// same temp file and could rename a corrupted mix into place. Unique
+// temp names mean every rename installs one saver's complete snapshot.
+func TestSaveKeysConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.dcx")
+
+	const savers = 8
+	const rounds = 6
+	sets := make([][]Key, savers)
+	for s := range sets {
+		sets[s] = GenerateKeys(4000+100*s, uint64(40+s))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, savers)
+	for s := 0; s < savers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := SaveKeys(path, sets[s]); err != nil {
+					errs[s] = err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("saver %d: %v", s, err)
+		}
+	}
+
+	// The installed snapshot must be exactly one saver's key set.
+	got, err := LoadKeys(path)
+	if err != nil {
+		t.Fatalf("snapshot corrupted by concurrent savers: %v", err)
+	}
+	match := false
+	for _, set := range sets {
+		if len(set) != len(got) {
+			continue
+		}
+		same := true
+		for i := range set {
+			if set[i] != got[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			match = true
+			break
+		}
+	}
+	if !match {
+		t.Fatalf("loaded snapshot (%d keys) matches no saver's key set", len(got))
+	}
+
+	// No temp litter left behind: every saver's CreateTemp file must
+	// have been renamed into place or removed.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "index.dcx" {
+			t.Fatalf("leftover file %q", e.Name())
+		}
+	}
+}
+
+// TestSaveKeysWriteErrorLeavesTargetIntact: a failed save (unsorted
+// input) must neither touch an existing good snapshot nor leak a temp.
+func TestSaveKeysWriteErrorLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.dcx")
+	good := GenerateKeys(1000, 50)
+	if err := SaveKeys(path, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKeys(path, []Key{5, 3}); err == nil {
+		t.Fatal("unsorted save succeeded")
+	}
+	got, err := LoadKeys(path)
+	if err != nil || len(got) != len(good) {
+		t.Fatalf("good snapshot damaged: %v (%d keys)", err, len(got))
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("leftover files after failed save: %v", entries)
+	}
+}
+
+// TestDialClusterReplicated drives the public replicated surface:
+// grouped "addr|addr" address syntax, failover on replica death, and
+// Health reporting — dcindex.DialCluster over real sockets.
+func TestDialClusterReplicated(t *testing.T) {
+	keys := GenerateKeys(8000, 51)
+	const parts = 2
+	p, err := core.NewPartitioning(keys, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([][]*netrun.Node, parts)
+	addrs := make([][]string, parts)
+	for i := 0; i < parts; i++ {
+		for r := 0; r < 2; r++ {
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := netrun.NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
+			nodes[i] = append(nodes[i], n)
+			addrs[i] = append(addrs[i], lis.Addr().String())
+			go n.Serve(lis)
+		}
+	}
+	defer func() {
+		for _, reps := range nodes {
+			for _, n := range reps {
+				n.Close()
+			}
+		}
+	}()
+
+	grouped := []string{
+		addrs[0][0] + "|" + addrs[0][1],
+		addrs[1][0] + "|" + addrs[1][1],
+	}
+	c, err := DialCluster(grouped, keys, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	queries := GenerateQueries(5000, 52)
+	check := func() {
+		t.Helper()
+		ranks, err := c.LookupBatch(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range queries {
+			if want := workload.ReferenceRank(keys, q); ranks[i] != want {
+				t.Fatalf("rank[%d] = %d, want %d", i, ranks[i], want)
+			}
+		}
+	}
+	check()
+	if h := c.Health(); len(h) != 4 {
+		t.Fatalf("Health rows = %d, want 4", len(h))
+	}
+
+	// One replica dies; the cluster keeps answering without Redial.
+	nodes[0][0].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		check()
+		var dead *ReplicaHealth
+		for _, h := range c.Health() {
+			if h.Partition == 0 && h.Addr == addrs[0][0] {
+				h := h
+				dead = &h
+			}
+		}
+		if dead != nil && !dead.Healthy && dead.Failures > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica death never surfaced in Health")
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cluster terminal after single-replica death: %v", err)
+	}
+}
+
+// TestSaveKeysPermissions: snapshots are distributed to every node and
+// client, so a fresh save must be world-readable (0644, not CreateTemp's
+// 0600) while an overwrite preserves a deliberately tightened mode.
+func TestSaveKeysPermissions(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("unix permission semantics")
+	}
+	path := filepath.Join(t.TempDir(), "index.dcx")
+	if err := SaveKeys(path, GenerateKeys(100, 60)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o644 {
+		t.Fatalf("new snapshot mode %v, want 0644", st.Mode().Perm())
+	}
+	if err := os.Chmod(path, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKeys(path, GenerateKeys(200, 61)); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o600 {
+		t.Fatalf("overwritten snapshot mode %v, want preserved 0600", st.Mode().Perm())
 	}
 }

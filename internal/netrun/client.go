@@ -1,10 +1,12 @@
 package netrun
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,10 +18,12 @@ import (
 // ErrClusterClosed is returned by lookups on a Cluster after Close.
 var ErrClusterClosed = errors.New("netrun: cluster closed")
 
-// Cluster is the master side over TCP: it holds one connection per
-// slave node, the delimiter routing table, and per-node send/receive
-// machinery. LookupBatch routes each query to the node whose cache
-// holds its sub-range and gathers replies — Figure 2 over real sockets.
+// Cluster is the master side over TCP: it holds a replica group per
+// index partition (one or more node connections each), the delimiter
+// routing table, and per-connection send/receive machinery. LookupBatch
+// routes each query to a healthy replica of the partition whose cache
+// holds its sub-range and gathers replies — Figure 2 over real sockets,
+// with the replica-group availability pattern layered on top.
 //
 // A Cluster is safe for any number of concurrent LookupBatch callers:
 // requests are multiplexed over the shared sockets by request id, so
@@ -29,17 +33,25 @@ var ErrClusterClosed = errors.New("netrun: cluster closed")
 // state and frame buffers are pooled, so a master in steady state
 // allocates nothing per batch.
 //
-// Failure model: the connection set is fail-fast and terminal. Any I/O
-// error, per-op timeout, or protocol violation on any node connection
-// moves the whole Cluster to a failed state — every in-flight and
-// subsequent call returns the root-cause error (see Err) — because a
-// partitioned index with a dead partition cannot answer arbitrary
-// queries. Recovery is opt-in via Redial.
+// Failure model: failures are per replica, and the failure domain is
+// the replica group. Any I/O error, per-op timeout, or protocol
+// violation on a node connection poisons only that replica: it is
+// dropped from its partition's group, its in-flight requests are
+// re-dispatched to a surviving replica of the same partition, and a
+// background rejoin loop re-dials it with capped exponential backoff
+// (re-running the hello partition verification) until it rejoins or the
+// epoch ends — callers never observe a single-replica failure. Only
+// when a partition loses its last replica does the epoch become
+// terminal: every in-flight and subsequent call returns the root cause
+// (see Err), because a partitioned index with an unreachable partition
+// cannot answer arbitrary queries. Recovery from a terminal failure is
+// opt-in via Redial; per-replica liveness and traffic counters are
+// reported by Health.
 type Cluster struct {
-	part  *core.Partitioning
-	addrs []string
-	batch int
-	opt   DialOptions
+	part   *core.Partitioning
+	groups [][]string // replica addresses, one slice per partition
+	batch  int
+	opt    DialOptions
 
 	calls sync.Pool // *netCall
 	pends sync.Pool // *pending
@@ -51,15 +63,82 @@ type Cluster struct {
 	closed bool
 }
 
-// epoch is one generation of node connections. A failure poisons the
-// epoch, never the Cluster value itself: Redial installs a fresh epoch
-// while calls racing the failure keep draining the old one.
+// epoch is one generation of node connections. A terminal failure
+// poisons the epoch, never the Cluster value itself: Redial installs a
+// fresh epoch while calls racing the failure keep draining the old one.
 type epoch struct {
-	nodes  []*clusterNode
+	c      *Cluster
+	groups []*replicaGroup
 	wg     sync.WaitGroup
-	failed chan struct{} // closed on first failure
+	failed chan struct{} // closed on terminal failure
 	once   sync.Once
 	err    error // root cause; written once before failed closes
+}
+
+// replicaGroup is one partition's replica set: the configured addresses
+// (fixed for the epoch) and the currently healthy member connections.
+// members shrinks when a replica fails and grows back when its rejoin
+// loop restores it; the round-robin cursor spreads load across whoever
+// is healthy.
+type replicaGroup struct {
+	part    int
+	addrs   []string
+	stats   []*replicaStats // parallel to addrs, survives member churn
+	mu      sync.Mutex
+	cursor  int
+	members []*clusterNode
+}
+
+// replicaStats counts one replica address's lifecycle events across
+// member churn within an epoch.
+type replicaStats struct {
+	dispatched atomic.Uint64
+	failures   atomic.Uint64
+	rejoins    atomic.Uint64
+}
+
+// pick returns a healthy member of the group round-robin, or nil when
+// the group is (transiently or terminally) empty.
+func (g *replicaGroup) pick() *clusterNode {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.members) == 0 {
+		return nil
+	}
+	g.cursor++
+	return g.members[g.cursor%len(g.members)]
+}
+
+// remove drops n from the member list and reports how many members
+// remain.
+func (g *replicaGroup) remove(n *clusterNode) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, m := range g.members {
+		if m == n {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	return len(g.members)
+}
+
+// ReplicaHealth is one replica's liveness and traffic counters within
+// the current epoch (see Cluster.Health).
+type ReplicaHealth struct {
+	// Partition is the partition this replica serves.
+	Partition int
+	// Addr is the replica's configured address.
+	Addr string
+	// Healthy reports whether the replica is currently a live group
+	// member (accepting dispatches).
+	Healthy bool
+	// Dispatched counts lookup frames handed to this replica.
+	Dispatched uint64
+	// Failures counts times the replica was dropped from its group.
+	Failures uint64
+	// Rejoins counts times the background rejoin loop restored it.
+	Rejoins uint64
 }
 
 // Err returns the epoch's terminal error, or nil while healthy.
@@ -72,31 +151,41 @@ func (ep *epoch) Err() error {
 	}
 }
 
-// fail records the first root-cause error, closes every connection
-// (unblocking both loops of every node), and marks the nodes dead so
-// enqueuers and send loops stop accepting work. Idempotent; concurrent
-// callers block until the first completes, so ep.err is always set when
-// fail returns.
+// fail records the first root-cause error, then closes every member
+// connection and marks every member dead so enqueuers, send loops, and
+// rejoin loops stop. The pendings stranded on each member are collected
+// and completed by that member's failNode call (triggered by its read
+// loop observing the closed connection). Idempotent; concurrent callers
+// block until the first completes, so ep.err is always set when fail
+// returns.
 func (ep *epoch) fail(err error) {
 	ep.once.Do(func() {
 		ep.err = err
 		close(ep.failed)
-		for _, n := range ep.nodes {
-			n.conn.Close()
-			n.mu.Lock()
-			n.dead = true
-			n.mu.Unlock()
-			n.cond.Broadcast()
+		for _, g := range ep.groups {
+			g.mu.Lock()
+			members := append([]*clusterNode(nil), g.members...)
+			g.mu.Unlock()
+			for _, n := range members {
+				n.conn.Close()
+				n.mu.Lock()
+				n.dead = true
+				n.mu.Unlock()
+				n.cond.Broadcast()
+			}
 		}
 	})
 }
 
-// clusterNode is one node connection plus its send queue and in-flight
-// request table. The send loop owns the write half (bc.w/bc.fw), the
-// read loop owns the read half (bc.r/bc.fr); mu guards the queue, the
-// pending map, and the read-deadline decisions that depend on them.
+// clusterNode is one replica connection plus its send queue and
+// in-flight request table. The send loop owns the write half (bc.w/
+// bc.fw), the read loop owns the read half (bc.r/bc.fr); mu guards the
+// queue, the pending map, and the read-deadline decisions that depend
+// on them.
 type clusterNode struct {
-	id   int
+	g    *replicaGroup
+	slot int // index into g.addrs / g.stats
+	addr string
 	conn net.Conn
 	bc   *bufferedConn
 	// meta from the hello handshake.
@@ -104,6 +193,7 @@ type clusterNode struct {
 	keyCount int
 
 	opTimeout time.Duration // <= 0: deadlines disabled
+	failOnce  sync.Once     // failNode runs its body exactly once
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -113,11 +203,14 @@ type clusterNode struct {
 	dead     bool
 }
 
+func (n *clusterNode) stats() *replicaStats { return n.g.stats[n.slot] }
+
 // pending is one lookup frame's lifecycle: the caller accumulates keys
 // and positions into it, the send loop writes and registers it, the
 // read loop scatters the reply into out and completes it back to the
-// issuing call's gather channel. Key/position capacity is recycled
-// through the cluster's pending pool.
+// issuing call's gather channel — or, when its replica dies first, the
+// failover path re-dispatches it to a surviving replica. Key/position
+// capacity is recycled through the cluster's pending pool.
 type pending struct {
 	reqID uint32
 	keys  []uint32
@@ -132,7 +225,7 @@ func (p *pending) complete(err error) {
 	p.done <- p
 }
 
-// netCall is one LookupBatch call's pooled dispatch state: per-node
+// netCall is one LookupBatch call's pooled dispatch state: per-group
 // accumulating pendings plus the gather channel. The channel's capacity
 // always covers the call's worst-case in-flight count, so the read
 // loops never block delivering a completion (which would head-of-line
@@ -150,20 +243,85 @@ type DialOptions struct {
 	// Timeout bounds each dial and the hello exchange (default 5s).
 	Timeout time.Duration
 	// OpTimeout bounds progress on each connection while lookups are in
-	// flight: if a node neither accepts writes nor produces a reply for
-	// this long, the cluster fails with a timeout error instead of
-	// blocking forever on a hung node. Replies and new requests extend
-	// the deadline, so slow-but-alive nodes are fine. Default 10s;
-	// negative disables deadlines entirely.
+	// flight: if a replica neither accepts writes nor produces a reply
+	// for this long, it is treated as failed (its in-flight requests
+	// fail over to a surviving replica) instead of blocking the master
+	// forever. Replies and new requests extend the deadline, so
+	// slow-but-alive nodes are fine. Default 10s; negative disables
+	// deadlines entirely.
 	OpTimeout time.Duration
+	// Replicas groups a flat address list into replica sets: addrs
+	// holds Replicas consecutive addresses per partition, so
+	// len(addrs) must be a multiple of it. Default (and minimum) 1.
+	// Ignored when the grouped "addr|addr" syntax is used.
+	Replicas int
+	// RejoinBackoff is the initial delay before a failed replica is
+	// re-dialed (default 100ms). Each failed attempt doubles it, up to
+	// RejoinMaxBackoff.
+	RejoinBackoff time.Duration
+	// RejoinMaxBackoff caps the rejoin backoff (default 3s).
+	RejoinMaxBackoff time.Duration
 }
 
-// Dial connects to one node address per partition of keys, performs the
-// hello handshake, and cross-checks each node's advertised partition
-// against the local routing table. addrs[i] must serve partition i.
-func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error) {
+// GroupAddrs expands a dial address list into one replica address set
+// per partition. Two syntaxes are accepted:
+//
+//   - grouped: any element may pack a partition's replicas as
+//     "host:a|host:b|host:c" — element i lists partition i's replicas
+//     (groups may differ in size; replicas is ignored);
+//   - flat: with no "|" separators, addrs holds replicas consecutive
+//     addresses per partition (replicas <= 1 means one each).
+func GroupAddrs(addrs []string, replicas int) ([][]string, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("netrun: no node addresses")
+	}
+	grouped := false
+	for _, a := range addrs {
+		if strings.Contains(a, "|") {
+			grouped = true
+			break
+		}
+	}
+	if grouped {
+		out := make([][]string, len(addrs))
+		for i, a := range addrs {
+			for _, r := range strings.Split(a, "|") {
+				r = strings.TrimSpace(r)
+				if r == "" {
+					return nil, fmt.Errorf("netrun: partition %d has an empty replica address in %q", i, a)
+				}
+				out[i] = append(out[i], r)
+			}
+		}
+		return out, nil
+	}
+	if replicas <= 1 {
+		out := make([][]string, len(addrs))
+		for i, a := range addrs {
+			out[i] = []string{a}
+		}
+		return out, nil
+	}
+	if len(addrs)%replicas != 0 {
+		return nil, fmt.Errorf("netrun: %d addresses do not divide into groups of %d replicas", len(addrs), replicas)
+	}
+	out := make([][]string, 0, len(addrs)/replicas)
+	for i := 0; i < len(addrs); i += replicas {
+		out = append(out, addrs[i:i+replicas])
+	}
+	return out, nil
+}
+
+// Dial connects to every replica of every partition of keys, performs
+// the hello handshake on each, and cross-checks each node's advertised
+// partition against the local routing table. addrs is one address per
+// partition, extended to replica sets by DialOptions.Replicas or the
+// grouped "addr|addr" syntax (see GroupAddrs); every replica of
+// partition i must serve partition i.
+func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error) {
+	groups, err := GroupAddrs(addrs, opt.Replicas)
+	if err != nil {
+		return nil, err
 	}
 	if opt.BatchKeys <= 0 {
 		opt.BatchKeys = 16384
@@ -177,11 +335,17 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 	if opt.OpTimeout == 0 {
 		opt.OpTimeout = 10 * time.Second
 	}
-	part, err := core.NewPartitioning(keys, len(addrs))
+	if opt.RejoinBackoff <= 0 {
+		opt.RejoinBackoff = 100 * time.Millisecond
+	}
+	if opt.RejoinMaxBackoff <= 0 {
+		opt.RejoinMaxBackoff = 3 * time.Second
+	}
+	part, err := core.NewPartitioning(keys, len(groups))
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{part: part, addrs: addrs, batch: opt.BatchKeys, opt: opt}
+	c := &Cluster{part: part, groups: groups, batch: opt.BatchKeys, opt: opt}
 	nParts := len(part.Parts)
 	c.calls.New = func() any { return &netCall{accum: make([]*pending, nParts)} }
 	c.pends.New = func() any { return new(pending) }
@@ -193,46 +357,107 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 	return c, nil
 }
 
-// dialEpoch dials and handshakes every node, then starts the per-node
-// send and read loops.
+// dialEpoch dials and handshakes every replica of every partition, then
+// starts the per-connection send and read loops.
 func (c *Cluster) dialEpoch() (*epoch, error) {
-	ep := &epoch{failed: make(chan struct{})}
-	opT := c.opt.OpTimeout
-	if opT < 0 {
-		opT = 0
+	ep := &epoch{c: c, failed: make(chan struct{})}
+	for pi, addrs := range c.groups {
+		g := &replicaGroup{part: pi, addrs: addrs, stats: make([]*replicaStats, len(addrs))}
+		for slot := range addrs {
+			g.stats[slot] = new(replicaStats)
+		}
+		ep.groups = append(ep.groups, g)
+		for slot := range addrs {
+			n, err := c.dialNode(g, slot, nil)
+			if err != nil {
+				closeEpochNodes(ep)
+				return nil, err
+			}
+			g.members = append(g.members, n)
+		}
 	}
-	for i, addr := range c.addrs {
-		conn, err := net.DialTimeout("tcp", addr, c.opt.Timeout)
-		if err != nil {
-			closeNodes(ep.nodes)
-			return nil, fmt.Errorf("netrun: dial node %d (%s): %w", i, addr, err)
+	for _, g := range ep.groups {
+		for _, n := range g.members {
+			ep.wg.Add(2)
+			go n.sendLoop(ep)
+			go n.readLoop(ep)
 		}
-		n := &clusterNode{
-			id:        i,
-			conn:      conn,
-			bc:        newBufferedConn(conn),
-			opTimeout: opT,
-			pending:   map[uint32]*pending{},
-		}
-		n.cond = sync.NewCond(&n.mu)
-		if err := hello(n, c.part.Parts[i], c.opt.Timeout); err != nil {
-			conn.Close()
-			closeNodes(ep.nodes)
-			return nil, fmt.Errorf("netrun: node %d (%s): %w", i, addr, err)
-		}
-		ep.nodes = append(ep.nodes, n)
-	}
-	for _, n := range ep.nodes {
-		ep.wg.Add(2)
-		go n.sendLoop(ep)
-		go n.readLoop(ep)
 	}
 	return ep, nil
 }
 
-func closeNodes(nodes []*clusterNode) {
-	for _, n := range nodes {
-		n.conn.Close()
+// dialNode dials one replica address and verifies via the hello
+// handshake that it serves the expected partition. Shared by the
+// initial dial, Redial, and the rejoin loop. A non-nil abort channel
+// cancels an in-flight dial or hello the moment it closes (the rejoin
+// loop passes ep.failed, so Close never waits out a dial timeout
+// against a dead replica).
+func (c *Cluster) dialNode(g *replicaGroup, slot int, abort <-chan struct{}) (*clusterNode, error) {
+	addr := g.addrs[slot]
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var connMu sync.Mutex
+	var conn net.Conn
+	if abort != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-abort:
+				cancel()
+				connMu.Lock()
+				if conn != nil {
+					conn.Close()
+				}
+				connMu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
+	d := net.Dialer{Timeout: c.opt.Timeout}
+	dialed, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: dial partition %d replica %s: %w", g.part, addr, err)
+	}
+	connMu.Lock()
+	conn = dialed
+	if abort != nil {
+		select {
+		case <-abort:
+			// The watcher may have checked conn before it was set;
+			// re-check here so an abort always closes the connection
+			// (at worst the hello below fails immediately).
+			conn.Close()
+		default:
+		}
+	}
+	connMu.Unlock()
+	opT := c.opt.OpTimeout
+	if opT < 0 {
+		opT = 0
+	}
+	n := &clusterNode{
+		g:         g,
+		slot:      slot,
+		addr:      addr,
+		conn:      conn,
+		bc:        newBufferedConn(conn),
+		opTimeout: opT,
+		pending:   map[uint32]*pending{},
+	}
+	n.cond = sync.NewCond(&n.mu)
+	if err := hello(n, c.part.Parts[g.part], c.opt.Timeout); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netrun: partition %d replica %s: %w", g.part, addr, err)
+	}
+	return n, nil
+}
+
+func closeEpochNodes(ep *epoch) {
+	for _, g := range ep.groups {
+		for _, n := range g.members {
+			n.conn.Close()
+		}
 	}
 }
 
@@ -269,30 +494,129 @@ func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
 	return nil
 }
 
-// enqueue hands p to the node's send loop, or completes it immediately
-// with the epoch error if the node is already dead. The dead check and
-// the append are under the same mutex the send loop's exit drain takes,
-// so a pending can never be stranded in a queue nobody services.
-func (n *clusterNode) enqueue(ep *epoch, p *pending) {
+// enqueue hands p to the node's send loop. It reports false when the
+// node is dead — the caller must route p elsewhere. The dead check and
+// the append are under the same mutex failNode's collection takes, so a
+// pending can never be stranded in a queue nobody owns.
+func (n *clusterNode) enqueue(p *pending) bool {
 	n.mu.Lock()
 	if n.dead {
 		n.mu.Unlock()
-		p.complete(ep.Err())
-		return
+		return false
 	}
 	n.sendq = append(n.sendq, p)
 	n.mu.Unlock()
 	n.cond.Signal()
+	return true
+}
+
+// failNode is the single owner of a replica's death: it closes the
+// connection, drops the replica from its group (failing the epoch when
+// it was the partition's last member), takes every queued and in-flight
+// pending, re-routes them to a surviving replica, and spawns the rejoin
+// loop. Exactly-once per node; both loops and any protocol-violation
+// path funnel through it, so a pending is collected by precisely one
+// actor.
+func (c *Cluster) failNode(ep *epoch, n *clusterNode, err error) {
+	n.failOnce.Do(func() {
+		n.stats().failures.Add(1)
+		n.conn.Close()
+		g := n.g
+		if g.remove(n) == 0 {
+			ep.fail(fmt.Errorf("netrun: partition %d lost its last replica (%s): %w", g.part, n.addr, err))
+		}
+		// Take sole ownership of everything queued or in flight on n.
+		// dead is set in the same critical section, so a concurrent
+		// enqueue either lands before the sweep (and is collected) or
+		// observes dead and routes elsewhere.
+		n.mu.Lock()
+		n.dead = true
+		rest := make([]*pending, 0, len(n.pending)+len(n.sendq)-n.sendHead)
+		for _, p := range n.sendq[n.sendHead:] {
+			if p != nil {
+				rest = append(rest, p)
+			}
+		}
+		n.sendq, n.sendHead = nil, 0
+		for _, p := range n.pending {
+			rest = append(rest, p)
+		}
+		n.pending = map[uint32]*pending{}
+		n.mu.Unlock()
+		n.cond.Broadcast()
+		for _, p := range rest {
+			c.route(ep, g, p)
+		}
+		ep.goRejoin(g, n.slot)
+	})
+}
+
+// goRejoin starts the background rejoin loop for a failed replica slot,
+// unless the epoch is already terminal. The wg.Add is safe against
+// Close's Wait because every caller runs on a goroutine the WaitGroup
+// already counts.
+func (ep *epoch) goRejoin(g *replicaGroup, slot int) {
+	select {
+	case <-ep.failed:
+		return
+	default:
+	}
+	ep.wg.Add(1)
+	go ep.c.rejoinLoop(ep, g, slot)
+}
+
+// rejoinLoop re-dials a failed replica with capped exponential backoff
+// until the dial and hello verification succeed (the replica rejoins
+// its group and fresh send/read loops start) or the epoch ends. Callers
+// are never interrupted: rejoining only grows the healthy member set.
+func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
+	defer ep.wg.Done()
+	backoff := c.opt.RejoinBackoff
+	for {
+		select {
+		case <-ep.failed:
+			return
+		case <-time.After(backoff):
+		}
+		n, err := c.dialNode(g, slot, ep.failed)
+		if err != nil {
+			if backoff *= 2; backoff > c.opt.RejoinMaxBackoff {
+				backoff = c.opt.RejoinMaxBackoff
+			}
+			continue
+		}
+		// Install under g.mu, re-checking the terminal flag: ep.fail
+		// closes failed before sweeping members under the same mutex,
+		// so the new member is either refused here or swept there —
+		// never leaked.
+		g.mu.Lock()
+		select {
+		case <-ep.failed:
+			g.mu.Unlock()
+			n.conn.Close()
+			return
+		default:
+		}
+		g.members = append(g.members, n)
+		g.mu.Unlock()
+		n.stats().rejoins.Add(1)
+		ep.wg.Add(2)
+		go n.sendLoop(ep)
+		go n.readLoop(ep)
+		return
+	}
 }
 
 // sendLoop writes queued frames to the node. Flushes coalesce: the
 // bufio writer is flushed only when the queue drains, so pipelined
 // batches from concurrent callers share syscalls. Each pending is
 // registered in the in-flight table (and the read deadline armed)
-// before its frame hits the wire, so a reply — or a failure drain —
-// always finds it.
+// before its frame hits the wire, so a reply — or a failover sweep —
+// always finds it. On any error the loop funnels through failNode and
+// exits; it never completes pendings itself.
 func (n *clusterNode) sendLoop(ep *epoch) {
 	defer ep.wg.Done()
+	c := ep.c
 	unflushed := false
 	for {
 		n.mu.Lock()
@@ -301,24 +625,18 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 				n.mu.Unlock()
 				unflushed = false
 				if err := n.flush(); err != nil {
-					ep.fail(fmt.Errorf("netrun: node %d write: %w", n.id, err))
-				} else {
-					n.armRead()
+					c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s write: %w", n.g.part, n.addr, err))
+					return
 				}
+				n.armRead()
 				n.mu.Lock()
 				continue
 			}
 			n.cond.Wait()
 		}
 		if n.dead {
-			rest := n.sendq[n.sendHead:]
-			n.sendq = nil
-			n.sendHead = 0
+			// failNode owns (or will collect) whatever is queued.
 			n.mu.Unlock()
-			err := ep.Err()
-			for _, p := range rest {
-				p.complete(err)
-			}
 			return
 		}
 		p := n.sendq[n.sendHead]
@@ -328,9 +646,20 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 			n.sendq = n.sendq[:0]
 			n.sendHead = 0
 		}
+		if _, dup := n.pending[p.reqID]; dup {
+			// The 32-bit request-id space wrapped all the way around
+			// onto a request still in flight on this connection.
+			// Registering would silently orphan the first caller, so
+			// fail this request fast and leave the in-flight one (and
+			// the connection) intact.
+			n.mu.Unlock()
+			p.complete(fmt.Errorf("netrun: request id %d wrapped onto a request still in flight on partition %d replica %s (2^32 ids exhausted while one was outstanding); retry the batch",
+				p.reqID, n.g.part, n.addr))
+			continue
+		}
 		n.pending[p.reqID] = p
 		// Encode while still holding mu: the moment p is registered it
-		// can complete (reply or failure drain) and be recycled by its
+		// can complete (reply or failover sweep) and be recycled by its
 		// caller, so p.keys must not be read outside the lock. After
 		// encode the frame lives in the writer's scratch, and the
 		// blocking socket I/O below never touches p.
@@ -339,19 +668,17 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 
 		if encErr != nil {
 			// Unreachable with BatchKeys clamped to MaxFrameWords, but
-			// p is registered: fail and let the read loop's drain
-			// complete it.
-			ep.fail(fmt.Errorf("netrun: node %d: %w", n.id, encErr))
-			continue
+			// p is registered: failNode sweeps and re-routes it.
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %w", n.g.part, n.addr, encErr))
+			return
 		}
 		if n.opTimeout > 0 {
 			n.conn.SetWriteDeadline(time.Now().Add(n.opTimeout))
 		}
 		if _, err := n.bc.w.Write(buf); err != nil {
-			// p is registered: the read loop's drain completes it. The
-			// next iteration sees dead and drains the rest of the queue.
-			ep.fail(fmt.Errorf("netrun: node %d write: %w", n.id, err))
-			continue
+			// p is registered: failNode sweeps and re-routes it.
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s write: %w", n.g.part, n.addr, err))
+			return
 		}
 		n.armRead()
 		unflushed = true
@@ -385,25 +712,25 @@ func (n *clusterNode) armRead() {
 
 // readLoop demultiplexes reply frames by request id to the issuing
 // calls' gather channels. Any read error, timeout, or protocol
-// violation fails the epoch; on exit every still-registered pending is
-// completed with the root-cause error so no caller hangs.
+// violation funnels through failNode: the replica dies alone and its
+// in-flight requests fail over to a surviving sibling.
 func (n *clusterNode) readLoop(ep *epoch) {
 	defer ep.wg.Done()
-	defer n.drain(ep)
+	c := ep.c
 	for {
 		f, err := n.bc.readFrame()
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				err = fmt.Errorf("no reply within %v (node hung?): %w", n.opTimeout, err)
 			}
-			ep.fail(fmt.Errorf("netrun: node %d read: %w", n.id, err))
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s read: %w", n.g.part, n.addr, err))
 			return
 		}
 		switch f.Op {
 		case OpRanks:
 			n.mu.Lock()
 			p, ok := n.pending[f.ReqID]
-			if ok {
+			if ok && len(f.Payload) == len(p.pos) {
 				delete(n.pending, f.ReqID)
 				if n.opTimeout > 0 {
 					if len(n.pending) == 0 {
@@ -414,46 +741,38 @@ func (n *clusterNode) readLoop(ep *epoch) {
 						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
 					}
 				}
+				n.mu.Unlock()
+				for i, pos := range p.pos {
+					p.out[pos] = int(f.Payload[i])
+				}
+				p.complete(nil)
+				continue
 			}
 			n.mu.Unlock()
+			// Both violation paths funnel through failNode even when the
+			// node is already dead (a stale buffered frame after a sweep,
+			// or a frame read between ep.fail marking us dead and the
+			// next read error): failNode is idempotent, and skipping it
+			// here could strand registered pendings a sweep never saw.
 			if !ok {
-				ep.fail(fmt.Errorf("netrun: node %d sent unknown reqID %d (corrupt or stale stream)", n.id, f.ReqID))
+				c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent unknown reqID %d (corrupt or stale stream)", n.g.part, n.addr, f.ReqID))
 				return
 			}
-			if len(f.Payload) != len(p.pos) {
-				err := fmt.Errorf("netrun: node %d: %d ranks for %d keys", n.id, len(f.Payload), len(p.pos))
-				ep.fail(err)
-				p.complete(err) // removed from the table, so drain can't
-				return
-			}
-			for i, pos := range p.pos {
-				p.out[pos] = int(f.Payload[i])
-			}
-			p.complete(nil)
+			// Count mismatch: p stays registered, so failNode sweeps
+			// and re-routes it to a sibling for a correct answer.
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %d ranks for %d keys", n.g.part, n.addr, len(f.Payload), len(p.pos)))
+			return
 		case OpErr:
 			code := uint32(0)
 			if len(f.Payload) > 0 {
 				code = f.Payload[0]
 			}
-			ep.fail(fmt.Errorf("netrun: node %d reported error %d", n.id, code))
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s reported error %d", n.g.part, n.addr, code))
 			return
 		default:
-			ep.fail(fmt.Errorf("netrun: node %d sent op %d, want ranks", n.id, f.Op))
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent op %d, want ranks", n.g.part, n.addr, f.Op))
 			return
 		}
-	}
-}
-
-// drain completes every registered pending with the epoch error. The
-// epoch is always failed by the time the read loop exits.
-func (n *clusterNode) drain(ep *epoch) {
-	n.mu.Lock()
-	ps := n.pending
-	n.pending = map[uint32]*pending{}
-	n.mu.Unlock()
-	err := ep.Err()
-	for _, p := range ps {
-		p.complete(err)
 	}
 }
 
@@ -471,16 +790,41 @@ func (c *Cluster) putPending(p *pending) {
 	c.pends.Put(p)
 }
 
-// dispatch stamps p with a fresh request id and hands it to node ni.
-func (c *Cluster) dispatch(ep *epoch, ni int, p *pending, out []int, done chan *pending) {
-	p.reqID = c.reqID.Add(1)
-	p.out = out
-	p.done = done
-	ep.nodes[ni].enqueue(ep, p)
+// route stamps p with a fresh request id and hands it to a healthy
+// replica of g, retrying (with restamping) across members until one
+// accepts it. When the group is empty the epoch is failing — the member
+// that zeroed it invokes ep.fail before route can observe the empty
+// group grow stale — so waiting on ep.failed is bounded and p completes
+// with the root cause.
+func (c *Cluster) route(ep *epoch, g *replicaGroup, p *pending) {
+	for {
+		if err := ep.Err(); err != nil {
+			p.complete(err)
+			return
+		}
+		n := g.pick()
+		if n == nil {
+			<-ep.failed
+			p.complete(ep.err)
+			return
+		}
+		p.reqID = c.reqID.Add(1)
+		if n.enqueue(p) {
+			n.stats().dispatched.Add(1)
+			return
+		}
+	}
 }
 
-// LookupBatch routes queries to the owning nodes in batches and returns
-// global ranks in query order. Safe for concurrent callers.
+// dispatch binds p to the issuing call and routes it to partition gi.
+func (c *Cluster) dispatch(ep *epoch, gi int, p *pending, out []int, done chan *pending) {
+	p.out = out
+	p.done = done
+	c.route(ep, ep.groups[gi], p)
+}
+
+// LookupBatch routes queries to the owning partitions in batches and
+// returns global ranks in query order. Safe for concurrent callers.
 func (c *Cluster) LookupBatch(queries []workload.Key) ([]int, error) {
 	out := make([]int, len(queries))
 	if err := c.LookupBatchInto(queries, out); err != nil {
@@ -509,40 +853,42 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		return nil
 	}
 
-	nodes := ep.nodes
+	groups := ep.groups
 	nc := c.calls.Get().(*netCall)
-	if len(nc.accum) < len(nodes) {
-		nc.accum = make([]*pending, len(nodes))
+	if len(nc.accum) < len(groups) {
+		nc.accum = make([]*pending, len(groups))
 	}
 	// Worst-case in flight: one full batch per BatchKeys run plus one
-	// final partial flush per node. Sizing the gather channel to cover
-	// it means the read loops never block completing this call.
-	if need := len(queries)/c.batch + len(nodes) + 1; cap(nc.done) < need {
+	// final partial flush per partition. Sizing the gather channel to
+	// cover it means the read loops never block completing this call
+	// (failover re-dispatch never changes the completion count: each
+	// pending completes exactly once).
+	if need := len(queries)/c.batch + len(groups) + 1; cap(nc.done) < need {
 		nc.done = make(chan *pending, need)
 	}
 
 	inflight := 0
 	for i, q := range queries {
-		ni := c.part.Route(q)
-		p := nc.accum[ni]
+		gi := c.part.Route(q)
+		p := nc.accum[gi]
 		if p == nil {
 			p = c.getPending()
-			nc.accum[ni] = p
+			nc.accum[gi] = p
 		}
 		p.keys = append(p.keys, uint32(q))
 		p.pos = append(p.pos, int32(i))
 		if len(p.keys) >= c.batch {
-			nc.accum[ni] = nil
-			c.dispatch(ep, ni, p, out, nc.done)
+			nc.accum[gi] = nil
+			c.dispatch(ep, gi, p, out, nc.done)
 			inflight++
 		}
 	}
-	for ni, p := range nc.accum[:len(nodes)] {
+	for gi, p := range nc.accum[:len(groups)] {
 		if p == nil {
 			continue
 		}
-		nc.accum[ni] = nil
-		c.dispatch(ep, ni, p, out, nc.done)
+		nc.accum[gi] = nil
+		c.dispatch(ep, gi, p, out, nc.done)
 		inflight++
 	}
 
@@ -559,12 +905,45 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 	return firstErr
 }
 
-// Nodes returns the number of cluster nodes (partitions).
+// Nodes returns the number of cluster partitions (replica groups).
 func (c *Cluster) Nodes() int { return len(c.part.Parts) }
 
-// Err reports the cluster's terminal state: nil while healthy,
-// ErrClusterClosed after Close, or the root-cause connection error
-// after a failure (until Redial re-establishes the connections).
+// Health snapshots per-replica liveness and traffic counters for the
+// current epoch, ordered by partition then configured address. It
+// returns nil after Close. Counters reset on Redial (a fresh epoch).
+func (c *Cluster) Health() []ReplicaHealth {
+	ep := c.ep.Load()
+	if ep == nil {
+		return nil
+	}
+	var out []ReplicaHealth
+	for _, g := range ep.groups {
+		alive := make([]bool, len(g.addrs))
+		g.mu.Lock()
+		for _, m := range g.members {
+			alive[m.slot] = true
+		}
+		g.mu.Unlock()
+		for slot, addr := range g.addrs {
+			s := g.stats[slot]
+			out = append(out, ReplicaHealth{
+				Partition:  g.part,
+				Addr:       addr,
+				Healthy:    alive[slot],
+				Dispatched: s.dispatched.Load(),
+				Failures:   s.failures.Load(),
+				Rejoins:    s.rejoins.Load(),
+			})
+		}
+	}
+	return out
+}
+
+// Err reports the cluster's terminal state: nil while healthy (single-
+// replica failures are absorbed by failover and never surface here),
+// ErrClusterClosed after Close, or the root-cause error after a
+// partition lost its last replica (until Redial re-establishes the
+// connections).
 func (c *Cluster) Err() error {
 	ep := c.ep.Load()
 	if ep == nil {
@@ -574,9 +953,10 @@ func (c *Cluster) Err() error {
 }
 
 // Redial tears down a failed connection set and dials a fresh one to
-// the original addresses, re-running the hello verification. It is the
-// opt-in recovery path — a Cluster never reconnects on its own — and
-// errors if the cluster is healthy (nothing to recover) or closed.
+// the original addresses, re-running the hello verification on every
+// replica. It is the opt-in recovery path from a terminal failure — a
+// partition that lost every replica — and errors if the cluster is
+// healthy (single-replica failures rejoin on their own) or closed.
 func (c *Cluster) Redial() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -598,8 +978,9 @@ func (c *Cluster) Redial() error {
 }
 
 // Close fails the connection set with ErrClusterClosed (completing any
-// in-flight calls with that error) and waits for the per-node loops to
-// exit. Idempotent; Redial after Close is refused.
+// in-flight calls with that error) and waits for the per-connection
+// loops and rejoin loops to exit. Idempotent; Redial after Close is
+// refused.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	c.closed = true

@@ -216,14 +216,21 @@ func TestNodeDeathMidBatchFailsAllCallers(t *testing.T) {
 	wantFailedFast(t, c)
 }
 
-// testNodes exposes the current epoch's nodes to tests.
+// testNodes exposes the current epoch's live member connections to
+// tests, flattened in partition order (one per partition at R=1).
 func testNodes(t *testing.T, c *Cluster) []*clusterNode {
 	t.Helper()
 	ep := c.ep.Load()
 	if ep == nil {
 		t.Fatal("cluster has no live epoch")
 	}
-	return ep.nodes
+	var out []*clusterNode
+	for _, g := range ep.groups {
+		g.mu.Lock()
+		out = append(out, g.members...)
+		g.mu.Unlock()
+	}
+	return out
 }
 
 func TestRedialRecoversAfterFailure(t *testing.T) {

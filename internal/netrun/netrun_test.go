@@ -253,7 +253,7 @@ func TestNodeSurvivesGarbageConnection(t *testing.T) {
 	defer shutdown()
 
 	// Throw garbage at node 0's address out-of-band.
-	addr := c.ep.Load().nodes[0].conn.RemoteAddr().String()
+	addr := c.ep.Load().groups[0].members[0].conn.RemoteAddr().String()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
@@ -342,33 +342,46 @@ func TestTCPClusterProperty(t *testing.T) {
 // emulating a link with that one-way propagation time (Table 2's
 // per-message latency, which loopback otherwise lacks).
 func benchCluster(b *testing.B, batch int, delay time.Duration) (*Cluster, func()) {
+	c, _, shutdown := benchReplicatedCluster(b, batch, 1, delay)
+	return c, shutdown
+}
+
+// benchReplicatedCluster is benchCluster generalized to R replicas per
+// partition (8 partitions x R server processes). It returns the node
+// matrix ([partition][replica]) so failover benchmarks can kill a
+// specific replica mid-run.
+func benchReplicatedCluster(b *testing.B, batch, replicas int, delay time.Duration) (*Cluster, [][]*Node, func()) {
 	b.Helper()
 	keys := workload.SortedKeys(327680, 1)
 	p, _ := core.NewPartitioning(keys, 8)
-	var nodes []*Node
+	nodes := make([][]*Node, 8)
 	var addrs []string
 	for i := 0; i < 8; i++ {
-		lis, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			b.Fatal(err)
+		for r := 0; r < replicas; r++ {
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			node := NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
+			nodes[i] = append(nodes[i], node)
+			addr := lis.Addr().String()
+			if delay > 0 {
+				addr = latencyProxy(b, addr, delay)
+			}
+			addrs = append(addrs, addr)
+			go node.Serve(lis)
 		}
-		node := NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
-		nodes = append(nodes, node)
-		addr := lis.Addr().String()
-		if delay > 0 {
-			addr = latencyProxy(b, addr, delay)
-		}
-		addrs = append(addrs, addr)
-		go node.Serve(lis)
 	}
-	c, err := Dial(addrs, keys, DialOptions{BatchKeys: batch})
+	c, err := Dial(addrs, keys, DialOptions{BatchKeys: batch, Replicas: replicas})
 	if err != nil {
 		b.Fatal(err)
 	}
-	return c, func() {
+	return c, nodes, func() {
 		c.Close()
-		for _, n := range nodes {
-			n.Close()
+		for _, reps := range nodes {
+			for _, n := range reps {
+				n.Close()
+			}
 		}
 	}
 }
@@ -430,6 +443,83 @@ func delayPipe(src, dst net.Conn, delay time.Duration) {
 		if _, err := dst.Write(c.buf); err != nil {
 			return
 		}
+	}
+}
+
+// benchChecksum mirrors cmd/dcq's order-sensitive rank checksum.
+func benchChecksum(ranks []int) uint32 {
+	var sum uint32
+	for _, r := range ranks {
+		sum = sum*31 + uint32(r)
+	}
+	return sum
+}
+
+// BenchmarkTCPClusterReplicated8x2 measures the replicated steady
+// state: 8 partitions x 2 replicas, batches round-robined across each
+// partition's healthy members (bench_real.sh records this row).
+func BenchmarkTCPClusterReplicated8x2(b *testing.B) {
+	c, _, shutdown := benchReplicatedCluster(b, 16384, 2, 0)
+	defer shutdown()
+
+	queries := workload.UniformQueries(1<<18, 2)
+	out := make([]int, len(queries))
+	b.SetBytes(int64(len(queries) * workload.KeyBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.LookupBatchInto(queries, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPClusterReplicatedFailover is the availability acceptance
+// scenario: a loaded 8-partition x 2-replica cluster loses one replica
+// while batches are in flight, and every LookupBatch — in-flight and
+// subsequent — still completes with ranks checksum-identical to the
+// in-process runtime, without Redial. The recorded throughput is the
+// degraded-mode number (partition 0 down to one replica).
+func BenchmarkTCPClusterReplicatedFailover(b *testing.B) {
+	c, nodes, shutdown := benchReplicatedCluster(b, 16384, 2, 0)
+	defer shutdown()
+
+	keys := workload.SortedKeys(327680, 1)
+	queries := workload.UniformQueries(1<<18, 2)
+	ref, err := core.NewCluster(keys, core.RealConfig{Method: core.MethodC3, Workers: 8, BatchKeys: 16384, QueueDepth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	refRanks, err := ref.LookupBatch(queries)
+	ref.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := benchChecksum(refRanks)
+
+	out := make([]int, len(queries))
+	b.SetBytes(int64(len(queries) * workload.KeyBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			// Kill partition 0's first replica while this iteration's
+			// batches are on the wire.
+			go func() {
+				time.Sleep(2 * time.Millisecond)
+				nodes[0][0].Close()
+			}()
+		}
+		if err := c.LookupBatchInto(queries, out); err != nil {
+			b.Fatal(err)
+		}
+		if got := benchChecksum(out); got != want {
+			b.Fatalf("iteration %d: checksum %08x, want %08x (in-process runtime)", i, got, want)
+		}
+	}
+	b.StopTimer()
+	if err := c.Err(); err != nil {
+		b.Fatalf("cluster went terminal despite a surviving replica: %v", err)
 	}
 }
 

@@ -21,11 +21,12 @@ type Node struct {
 	rankBase int
 	lo, hi   workload.Key
 
-	lis    net.Listener
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	lis     net.Listener
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	serving bool
+	wg      sync.WaitGroup
 
 	// Logf receives connection-level errors; nil silences them.
 	Logf func(format string, args ...any)
@@ -60,15 +61,31 @@ func NewPartitionNode(partKeys []workload.Key, rankBase int) *Node {
 }
 
 // Serve accepts connections on lis until Close. It returns the listener
-// error that ended the accept loop (net.ErrClosed after Close).
+// error that ended the accept loop (net.ErrClosed after Close). Only
+// one Serve may run at a time: a second concurrent call is refused
+// instead of silently overwriting the active listener (which Close
+// would then fail to release). After Serve returns — say its listener
+// died — the Node may Serve again on a fresh listener; this is the
+// server half of a replica restart, which the client-side rejoin loop
+// then re-verifies and readmits.
 func (n *Node) Serve(lis net.Listener) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return errors.New("netrun: node closed")
 	}
+	if n.serving {
+		n.mu.Unlock()
+		return errors.New("netrun: node already serving (one Serve at a time)")
+	}
+	n.serving = true
 	n.lis = lis
 	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.serving = false
+		n.mu.Unlock()
+	}()
 
 	for {
 		conn, err := lis.Accept()
@@ -105,6 +122,13 @@ func (n *Node) Close() {
 	}
 	n.mu.Unlock()
 	n.wg.Wait()
+}
+
+// isServing reports whether an accept loop is currently running.
+func (n *Node) isServing() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.serving
 }
 
 func (n *Node) logf(format string, args ...any) {

@@ -19,7 +19,10 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 go test -run '^$' -bench 'BenchmarkReal_' -benchmem -benchtime "$BENCHTIME" . > "$RAW"
 # TCP loopback mode: the multiplexed master over real sockets, solo and
-# with 4 concurrent callers (plus the serialized baseline).
+# with 4 concurrent callers (plus the serialized baseline), and the
+# replicated rows — 8 partitions x 2 replicas in steady state
+# (Replicated8x2) and with one replica killed mid-run while every
+# batch must stay checksum-correct (ReplicatedFailover).
 go test -run '^$' -bench 'BenchmarkTCPCluster' -benchmem -benchtime "$BENCHTIME" ./internal/netrun >> "$RAW"
 cat "$RAW" >&2
 
