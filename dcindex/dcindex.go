@@ -28,7 +28,12 @@
 //     in-flight calls drain. Options.Layout selects the Method C-3
 //     slave structure: the paper's sorted array (default) or the
 //     opt-in Eytzinger layout, whose interleaved branchless descent
-//     overlaps cache misses across a batch.
+//     overlaps cache misses across a batch. Ascending query batches
+//     are auto-detected and take the sorted-batch pipeline — one
+//     boundary search per partition instead of per-key routing,
+//     zero-copy contiguous dispatch, and streaming merge kernels;
+//     Options.SortedBatches radix-sorts unsorted batches into the same
+//     path (see the README's "Sorted-batch mode").
 //   - The simulator (Simulate, Sweep): a trace-driven cache/network/
 //     cluster simulation parameterized by the paper's measured Pentium
 //     III constants (Table 2), which reproduces the paper's Figure 3 and
@@ -132,15 +137,25 @@ type Options struct {
 	// Layout selects the MethodC3 slave structure; the zero value is
 	// LayoutSortedArray. See LayoutEytzinger for the tradeoff.
 	Layout Layout
+	// SortedBatches opts unsorted query batches into the sorted-batch
+	// pipeline: they are sorted by key (pooled radix sort, O(n)) at
+	// dispatch so they get the one-sweep routing and the workers'
+	// streaming merge kernels, with results still returned in query
+	// order. Batches that are already ascending are auto-detected and
+	// take the sorted path whether or not this is set — callers whose
+	// streams arrive sorted (log-structured ingest, merged iterators,
+	// time-ordered IDs) get the fast path for free.
+	SortedBatches bool
 }
 
 func (o Options) withDefaults() core.RealConfig {
 	cfg := core.RealConfig{
-		Method:     o.Method,
-		Workers:    o.Workers,
-		BatchKeys:  o.BatchKeys,
-		QueueDepth: o.QueueDepth,
-		Layout:     o.Layout,
+		Method:        o.Method,
+		Workers:       o.Workers,
+		BatchKeys:     o.BatchKeys,
+		QueueDepth:    o.QueueDepth,
+		Layout:        o.Layout,
+		SortedBatches: o.SortedBatches,
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 8
@@ -335,7 +350,10 @@ type TCPCluster = netrun.Cluster
 // TCPOptions configures DialClusterOptions: batch granularity, the
 // dial/handshake timeout, the per-op progress timeout that turns a hung
 // node into prompt failover instead of a blocked master, the replica
-// count for flat address lists, and the rejoin backoff envelope.
+// count for flat address lists, the rejoin backoff envelope, and
+// SortedBatches (sort unsorted streams client-side so they ride the
+// sorted pipeline's one-sweep routing and protocol-v2 delta frames;
+// ascending streams are auto-detected either way).
 type TCPOptions = netrun.DialOptions
 
 // ReplicaHealth is one replica's liveness and traffic counters, as

@@ -137,18 +137,21 @@ type entry struct {
 	pos int32
 }
 
-// RankBatch computes out[i] = Rank(keys[i]) for every key using the
-// buffered traversal, firing h's hooks along the way. out must have
-// len(keys) capacity; it is returned for convenience. The result is
-// identical to calling tree.Rank per key — only the access pattern (and
-// hence the simulated cost) differs.
-func (p Plan) RankBatch(keys []workload.Key, out []int, h Hooks) []int {
+// RankBatch computes out[i] = Rank(keys[i]) + base for every key using
+// the buffered traversal, firing h's hooks along the way. base is the
+// partition's rank base, folded into the single result write each key
+// already pays (a distributed caller previously added it in a second
+// pass over out — one more full sweep of the result array for nothing).
+// out must have len(keys) capacity; it is returned for convenience. The
+// result is identical to calling tree.Rank per key and adding base —
+// only the access pattern (and hence the simulated cost) differs.
+func (p Plan) RankBatch(keys []workload.Key, out []int, base int, h Hooks) []int {
 	if len(out) < len(keys) {
 		panic(fmt.Sprintf("buffering: out len %d < keys len %d", len(out), len(keys)))
 	}
 	if p.tree.N() == 0 {
 		for i := range keys {
-			out[i] = 0
+			out[i] = base
 		}
 		return out
 	}
@@ -156,12 +159,12 @@ func (p Plan) RankBatch(keys []workload.Key, out []int, h Hooks) []int {
 	for i, k := range keys {
 		entries[i] = entry{key: k, pos: int32(i)}
 	}
-	p.process(0, p.tree.Root(), entries, out, h)
+	p.process(0, p.tree.Root(), entries, out, base, h)
 	return out
 }
 
 // process runs segment s for the subtree rooted at root over entries.
-func (p Plan) process(s int, root int32, entries []entry, out []int, h Hooks) {
+func (p Plan) process(s int, root int32, entries []entry, out []int, base int, h Hooks) {
 	t := p.tree
 	height := p.heights[s]
 	last := s == len(p.splits)-1
@@ -182,7 +185,7 @@ func (p Plan) process(s int, root int32, entries []entry, out []int, h Hooks) {
 			if h.TouchNode != nil {
 				h.TouchNode(id)
 			}
-			out[e.pos] = t.LeafRank(id, e.key)
+			out[e.pos] = t.LeafRank(id, e.key) + base
 		}
 		return
 	}
@@ -222,7 +225,7 @@ func (p Plan) process(s int, root int32, entries []entry, out []int, h Hooks) {
 	// in its buffer").
 	for i, b := range buckets {
 		if len(b) > 0 {
-			p.process(s+1, lo+int32(i), b, out, h)
+			p.process(s+1, lo+int32(i), b, out, base, h)
 		}
 	}
 }

@@ -17,11 +17,36 @@ func TestRankBatchMatchesPlainLookups(t *testing.T) {
 	for _, budget := range []int{64, 1 << 10, 32 << 10, 256 << 10, 16 << 20} {
 		plan := NewPlan(tree, budget)
 		out := make([]int, len(queries))
-		plan.RankBatch(queries, out, Hooks{})
+		plan.RankBatch(queries, out, 0, Hooks{})
 		for i, q := range queries {
 			if want := tree.Rank(q); out[i] != want {
 				t.Fatalf("budget %d: out[%d] = %d, want %d", budget, i, out[i], want)
 			}
+		}
+	}
+}
+
+// The base parameter must fold the partition rank base into every
+// result — including the empty-tree write — with no separate add pass.
+func TestRankBatchFoldsBase(t *testing.T) {
+	keys := workload.SortedKeys(10000, 4)
+	tree := index.NewNaryTree(keys, 0)
+	queries := workload.UniformQueries(5000, 5)
+	plan := NewPlan(tree, 8<<10)
+	out := make([]int, len(queries))
+	const base = 123456
+	plan.RankBatch(queries, out, base, Hooks{})
+	for i, q := range queries {
+		if want := tree.Rank(q) + base; out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	empty := NewPlan(index.NewNaryTree(nil, 0), 1<<10)
+	eout := make([]int, 3)
+	empty.RankBatch([]workload.Key{1, 2, 3}, eout, 7, Hooks{})
+	for i, r := range eout {
+		if r != 7 {
+			t.Fatalf("empty tree out[%d] = %d, want 7 (the base)", i, r)
 		}
 	}
 }
@@ -33,7 +58,7 @@ func TestRankBatchOnCSBTree(t *testing.T) {
 	// L1-sized budget: the Method C-2 configuration.
 	plan := NewPlan(tree, 8<<10)
 	out := make([]int, len(queries))
-	plan.RankBatch(queries, out, Hooks{})
+	plan.RankBatch(queries, out, 0, Hooks{})
 	for i, q := range queries {
 		if want := workload.ReferenceRank(keys, q); out[i] != want {
 			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
@@ -101,7 +126,7 @@ func TestHooksEventCounts(t *testing.T) {
 		BufferRead:  func(_ int32, b int) { reads += b },
 	}
 	out := make([]int, len(queries))
-	plan.RankBatch(queries, out, h)
+	plan.RankBatch(queries, out, 0, h)
 
 	// Every key visits every level exactly once.
 	wantTouches := len(queries) * tree.Levels()
@@ -127,7 +152,7 @@ func TestEveryOutputSlotWritten(t *testing.T) {
 	for i := range out {
 		out[i] = -1
 	}
-	plan.RankBatch(queries, out, Hooks{})
+	plan.RankBatch(queries, out, 0, Hooks{})
 	for i, v := range out {
 		if v < 0 {
 			t.Fatalf("out[%d] never written", i)
@@ -139,7 +164,7 @@ func TestEmptyBatchAndEmptyTree(t *testing.T) {
 	keys := workload.SortedKeys(1000, 9)
 	tree := index.NewNaryTree(keys, 0)
 	plan := NewPlan(tree, 8<<10)
-	if got := plan.RankBatch(nil, nil, Hooks{}); len(got) != 0 {
+	if got := plan.RankBatch(nil, nil, 0, Hooks{}); len(got) != 0 {
 		t.Errorf("empty batch returned %v", got)
 	}
 
@@ -149,7 +174,7 @@ func TestEmptyBatchAndEmptyTree(t *testing.T) {
 		t.Errorf("empty tree plan has %d segments", ep.Segments())
 	}
 	out := make([]int, 3)
-	ep.RankBatch([]workload.Key{1, 2, 3}, out, Hooks{})
+	ep.RankBatch([]workload.Key{1, 2, 3}, out, 0, Hooks{})
 	for i, v := range out {
 		if v != 0 {
 			t.Errorf("empty tree rank[%d] = %d", i, v)
@@ -165,7 +190,7 @@ func TestShortOutPanics(t *testing.T) {
 			t.Fatal("short out slice did not panic")
 		}
 	}()
-	plan.RankBatch(workload.UniformQueries(10, 2), make([]int, 5), Hooks{})
+	plan.RankBatch(workload.UniformQueries(10, 2), make([]int, 5), 0, Hooks{})
 }
 
 func TestNonPositiveBudgetPanics(t *testing.T) {
@@ -188,7 +213,7 @@ func TestSingleSegmentDegeneratesToPlainDescent(t *testing.T) {
 	var writes int
 	out := make([]int, 100)
 	qs := workload.UniformQueries(100, 3)
-	plan.RankBatch(qs, out, Hooks{BufferWrite: func(int32, int) { writes++ }})
+	plan.RankBatch(qs, out, 0, Hooks{BufferWrite: func(int32, int) { writes++ }})
 	if writes != 0 {
 		t.Errorf("single-segment plan wrote %d buffer entries, want 0", writes)
 	}
@@ -220,7 +245,7 @@ func TestBufferedEqualsPlainProperty(t *testing.T) {
 		plan := NewPlan(tree, budget)
 		queries := workload.UniformQueries(q, seed+1)
 		out := make([]int, q)
-		plan.RankBatch(queries, out, Hooks{})
+		plan.RankBatch(queries, out, 0, Hooks{})
 		for i, qk := range queries {
 			if out[i] != tree.Rank(qk) {
 				return false
@@ -241,7 +266,7 @@ func BenchmarkBufferedRankBatch(b *testing.B) {
 	out := make([]int, len(queries))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		plan.RankBatch(queries, out, Hooks{})
+		plan.RankBatch(queries, out, 0, Hooks{})
 	}
 	b.SetBytes(int64(len(queries) * workload.KeyBytes))
 }

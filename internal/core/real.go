@@ -58,6 +58,14 @@ type RealConfig struct {
 	// the paper's sorted array. Setting LayoutEytzinger with any other
 	// method is a configuration error.
 	Layout Layout
+	// SortedBatches opts unsorted callers into the sorted-batch
+	// pipeline: batches that are not already ascending are sorted by
+	// key with a pooled radix sort before dispatch, so they too get the
+	// one-sweep routing and the streaming merge kernels. Ascending
+	// batches are always auto-detected and take the sorted path
+	// regardless of this flag; SortedBatches only controls whether
+	// unsorted input pays the O(n) sort to join them.
+	SortedBatches bool
 }
 
 // DefaultRealConfig returns a ready-to-use configuration for m.
@@ -105,6 +113,20 @@ type realBatch struct {
 	posBase int
 	// ranks is the worker's reply, global ranks (rank base folded in).
 	ranks []int
+	// sorted marks keys as an ascending run, steering the worker onto
+	// the streaming merge kernel (RankSorted) instead of per-key search.
+	sorted bool
+	// alias marks keys (and pos) as views into memory the batch does
+	// not own — the caller's query slice or a pooled sort scratch — so
+	// the gatherer drops them instead of recycling their capacity.
+	alias bool
+	// keysBuf/posBuf are the batch's owned backing arrays. putBatch
+	// restores them after an aliased use (and re-captures them after an
+	// owned use grows them), so a workload that alternates sorted
+	// (aliasing) and unsorted (accumulating) calls keeps its grown
+	// capacity instead of re-allocating it every other call.
+	keysBuf []workload.Key
+	posBuf  []int32
 	// reply routes the processed batch back to the issuing call; each
 	// LookupBatch call gathers on its own channel, which is what makes
 	// concurrent callers safe without a global lock.
@@ -139,8 +161,17 @@ type Cluster struct {
 
 	// batches pools *realBatch between dispatch and gather; calls pools
 	// per-call dispatch state (gather channel + accumulation slots).
-	batches sync.Pool
-	calls   sync.Pool
+	// Each pool sits behind a bounded free-list channel: sync.Pool is
+	// emptied by the garbage collector (victim caches survive only one
+	// cycle), so a long-running cluster would re-allocate its entire
+	// batch working set — tens of 16K-entry slices — after every GC.
+	// The channel is invisible to the collector's pool sweep, holds the
+	// steady-state working set (it is sized to the worst-case in-flight
+	// batch count), and falls back to the pool only under bursts.
+	freeBatches chan *realBatch
+	freeCalls   chan *callState
+	batches     sync.Pool
+	calls       sync.Pool
 
 	// mu is held shared by lookups for their full duration and
 	// exclusively by Close, which therefore waits out in-flight calls.
@@ -160,6 +191,8 @@ type callState struct {
 	reply chan *realBatch
 	// accum[w] is worker w's accumulating batch (Method C dispatch).
 	accum []*realBatch
+	// sort is the pooled radix-sort scratch for SortedBatches callers.
+	sort RadixScratch
 }
 
 // NewCluster builds the index (replicated or partitioned per the
@@ -190,6 +223,11 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 			accum: make([]*realBatch, cfg.Workers),
 		}
 	}
+	// Free-list capacities cover the steady state: every worker queue
+	// full plus one accumulating and one in-process batch per worker,
+	// and a handful of concurrent calls.
+	c.freeBatches = make(chan *realBatch, cfg.Workers*(cfg.QueueDepth+2))
+	c.freeCalls = make(chan *callState, 16)
 
 	if cfg.Method.Distributed() {
 		part, err := newPartitioningSorted(keys, cfg.Workers)
@@ -268,16 +306,19 @@ func (rw *realWorker) process(b *realBatch) {
 	b.ranks = out
 	switch {
 	case rw.buffered:
-		rw.plan.RankBatch(b.keys, out, buffering.Hooks{})
-		if rw.rankBase != 0 {
-			for i := range out {
-				out[i] += rw.rankBase
-			}
-		}
+		rw.plan.RankBatch(b.keys, out, rw.rankBase, buffering.Hooks{})
 	case rw.eytz != nil:
-		rw.eytz.RankBatch(b.keys, out, rw.rankBase)
+		if b.sorted {
+			rw.eytz.RankSorted(b.keys, out, rw.rankBase)
+		} else {
+			rw.eytz.RankBatch(b.keys, out, rw.rankBase)
+		}
 	case rw.arr != nil:
-		rw.arr.RankBatch(b.keys, out, rw.rankBase)
+		if b.sorted {
+			rw.arr.RankSorted(b.keys, out, rw.rankBase)
+		} else {
+			rw.arr.RankBatch(b.keys, out, rw.rankBase)
+		}
 	default:
 		base := rw.rankBase
 		for i, k := range b.keys {
@@ -301,23 +342,40 @@ func (c *Cluster) runWorker(w int, proc *realWorker) {
 
 // getBatch checks a pooled batch out for a call's reply channel.
 func (c *Cluster) getBatch(reply chan *realBatch) *realBatch {
-	b := c.batches.Get().(*realBatch)
+	var b *realBatch
+	select {
+	case b = <-c.freeBatches:
+	default:
+		b = c.batches.Get().(*realBatch)
+	}
 	b.keys = b.keys[:0]
 	b.pos = b.pos[:0]
 	b.posBase = 0
+	b.sorted = false
+	b.alias = false
 	b.reply = reply
 	return b
 }
 
-// putBatch recycles b after its ranks were copied out. Aliased key
-// slices (the replicated methods point keys at the caller's queries) are
-// dropped rather than recycled.
-func (c *Cluster) putBatch(b *realBatch, aliased bool) {
-	if aliased {
-		b.keys = nil
+// putBatch recycles b after its ranks were copied out. Aliased key and
+// position slices (the replicated methods and the sorted dispatch point
+// them at the caller's queries or at a call's pooled sort scratch) are
+// swapped back for the batch's owned arrays rather than recycled: the
+// aliased memory belongs to someone else and may be reused the moment
+// the call returns, while the owned capacity must survive aliased uses
+// so mixed sorted/unsorted workloads stay allocation-free.
+func (c *Cluster) putBatch(b *realBatch) {
+	if b.alias {
+		b.keys, b.pos = b.keysBuf, b.posBuf
+	} else {
+		b.keysBuf, b.posBuf = b.keys, b.pos
 	}
 	b.reply = nil
-	c.batches.Put(b)
+	select {
+	case c.freeBatches <- b:
+	default:
+		c.batches.Put(b)
+	}
 }
 
 // LookupBatch routes queries through the cluster and returns their
@@ -349,8 +407,19 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		return nil
 	}
 
-	cs := c.calls.Get().(*callState)
-	defer c.calls.Put(cs)
+	var cs *callState
+	select {
+	case cs = <-c.freeCalls:
+	default:
+		cs = c.calls.Get().(*callState)
+	}
+	defer func() {
+		select {
+		case c.freeCalls <- cs:
+		default:
+			c.calls.Put(cs)
+		}
+	}()
 	bk := c.cfg.BatchKeys
 	// Worst-case batches in flight: one full batch per BatchKeys run
 	// plus one final partial flush per worker. Steady state this is a
@@ -369,7 +438,7 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 				out[p] = b.ranks[i]
 			}
 		}
-		c.putBatch(b, !distributed)
+		c.putBatch(b)
 		pending--
 	}
 	send := func(w int, b *realBatch) {
@@ -386,7 +455,43 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		}
 	}
 
-	if distributed {
+	// Sorted-batch detection: an ascending run takes the sort-route-scan
+	// path below — one boundary search per partition instead of one
+	// Route per key, batches that alias the query slice instead of
+	// copying it, and the workers' streaming merge kernels. Unsorted
+	// input joins the same path via the pooled radix sort when the
+	// caller opted in with SortedBatches; otherwise it takes the classic
+	// per-key dispatch.
+	runKeys := queries
+	var runPos []int32 // nil: run positions == run indices (aliases queries)
+	sorted := SortedRun(queries)
+	if !sorted && c.cfg.SortedBatches {
+		runKeys, runPos = cs.sort.SortByKey(queries)
+		sorted = true
+	}
+
+	switch {
+	case distributed && sorted:
+		// One sweep over the delimiters (ForEachSortedRun): partition s
+		// owns the contiguous run up to the first key >= delims[s].
+		// Runs alias runKeys (no copy); a run's original positions are
+		// either the contiguous range starting at posBase (input was
+		// already sorted) or the corresponding slice of the sort
+		// permutation.
+		ForEachSortedRun(c.part.delims, runKeys, bk, func(s, start, end int) {
+			b := c.getBatch(cs.reply)
+			b.keys = runKeys[start:end]
+			b.posBase = start
+			b.sorted = true
+			b.alias = true
+			if runPos != nil {
+				b.pos = runPos[start:end]
+			} else {
+				b.pos = nil
+			}
+			send(s, b)
+		})
+	case distributed:
 		// Master dispatch: per-slave accumulation directly into pooled
 		// batches, handed off whole at BatchKeys (no copy).
 		for i, q := range queries {
@@ -409,21 +514,28 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 			}
 			cs.accum[s] = nil
 			if len(b.keys) == 0 {
-				c.putBatch(b, false)
+				c.putBatch(b)
 				continue
 			}
 			send(s, b)
 		}
-	} else {
+	default:
 		// Replicated index: round-robin load balancing over contiguous
-		// query runs (keys alias the caller's slice; no copy, and the
-		// gather is a straight copy instead of a scatter).
-		for start := 0; start < len(queries); start += bk {
-			end := min(start+bk, len(queries))
+		// query runs (keys alias the caller's slice — or the sorted
+		// scratch for SortedBatches callers — no copy, and the gather
+		// is a straight copy instead of a scatter for in-order runs).
+		for start := 0; start < len(runKeys); start += bk {
+			end := min(start+bk, len(runKeys))
 			b := c.getBatch(cs.reply)
-			b.keys = queries[start:end]
-			b.pos = nil
+			b.keys = runKeys[start:end]
 			b.posBase = start
+			b.sorted = sorted
+			b.alias = true
+			if runPos != nil {
+				b.pos = runPos[start:end]
+			} else {
+				b.pos = nil
+			}
 			send(c.nextWorker(), b)
 		}
 	}

@@ -353,7 +353,7 @@ func (s *simSlave) process(m pendingMsg) float64 {
 				cost += s.h.Stream(b)
 			},
 		}
-		s.plan.RankBatch(m.keys, ranks, hooks)
+		s.plan.RankBatch(m.keys, ranks, 0, hooks)
 	default: // MethodC3
 		for i, k := range m.keys {
 			s.trace = s.trace[:0]

@@ -111,7 +111,7 @@ func simLocal(cfg SimConfig) (SimReport, error) {
 			// cache before the buffered traversal begins.
 			ns += h.StreamInstall(batchSlotAddr(slot), n*workload.KeyBytes)
 			slot = 1 - slot
-			plan.RankBatch(keys[:n], out[:n], hooks)
+			plan.RankBatch(keys[:n], out[:n], 0, hooks)
 			// Results stream out.
 			ns += h.Stream(n * workload.KeyBytes)
 

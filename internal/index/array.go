@@ -152,6 +152,55 @@ func (a *SortedArray) RankBatch(qs []workload.Key, out []int, add int) {
 	}
 }
 
+// RankSorted resolves an ascending query run qs into out (which must be
+// at least len(qs) long), adding add to every rank — the sorted-batch
+// fast path. The caller guarantees qs is sorted ascending (duplicates
+// allowed); results are then bit-identical to RankBatch, but the access
+// pattern is a single forward merge instead of per-key search.
+//
+// A cursor walks the key array left to right and never moves backward:
+// each query advances it by galloping (doubling probes) from the current
+// position and then binary-searching only the bracketed gap, so a query
+// that lands near its predecessor — the common case when a batch is
+// dense relative to the partition — costs O(1) compares, and the whole
+// run costs O(len(qs) + log-sum of gaps) with strictly sequential,
+// prefetcher-friendly memory traffic. This is the paper's cache-
+// residency thesis taken to its limit: the partition is not just
+// cache-resident, it is streamed through exactly once per batch.
+// Out-of-range queries cost one compare (below min) or saturate the
+// cursor at n (above max); duplicate queries repeat the cursor without
+// touching the array again.
+func (a *SortedArray) RankSorted(qs []workload.Key, out []int, add int) {
+	keys := a.keys
+	n := len(keys)
+	j := 0
+	for i, q := range qs {
+		if j < n && keys[j] <= q {
+			// Gallop: find the first doubling step whose last key
+			// exceeds q, then binary-search inside that bracket.
+			step := 1
+			for j+step <= n && keys[j+step-1] <= q {
+				step <<= 1
+			}
+			lo := j + step>>1
+			hi := j + step
+			if hi > n {
+				hi = n
+			}
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if keys[mid] <= q {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			j = lo
+		}
+		out[i] = j + add
+	}
+}
+
 // upperBound is the number of keys <= k, by binary search.
 func upperBound(keys []workload.Key, k workload.Key) int {
 	lo, hi := 0, len(keys)

@@ -160,6 +160,20 @@ func (e *Eytzinger) RankBatch(qs []workload.Key, out []int, add int) {
 	}
 }
 
+// RankSorted is the sorted-batch entry point, provided so the Eytzinger
+// layout satisfies the same kernel surface as SortedArray. It is a
+// documented fallback, not a streaming merge: the Eytzinger permutation
+// scatters ascending keys across the array (slot order is BFS, not
+// sorted order), so a forward-merge cursor has no sequential run to
+// stream through, and the profitable strategy for an ascending batch is
+// the same interleaved lock-step descent RankBatch already performs —
+// ascending queries share their top-of-tree path, which the hot
+// first-levels cache lines already capture. Results are bit-identical
+// to RankBatch.
+func (e *Eytzinger) RankSorted(qs []workload.Key, out []int, add int) {
+	e.RankBatch(qs, out, add)
+}
+
 // RankTrace implements Index; every probed slot contributes one address
 // (the trailing rank-table load shares the final level's locality and is
 // not traced separately).

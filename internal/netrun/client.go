@@ -191,6 +191,11 @@ type clusterNode struct {
 	// meta from the hello handshake.
 	rankBase int
 	keyCount int
+	// version is the negotiated protocol version for this connection
+	// (ProtoV1 against old nodes — sorted pendings are then sent as
+	// plain OpLookup frames, so failover across mixed-version replica
+	// groups just re-encodes).
+	version uint32
 
 	opTimeout time.Duration // <= 0: deadlines disabled
 	failOnce  sync.Once     // failNode runs its body exactly once
@@ -216,8 +221,17 @@ type pending struct {
 	keys  []uint32
 	pos   []int32
 	out   []int
-	err   error
-	done  chan *pending
+	// sorted marks keys as an ascending run: eligible for the v2
+	// delta-coded frames when the connection negotiated them (a v1
+	// connection just sends OpLookup — the keys are the same).
+	sorted bool
+	// contig means the run maps to the contiguous out range starting
+	// at posBase (the sorted dispatch's runs preserve query order), so
+	// the reply scatters sequentially and pos stays unused.
+	contig  bool
+	posBase int
+	err     error
+	done    chan *pending
 }
 
 func (p *pending) complete(err error) {
@@ -233,6 +247,10 @@ func (p *pending) complete(err error) {
 type netCall struct {
 	done  chan *pending
 	accum []*pending
+	// sort is the pooled radix scratch for DialOptions.SortedBatches
+	// callers (unsorted input sorted client-side to join the sorted
+	// pipeline).
+	sort core.RadixScratch
 }
 
 // DialOptions configures Dial.
@@ -261,6 +279,13 @@ type DialOptions struct {
 	RejoinBackoff time.Duration
 	// RejoinMaxBackoff caps the rejoin backoff (default 3s).
 	RejoinMaxBackoff time.Duration
+	// SortedBatches opts unsorted callers into the sorted-batch
+	// pipeline: batches that are not already ascending are sorted by
+	// key (pooled radix sort) before dispatch, so they too get the
+	// one-sweep routing, the nodes' streaming kernels, and the v2
+	// delta-coded frames. Ascending batches are always auto-detected
+	// and take the sorted path regardless of this flag.
+	SortedBatches bool
 }
 
 // GroupAddrs expands a dial address list into one replica address set
@@ -464,7 +489,10 @@ func closeEpochNodes(ep *epoch) {
 func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
 	n.conn.SetDeadline(time.Now().Add(timeout))
 	defer n.conn.SetDeadline(time.Time{})
-	if err := n.bc.writeFrame(Frame{Op: OpHello}); err != nil {
+	// The reqID field of the hello advertises our protocol version; a
+	// v1 node ignores it and acks 4 words, a v2 node acks 5 with the
+	// negotiated version appended (see the package doc).
+	if err := n.bc.writeFrame(Frame{Op: OpHello, ReqID: ProtoVersion}); err != nil {
 		return err
 	}
 	if err := n.bc.w.Flush(); err != nil {
@@ -474,8 +502,16 @@ func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
-	if f.Op != OpHelloAck || len(f.Payload) != 4 {
+	if f.Op != OpHelloAck || (len(f.Payload) != 4 && len(f.Payload) != 5) {
 		return fmt.Errorf("bad hello ack (op %d, %d words)", f.Op, len(f.Payload))
+	}
+	n.version = ProtoV1
+	if len(f.Payload) == 5 {
+		v := f.Payload[4]
+		if v < ProtoV1 || v > ProtoVersion {
+			return fmt.Errorf("node negotiated unsupported protocol version %d", v)
+		}
+		n.version = v
 	}
 	n.rankBase = int(f.Payload[0])
 	n.keyCount = int(f.Payload[1])
@@ -662,8 +698,17 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 		// can complete (reply or failover sweep) and be recycled by its
 		// caller, so p.keys must not be read outside the lock. After
 		// encode the frame lives in the writer's scratch, and the
-		// blocking socket I/O below never touches p.
-		buf, encErr := n.bc.fw.encode(Frame{Op: OpLookup, ReqID: p.reqID, Payload: p.keys})
+		// blocking socket I/O below never touches p. Sorted runs go out
+		// as v2 delta frames when this connection negotiated them; on a
+		// v1 connection (or after failover onto one) the same keys go
+		// out as a plain OpLookup.
+		var buf []byte
+		var encErr error
+		if p.sorted && n.version >= ProtoV2 {
+			buf, encErr = n.bc.fw.encodeDeltaKeys(p.reqID, p.keys)
+		} else {
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpLookup, ReqID: p.reqID, Payload: p.keys})
+		}
 		n.mu.Unlock()
 
 		if encErr != nil {
@@ -717,6 +762,12 @@ func (n *clusterNode) armRead() {
 func (n *clusterNode) readLoop(ep *epoch) {
 	defer ep.wg.Done()
 	c := ep.c
+	// rankScratch stages decoded OpRanksDelta payloads. Decoding fully
+	// before deregistering the pending keeps the failure story simple:
+	// a corrupt delta stream leaves the pending registered, so the
+	// failNode sweep re-routes it to a sibling like any other protocol
+	// violation — no partially-scattered result can ever complete.
+	var rankScratch []uint32
 	for {
 		f, err := n.bc.readFrame()
 		if err != nil {
@@ -727,10 +778,27 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			return
 		}
 		switch f.Op {
+		case OpRanksDelta:
+			vals, derr := decodeDeltaRun(f.Raw, rankScratch)
+			if derr != nil {
+				c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %w", n.g.part, n.addr, derr))
+				return
+			}
+			rankScratch = vals
+			f.Payload = vals
+			fallthrough
 		case OpRanks:
 			n.mu.Lock()
 			p, ok := n.pending[f.ReqID]
-			if ok && len(f.Payload) == len(p.pos) {
+			// Capture the key count under the lock: on the mismatch
+			// path below p stays registered, so a concurrent failNode
+			// sweep may re-route, complete, and recycle it the moment
+			// the lock is released — p must not be read after that.
+			nKeys := 0
+			if ok {
+				nKeys = len(p.keys)
+			}
+			if ok && len(f.Payload) == nKeys {
 				delete(n.pending, f.ReqID)
 				if n.opTimeout > 0 {
 					if len(n.pending) == 0 {
@@ -742,8 +810,15 @@ func (n *clusterNode) readLoop(ep *epoch) {
 					}
 				}
 				n.mu.Unlock()
-				for i, pos := range p.pos {
-					p.out[pos] = int(f.Payload[i])
+				if p.contig {
+					base := p.posBase
+					for i, r := range f.Payload {
+						p.out[base+i] = int(r)
+					}
+				} else {
+					for i, pos := range p.pos {
+						p.out[pos] = int(f.Payload[i])
+					}
 				}
 				p.complete(nil)
 				continue
@@ -760,7 +835,7 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			}
 			// Count mismatch: p stays registered, so failNode sweeps
 			// and re-routes it to a sibling for a correct answer.
-			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %d ranks for %d keys", n.g.part, n.addr, len(f.Payload), len(p.pos)))
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %d ranks for %d keys", n.g.part, n.addr, len(f.Payload), nKeys))
 			return
 		case OpErr:
 			code := uint32(0)
@@ -780,6 +855,9 @@ func (c *Cluster) getPending() *pending {
 	p := c.pends.Get().(*pending)
 	p.keys = p.keys[:0]
 	p.pos = p.pos[:0]
+	p.sorted = false
+	p.contig = false
+	p.posBase = 0
 	p.err = nil
 	return p
 }
@@ -867,29 +945,62 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		nc.done = make(chan *pending, need)
 	}
 
+	// Sorted-batch detection mirrors the in-process runtime: an
+	// ascending run is routed with one boundary search per partition
+	// delimiter instead of one Route per key, its pendings stay
+	// contiguous (sequential scatter, no position array), and v2
+	// connections carry them as delta-coded frames. Unsorted input
+	// joins the path via the pooled radix sort when the caller opted in
+	// with DialOptions.SortedBatches.
+	runKeys := queries
+	var runPos []int32
+	sorted := core.SortedRun(queries)
+	if !sorted && c.opt.SortedBatches {
+		runKeys, runPos = nc.sort.SortByKey(queries)
+		sorted = true
+	}
+
 	inflight := 0
-	for i, q := range queries {
-		gi := c.part.Route(q)
-		p := nc.accum[gi]
-		if p == nil {
-			p = c.getPending()
-			nc.accum[gi] = p
+	if sorted {
+		core.ForEachSortedRun(c.part.Delimiters(), runKeys, c.batch, func(gi, start, end int) {
+			p := c.getPending()
+			p.sorted = true
+			for _, q := range runKeys[start:end] {
+				p.keys = append(p.keys, uint32(q))
+			}
+			if runPos != nil {
+				p.pos = append(p.pos, runPos[start:end]...)
+			} else {
+				p.contig = true
+				p.posBase = start
+			}
+			c.dispatch(ep, gi, p, out, nc.done)
+			inflight++
+		})
+	} else {
+		for i, q := range queries {
+			gi := c.part.Route(q)
+			p := nc.accum[gi]
+			if p == nil {
+				p = c.getPending()
+				nc.accum[gi] = p
+			}
+			p.keys = append(p.keys, uint32(q))
+			p.pos = append(p.pos, int32(i))
+			if len(p.keys) >= c.batch {
+				nc.accum[gi] = nil
+				c.dispatch(ep, gi, p, out, nc.done)
+				inflight++
+			}
 		}
-		p.keys = append(p.keys, uint32(q))
-		p.pos = append(p.pos, int32(i))
-		if len(p.keys) >= c.batch {
+		for gi, p := range nc.accum[:len(groups)] {
+			if p == nil {
+				continue
+			}
 			nc.accum[gi] = nil
 			c.dispatch(ep, gi, p, out, nc.done)
 			inflight++
 		}
-	}
-	for gi, p := range nc.accum[:len(groups)] {
-		if p == nil {
-			continue
-		}
-		nc.accum[gi] = nil
-		c.dispatch(ep, gi, p, out, nc.done)
-		inflight++
 	}
 
 	var firstErr error

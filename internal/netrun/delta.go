@@ -1,0 +1,132 @@
+package netrun
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Protocol v2's sorted-run payload codec: an ascending sequence of
+// 32-bit values (keys of a sorted batch, or the nondecreasing ranks
+// answering one) is stored as varint(count) followed by count varints —
+// the first value, then successive deltas. Sorted batches make both
+// directions monotone, so the deltas are small and unsigned by
+// construction: uniform keys split over P partitions yield ~(range/P)/n
+// average gaps, and rank deltas are bounded by the partition's key
+// count over the batch — in the benchmark regime that is ~3 bytes per
+// key outbound and ~1 byte per rank inbound versus fixed 4-byte words,
+// on top of which the decoder's pass is strictly sequential.
+//
+// Hostile input rules (mirrored by FuzzDeltaPayload):
+//   - a varint may span at most 5 bytes and must fit in 32 bits;
+//   - the element count is validated against the remaining payload
+//     length before any allocation (every element takes >= 1 byte), so
+//     a forged count can never force an allocation larger than the
+//     frame that carried it — the same guard dcindex.ReadKeys applies
+//     to its chunked key reader;
+//   - the running sum must stay within 32 bits;
+//   - the payload must be consumed exactly (no trailing bytes).
+
+var (
+	errDeltaTruncated = errors.New("netrun: delta payload truncated")
+	errDeltaOverflow  = errors.New("netrun: delta payload overflows 32 bits")
+	errDeltaTrailing  = errors.New("netrun: delta payload has trailing bytes")
+)
+
+// appendUvarint32 appends v in LEB128 (at most 5 bytes).
+func appendUvarint32(dst []byte, v uint32) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// uvarint32 decodes one varint from b, returning the value and the
+// number of bytes consumed; n == 0 reports truncated, overlong (> 5
+// bytes), or out-of-range (> 32 bits) input.
+func uvarint32(b []byte) (v uint32, n int) {
+	var x uint64
+	var s uint
+	for i := 0; i < len(b) && i < 5; i++ {
+		c := b[i]
+		if c < 0x80 {
+			x |= uint64(c) << s
+			if x > 0xFFFFFFFF {
+				return 0, 0
+			}
+			return uint32(x), i + 1
+		}
+		x |= uint64(c&0x7F) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+// appendDeltaRun appends the v2 encoding of the nondecreasing run vals
+// to dst and returns it. The caller guarantees monotonicity (sorted
+// keys or their ranks); encode panics in race-detector-less production
+// would corrupt the stream, so it is checked and reported as an error.
+func appendDeltaRun(dst []byte, vals []uint32) ([]byte, error) {
+	dst = appendUvarint32(dst, uint32(len(vals)))
+	prev := uint32(0)
+	for i, v := range vals {
+		if v < prev {
+			return nil, fmt.Errorf("netrun: delta run not monotone at %d (%d after %d)", i, v, prev)
+		}
+		dst = appendUvarint32(dst, v-prev)
+		prev = v
+	}
+	return dst, nil
+}
+
+// deltaRunCount reads and validates the element count of a v2 payload:
+// it must decode, and it must not exceed the remaining byte count
+// (each element occupies at least one byte). Returns the count and the
+// header size.
+func deltaRunCount(payload []byte) (count, hdr int, err error) {
+	c, n := uvarint32(payload)
+	if n == 0 {
+		return 0, 0, errDeltaTruncated
+	}
+	// Compare in uint64: on 32-bit platforms int(c) would wrap negative
+	// for counts >= 2^31 and slip past the guard straight into a
+	// negative make() — the same convention frameReader applies to its
+	// length word.
+	if uint64(c) > uint64(len(payload)-n) {
+		return 0, 0, fmt.Errorf("netrun: delta count %d exceeds payload (%d bytes left): forged frame", c, len(payload)-n)
+	}
+	return int(c), n, nil
+}
+
+// decodeDeltaRun decodes a full v2 payload into out (grown as needed,
+// bounded by the deltaRunCount guard) and returns the values. Used by
+// the node to recover a sorted key batch; the client decodes rank
+// payloads inline in its read loop to scatter without a staging array.
+func decodeDeltaRun(payload []byte, out []uint32) ([]uint32, error) {
+	count, hdr, err := deltaRunCount(payload)
+	if err != nil {
+		return nil, err
+	}
+	if cap(out) < count {
+		out = make([]uint32, count)
+	}
+	out = out[:count]
+	pos := hdr
+	acc := uint64(0)
+	for i := 0; i < count; i++ {
+		d, n := uvarint32(payload[pos:])
+		if n == 0 {
+			return nil, errDeltaTruncated
+		}
+		pos += n
+		acc += uint64(d)
+		if acc > 0xFFFFFFFF {
+			return nil, errDeltaOverflow
+		}
+		out[i] = uint32(acc)
+	}
+	if pos != len(payload) {
+		return nil, errDeltaTrailing
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package netrun
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestUvarint32RoundTrip(t *testing.T) {
+	vals := []uint32{0, 1, 0x7F, 0x80, 0x3FFF, 0x4000, 0x1FFFFF, 0x200000, 0xFFFFFFF, 0x10000000, 0xFFFFFFFF}
+	for _, v := range vals {
+		b := appendUvarint32(nil, v)
+		if len(b) > 5 {
+			t.Fatalf("%d encoded to %d bytes", v, len(b))
+		}
+		got, n := uvarint32(b)
+		if n != len(b) || got != v {
+			t.Fatalf("uvarint32(%x) = %d,%d want %d,%d", b, got, n, v, len(b))
+		}
+	}
+}
+
+func TestUvarint32RejectsHostileInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"truncated":    {0x80},
+		"truncated4":   {0x80, 0x80, 0x80, 0x80},
+		"overlong":     {0x80, 0x80, 0x80, 0x80, 0x80, 0x01}, // 6 bytes
+		"out-of-range": {0xFF, 0xFF, 0xFF, 0xFF, 0x7F},       // > 2^32
+	}
+	for name, b := range cases {
+		if v, n := uvarint32(b); n != 0 {
+			t.Fatalf("%s: accepted as %d (%d bytes)", name, v, n)
+		}
+	}
+}
+
+func TestDeltaRunRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		vals := append([]uint32(nil), raw...)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		enc, err := appendDeltaRun(nil, vals)
+		if err != nil {
+			return false
+		}
+		dec, err := decodeDeltaRun(enc, nil)
+		if err != nil || len(dec) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendDeltaRunRejectsNonMonotone(t *testing.T) {
+	if _, err := appendDeltaRun(nil, []uint32{5, 3}); err == nil {
+		t.Fatal("non-monotone run encoded")
+	}
+}
+
+func TestDecodeDeltaRunTruncations(t *testing.T) {
+	enc, err := appendDeltaRun(nil, []uint32{10, 200, 300000, 300000, 0xFFFFFFFF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must be rejected, never panic.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := decodeDeltaRun(enc[:cut], nil); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage must be rejected too (exact-consumption rule).
+	if _, err := decodeDeltaRun(append(append([]byte(nil), enc...), 0x00), nil); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// A forged element count must be rejected before any allocation larger
+// than the payload itself — the ReadKeys-style chunk guard.
+func TestDecodeDeltaRunHostileCount(t *testing.T) {
+	payload := appendUvarint32(nil, 0xFFFFFFFF) // claims 4G elements
+	payload = append(payload, 1, 2, 3)
+	if _, err := decodeDeltaRun(payload, nil); err == nil || !strings.Contains(err.Error(), "forged") {
+		t.Fatalf("err = %v, want forged-frame rejection", err)
+	}
+	// Sum overflow past 32 bits: first element 0xFFFFFFFF, delta 1.
+	over := appendUvarint32(nil, 2)
+	over = appendUvarint32(over, 0xFFFFFFFF)
+	over = appendUvarint32(over, 1)
+	if _, err := decodeDeltaRun(over, nil); err != errDeltaOverflow {
+		t.Fatalf("err = %v, want overflow", err)
+	}
+}
+
+// FuzzDeltaPayload drives the decoder with arbitrary bytes: it must
+// never panic, never allocate beyond the guarded bound, and on success
+// re-encode to a stream that decodes to the same values.
+func FuzzDeltaPayload(f *testing.F) {
+	seed1, _ := appendDeltaRun(nil, []uint32{1, 2, 3, 100000, 0xFFFFFFFF})
+	seed2, _ := appendDeltaRun(nil, []uint32{})
+	seed3, _ := appendDeltaRun(nil, []uint32{0, 0, 0, 0})
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add(seed3)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F})       // hostile count
+	f.Add([]byte{0x02, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // overflowing delta
+	f.Add(bytes.Repeat([]byte{0x80}, 64))             // unterminated varints
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		vals, err := decodeDeltaRun(payload, nil)
+		if err != nil {
+			return
+		}
+		// The count guard: a successful decode can never have produced
+		// more elements than payload bytes.
+		if len(vals) > len(payload) {
+			t.Fatalf("%d elements out of %d bytes", len(vals), len(payload))
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1] {
+				t.Fatalf("decoded run not monotone at %d", i)
+			}
+		}
+		enc, err := appendDeltaRun(nil, vals)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := decodeDeltaRun(enc, nil)
+		if err != nil || len(back) != len(vals) {
+			t.Fatalf("re-decode: %v (%d vals)", err, len(back))
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				t.Fatalf("round trip diverged at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzFrameReader feeds arbitrary byte streams to the frame decoder
+// (header + v1 word payloads + v2 byte payloads): no panic, no
+// unbounded allocation.
+func FuzzFrameReader(f *testing.F) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Frame{Op: OpLookup, ReqID: 7, Payload: []uint32{1, 2, 3}})
+	f.Add(buf.Bytes())
+	raw, _ := appendDeltaRun(nil, []uint32{5, 6, 7})
+	var buf2 bytes.Buffer
+	WriteFrame(&buf2, Frame{Op: OpLookupSorted, ReqID: 9, Raw: raw})
+	f.Add(buf2.Bytes())
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		fr := frameReader{}
+		r := bytes.NewReader(stream)
+		for {
+			if _, err := fr.readFrom(r); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// V2 frames must round-trip through the writer/reader pair.
+func TestSortedFrameRoundTrip(t *testing.T) {
+	keys := []uint32{3, 3, 70, 500, 1 << 30, 0xFFFFFFFF}
+	raw, err := appendDeltaRun(nil, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Op: OpLookupSorted, ReqID: 42, Raw: raw}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Op != OpLookupSorted || f.ReqID != 42 {
+		t.Fatalf("frame header mismatch: %+v", f)
+	}
+	got, err := decodeDeltaRun(f.Raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("key[%d] = %d, want %d", i, got[i], k)
+		}
+	}
+}
+
+// encodeDeltaKeys (the send-path fused encoder) must produce exactly a
+// header plus appendDeltaRun's payload.
+func TestEncodeDeltaKeysMatchesFrame(t *testing.T) {
+	keys := []uint32{1, 2, 2, 900, 1 << 20}
+	var fw frameWriter
+	buf, err := fw.encodeDeltaKeys(77, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Op != OpLookupSorted || f.ReqID != 77 {
+		t.Fatalf("header mismatch: %+v", f)
+	}
+	got, err := decodeDeltaRun(f.Raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("key[%d] = %d, want %d", i, got[i], k)
+		}
+	}
+}
+
+// The wire win the delta coding buys on the benchmark-shaped workload:
+// sorted uniform keys must shrink meaningfully, and their (dense) rank
+// runs must shrink to about a byte per element.
+func TestDeltaCompressionRatio(t *testing.T) {
+	qs := workload.UniformQueries(16384, 1)
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	keys := make([]uint32, len(qs))
+	for i, q := range qs {
+		keys[i] = uint32(q)
+	}
+	enc, err := appendDeltaRun(nil, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(enc)) / float64(4*len(keys)); ratio > 0.80 {
+		t.Errorf("sorted uniform keys: %d -> %d bytes (%.2fx of fixed), want <= 0.80x", 4*len(keys), len(enc), ratio)
+	}
+	// Ranks over a 40960-key partition: dense, ~1 byte each.
+	ranks := make([]uint32, len(keys))
+	for i := range ranks {
+		ranks[i] = uint32(i * 40960 / len(ranks))
+	}
+	encR, err := appendDeltaRun(nil, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(encR)) / float64(4*len(ranks)); ratio > 0.35 {
+		t.Errorf("dense ranks: %d -> %d bytes (%.2fx of fixed), want <= 0.35x", 4*len(ranks), len(encR), ratio)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -51,6 +52,19 @@ func TestFrameRoundTripProperty(t *testing.T) {
 			payload = payload[:1<<16]
 		}
 		var buf bytes.Buffer
+		if byteOp(op) {
+			// v2 ops carry byte payloads: round-trip the words' own
+			// bytes through Raw instead.
+			raw := make([]byte, 0, 4*len(payload))
+			for _, v := range payload {
+				raw = append(raw, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			if err := WriteFrame(&buf, Frame{Op: op, ReqID: id, Raw: raw}); err != nil {
+				return false
+			}
+			got, err := ReadFrame(&buf)
+			return err == nil && got.Op == op && got.ReqID == id && bytes.Equal(got.Raw, raw)
+		}
 		if err := WriteFrame(&buf, Frame{Op: op, ReqID: id, Payload: payload}); err != nil {
 			return false
 		}
@@ -547,22 +561,51 @@ func BenchmarkTCPClusterLookupBatch(b *testing.B) {
 // link and shows the structural win — concurrent masters overlap
 // round-trip latency the mutex serializes.
 func BenchmarkTCPClusterConcurrent4(b *testing.B) {
-	benchConcurrent(b, nil, 16384, 1<<16, 0)
+	benchConcurrent(b, nil, 16384, 1<<16, 0, false)
 }
 
 func BenchmarkTCPClusterSerialized4(b *testing.B) {
-	benchConcurrent(b, &sync.Mutex{}, 16384, 1<<16, 0)
+	benchConcurrent(b, &sync.Mutex{}, 16384, 1<<16, 0, false)
 }
 
 func BenchmarkTCPClusterConcurrent4SlowLink(b *testing.B) {
-	benchConcurrent(b, nil, 2048, 1<<14, 500*time.Microsecond)
+	benchConcurrent(b, nil, 2048, 1<<14, 500*time.Microsecond, false)
 }
 
 func BenchmarkTCPClusterSerialized4SlowLink(b *testing.B) {
-	benchConcurrent(b, &sync.Mutex{}, 2048, 1<<14, 500*time.Microsecond)
+	benchConcurrent(b, &sync.Mutex{}, 2048, 1<<14, 500*time.Microsecond, false)
 }
 
-func benchConcurrent(b *testing.B, serialize *sync.Mutex, batch, perCall int, delay time.Duration) {
+// BenchmarkTCPClusterSortedDelta is the sorted-batch wire acceptance
+// row: 4 masters over the same emulated 500µs link as
+// BenchmarkTCPClusterConcurrent4SlowLink, but each caller's stream is
+// ascending and the batch size is the paper's 16K throughput sweet
+// spot (large batches amortize the link latency, so frame bytes and
+// per-key compute dominate — the regime the sorted pipeline targets).
+// The whole stack switches over: one-sweep routing at the master,
+// protocol-v2 delta+varint frames on the wire (the rank direction
+// shrinks ~4x, the key direction ~25%, and the per-frame
+// word-conversion loops disappear), and the nodes' streaming merge
+// kernels instead of per-key search. The companion row
+// BenchmarkTCPClusterUnsortedSlowLink16K runs the identical
+// configuration through the v1 per-key pipeline, isolating the
+// sorted-pipeline win at equal batch size.
+func BenchmarkTCPClusterSortedDelta(b *testing.B) {
+	benchConcurrent(b, nil, 16384, 1<<17, 500*time.Microsecond, true)
+}
+
+func BenchmarkTCPClusterUnsortedSlowLink16K(b *testing.B) {
+	benchConcurrent(b, nil, 16384, 1<<17, 500*time.Microsecond, false)
+}
+
+// BenchmarkTCPClusterSortedDeltaLoopback is the CPU-bound companion
+// row: no emulated link, so it isolates the compute savings of the
+// sorted pipeline end to end over real sockets.
+func BenchmarkTCPClusterSortedDeltaLoopback(b *testing.B) {
+	benchConcurrent(b, nil, 16384, 1<<16, 0, true)
+}
+
+func benchConcurrent(b *testing.B, serialize *sync.Mutex, batch, perCall int, delay time.Duration, sorted bool) {
 	c, shutdown := benchCluster(b, batch, delay)
 	defer shutdown()
 
@@ -574,6 +617,9 @@ func benchConcurrent(b *testing.B, serialize *sync.Mutex, batch, perCall int, de
 	outs := make([][]int, callers)
 	for g := range queries {
 		queries[g] = workload.UniformQueries(perCall, uint64(2+g))
+		if sorted {
+			sort.Slice(queries[g], func(i, j int) bool { return queries[g][i] < queries[g][j] })
+		}
 		outs[g] = make([]int, perCall)
 	}
 	b.ResetTimer()

@@ -36,6 +36,12 @@ type Node struct {
 	// client's read loop always drains, so only dead peers hit it).
 	// Zero disables the deadline.
 	WriteTimeout time.Duration
+
+	// protoCap caps the protocol version this node negotiates; 0 means
+	// ProtoVersion. Tests set it to ProtoV1 to emulate an old node
+	// byte-for-byte (4-word hello acks, v2 ops refused with OpErr) and
+	// prove a v2 master interoperates.
+	protoCap uint32
 }
 
 // NewNode wraps an index partition for serving. rankBase is the global
@@ -161,11 +167,18 @@ func (n *Node) handle(conn net.Conn) {
 	// Per-connection lookup scratch, reused across requests so the
 	// steady state allocates nothing: keys (payload converted to
 	// workload.Key), ranks as ints for the batch ranker, ranks on the
-	// wire as uint32.
+	// wire as uint32 (or delta+varint bytes for v2 sorted lookups).
 	batcher, _ := n.idx.(batchRanker)
+	streamer, _ := n.idx.(sortedRanker)
+	cap32 := n.protoCap
+	if cap32 == 0 {
+		cap32 = ProtoVersion
+	}
 	var keyBuf []workload.Key
 	var intBuf []int
 	var rankBuf []uint32
+	var deltaBuf []uint32 // decoded sorted keys
+	var replyBuf []byte   // encoded OpRanksDelta payload
 	for {
 		f, err := bc.readFrame()
 		if err != nil {
@@ -176,12 +189,84 @@ func (n *Node) handle(conn net.Conn) {
 		}
 		switch f.Op {
 		case OpHello:
-			ack := Frame{Op: OpHelloAck, ReqID: f.ReqID, Payload: []uint32{
+			payload := []uint32{
 				uint32(n.rankBase), uint32(n.idx.N()), uint32(n.lo), uint32(n.hi),
-			}}
+			}
+			// Version negotiation: a v2 client advertises its version
+			// in the hello reqID; answer with min(client, node) as a
+			// 5th word. v1 clients (reqID 0 or 1) get the 4-word ack
+			// they expect, and a protoCap==ProtoV1 node always acks
+			// 4 words — exactly what an old binary sends.
+			if f.ReqID >= ProtoV2 && cap32 >= ProtoV2 {
+				payload = append(payload, min(f.ReqID, cap32))
+			}
+			ack := Frame{Op: OpHelloAck, ReqID: f.ReqID, Payload: payload}
 			n.armWrite(conn)
 			if err := bc.writeFrame(ack); err != nil {
 				n.logf("netrun: hello ack: %v", err)
+				return
+			}
+			if err := bc.w.Flush(); err != nil {
+				return
+			}
+		case OpLookupSorted:
+			if cap32 < ProtoV2 {
+				// A v1 node has no idea what this op is; refuse it the
+				// way the old binary refuses any unknown op.
+				n.logf("netrun: unexpected op %d", f.Op)
+				n.armWrite(conn)
+				_ = bc.writeFrame(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}})
+				_ = bc.w.Flush()
+				return
+			}
+			decoded, err := decodeDeltaRun(f.Raw, deltaBuf)
+			if err != nil {
+				n.logf("netrun: sorted lookup: %v", err)
+				n.armWrite(conn)
+				_ = bc.writeFrame(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}})
+				_ = bc.w.Flush()
+				return
+			}
+			deltaBuf = decoded
+			nq := len(decoded)
+			if cap(keyBuf) < nq {
+				keyBuf = make([]workload.Key, nq)
+				intBuf = make([]int, nq)
+			}
+			keys, ints := keyBuf[:nq], intBuf[:nq]
+			for i, k := range decoded {
+				keys[i] = workload.Key(k)
+			}
+			// The delta coding guarantees the run is ascending (deltas
+			// are unsigned), so the streaming merge kernel applies
+			// directly; indexes without one fall back to batch search.
+			switch {
+			case streamer != nil:
+				streamer.RankSorted(keys, ints, n.rankBase)
+			case batcher != nil:
+				batcher.RankBatch(keys, ints, n.rankBase)
+			default:
+				for i, k := range keys {
+					ints[i] = n.rankBase + n.idx.Rank(k)
+				}
+			}
+			if cap(rankBuf) < nq {
+				rankBuf = make([]uint32, nq)
+			}
+			ranks := rankBuf[:nq]
+			for i, r := range ints {
+				ranks[i] = uint32(r)
+			}
+			// Ascending keys make the ranks nondecreasing, so the
+			// reply delta-codes too.
+			replyBuf, err = appendDeltaRun(replyBuf[:0], ranks)
+			if err != nil {
+				n.logf("netrun: sorted ranks: %v", err)
+				return
+			}
+			n.armWrite(conn)
+			if err := bc.writeFrame(Frame{Op: OpRanksDelta, ReqID: f.ReqID, Raw: replyBuf}); err != nil {
+				n.logf("netrun: ranks: %v", err)
 				return
 			}
 			if err := bc.w.Flush(); err != nil {
@@ -234,6 +319,14 @@ func (n *Node) handle(conn net.Conn) {
 // index.SortedArray and index.Eytzinger implement it.
 type batchRanker interface {
 	RankBatch(qs []workload.Key, out []int, add int)
+}
+
+// sortedRanker is the sorted-batch fast path: rank resolution for an
+// ascending query run via a streaming merge over the partition.
+// index.SortedArray implements it natively; index.Eytzinger falls back
+// to its interleaved batch descent.
+type sortedRanker interface {
+	RankSorted(qs []workload.Key, out []int, add int)
 }
 
 // ListenAndServe is the one-call node entry point used by cmd/dcnode:

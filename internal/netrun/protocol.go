@@ -8,18 +8,41 @@
 //
 // Wire protocol (little-endian, length-delimited frames):
 //
-//	frame := magic(u32) op(u8) reqID(u32) count(u32) payload(count*u32)
+//	frame := magic(u32) op(u8) reqID(u32) count(u32) payload
 //
-// A lookup request's payload is count keys; the response's payload is
-// count ranks (as uint32), in request order. A hello exchange carries
-// the node's partition metadata so the client can verify its routing
-// table against what the node actually serves.
+// For the v1 ops (OpHello..OpErr) the payload is count 32-bit words: a
+// lookup request's payload is count keys and the response's payload is
+// count ranks (as uint32), in request order. For the v2 sorted-run ops
+// (OpLookupSorted, OpRanksDelta) count is a byte length and the payload
+// is a delta+varint-coded ascending run: varint(elements), then the
+// first value and successive deltas as varints (see delta.go). Sorted
+// batches make both keys and ranks monotone, which is what makes the
+// deltas small; a sorted uniform workload's frames shrink roughly 4x on
+// the rank direction and 25-45% on the key direction versus v1.
+//
+// Version negotiation rides the hello exchange, so v2 masters
+// interoperate with v1 nodes (and vice versa) frame-for-frame:
+//
+//   - The client sends OpHello with its highest supported version in
+//     the reqID field. A v1 client leaves it zero.
+//   - A v1 node replies OpHelloAck with the 4-word payload
+//     [rankBase, keyCount, loKey, hiKey] — its only form.
+//   - A v2 node replies the same 4 words to a v1 client, and appends a
+//     5th word, min(clientVersion, ProtoVersion), to a v2 client.
+//   - The client treats a 4-word ack as version 1 and never sends v2
+//     ops on that connection; a 5-word ack carries the negotiated
+//     version. Versioning is per connection, so a replica group may mix
+//     v1 and v2 nodes and failover re-encodes for the new connection.
+//
+// A hello exchange also carries the node's partition metadata so the
+// client can verify its routing table against what the node actually
+// serves.
 //
 // reqID multiplexes concurrent requests over one connection: the master
-// pipelines any number of OpLookup frames and the reply carries the
-// request's id back, so a per-connection read loop can demultiplex
-// OpRanks frames to the issuing callers in any order. Nodes today reply
-// in request order; the client does not rely on it.
+// pipelines any number of OpLookup/OpLookupSorted frames and the reply
+// carries the request's id back, so a per-connection read loop can
+// demultiplex reply frames to the issuing callers in any order. Nodes
+// today reply in request order; the client does not rely on it.
 package netrun
 
 import (
@@ -33,10 +56,22 @@ import (
 // netrun node (or the stream desynchronized) and the connection dies.
 const Magic uint32 = 0xDC1D_2005
 
+// Protocol versions. ProtoVersion is the highest this build speaks;
+// the hello exchange negotiates min(client, node) per connection.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
+
+	ProtoVersion = ProtoV2
+)
+
 // Op codes.
 const (
-	// OpHello is sent by the client on connect; the node answers with
-	// OpHelloAck whose payload is [rankBase, keyCount, loKey, hiKey].
+	// OpHello is sent by the client on connect, with the client's
+	// highest protocol version in the reqID field (0 and 1 both mean
+	// v1); the node answers with OpHelloAck whose payload is
+	// [rankBase, keyCount, loKey, hiKey] plus, for a v2 client, a 5th
+	// word carrying the negotiated version.
 	OpHello uint8 = 1
 	// OpHelloAck is the node's hello response.
 	OpHelloAck uint8 = 2
@@ -47,17 +82,34 @@ const (
 	// OpErr signals a node-side failure; payload[0] is an errno-like
 	// code, and the connection should be abandoned.
 	OpErr uint8 = 5
+	// OpLookupSorted (v2) carries an ascending key run, delta+varint
+	// coded (byte payload); the node answers OpRanksDelta.
+	OpLookupSorted uint8 = 6
+	// OpRanksDelta (v2) is the sorted lookup's response: the
+	// nondecreasing ranks, delta+varint coded (byte payload).
+	OpRanksDelta uint8 = 7
 )
 
-// MaxFrameWords bounds a frame payload (16M words = 64 MB) so a corrupt
-// length cannot force an absurd allocation.
-const MaxFrameWords = 16 << 20
+// byteOp reports whether op's count field is a byte length (v2
+// delta-coded payload) rather than a 32-bit word count.
+func byteOp(op uint8) bool { return op == OpLookupSorted || op == OpRanksDelta }
 
-// Frame is one decoded protocol frame.
+// MaxFrameWords bounds a v1 frame payload (16M words = 64 MB) so a
+// corrupt length cannot force an absurd allocation. MaxFrameBytes is
+// the byte-payload equivalent for v2 frames: the same 16M elements at
+// the 5-byte varint worst case.
+const (
+	MaxFrameWords = 16 << 20
+	MaxFrameBytes = 5 * MaxFrameWords
+)
+
+// Frame is one decoded protocol frame: word ops carry Payload, byte
+// ops (see byteOp) carry Raw.
 type Frame struct {
 	Op      uint8
 	ReqID   uint32
 	Payload []uint32
+	Raw     []byte
 }
 
 // WriteFrame encodes f to w. The payload aliasing is safe: the data is
@@ -78,6 +130,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}
 	// Detach the payload from the reader's scratch.
 	f.Payload = append([]uint32(nil), f.Payload...)
+	f.Raw = append([]byte(nil), f.Raw...)
 	return f, nil
 }
 
@@ -90,8 +143,21 @@ type frameWriter struct {
 // encode serializes f into the writer's scratch buffer and returns it
 // (valid until the next encode). Splitting encoding from the socket
 // write lets a caller stop referencing f.Payload before any blocking
-// I/O starts.
+// I/O starts. Byte ops (v2) take their payload from f.Raw.
 func (fw *frameWriter) encode(f Frame) ([]byte, error) {
+	if byteOp(f.Op) {
+		if len(f.Raw) > MaxFrameBytes {
+			return nil, fmt.Errorf("netrun: frame payload %d bytes exceeds limit", len(f.Raw))
+		}
+		need := 13 + len(f.Raw)
+		if cap(fw.buf) < need {
+			fw.buf = make([]byte, need)
+		}
+		buf := fw.buf[:need]
+		fw.putHeader(buf, f.Op, f.ReqID, uint32(len(f.Raw)))
+		copy(buf[13:], f.Raw)
+		return buf, nil
+	}
 	if len(f.Payload) > MaxFrameWords {
 		return nil, fmt.Errorf("netrun: frame payload %d words exceeds limit", len(f.Payload))
 	}
@@ -100,13 +166,38 @@ func (fw *frameWriter) encode(f Frame) ([]byte, error) {
 		fw.buf = make([]byte, need)
 	}
 	buf := fw.buf[:need]
-	binary.LittleEndian.PutUint32(buf[0:4], Magic)
-	buf[4] = f.Op
-	binary.LittleEndian.PutUint32(buf[5:9], f.ReqID)
-	binary.LittleEndian.PutUint32(buf[9:13], uint32(len(f.Payload)))
+	fw.putHeader(buf, f.Op, f.ReqID, uint32(len(f.Payload)))
 	for i, v := range f.Payload {
 		binary.LittleEndian.PutUint32(buf[13+4*i:], v)
 	}
+	return buf, nil
+}
+
+func (fw *frameWriter) putHeader(buf []byte, op uint8, reqID, count uint32) {
+	binary.LittleEndian.PutUint32(buf[0:4], Magic)
+	buf[4] = op
+	binary.LittleEndian.PutUint32(buf[5:9], reqID)
+	binary.LittleEndian.PutUint32(buf[9:13], count)
+}
+
+// encodeDeltaKeys serializes an OpLookupSorted frame directly from the
+// ascending key run into the writer's scratch (header + delta+varint
+// payload, byte count backpatched), avoiding a staging buffer on the
+// send path.
+func (fw *frameWriter) encodeDeltaKeys(reqID uint32, keys []uint32) ([]byte, error) {
+	if len(keys) > MaxFrameWords {
+		return nil, fmt.Errorf("netrun: frame payload %d keys exceeds limit", len(keys))
+	}
+	if cap(fw.buf) < 13 {
+		fw.buf = make([]byte, 0, 13+5+5*len(keys))
+	}
+	buf := fw.buf[:13]
+	buf, err := appendDeltaRun(buf, keys)
+	if err != nil {
+		return nil, err
+	}
+	fw.buf = buf[:0]
+	fw.putHeader(buf, OpLookupSorted, reqID, uint32(len(buf)-13))
 	return buf, nil
 }
 
@@ -145,6 +236,24 @@ func (fr *frameReader) readFrom(r io.Reader) (Frame, error) {
 	// corrupt length word >= 2^31 would wrap negative as int and slip
 	// past the limit check.
 	count32 := binary.LittleEndian.Uint32(fr.head[9:13])
+	if byteOp(f.Op) {
+		// v2 byte payload: count is a byte length; the delta decoder
+		// applies its own element-count-vs-bytes guard on top.
+		if count32 > MaxFrameBytes {
+			return Frame{}, fmt.Errorf("netrun: frame payload %d bytes exceeds limit", count32)
+		}
+		n := int(count32)
+		if n > 0 {
+			if cap(fr.buf) < n {
+				fr.buf = make([]byte, n)
+			}
+			f.Raw = fr.buf[:n]
+			if _, err := io.ReadFull(r, f.Raw); err != nil {
+				return Frame{}, fmt.Errorf("netrun: read payload: %w", err)
+			}
+		}
+		return f, nil
+	}
 	if count32 > MaxFrameWords {
 		return Frame{}, fmt.Errorf("netrun: frame payload %d words exceeds limit", count32)
 	}

@@ -19,10 +19,13 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 go test -run '^$' -bench 'BenchmarkReal_' -benchmem -benchtime "$BENCHTIME" . > "$RAW"
 # TCP loopback mode: the multiplexed master over real sockets, solo and
-# with 4 concurrent callers (plus the serialized baseline), and the
+# with 4 concurrent callers (plus the serialized baseline), the
 # replicated rows — 8 partitions x 2 replicas in steady state
 # (Replicated8x2) and with one replica killed mid-run while every
-# batch must stay checksum-correct (ReplicatedFailover).
+# batch must stay checksum-correct (ReplicatedFailover) — and the
+# sorted-batch rows (SortedDelta and its same-parameter unsorted
+# companion, plus the CPU-bound loopback variant), which exercise the
+# protocol-v2 delta frames end to end.
 go test -run '^$' -bench 'BenchmarkTCPCluster' -benchmem -benchtime "$BENCHTIME" ./internal/netrun >> "$RAW"
 cat "$RAW" >&2
 

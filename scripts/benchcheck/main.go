@@ -1,0 +1,95 @@
+// Command benchcheck compares a fresh BENCH_real.json against the
+// committed baseline and fails (exit 1) when any benchmark's ns_per_key
+// regressed by more than the tolerance (default 20%, generous because
+// CI runs on noisy shared VMs). Benchmarks present on only one side are
+// reported but not fatal — new rows appear with new features, and
+// renamed rows should update the baseline in the same PR.
+//
+// Usage: go run ./scripts/benchcheck [-tolerance 0.20] committed.json fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchFile struct {
+	Benchmarks []struct {
+		Name     string   `json:"name"`
+		NsPerKey *float64 `json:"ns_per_key"`
+		MBPerS   *float64 `json:"mb_per_s"`
+	} `json:"benchmarks"`
+}
+
+func load(path string) (map[string]*float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]*float64, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name] = b.NsPerKey
+	}
+	return out, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns_per_key regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-tolerance 0.20] committed.json fresh.json")
+		os.Exit(2)
+	}
+	committed, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	compared := 0
+	for name, base := range committed {
+		cur, ok := fresh[name]
+		if !ok {
+			fmt.Printf("benchcheck: %-45s missing from fresh run (renamed? update the baseline)\n", name)
+			continue
+		}
+		if base == nil || cur == nil {
+			continue // row has no ns_per_key metric (MB/s-only benches)
+		}
+		compared++
+		ratio := *cur / *base
+		status := "ok"
+		if ratio > 1+*tolerance {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("benchcheck: %-45s %8.2f -> %8.2f ns/key (%+.1f%%) %s\n",
+			name, *base, *cur, (ratio-1)*100, status)
+	}
+	for name := range fresh {
+		if _, ok := committed[name]; !ok {
+			fmt.Printf("benchcheck: %-45s new row (no baseline yet)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no comparable ns_per_key rows — baseline or fresh file malformed?")
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcheck: ns_per_key regression beyond %.0f%% tolerance\n", *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d rows within %.0f%% tolerance\n", compared, *tolerance*100)
+}
