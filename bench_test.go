@@ -252,6 +252,49 @@ func BenchmarkReal_RankBatchSorted(b *testing.B) { benchRealInto(b, dcindex.Layo
 
 func BenchmarkReal_RankBatch_Eytzinger(b *testing.B) { benchRealInto(b, dcindex.LayoutEytzinger, false) }
 
+// BenchmarkReal_MixedReadWrite is the online-update serving row: Method
+// C-3 at the paper's index size under a ~89/11 read/write mix — every
+// 16K-key read batch is preceded by a 2K-key InsertBatch, so the run
+// exercises the delta buffers, the per-partition insert counters on the
+// read path, and the background merges. Each iteration starts from a
+// fresh cluster so the index size (and therefore ns/key) is identical
+// across iterations regardless of -benchtime; setup and teardown run
+// off the clock. ns/key counts reads and writes together.
+func BenchmarkReal_MixedReadWrite(b *testing.B) {
+	keys := dcindex.GenerateKeys(327680, 1)
+	queries := dcindex.GenerateQueries(1<<18, 2)
+	ins := dcindex.GenerateQueries(1<<15, 3)
+	const chunk = 16384
+	insPer := len(ins) * chunk / len(queries)
+	total := len(queries) + len(ins)
+	b.SetBytes(int64(total * workload.KeyBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		idx, err := dcindex.Open(keys, dcindex.Options{Method: dcindex.MethodC3, Workers: 8, BatchKeys: chunk})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]int, chunk)
+		b.StartTimer()
+		insOff := 0
+		for off := 0; off < len(queries); off += chunk {
+			end := min(off+chunk, len(queries))
+			if err := idx.InsertBatch(ins[insOff : insOff+insPer]); err != nil {
+				b.Fatal(err)
+			}
+			insOff += insPer
+			if err := idx.RankBatchInto(queries[off:end], out[:end-off]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		idx.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(total), "ns/key")
+}
+
 // BenchmarkReal_ConcurrentCallers drives the cluster from 4 client
 // goroutines at once — the pipelining the per-call gather channels buy.
 func BenchmarkReal_ConcurrentCallers(b *testing.B) {

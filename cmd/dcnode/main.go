@@ -31,6 +31,15 @@
 // replicas, fails over in-flight batches when a replica dies, and
 // re-admits it (after re-verifying the partition handshake) when the
 // process comes back.
+//
+// Nodes are updatable (protocol v3): a writing client fans
+// Insert/InsertBatch out to every replica of the owning partition, the
+// node buffers new keys in a delta layer merged in the background, and
+// a replica that rejoins after dying is first reloaded from a sibling's
+// snapshot so it cannot serve stale ranks. Start a node with -readonly
+// to cap it at protocol v2: it then serves lookups only and never
+// receives writes (a writing client also stops routing that
+// partition's lookups to it, since it would be stale).
 package main
 
 import (
@@ -53,6 +62,7 @@ func main() {
 		parts    = flag.Int("parts", 4, "total partition count")
 		part     = flag.Int("part", 0, "this node's partition id (0-based)")
 		listen   = flag.String("listen", ":7000", "listen address")
+		readonly = flag.Bool("readonly", false, "serve lookups only (protocol v2): never accept inserts or snapshot loads")
 	)
 	flag.Parse()
 
@@ -76,9 +86,15 @@ func main() {
 		log.Fatalf("dcnode: %v", err)
 	}
 	mine := p.Parts[*part]
-	log.Printf("dcnode: partition %d/%d: %d keys, rank base %d",
-		*part, *parts, len(mine.Keys), mine.RankBase)
-	if err := netrun.ListenAndServe(*listen, mine.Keys, mine.RankBase); err != nil {
+	mode := "updatable (v3)"
+	if *readonly {
+		mode = "read-only (v2)"
+	}
+	log.Printf("dcnode: partition %d/%d: %d keys, rank base %d, %s",
+		*part, *parts, len(mine.Keys), mine.RankBase, mode)
+	node := netrun.NewPartitionNode(mine.Keys, mine.RankBase)
+	node.ReadOnly = *readonly
+	if err := netrun.ListenAndServeNode(*listen, node); err != nil {
 		log.Fatalf("dcnode: %v", err)
 	}
 }

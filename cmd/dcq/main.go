@@ -8,8 +8,16 @@
 //
 // Usage:
 //
-//	go run ./cmd/dcq [-method C-3] [-n 327680] [-q 1000000] [-workers 8] [-batch 16384] [-compare] [-sorted]
-//	go run ./cmd/dcq -connect host:7000,host:7001,... [-masters 4] [-optimeout 10s]
+//	go run ./cmd/dcq [-method C-3] [-n 327680] [-q 1000000] [-workers 8] [-batch 16384] [-compare] [-sorted] [-insert-rate 0.05]
+//	go run ./cmd/dcq -connect host:7000,host:7001,... [-masters 4] [-optimeout 10s] [-insert-rate 0.05]
+//
+// -insert-rate R runs a mixed read/write workload: for every read
+// batch, R*batch freshly generated keys are inserted into the running
+// index first, exercising the online-update path (delta buffers,
+// background merges, and — over TCP — the protocol-v3 write fan-out to
+// every replica). With -compare, all methods receive the same
+// deterministic insert stream, so identical checksums still prove the
+// methods agree under writes.
 //
 // Replicated clusters list every replica of a partition either grouped
 // with "|" or flat with -replicas (addresses grouped consecutively):
@@ -51,6 +59,7 @@ func main() {
 		optimeout  = flag.Duration("optimeout", 10*time.Second, "per-op progress timeout on the TCP cluster (with -connect)")
 		replicas   = flag.Int("replicas", 1, "replicas per partition in a flat -connect list (grouped '|' syntax overrides)")
 		sorted     = flag.Bool("sorted", false, "sorted-batch mode: pre-sort the query stream (ascending batches auto-detect; over TCP, v2 nodes get delta-coded frames)")
+		insertRate = flag.Float64("insert-rate", 0, "mixed read/write mode: keys inserted per read key (0.05 = 5% writes)")
 	)
 	flag.Parse()
 
@@ -75,19 +84,23 @@ func main() {
 	}
 
 	if *connect != "" {
-		runTCP(strings.Split(*connect, ","), keys, queries, *batch, *masters, *replicas, *optimeout)
+		runTCP(strings.Split(*connect, ","), keys, queries, *batch, *masters, *replicas, *optimeout, *insertRate, *seed)
 		return
 	}
 
 	if *compare {
 		t := tab.NewTable("method", "wall time", "Mkeys/s", "checksum")
 		for _, m := range dcindex.Methods() {
-			el, sum := run(keys, queries, m, *workers, *batch)
+			el, sum, ins := run(keys, queries, m, *workers, *batch, *insertRate, *seed)
 			t.Row(m.String(), el.Round(time.Millisecond).String(),
-				fmt.Sprintf("%.1f", float64(*q)/el.Seconds()/1e6),
+				fmt.Sprintf("%.1f", float64(*q+ins)/el.Seconds()/1e6),
 				fmt.Sprintf("%08x", sum))
 		}
-		fmt.Printf("real runtime, %d keys, %d queries, %d workers, batch %d\n\n", len(keys), *q, *workers, *batch)
+		fmt.Printf("real runtime, %d keys, %d queries, %d workers, batch %d", len(keys), *q, *workers, *batch)
+		if *insertRate > 0 {
+			fmt.Printf(", insert rate %.3f", *insertRate)
+		}
+		fmt.Print("\n\n")
 		fmt.Print(t)
 		fmt.Println("\nIdentical checksums confirm all methods return identical ranks.")
 		return
@@ -98,34 +111,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dcq: unknown method %q (want A, B, C-1, C-2, C-3)\n", *methodName)
 		os.Exit(2)
 	}
-	el, sum := run(keys, queries, m, *workers, *batch)
-	fmt.Printf("method %s: %d queries over %d keys in %s (%.1f Mkeys/s), checksum %08x\n",
-		m, *q, len(keys), el.Round(time.Millisecond), float64(*q)/el.Seconds()/1e6, sum)
+	el, sum, ins := run(keys, queries, m, *workers, *batch, *insertRate, *seed)
+	fmt.Printf("method %s: %d queries (+%d inserts) over %d keys in %s (%.1f Mkeys/s), checksum %08x\n",
+		m, *q, ins, len(keys), el.Round(time.Millisecond), float64(*q+ins)/el.Seconds()/1e6, sum)
 }
 
-func run(keys, queries []dcindex.Key, m dcindex.Method, workers, batch int) (time.Duration, uint32) {
+// run drives one method over the query stream. With insertRate > 0 the
+// stream interleaves writes: before each read batch, rate*batch fresh
+// keys (deterministic per seed) are inserted into the running index.
+func run(keys, queries []dcindex.Key, m dcindex.Method, workers, batch int, insertRate float64, seed uint64) (time.Duration, uint32, int) {
 	idx, err := dcindex.Open(keys, dcindex.Options{Method: m, Workers: workers, BatchKeys: batch})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcq:", err)
 		os.Exit(1)
 	}
 	defer idx.Close()
-	start := time.Now()
-	ranks, err := idx.RankBatch(queries)
-	el := time.Since(start)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcq:", err)
-		os.Exit(1)
+	if insertRate <= 0 {
+		start := time.Now()
+		ranks, err := idx.RankBatch(queries)
+		el := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcq:", err)
+			os.Exit(1)
+		}
+		return el, checksum(ranks), 0
 	}
-	return el, checksum(ranks)
+	out := make([]int, len(queries))
+	// One deterministic insert pool per seed: every method in a
+	// -compare run replays the same write stream, so their checksums
+	// stay comparable.
+	pool := dcindex.GenerateQueries(int(insertRate*float64(len(queries)))+batch, seed+2)
+	inserted := 0
+	start := time.Now()
+	for off := 0; off < len(queries); off += batch {
+		end := min(off+batch, len(queries))
+		if n := int(float64(end-off) * insertRate); n > 0 {
+			if err := idx.InsertBatch(pool[inserted : inserted+n]); err != nil {
+				fmt.Fprintln(os.Stderr, "dcq:", err)
+				os.Exit(1)
+			}
+			inserted += n
+		}
+		if err := idx.RankBatchInto(queries[off:end], out[off:end]); err != nil {
+			fmt.Fprintln(os.Stderr, "dcq:", err)
+			os.Exit(1)
+		}
+	}
+	el := time.Since(start)
+	st := idx.UpdateStats()
+	fmt.Fprintf(os.Stderr, "dcq: %s update stats: %d keys inserted, %d merges, %d rebalances, index now %d keys\n",
+		m, st.InsertedKeys, st.Merges, st.Rebalances, idx.N())
+	return el, checksum(out), inserted
 }
 
 // runTCP drives a dcnode cluster: masters concurrent callers split the
 // query stream into contiguous shares and multiplex their batches over
-// the one shared connection set. Replicated partitions fail over and
-// load-spread automatically; any failover that occurred is summarized
-// from Cluster.Health after the run.
-func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters, replicas int, opTimeout time.Duration) {
+// the one shared connection set. With insertRate > 0 each master also
+// interleaves protocol-v3 writes into its share (inserts fan out to
+// every replica of the owning partition). Replicated partitions fail
+// over and load-spread automatically; any failover that occurred is
+// summarized from Cluster.Health after the run.
+func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters, replicas int, opTimeout time.Duration, insertRate float64, seed uint64) {
 	if masters < 1 {
 		masters = 1
 	}
@@ -142,16 +188,42 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters, replica
 
 	out := make([]int, len(queries))
 	errs := make([]error, masters)
+	insCounts := make([]int, masters)
+	var pool []dcindex.Key
+	if insertRate > 0 {
+		pool = dcindex.GenerateQueries(int(insertRate*float64(len(queries)))+masters*batch, seed+2)
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for m := 0; m < masters; m++ {
 		lo := m * len(queries) / masters
 		hi := (m + 1) * len(queries) / masters
+		plo := m * len(pool) / masters
+		phi := (m + 1) * len(pool) / masters
 		wg.Add(1)
-		go func(m, lo, hi int) {
+		go func(m, lo, hi int, myPool []dcindex.Key) {
 			defer wg.Done()
-			errs[m] = c.LookupBatchInto(queries[lo:hi], out[lo:hi])
-		}(m, lo, hi)
+			if insertRate <= 0 {
+				errs[m] = c.LookupBatchInto(queries[lo:hi], out[lo:hi])
+				return
+			}
+			ins := 0
+			for off := lo; off < hi; off += batch {
+				end := min(off+batch, hi)
+				if n := int(float64(end-off) * insertRate); n > 0 && ins+n <= len(myPool) {
+					if err := c.InsertBatch(myPool[ins : ins+n]); err != nil {
+						errs[m] = err
+						return
+					}
+					ins += n
+				}
+				if err := c.LookupBatchInto(queries[off:end], out[off:end]); err != nil {
+					errs[m] = err
+					return
+				}
+			}
+			insCounts[m] = ins
+		}(m, lo, hi, pool[plo:phi])
 	}
 	wg.Wait()
 	el := time.Since(start)
@@ -161,9 +233,13 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters, replica
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("TCP cluster (%d partitions, %d masters): %d queries in %s (%.1f Mkeys/s), checksum %08x\n",
-		c.Nodes(), masters, len(queries), el.Round(time.Millisecond),
-		float64(len(queries))/el.Seconds()/1e6, checksum(out))
+	inserted := 0
+	for _, n := range insCounts {
+		inserted += n
+	}
+	fmt.Printf("TCP cluster (%d partitions, %d masters): %d queries (+%d inserts) in %s (%.1f Mkeys/s), checksum %08x\n",
+		c.Nodes(), masters, len(queries), inserted, el.Round(time.Millisecond),
+		float64(len(queries)+inserted)/el.Seconds()/1e6, checksum(out))
 
 	health := c.Health()
 	degraded := false

@@ -33,7 +33,12 @@
 //     boundary search per partition instead of per-key routing,
 //     zero-copy contiguous dispatch, and streaming merge kernels;
 //     Options.SortedBatches radix-sorts unsorted batches into the same
-//     path (see the README's "Sorted-batch mode").
+//     path (see the README's "Sorted-batch mode"). The index is
+//     updatable while serving: Insert/InsertBatch buffer new keys in
+//     per-partition deltas, background merges compact them, and a
+//     rebalance re-derives the partition delimiters when inserts skew
+//     a partition past its cache budget (see the README's "Online
+//     updates").
 //   - The simulator (Simulate, Sweep): a trace-driven cache/network/
 //     cluster simulation parameterized by the paper's measured Pentium
 //     III constants (Table 2), which reproduces the paper's Figure 3 and
@@ -146,16 +151,28 @@ type Options struct {
 	// streams arrive sorted (log-structured ingest, merged iterators,
 	// time-ordered IDs) get the fast path for free.
 	SortedBatches bool
+	// MergeThreshold is the per-partition delta-buffer size at which a
+	// background merge compacts buffered inserts into the immutable
+	// base structure (see Insert). Zero selects the default (4096).
+	MergeThreshold int
+	// PartitionBudget caps a partition's key count before a background
+	// rebalance re-derives the partition delimiters over the whole key
+	// set — the paper's fits-in-cache invariant, maintained as inserts
+	// skew partitions. Zero selects twice the initial partition size;
+	// negative disables rebalancing.
+	PartitionBudget int
 }
 
 func (o Options) withDefaults() core.RealConfig {
 	cfg := core.RealConfig{
-		Method:        o.Method,
-		Workers:       o.Workers,
-		BatchKeys:     o.BatchKeys,
-		QueueDepth:    o.QueueDepth,
-		Layout:        o.Layout,
-		SortedBatches: o.SortedBatches,
+		Method:          o.Method,
+		Workers:         o.Workers,
+		BatchKeys:       o.BatchKeys,
+		QueueDepth:      o.QueueDepth,
+		Layout:          o.Layout,
+		SortedBatches:   o.SortedBatches,
+		MergeThreshold:  o.MergeThreshold,
+		PartitionBudget: o.PartitionBudget,
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 8
@@ -191,8 +208,9 @@ func Open(keys []Key, opt Options) (*Index, error) {
 	return &Index{c: c, keys: keys, opt: cfg}, nil
 }
 
-// N returns the number of indexed keys.
-func (ix *Index) N() int { return len(ix.keys) }
+// N returns the current number of indexed keys (seed keys plus applied
+// inserts).
+func (ix *Index) N() int { return ix.c.KeyCount() }
 
 // Method returns the strategy the index runs.
 func (ix *Index) Method() Method { return ix.opt.Method }
@@ -214,6 +232,26 @@ func (ix *Index) RankBatchInto(queries []Key, out []int) error {
 	return ix.c.LookupBatchInto(queries, out)
 }
 
+// Insert adds one key to the running index. See InsertBatch.
+func (ix *Index) Insert(k Key) error { return ix.c.Insert(k) }
+
+// InsertBatch adds keys (any order, duplicates allowed) to the running
+// index while it serves traffic: each key lands in the owning
+// partition's small sorted delta buffer (replicated methods apply the
+// batch to every replica), rank answers fold the buffered keys in
+// immediately, and a background merge periodically compacts buffer and
+// base into a fresh immutable structure — readers never block on a
+// merge. When inserts skew a partition past Options.PartitionBudget, a
+// background rebalance re-derives the partition delimiters so every
+// partition keeps fitting its cache. InsertBatch returns once the keys
+// are applied: ranks requested after it returns include them. Safe for
+// any number of concurrent callers, concurrently with RankBatch.
+func (ix *Index) InsertBatch(keys []Key) error { return ix.c.InsertBatch(keys) }
+
+// UpdateStats snapshots the write-path counters: keys inserted,
+// background merges completed, rebalances installed.
+func (ix *Index) UpdateStats() core.UpdateStats { return ix.c.UpdateStats() }
+
 // Owner returns the worker (slave) that owns key k's sub-range: the
 // routing decision a master makes, answered from the cluster's own
 // routing table. For replicated methods every worker owns every key,
@@ -225,6 +263,9 @@ func (ix *Index) Owner(k Key) int {
 	}
 	return p.Route(k)
 }
+
+// UpdateStats mirrors core.UpdateStats: the write-path counters.
+type UpdateStats = core.UpdateStats
 
 // Stats snapshots the runtime's work counters.
 func (ix *Index) Stats() core.RealStats { return ix.c.Stats() }
@@ -345,6 +386,14 @@ func Sweep(o SimOptions, batchBytes ...int) ([]Report, error) {
 // cannot answer arbitrary queries. Recovery from a terminal failure is
 // explicit via TCPCluster.Redial, which reconnects to every configured
 // replica and re-verifies the partition layout.
+//
+// A TCPCluster is also writable: Insert/InsertBatch route keys to the
+// owning partitions and fan each write out to every healthy
+// protocol-v3 replica (pre-v3 nodes never receive writes), and a
+// replica rejoining after a failure first reloads a sibling's snapshot
+// so it cannot serve stale ranks. See the netrun package documentation
+// for the protocol and the single-writer assumption behind exact
+// global ranks.
 type TCPCluster = netrun.Cluster
 
 // TCPOptions configures DialClusterOptions: batch granularity, the

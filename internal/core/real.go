@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/buffering"
 	"repro/internal/index"
 	"repro/internal/workload"
 )
@@ -66,6 +65,21 @@ type RealConfig struct {
 	// regardless of this flag; SortedBatches only controls whether
 	// unsorted input pays the O(n) sort to join them.
 	SortedBatches bool
+	// MergeThreshold is the per-partition delta-buffer size that
+	// triggers a background compaction of buffer+base into a fresh
+	// immutable array (see Insert/InsertBatch). Zero selects
+	// index.DefaultMergeThreshold.
+	MergeThreshold int
+	// PartitionBudget caps a partition's key count before a background
+	// rebalance recomputes the delimiters over the whole key set — the
+	// paper's fits-in-cache invariant, maintained dynamically as
+	// inserts skew partitions. Zero selects twice the initial maximum
+	// partition size; negative disables rebalancing. Once the whole
+	// index outgrows budget*Workers the budget is unattainable by
+	// re-partitioning, and the trigger degrades to skew detection
+	// (twice the average partition size) instead of storming rebuilds.
+	// Only meaningful for the distributed methods.
+	PartitionBudget int
 }
 
 // DefaultRealConfig returns a ready-to-use configuration for m.
@@ -95,6 +109,9 @@ func (c RealConfig) validate() error {
 	default:
 		return fmt.Errorf("core: invalid layout %d", int(c.Layout))
 	}
+	if c.MergeThreshold < 0 {
+		return fmt.Errorf("core: MergeThreshold = %d", c.MergeThreshold)
+	}
 	return nil
 }
 
@@ -113,6 +130,13 @@ type realBatch struct {
 	posBase int
 	// ranks is the worker's reply, global ranks (rank base folded in).
 	ranks []int
+	// lp is the partition (or replica) state the batch is answered
+	// against: set at dispatch from the pinned epoch, so a batch routed
+	// before a rebalance is answered by the epoch that routed it.
+	lp *livePart
+	// insert marks the batch as a write: keys are applied to lp's delta
+	// buffer instead of ranked.
+	insert bool
 	// sorted marks keys as an ascending run, steering the worker onto
 	// the streaming merge kernel (RankSorted) instead of per-key search.
 	sorted bool
@@ -153,11 +177,29 @@ type workerStats struct {
 type Cluster struct {
 	cfg  RealConfig
 	keys []workload.Key
-	part *Partitioning // Method C only
+
+	// epoch is the current routing + partition state for the
+	// distributed methods (see update.go); repl holds the replicated
+	// methods' per-worker state, fixed for the cluster's lifetime.
+	epoch atomic.Pointer[updEpoch]
+	repl  []*livePart
 
 	in    []chan *realBatch
 	wg    sync.WaitGroup
 	stats []workerStats
+
+	// insertMu serializes the write path against rebalances: insert
+	// calls hold it shared for their full duration (through the acks),
+	// the rebalancer takes it exclusively while migrating.
+	insertMu    sync.RWMutex
+	rebalanceCh chan struct{}
+	stop        chan struct{}
+	updWG       sync.WaitGroup
+	budget      int
+
+	insertedKeys atomic.Int64
+	merges       atomic.Int64
+	rebalances   atomic.Int64
 
 	// batches pools *realBatch between dispatch and gather; calls pools
 	// per-call dispatch state (gather channel + accumulation slots).
@@ -210,10 +252,12 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		cfg:   cfg,
-		keys:  keys,
-		in:    make([]chan *realBatch, cfg.Workers),
-		stats: make([]workerStats, cfg.Workers),
+		cfg:         cfg,
+		keys:        keys,
+		in:          make([]chan *realBatch, cfg.Workers),
+		stats:       make([]workerStats, cfg.Workers),
+		rebalanceCh: make(chan struct{}, 1),
+		stop:        make(chan struct{}),
 	}
 	c.batches.New = func() any { return new(realBatch) }
 	replyCap := cfg.Workers*cfg.QueueDepth + cfg.Workers
@@ -230,109 +274,85 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 	c.freeCalls = make(chan *callState, 16)
 
 	if cfg.Method.Distributed() {
-		part, err := newPartitioningSorted(keys, cfg.Workers)
+		ep, err := c.newEpoch(keys)
 		if err != nil {
 			return nil, err
 		}
-		c.part = part
+		c.epoch.Store(ep)
+		if cfg.PartitionBudget > 0 {
+			c.budget = cfg.PartitionBudget
+		} else if cfg.PartitionBudget == 0 {
+			c.budget = 2 * ep.part.MaxPartKeys()
+		}
+		c.updWG.Add(1)
+		go c.rebalancer()
+	} else {
+		build := methodBuilder(cfg)
+		c.repl = make([]*livePart, cfg.Workers)
+		for w := range c.repl {
+			u := index.NewUpdatable(keys, build, cfg.MergeThreshold)
+			u.OnMerge = c.noteMerge
+			c.repl[w] = &livePart{slot: w, upd: u}
+		}
 	}
 
 	for w := 0; w < cfg.Workers; w++ {
 		c.in[w] = make(chan *realBatch, cfg.QueueDepth)
-		proc, err := newRealWorker(cfg, keys, c.part, w)
-		if err != nil {
-			return nil, err
-		}
 		c.wg.Add(1)
-		go c.runWorker(w, proc)
+		go c.runWorker(w)
 	}
 	return c, nil
 }
 
-// Partitioning exposes the cluster's routing structure (nil for the
-// replicated methods); callers reuse it instead of rebuilding one.
-func (c *Cluster) Partitioning() *Partitioning { return c.part }
-
-// realWorker computes global ranks for a batch.
-type realWorker struct {
-	rankBase int
-	arr      *index.SortedArray
-	eytz     *index.Eytzinger
-	tree     *index.Tree
-	plan     buffering.Plan
-	buffered bool
-}
-
-func newRealWorker(cfg RealConfig, keys []workload.Key, part *Partitioning, w int) (*realWorker, error) {
-	rw := &realWorker{}
-	switch cfg.Method {
-	case MethodA:
-		rw.tree = index.NewNaryTree(keys, 0)
-	case MethodB:
-		rw.tree = index.NewNaryTree(keys, 0)
-		// Budget mirrors the simulated engine: half of a typical L2.
-		rw.plan = buffering.NewPlan(rw.tree, 256<<10)
-		rw.buffered = true
-	case MethodC1:
-		rw.tree = index.NewNaryTree(part.Parts[w].Keys, 0)
-		rw.rankBase = part.Parts[w].RankBase
-	case MethodC2:
-		rw.tree = index.NewNaryTree(part.Parts[w].Keys, 0)
-		rw.plan = buffering.NewPlan(rw.tree, 8<<10)
-		rw.buffered = true
-		rw.rankBase = part.Parts[w].RankBase
-	case MethodC3:
-		if cfg.Layout == LayoutEytzinger {
-			rw.eytz = index.NewEytzinger(part.Parts[w].Keys, 0)
-		} else {
-			rw.arr = index.NewSortedArray(part.Parts[w].Keys, 0)
-		}
-		rw.rankBase = part.Parts[w].RankBase
-	default:
-		return nil, fmt.Errorf("core: unsupported method %v", cfg.Method)
+// Partitioning exposes the cluster's current routing structure (nil for
+// the replicated methods); callers reuse it instead of rebuilding one.
+// A rebalance replaces it, so callers should not cache it across
+// inserts.
+func (c *Cluster) Partitioning() *Partitioning {
+	if ep := c.epoch.Load(); ep != nil {
+		return ep.part
 	}
-	return rw, nil
+	return nil
 }
 
-// process computes the batch's global ranks into b.ranks, folding the
-// partition rank base into the one write per key (no second add pass,
-// no per-batch allocation once b.ranks has grown to batch size).
-func (rw *realWorker) process(b *realBatch) {
+// processBatch executes one batch against the partition state it was
+// routed with: inserts land in the delta buffer, reads compute global
+// ranks into b.ranks with the rank base — static plus the preceding
+// partitions' insert counters — folded into the single write per key.
+func (c *Cluster) processBatch(b *realBatch) {
+	lp := b.lp
+	if b.insert {
+		lp.upd.InsertBatch(b.keys)
+		if lp.ep != nil {
+			lp.ep.inserted[lp.slot].n.Add(int64(len(b.keys)))
+		}
+		c.maybeRebalance(lp)
+		b.ranks = b.ranks[:0]
+		return
+	}
 	n := len(b.keys)
 	if cap(b.ranks) < n {
 		b.ranks = make([]int, n)
 	}
 	out := b.ranks[:n]
 	b.ranks = out
-	switch {
-	case rw.buffered:
-		rw.plan.RankBatch(b.keys, out, rw.rankBase, buffering.Hooks{})
-	case rw.eytz != nil:
-		if b.sorted {
-			rw.eytz.RankSorted(b.keys, out, rw.rankBase)
-		} else {
-			rw.eytz.RankBatch(b.keys, out, rw.rankBase)
-		}
-	case rw.arr != nil:
-		if b.sorted {
-			rw.arr.RankSorted(b.keys, out, rw.rankBase)
-		} else {
-			rw.arr.RankBatch(b.keys, out, rw.rankBase)
-		}
-	default:
-		base := rw.rankBase
-		for i, k := range b.keys {
-			out[i] = rw.tree.Rank(k) + base
-		}
+	add := lp.rankBase
+	if lp.ep != nil {
+		add += lp.ep.insertedBefore(lp.slot)
+	}
+	if b.sorted {
+		lp.upd.RankSorted(b.keys, out, add)
+	} else {
+		lp.upd.RankBatch(b.keys, out, add)
 	}
 }
 
-func (c *Cluster) runWorker(w int, proc *realWorker) {
+func (c *Cluster) runWorker(w int) {
 	defer c.wg.Done()
 	st := &c.stats[w]
 	for b := range c.in[w] {
 		start := time.Now()
-		proc.process(b)
+		c.processBatch(b)
 		st.busyNs.Add(time.Since(start).Nanoseconds())
 		st.keys.Add(int64(len(b.keys)))
 		st.batches.Add(1)
@@ -353,6 +373,8 @@ func (c *Cluster) getBatch(reply chan *realBatch) *realBatch {
 	b.posBase = 0
 	b.sorted = false
 	b.alias = false
+	b.insert = false
+	b.lp = nil
 	b.reply = reply
 	return b
 }
@@ -371,6 +393,7 @@ func (c *Cluster) putBatch(b *realBatch) {
 		b.keysBuf, b.posBuf = b.keys, b.pos
 	}
 	b.reply = nil
+	b.lp = nil
 	select {
 	case c.freeBatches <- b:
 	default:
@@ -470,6 +493,14 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		sorted = true
 	}
 
+	// Pin the routing epoch for the whole call: every batch carries the
+	// livePart it was routed with, so a rebalance installing new
+	// delimiters mid-call cannot mismatch routing and answering state.
+	var ep *updEpoch
+	if distributed {
+		ep = c.epoch.Load()
+	}
+
 	switch {
 	case distributed && sorted:
 		// One sweep over the delimiters (ForEachSortedRun): partition s
@@ -478,12 +509,13 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		// either the contiguous range starting at posBase (input was
 		// already sorted) or the corresponding slice of the sort
 		// permutation.
-		ForEachSortedRun(c.part.delims, runKeys, bk, func(s, start, end int) {
+		ForEachSortedRun(ep.part.delims, runKeys, bk, func(s, start, end int) {
 			b := c.getBatch(cs.reply)
 			b.keys = runKeys[start:end]
 			b.posBase = start
 			b.sorted = true
 			b.alias = true
+			b.lp = ep.lps[s]
 			if runPos != nil {
 				b.pos = runPos[start:end]
 			} else {
@@ -495,10 +527,11 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		// Master dispatch: per-slave accumulation directly into pooled
 		// batches, handed off whole at BatchKeys (no copy).
 		for i, q := range queries {
-			s := c.part.Route(q)
+			s := ep.part.Route(q)
 			b := cs.accum[s]
 			if b == nil {
 				b = c.getBatch(cs.reply)
+				b.lp = ep.lps[s]
 				cs.accum[s] = b
 			}
 			b.keys = append(b.keys, q)
@@ -536,7 +569,9 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 			} else {
 				b.pos = nil
 			}
-			send(c.nextWorker(), b)
+			w := c.nextWorker()
+			b.lp = c.repl[w]
+			send(w, b)
 		}
 	}
 
@@ -596,7 +631,9 @@ func (c *Cluster) Stats() RealStats {
 }
 
 // Close shuts the workers down and waits for them to exit. Calls in
-// flight complete first; further lookups fail. Close is idempotent.
+// flight complete first (including insert calls); further lookups and
+// inserts fail. Background compactions and the rebalancer are drained
+// before Close returns. Close is idempotent.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -604,8 +641,11 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
+	close(c.stop)
 	for _, ch := range c.in {
 		close(ch)
 	}
 	c.wg.Wait()
+	c.updWG.Wait()
+	c.quiesceUpdates()
 }

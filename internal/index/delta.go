@@ -1,0 +1,453 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/workload"
+)
+
+// This file is the mutable half of the index: a small sorted delta
+// buffer consulted alongside an immutable base structure, and the
+// Updatable wrapper that swaps compacted bases in behind readers'
+// backs. The paper distributes a *static* sorted index over CPU caches;
+// the delta layer is the standard recipe (Asadi & Lin, "Fast,
+// Incremental Inverted Indexing in Main Memory") for opening that
+// design to writes: inserts land in a per-partition buffer that is tiny
+// next to the base (so it rides along in the same cache the partition
+// fits), rank answers add the buffer's contribution — Rank is additive
+// across disjoint key multisets — and a background merge periodically
+// compacts buffer plus base into a fresh immutable array.
+
+// BatchRanker is the read API the updatable layer serves: batch rank
+// resolution with the caller's rank base folded into the output writes.
+// SortedArray, Eytzinger, and the core engines' tree adapters implement
+// it.
+type BatchRanker interface {
+	RankBatch(qs []workload.Key, out []int, add int)
+}
+
+// SortedRanker is the optional streaming fast path for ascending query
+// runs. SortedArray and Eytzinger implement it.
+type SortedRanker interface {
+	RankSorted(qs []workload.Key, out []int, add int)
+}
+
+// Delta is a sorted insert buffer: the mutable side layer of an
+// updatable partition. A Delta value is immutable once published —
+// MergeIn returns a new Delta rather than mutating — so readers may
+// hold one while writers advance the current pointer; that is what lets
+// Updatable serve lock-free-length read sections (see Updatable.pin).
+type Delta struct {
+	keys []workload.Key // ascending, duplicates allowed
+}
+
+// emptyDelta is the shared zero-length buffer every partition starts
+// from (and returns to after a merge drains it).
+var emptyDelta = &Delta{}
+
+// NewDelta builds a buffer over keys, sorting a copy if needed.
+func NewDelta(keys []workload.Key) *Delta {
+	if len(keys) == 0 {
+		return emptyDelta
+	}
+	cp := append([]workload.Key(nil), keys...)
+	sortKeys(cp)
+	return &Delta{keys: cp}
+}
+
+// Len returns the buffered key count.
+func (d *Delta) Len() int { return len(d.keys) }
+
+// Keys exposes the sorted buffer (read-only by convention).
+func (d *Delta) Keys() []workload.Key { return d.keys }
+
+// Rank returns the number of buffered keys <= k.
+func (d *Delta) Rank(k workload.Key) int { return upperBound(d.keys, k) }
+
+// RankAdd adds each query's buffer rank into out — the side-layer pass
+// over an unordered batch whose base ranks are already in out.
+func (d *Delta) RankAdd(qs []workload.Key, out []int) {
+	if len(d.keys) == 0 {
+		return
+	}
+	for i, q := range qs {
+		out[i] += upperBound(d.keys, q)
+	}
+}
+
+// RankSortedAdd is RankAdd for an ascending query run: one forward
+// merge over the buffer instead of a search per key.
+func (d *Delta) RankSortedAdd(qs []workload.Key, out []int) {
+	keys := d.keys
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	j := 0
+	for i, q := range qs {
+		for j < n && keys[j] <= q {
+			j++
+		}
+		out[i] += j
+	}
+}
+
+// MergeIn returns a new Delta holding the union of the buffer and ins
+// (which must be sorted ascending). The receiver is left untouched, so
+// concurrent readers holding it stay consistent.
+func (d *Delta) MergeIn(ins []workload.Key) *Delta {
+	if len(ins) == 0 {
+		return d
+	}
+	return &Delta{keys: MergeKeys(d.keys, ins)}
+}
+
+// MergeKeys merges two ascending key runs into a fresh ascending slice.
+func MergeKeys(a, b []workload.Key) []workload.Key {
+	out := make([]workload.Key, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j] < a[i] {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// sortKeys sorts keys ascending in place (insertion-friendly sizes use
+// the stdlib; keys are plain uint32s).
+func sortKeys(keys []workload.Key) {
+	// Avoid sort.Slice's interface allocations on the insert hot path:
+	// a simple binary-insertion sort is optimal for the small batches
+	// inserts arrive in, and pdqsort-sized inputs fall back below.
+	if len(keys) <= 32 {
+		for i := 1; i < len(keys); i++ {
+			k := keys[i]
+			j := upperBound(keys[:i], k)
+			copy(keys[j+1:i+1], keys[j:i])
+			keys[j] = k
+		}
+		return
+	}
+	radixSortKeys(keys)
+}
+
+// radixSortKeys is an in-place-ish LSD byte radix sort for larger insert
+// batches (allocates one scratch slice).
+func radixSortKeys(keys []workload.Key) {
+	scratch := make([]workload.Key, len(keys))
+	a, b := keys, scratch
+	for p := 0; p < 4; p++ {
+		var hist [256]uint32
+		shift := uint(8 * p)
+		for _, v := range a {
+			hist[byte(v>>shift)]++
+		}
+		if hist[byte(a[0]>>shift)] == uint32(len(a)) {
+			continue
+		}
+		sum := uint32(0)
+		for i := range hist {
+			c := hist[i]
+			hist[i] = sum
+			sum += c
+		}
+		for _, v := range a {
+			d := byte(v >> shift)
+			b[hist[d]] = v
+			hist[d]++
+		}
+		a, b = b, a
+	}
+	if &a[0] != &keys[0] {
+		copy(keys, a)
+	}
+}
+
+// Builder constructs a fresh immutable base structure over a sorted key
+// set: NewSortedArray, NewEytzinger, a tree, or a buffered plan — the
+// updatable layer is agnostic, which is how all five of the paper's
+// methods support inserts through one mechanism.
+type Builder func(keys []workload.Key) BatchRanker
+
+// baseState is one immutable generation of the compacted base: the
+// sorted keys and the ranker built over them.
+type baseState struct {
+	keys []workload.Key
+	r    BatchRanker
+}
+
+// Updatable layers a mutable Delta over an immutable base structure and
+// keeps answers exact while a background goroutine compacts the two:
+//
+//   - Reads pin a consistent (base, delta, frozen) snapshot under a
+//     brief mutex, then rank outside it: base ranks from the immutable
+//     structure plus the buffers' contributions. Readers never block on
+//     a merge — compaction runs outside the lock and installs its
+//     result with one pointer swap.
+//   - Inserts replace the current Delta with a merged copy (the buffer
+//     is bounded by Threshold, so the copy is O(Threshold)); when the
+//     buffer reaches Threshold it is frozen and a background merge
+//     compacts frozen+base into a fresh base via the Builder. At most
+//     one merge runs at a time; inserts arriving during it accumulate
+//     in a new active buffer, and reads consult base+frozen+active.
+//   - Reset atomically replaces the whole state (the replica catch-up
+//     path); a generation counter makes any in-flight merge's result
+//     stale so it is discarded instead of resurrecting pre-Reset keys.
+//
+// The zero read overhead claim is literal for read-only phases: a
+// clean Updatable (no buffered keys) answers through one atomic load
+// and the base ranker, no mutex.
+type Updatable struct {
+	build     Builder
+	threshold int
+
+	base  atomic.Pointer[baseState]
+	dirty atomic.Bool // false => delta and frozen both empty
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled when a compaction finishes
+	delta    *Delta
+	frozen   *Delta // being merged; nil otherwise
+	gen      uint64 // bumped by Reset; stale merges discard
+	inflight int    // compactions running
+
+	merges atomic.Uint64
+
+	// OnMerge, if set before first use, is called after each completed
+	// merge install (cluster-level stats hook).
+	OnMerge func()
+}
+
+// DefaultMergeThreshold is the delta size that triggers a background
+// compaction when the caller passes threshold <= 0: small enough that
+// the buffer's extra search stays cache-resident next to the partition,
+// large enough that merges amortize.
+const DefaultMergeThreshold = 4096
+
+// NewUpdatable wraps sorted keys with build's structure. The keys slice
+// is aliased, never mutated (merges build fresh arrays).
+func NewUpdatable(keys []workload.Key, build Builder, threshold int) *Updatable {
+	return NewUpdatableOver(keys, build(keys), build, threshold)
+}
+
+// NewUpdatableOver is NewUpdatable for a caller that already built the
+// initial ranker over keys (merges still use build for fresh bases), so
+// the structure is not constructed twice.
+func NewUpdatableOver(keys []workload.Key, r BatchRanker, build Builder, threshold int) *Updatable {
+	if threshold <= 0 {
+		threshold = DefaultMergeThreshold
+	}
+	u := &Updatable{build: build, threshold: threshold, delta: emptyDelta}
+	u.cond = sync.NewCond(&u.mu)
+	u.base.Store(&baseState{keys: keys, r: r})
+	return u
+}
+
+// pin captures a consistent view of the layered state. All state
+// transitions (insert, merge install, reset) happen under mu, so the
+// triple is mutually consistent; every component is immutable after
+// capture.
+func (u *Updatable) pin() (s *baseState, delta, frozen *Delta) {
+	u.mu.Lock()
+	s, delta, frozen = u.base.Load(), u.delta, u.frozen
+	u.mu.Unlock()
+	return
+}
+
+// RankBatch resolves qs into out (len(out) >= len(qs)), adding add to
+// every rank. Exact at every moment: base ranks plus the delta layers'
+// contributions.
+func (u *Updatable) RankBatch(qs []workload.Key, out []int, add int) {
+	if !u.dirty.Load() {
+		// Clean fast path: the base alone answers. A racing insert
+		// linearizes after this batch.
+		u.base.Load().r.RankBatch(qs, out, add)
+		return
+	}
+	s, delta, frozen := u.pin()
+	s.r.RankBatch(qs, out, add)
+	delta.RankAdd(qs, out)
+	if frozen != nil {
+		frozen.RankAdd(qs, out)
+	}
+}
+
+// RankSorted is RankBatch for an ascending run: the base's streaming
+// kernel when it has one, and forward-merge passes over the buffers.
+func (u *Updatable) RankSorted(qs []workload.Key, out []int, add int) {
+	if !u.dirty.Load() {
+		s := u.base.Load()
+		if sr, ok := s.r.(SortedRanker); ok {
+			sr.RankSorted(qs, out, add)
+		} else {
+			s.r.RankBatch(qs, out, add)
+		}
+		return
+	}
+	s, delta, frozen := u.pin()
+	if sr, ok := s.r.(SortedRanker); ok {
+		sr.RankSorted(qs, out, add)
+	} else {
+		s.r.RankBatch(qs, out, add)
+	}
+	delta.RankSortedAdd(qs, out)
+	if frozen != nil {
+		frozen.RankSortedAdd(qs, out)
+	}
+}
+
+// Rank resolves a single key (convenience; the engines batch).
+func (u *Updatable) Rank(k workload.Key) int {
+	var q [1]workload.Key
+	var r [1]int
+	q[0] = k
+	u.RankBatch(q[:], r[:], 0)
+	return r[0]
+}
+
+// InsertBatch adds keys (any order, duplicates allowed) to the delta
+// buffer, triggering a background compaction when the buffer reaches
+// the threshold. Safe for concurrent callers and concurrent readers;
+// the new keys are visible to every read that starts after it returns.
+func (u *Updatable) InsertBatch(keys []workload.Key) {
+	if len(keys) == 0 {
+		return
+	}
+	sorted := append([]workload.Key(nil), keys...)
+	sortKeys(sorted)
+	u.mu.Lock()
+	u.dirty.Store(true)
+	u.delta = u.delta.MergeIn(sorted)
+	u.maybeMergeLocked()
+	u.mu.Unlock()
+}
+
+// Insert adds one key.
+func (u *Updatable) Insert(k workload.Key) {
+	u.mu.Lock()
+	u.dirty.Store(true)
+	u.delta = u.delta.MergeIn([]workload.Key{k})
+	u.maybeMergeLocked()
+	u.mu.Unlock()
+}
+
+// maybeMergeLocked freezes the active buffer and spawns the compaction
+// when it is due. Caller holds mu.
+func (u *Updatable) maybeMergeLocked() {
+	if u.frozen != nil || u.delta.Len() < u.threshold {
+		return
+	}
+	u.frozen = u.delta
+	u.delta = emptyDelta
+	s := u.base.Load()
+	gen := u.gen
+	fr := u.frozen
+	u.inflight++
+	go u.merge(s, fr, gen)
+}
+
+// merge compacts base+frozen into a fresh base structure and installs
+// it. Runs outside the lock (readers keep answering from the layered
+// view); the install is a pointer swap under mu.
+func (u *Updatable) merge(s *baseState, fr *Delta, gen uint64) {
+	merged := MergeKeys(s.keys, fr.keys)
+	r := u.build(merged)
+	u.mu.Lock()
+	u.inflight--
+	if u.gen != gen {
+		// Reset raced the compaction: its result describes a state that
+		// no longer exists. Drop it.
+		u.cond.Broadcast()
+		u.mu.Unlock()
+		return
+	}
+	u.base.Store(&baseState{keys: merged, r: r})
+	u.frozen = nil
+	if u.delta.Len() == 0 {
+		u.dirty.Store(false)
+	}
+	u.merges.Add(1)
+	hook := u.OnMerge
+	// The active buffer may have refilled past the threshold while the
+	// compaction ran; chain the next one immediately.
+	u.maybeMergeLocked()
+	u.cond.Broadcast()
+	u.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// Reset replaces the entire state with sorted keys (aliased, not
+// copied): the replica catch-up path. Any in-flight merge becomes
+// stale and is discarded.
+func (u *Updatable) Reset(keys []workload.Key) {
+	u.mu.Lock()
+	u.gen++
+	u.base.Store(&baseState{keys: keys, r: u.build(keys)})
+	u.delta = emptyDelta
+	u.frozen = nil
+	u.dirty.Store(false)
+	u.mu.Unlock()
+}
+
+// SnapshotKeys returns a fresh sorted slice of every key the structure
+// currently answers for: base plus both buffers. Exact when the caller
+// has stopped writes; otherwise a consistent point-in-time snapshot.
+func (u *Updatable) SnapshotKeys() []workload.Key {
+	s, delta, frozen := u.pin()
+	out := s.keys
+	if frozen != nil {
+		out = MergeKeys(out, frozen.keys)
+	}
+	if delta.Len() > 0 {
+		out = MergeKeys(out, delta.keys)
+	}
+	if len(s.keys) > 0 && len(out) > 0 && &out[0] == &s.keys[0] {
+		out = append([]workload.Key(nil), out...)
+	}
+	return out
+}
+
+// TotalKeys returns the current key count across base and buffers.
+func (u *Updatable) TotalKeys() int {
+	s, delta, frozen := u.pin()
+	n := len(s.keys) + delta.Len()
+	if frozen != nil {
+		n += frozen.Len()
+	}
+	return n
+}
+
+// BufferedKeys returns the count still in the mutable layers (active
+// plus frozen buffers).
+func (u *Updatable) BufferedKeys() int {
+	_, delta, frozen := u.pin()
+	n := delta.Len()
+	if frozen != nil {
+		n += frozen.Len()
+	}
+	return n
+}
+
+// Merges returns the number of completed compactions.
+func (u *Updatable) Merges() uint64 { return u.merges.Load() }
+
+// Quiesce blocks until no compaction is in flight or pending (the
+// active buffer is below threshold and nothing is frozen). Test and
+// shutdown hook; concurrent inserts can of course re-arm a merge after
+// it returns.
+func (u *Updatable) Quiesce() {
+	u.mu.Lock()
+	for u.inflight > 0 || u.frozen != nil {
+		u.cond.Wait()
+	}
+	u.mu.Unlock()
+}

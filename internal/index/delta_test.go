@@ -1,0 +1,264 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// oracleRank is the reference: count of keys <= k in the multiset.
+func oracleRank(keys []workload.Key, k workload.Key) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > k })
+}
+
+func TestDeltaRankMatchesOracle(t *testing.T) {
+	r := workload.NewRNG(7)
+	var keys []workload.Key
+	d := emptyDelta
+	for round := 0; round < 50; round++ {
+		batch := make([]workload.Key, r.Intn(20)+1)
+		for i := range batch {
+			batch[i] = r.Key() % 1000 // force duplicates
+		}
+		sortKeys(batch)
+		d = d.MergeIn(batch)
+		keys = append(keys, batch...)
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, probe := range []workload.Key{0, 1, 499, 500, 999, 1000, ^workload.Key(0)} {
+			if got, want := d.Rank(probe), oracleRank(keys, probe); got != want {
+				t.Fatalf("round %d: Rank(%d) = %d, want %d", round, probe, got, want)
+			}
+		}
+		// Sorted and unsorted adds agree.
+		qs := append([]workload.Key(nil), keys...)
+		got1 := make([]int, len(qs))
+		got2 := make([]int, len(qs))
+		d.RankAdd(qs, got1)
+		d.RankSortedAdd(qs, got2)
+		for i := range got1 {
+			if got1[i] != got2[i] {
+				t.Fatalf("RankAdd/RankSortedAdd disagree at %d: %d vs %d", i, got1[i], got2[i])
+			}
+		}
+	}
+}
+
+func TestSortKeys(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 100, 4096} {
+		keys := make([]workload.Key, n)
+		for i := range keys {
+			keys[i] = workload.Key(r.Uint32())
+		}
+		want := append([]workload.Key(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sortKeys(keys)
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("n=%d: sortKeys diverges at %d", n, i)
+			}
+		}
+	}
+}
+
+// sortedArrayBuilder is the Method C-3 Builder.
+func sortedArrayBuilder(keys []workload.Key) BatchRanker {
+	return NewSortedArray(keys, 0)
+}
+
+func TestUpdatableExactUnderMerges(t *testing.T) {
+	base := workload.SortedKeys(5000, 1)
+	u := NewUpdatable(base, sortedArrayBuilder, 64) // tiny threshold: many merges
+	all := append([]workload.Key(nil), base...)
+
+	r := workload.NewRNG(2)
+	for round := 0; round < 40; round++ {
+		ins := make([]workload.Key, 50)
+		for i := range ins {
+			ins[i] = r.Key()
+		}
+		u.InsertBatch(ins)
+		all = append(all, ins...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	u.Quiesce()
+	if u.Merges() == 0 {
+		t.Fatal("expected at least one background merge")
+	}
+	if got, want := u.TotalKeys(), len(all); got != want {
+		t.Fatalf("TotalKeys = %d, want %d", got, want)
+	}
+
+	qs := workload.UniformQueries(2000, 3)
+	out := make([]int, len(qs))
+	u.RankBatch(qs, out, 10)
+	for i, q := range qs {
+		if want := oracleRank(all, q) + 10; out[i] != want {
+			t.Fatalf("RankBatch(%d) = %d, want %d", q, out[i], want)
+		}
+	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	u.RankSorted(qs, out, 0)
+	for i, q := range qs {
+		if want := oracleRank(all, q); out[i] != want {
+			t.Fatalf("RankSorted(%d) = %d, want %d", q, out[i], want)
+		}
+	}
+
+	snap := u.SnapshotKeys()
+	if len(snap) != len(all) {
+		t.Fatalf("SnapshotKeys len = %d, want %d", len(snap), len(all))
+	}
+	for i := range snap {
+		if snap[i] != all[i] {
+			t.Fatalf("SnapshotKeys diverges at %d", i)
+		}
+	}
+}
+
+// TestUpdatableConcurrentReadersExact hammers one Updatable with
+// concurrent readers while inserts stream in: every result must lie
+// between the rank before the phase's inserts and the rank after them
+// (rank is monotone in inserts), and quiescent phases must be exact.
+func TestUpdatableConcurrentReadersExact(t *testing.T) {
+	base := workload.SortedKeys(20000, 5)
+	u := NewUpdatable(base, sortedArrayBuilder, 256)
+	all := append([]workload.Key(nil), base...)
+	qs := workload.UniformQueries(512, 6)
+
+	for phase := 0; phase < 8; phase++ {
+		before := make([]int, len(qs))
+		for i, q := range qs {
+			before[i] = oracleRank(all, q)
+		}
+		ins := workload.UniformQueries(900, uint64(100+phase))
+		sorted := append([]workload.Key(nil), ins...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		all = MergeKeys(all, sorted)
+		after := make([]int, len(qs))
+		for i, q := range qs {
+			after[i] = oracleRank(all, q)
+		}
+
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out := make([]int, len(qs))
+				for iter := 0; iter < 20; iter++ {
+					u.RankBatch(qs, out, 0)
+					for i := range qs {
+						if out[i] < before[i] || out[i] > after[i] {
+							t.Errorf("phase %d: rank(%d) = %d outside [%d, %d]",
+								phase, qs[i], out[i], before[i], after[i])
+							return
+						}
+					}
+				}
+			}()
+		}
+		for off := 0; off < len(ins); off += 90 {
+			u.InsertBatch(ins[off : off+90])
+		}
+		wg.Wait()
+
+		// Quiescent: exact.
+		out := make([]int, len(qs))
+		u.RankBatch(qs, out, 0)
+		for i := range qs {
+			if out[i] != after[i] {
+				t.Fatalf("phase %d quiescent: rank(%d) = %d, want %d", phase, qs[i], out[i], after[i])
+			}
+		}
+	}
+	u.Quiesce()
+	if u.Merges() < 3 {
+		t.Fatalf("merges = %d, want >= 3", u.Merges())
+	}
+}
+
+func TestUpdatableResetDiscardsInFlightMerge(t *testing.T) {
+	base := workload.SortedKeys(1000, 9)
+	u := NewUpdatable(base, sortedArrayBuilder, 8)
+	u.InsertBatch(workload.UniformQueries(64, 10)) // arms a merge
+	fresh := workload.SortedKeys(500, 11)
+	u.Reset(fresh)
+	u.Quiesce()
+	if got := u.TotalKeys(); got != len(fresh) {
+		t.Fatalf("TotalKeys after Reset = %d, want %d", got, len(fresh))
+	}
+	out := make([]int, 1)
+	u.RankBatch([]workload.Key{^workload.Key(0)}, out, 0)
+	if out[0] != len(fresh) {
+		t.Fatalf("rank(max) = %d, want %d (stale merge resurrected?)", out[0], len(fresh))
+	}
+}
+
+// FuzzInsertMerge drives an Updatable with an arbitrary interleaving of
+// insert batches, merges (forced via tiny thresholds), and resets, and
+// cross-checks every rank against the sort.Search oracle over the shadow
+// multiset.
+func FuzzInsertMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 250, 7, 9}, uint16(3))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255}, uint16(1))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint16(64))
+	f.Fuzz(func(t *testing.T, script []byte, threshold uint16) {
+		if len(script) == 0 {
+			return
+		}
+		base := workload.SortedKeys(64, 1)
+		u := NewUpdatable(base, sortedArrayBuilder, int(threshold%128)+1)
+		shadow := append([]workload.Key(nil), base...)
+
+		r := workload.NewRNG(uint64(len(script)))
+		for i := 0; i < len(script); {
+			op := script[i] % 16
+			switch {
+			case op < 12: // insert a small batch derived from the script
+				n := int(script[i]%7) + 1
+				batch := make([]workload.Key, 0, n)
+				for j := 0; j < n && i+1+j < len(script); j++ {
+					batch = append(batch, workload.Key(script[i+1+j])<<8|workload.Key(r.Intn(256)))
+				}
+				i += n + 1
+				if len(batch) == 0 {
+					continue
+				}
+				u.InsertBatch(batch)
+				shadow = append(shadow, batch...)
+				sort.Slice(shadow, func(a, b int) bool { return shadow[a] < shadow[b] })
+			case op < 14: // quiesce (forces merge completion determinism)
+				u.Quiesce()
+				i++
+			default: // reset to a fresh base
+				fresh := workload.SortedKeys(int(script[i]%32)+1, uint64(i))
+				u.Reset(fresh)
+				shadow = append(shadow[:0], fresh...)
+				i++
+			}
+			// Probe a handful of ranks after every op.
+			qs := []workload.Key{0, 255, 1 << 13, ^workload.Key(0), workload.Key(r.Uint64())}
+			out := make([]int, len(qs))
+			u.RankBatch(qs, out, 0)
+			for j, q := range qs {
+				if want := oracleRank(shadow, q); out[j] != want {
+					t.Fatalf("rank(%d) = %d, want %d (op %d at %d)", q, out[j], want, op, i)
+				}
+			}
+		}
+		u.Quiesce()
+		snap := u.SnapshotKeys()
+		if len(snap) != len(shadow) {
+			t.Fatalf("snapshot len %d, want %d", len(snap), len(shadow))
+		}
+		for i := range snap {
+			if snap[i] != shadow[i] {
+				t.Fatalf("snapshot diverges at %d: %d vs %d", i, snap[i], shadow[i])
+			}
+		}
+	})
+}

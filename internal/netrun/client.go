@@ -47,6 +47,19 @@ var ErrClusterClosed = errors.New("netrun: cluster closed")
 // cannot answer arbitrary queries. Recovery from a terminal failure is
 // opt-in via Redial; per-replica liveness and traffic counters are
 // reported by Health.
+//
+// Write model (protocol v3): Insert/InsertBatch route keys to the
+// owning partition and fan each write out to every healthy v3 replica
+// of that group; a replica that dies mid-write leaves the group (the
+// survivors define the state) and reloads a sibling's snapshot when it
+// rejoins, before it serves reads again. Pre-v3 replicas never receive
+// writes, and stop serving a partition's lookups once this client has
+// written to it. The client folds its per-partition insert counts into
+// the nodes' static rank bases on the read path, so global ranks stay
+// exact under a single writing client; Redial reuses the counters (the
+// nodes retain their inserts), but a node that *restarted* across a
+// terminal failure comes back stale and is only re-synced by the
+// rejoin path, not by Redial.
 type Cluster struct {
 	part   *core.Partitioning
 	groups [][]string // replica addresses, one slice per partition
@@ -57,10 +70,33 @@ type Cluster struct {
 	pends sync.Pool // *pending
 	reqID atomic.Uint32
 
+	// ins[p] counts keys inserted into partition p: bumped once every
+	// replica acked one of this client's writes, and seeded at dial
+	// time from the nodes' advertised live counts (v3 hello), which
+	// covers writes made by earlier, since-departed clients. Nodes
+	// answer with their static rank base, so the client adds the
+	// preceding partitions' counters when scattering replies — the
+	// client-side half of keeping global ranks exact as the index
+	// grows. Counters persist across Redial (they describe the nodes,
+	// which outlive the connections). A concurrently-writing second
+	// client remains invisible between dials, so exact global ranks
+	// under writes assume one writing client at a time.
+	ins []atomic.Int64
+
 	ep atomic.Pointer[epoch]
 
 	mu     sync.Mutex // serializes Close and Redial
 	closed bool
+}
+
+// insBefore sums the keys inserted into partitions < part: the dynamic
+// rank-base correction applied to that partition's replies.
+func (c *Cluster) insBefore(part int) int {
+	s := 0
+	for j := 0; j < part; j++ {
+		s += int(c.ins[j].Load())
+	}
+	return s
 }
 
 // epoch is one generation of node connections. A terminal failure
@@ -79,7 +115,9 @@ type epoch struct {
 // (fixed for the epoch) and the currently healthy member connections.
 // members shrinks when a replica fails and grows back when its rejoin
 // loop restores it; the round-robin cursor spreads load across whoever
-// is healthy.
+// is healthy. A member may be catching up (see clusterNode.catchingUp):
+// it is listed so writes reach it (via its hold queue) but is skipped
+// by every read until the catch-up load lands.
 type replicaGroup struct {
 	part    int
 	addrs   []string
@@ -87,6 +125,14 @@ type replicaGroup struct {
 	mu      sync.Mutex
 	cursor  int
 	members []*clusterNode
+	// writes counts insert chunks fanned out to this group, bumped in
+	// the same mu section as the fan-out itself. The rejoin path gates
+	// on it rather than on the acked counters (Cluster.ins): a write
+	// is dangerous to a plainly-readmitted replica the moment it is
+	// *issued* — the acked counter lags by a network round trip, and a
+	// replica installed in that window would permanently miss the
+	// in-flight write.
+	writes int
 }
 
 // replicaStats counts one replica address's lifecycle events across
@@ -97,16 +143,56 @@ type replicaStats struct {
 	rejoins    atomic.Uint64
 }
 
-// pick returns a healthy member of the group round-robin, or nil when
-// the group is (transiently or terminally) empty.
-func (g *replicaGroup) pick() *clusterNode {
+// pickFor returns a healthy member eligible for p, round-robin.
+// Eligibility: catching-up members take no traffic (their state is
+// mid-load); snapshot requests need a v3 peer; and once this client has
+// written to the partition, pre-v3 members are excluded from lookups —
+// they never receive writes, so they can no longer prove they hold the
+// full key set. The second result distinguishes "group empty"
+// (nil, true — the epoch is failing, wait for the root cause) from
+// "members exist but none can serve p" (nil, false — fail the request
+// with a clear error, the epoch is fine).
+func (g *replicaGroup) pickFor(c *Cluster, p *pending) (n *clusterNode, empty bool) {
+	needV3 := p.kind == pkSnapshot || c.ins[g.part].Load() > 0
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if len(g.members) == 0 {
-		return nil
+		return nil, true
 	}
-	g.cursor++
-	return g.members[g.cursor%len(g.members)]
+	for range g.members {
+		g.cursor++
+		m := g.members[g.cursor%len(g.members)]
+		if m.catchingUp || (needV3 && m.version < ProtoV3) {
+			continue
+		}
+		return m, false
+	}
+	return nil, false
+}
+
+// describeIneligible explains why a non-empty group had no member
+// eligible for a request — the difference matters to an operator:
+// a syncing replica resolves itself in moments, while a written-to
+// partition whose last writable replica died stays read-unavailable
+// (and may have lost acked writes) until a protocol-v3 replica rejoins
+// and catches up.
+func (g *replicaGroup) describeIneligible(c *Cluster) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	syncing := 0
+	for _, m := range g.members {
+		if m.catchingUp {
+			syncing++
+		}
+	}
+	switch {
+	case syncing > 0:
+		return "its only protocol-v3 replica is still syncing a sibling snapshot (momentary; retry)"
+	case c.ins[g.part].Load() > 0:
+		return "it absorbed writes and then lost its last writable protocol-v3 replica; the remaining pre-v3 replicas are stale, and acked writes may be lost until a v3 replica rejoins and catches up"
+	default:
+		return "no protocol-v3 replica is available to serve it"
+	}
 }
 
 // remove drops n from the member list and reports how many members
@@ -133,6 +219,10 @@ type ReplicaHealth struct {
 	// Healthy reports whether the replica is currently a live group
 	// member (accepting dispatches).
 	Healthy bool
+	// Syncing reports that the replica is a member mid-catch-up: it
+	// receives writes (via its hold queue) but serves no reads until
+	// the sibling snapshot load completes.
+	Syncing bool
 	// Dispatched counts lookup frames handed to this replica.
 	Dispatched uint64
 	// Failures counts times the replica was dropped from its group.
@@ -191,6 +281,9 @@ type clusterNode struct {
 	// meta from the hello handshake.
 	rankBase int
 	keyCount int
+	// liveCount is the node's current key count from a v3 hello's 6th
+	// word (0 on older acks): baseline plus every insert it absorbed.
+	liveCount int
 	// version is the negotiated protocol version for this connection
 	// (ProtoV1 against old nodes — sorted pendings are then sent as
 	// plain OpLookup frames, so failover across mixed-version replica
@@ -199,6 +292,14 @@ type clusterNode struct {
 
 	opTimeout time.Duration // <= 0: deadlines disabled
 	failOnce  sync.Once     // failNode runs its body exactly once
+
+	// catchingUp and holdq are guarded by g.mu (they are membership
+	// state): while a rejoining replica loads a sibling's snapshot it
+	// is a member — so write fan-outs see it — but reads skip it and
+	// its insert pendings queue in holdq, flushed onto the connection
+	// after the OpLoad so the load cannot wipe them.
+	catchingUp bool
+	holdq      []*pending
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -210,14 +311,33 @@ type clusterNode struct {
 
 func (n *clusterNode) stats() *replicaStats { return n.g.stats[n.slot] }
 
-// pending is one lookup frame's lifecycle: the caller accumulates keys
+// Pending kinds: lookups scatter rank replies; inserts, snapshots, and
+// catch-up loads are the v3 write-path frames with their own reply and
+// failover semantics.
+const (
+	pkLookup = iota
+	// pkInsert fans out to every v3 member of the owning group. When a
+	// member dies with one queued or in flight, the pending completes
+	// successfully — the member left the group, and the survivors
+	// define its state; it catches up from a sibling on rejoin.
+	pkInsert
+	// pkSnapshot asks any v3 member for its full key set (replica
+	// catch-up source). Fails over like a lookup.
+	pkSnapshot
+	// pkLoad pushes a snapshot at one specific (catching-up) member; it
+	// never fails over — the target dying aborts that catch-up attempt.
+	pkLoad
+)
+
+// pending is one request frame's lifecycle: the caller accumulates keys
 // and positions into it, the send loop writes and registers it, the
-// read loop scatters the reply into out and completes it back to the
+// read loop scatters or records the reply and completes it back to the
 // issuing call's gather channel — or, when its replica dies first, the
-// failover path re-dispatches it to a surviving replica. Key/position
-// capacity is recycled through the cluster's pending pool.
+// failover path re-dispatches it per its kind. Key/position capacity is
+// recycled through the cluster's pending pool.
 type pending struct {
 	reqID uint32
+	kind  int
 	keys  []uint32
 	pos   []int32
 	out   []int
@@ -230,8 +350,27 @@ type pending struct {
 	// the reply scatters sequentially and pos stays unused.
 	contig  bool
 	posBase int
-	err     error
-	done    chan *pending
+	// chunk links an insert fan-out pending back to its write chunk,
+	// so InsertBatch can credit the rank-base counters per fully-acked
+	// chunk (see insChunk). Nil for every other kind.
+	chunk *insChunk
+	err   error
+	done  chan *pending
+}
+
+// insChunk is one insert chunk's fan-out accounting: the chunk is
+// credited to the partition's rank-base counter only when every
+// fan-out pending completed without error. Partial failures (another
+// partition erroring, a replica group losing its last v3 member)
+// therefore never skew the counters for writes that were not fully
+// acknowledged, and writes that WERE fully acknowledged are credited
+// even when a later chunk errors. Touched only by the issuing
+// InsertBatch's gather loop — no locking.
+type insChunk struct {
+	part      int
+	n         int // keys in the chunk
+	remaining int // fan-out pendings not yet gathered
+	failed    bool
 }
 
 func (p *pending) complete(err error) {
@@ -372,6 +511,7 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 	}
 	c := &Cluster{part: part, groups: groups, batch: opt.BatchKeys, opt: opt}
 	nParts := len(part.Parts)
+	c.ins = make([]atomic.Int64, nParts)
 	c.calls.New = func() any { return &netCall{accum: make([]*pending, nParts)} }
 	c.pends.New = func() any { return new(pending) }
 	ep, err := c.dialEpoch()
@@ -399,6 +539,25 @@ func (c *Cluster) dialEpoch() (*epoch, error) {
 				return nil, err
 			}
 			g.members = append(g.members, n)
+		}
+	}
+	// Seed the rank-base correction counters from the nodes' live
+	// counts (v3 hello, live minus baseline = absorbed inserts), so a
+	// fresh client — or a Redial after writes whose acks were lost to
+	// the failure — answers consistently against nodes an earlier
+	// session wrote to. Seeding happens only here, never on rejoin: at
+	// dial time this client has no insert in flight, so the advertised
+	// counts cannot double-count with a later ack credit.
+	for _, g := range ep.groups {
+		for _, n := range g.members {
+			if d := int64(n.liveCount - n.keyCount); d > 0 {
+				for {
+					cur := c.ins[g.part].Load()
+					if d <= cur || c.ins[g.part].CompareAndSwap(cur, d) {
+						break
+					}
+				}
+			}
 		}
 	}
 	for _, g := range ep.groups {
@@ -502,16 +661,19 @@ func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
-	if f.Op != OpHelloAck || (len(f.Payload) != 4 && len(f.Payload) != 5) {
+	if f.Op != OpHelloAck || len(f.Payload) < 4 || len(f.Payload) > 6 {
 		return fmt.Errorf("bad hello ack (op %d, %d words)", f.Op, len(f.Payload))
 	}
 	n.version = ProtoV1
-	if len(f.Payload) == 5 {
+	if len(f.Payload) >= 5 {
 		v := f.Payload[4]
 		if v < ProtoV1 || v > ProtoVersion {
 			return fmt.Errorf("node negotiated unsupported protocol version %d", v)
 		}
 		n.version = v
+	}
+	if len(f.Payload) == 6 {
+		n.liveCount = int(f.Payload[5])
 	}
 	n.rankBase = int(f.Payload[0])
 	n.keyCount = int(f.Payload[1])
@@ -561,13 +723,38 @@ func (c *Cluster) failNode(ep *epoch, n *clusterNode, err error) {
 		if g.remove(n) == 0 {
 			ep.fail(fmt.Errorf("netrun: partition %d lost its last replica (%s): %w", g.part, n.addr, err))
 		}
+		// A catching-up member's held inserts die with it: every held
+		// pending was also fanned out to the surviving members, which
+		// now define the group's state (the same semantics as the
+		// in-flight insert sweep below). hasV3 records whether a
+		// surviving *full* v3 member exists: completing a swept insert
+		// as success is only honest when one does. A catching-up
+		// member does not count — writes fanned out before its
+		// admission are in neither its hold queue nor a snapshot it
+		// can still load once its source died — so those writes fail
+		// conservatively instead (the caller may retry; inserts are
+		// idempotent only as multiset adds, and an error makes the
+		// uncertainty explicit rather than acking a write no live node
+		// holds).
+		g.mu.Lock()
+		held := n.holdq
+		n.holdq = nil
+		n.catchingUp = false
+		hasV3 := false
+		for _, m := range g.members {
+			if m.version >= ProtoV3 && !m.catchingUp {
+				hasV3 = true
+				break
+			}
+		}
+		g.mu.Unlock()
 		// Take sole ownership of everything queued or in flight on n.
 		// dead is set in the same critical section, so a concurrent
 		// enqueue either lands before the sweep (and is collected) or
 		// observes dead and routes elsewhere.
 		n.mu.Lock()
 		n.dead = true
-		rest := make([]*pending, 0, len(n.pending)+len(n.sendq)-n.sendHead)
+		rest := make([]*pending, 0, len(n.pending)+len(n.sendq)-n.sendHead+len(held))
 		for _, p := range n.sendq[n.sendHead:] {
 			if p != nil {
 				rest = append(rest, p)
@@ -580,8 +767,40 @@ func (c *Cluster) failNode(ep *epoch, n *clusterNode, err error) {
 		n.pending = map[uint32]*pending{}
 		n.mu.Unlock()
 		n.cond.Broadcast()
+		rest = append(rest, held...)
 		for _, p := range rest {
-			c.route(ep, g, p)
+			switch p.kind {
+			case pkInsert:
+				// The write reached (or will reach) every surviving v3
+				// member; this member's copy is moot now that it left
+				// the group — it reloads from a sibling on rejoin. But
+				// when no v3 survivor exists (this was the partition's
+				// only writable replica, its pre-v3 siblings never got
+				// a copy), success would ack a write no live node
+				// holds — fail it instead so the caller's chunk is not
+				// credited.
+				switch {
+				case ep.Err() != nil:
+					p.complete(ep.err)
+				case hasV3:
+					p.complete(nil)
+				default:
+					p.complete(fmt.Errorf("netrun: partition %d lost its last full protocol-v3 replica (%s) with a write in flight: %w", g.part, n.addr, err))
+				}
+			case pkLoad:
+				// A load binds to this exact member; the catch-up
+				// attempt aborts and the next rejoin retries.
+				p.complete(fmt.Errorf("netrun: catch-up load to partition %d replica %s interrupted: %w", g.part, n.addr, err))
+			case pkSnapshot:
+				// A snapshot must not fail over: its position in this
+				// member's FIFO is what makes catch-up exactly-once
+				// (re-enqueueing it elsewhere could double-deliver
+				// writes that raced the admission). Abort the attempt;
+				// the rejoin cycle takes a fresh snapshot.
+				p.complete(fmt.Errorf("netrun: catch-up snapshot from partition %d replica %s interrupted: %w", g.part, n.addr, err))
+			default:
+				c.route(ep, g, p)
+			}
 		}
 		ep.goRejoin(g, n.slot)
 	})
@@ -605,6 +824,11 @@ func (ep *epoch) goRejoin(g *replicaGroup, slot int) {
 // until the dial and hello verification succeed (the replica rejoins
 // its group and fresh send/read loops start) or the epoch ends. Callers
 // are never interrupted: rejoining only grows the healthy member set.
+// A replica rejoining a partition this client has written to is stale —
+// its process restarted with the baseline key set — so it first catches
+// up from a sibling's snapshot (readmitWithCatchUp) before it serves
+// reads; a pre-v3 replica can never catch up and keeps backing off
+// until the operator replaces it.
 func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
 	defer ep.wg.Done()
 	backoff := c.opt.RejoinBackoff
@@ -624,7 +848,13 @@ func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
 		// Install under g.mu, re-checking the terminal flag: ep.fail
 		// closes failed before sweeping members under the same mutex,
 		// so the new member is either refused here or swept there —
-		// never leaked.
+		// never leaked. The no-writes decision is taken in the same mu
+		// section the write fan-out uses, so a concurrent first insert
+		// either precedes it (writes > 0, catch-up required) or sees
+		// the freshly installed member and fans to it directly — the
+		// replica can never plainly install in an in-flight write's
+		// blind spot. g.writes covers this epoch; the acked counters
+		// cover writes from before a Redial (the nodes retain them).
 		g.mu.Lock()
 		select {
 		case <-ep.failed:
@@ -633,14 +863,136 @@ func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
 			return
 		default:
 		}
-		g.members = append(g.members, n)
+		if g.writes == 0 && c.ins[g.part].Load() == 0 {
+			g.members = append(g.members, n)
+			g.mu.Unlock()
+			n.stats().rejoins.Add(1)
+			ep.wg.Add(2)
+			go n.sendLoop(ep)
+			go n.readLoop(ep)
+			return
+		}
 		g.mu.Unlock()
-		n.stats().rejoins.Add(1)
-		ep.wg.Add(2)
-		go n.sendLoop(ep)
-		go n.readLoop(ep)
-		return
+		// The group has absorbed writes: the baseline replica is stale.
+		if n.version < ProtoV3 {
+			// Stale forever: it cannot receive the missed writes.
+			n.conn.Close()
+			if backoff *= 2; backoff > c.opt.RejoinMaxBackoff {
+				backoff = c.opt.RejoinMaxBackoff
+			}
+			continue
+		}
+		if c.readmitWithCatchUp(ep, g, n) {
+			return // admitted; failNode owns any later failure
+		}
+		// No snapshot source right now; retry from scratch.
+		n.conn.Close()
+		if backoff *= 2; backoff > c.opt.RejoinMaxBackoff {
+			backoff = c.opt.RejoinMaxBackoff
+		}
+		continue
 	}
+}
+
+// readmitWithCatchUp admits n as a catching-up member — write fan-outs
+// reach it through its hold queue, reads skip it — then loads a healthy
+// sibling's snapshot into it and promotes it to full membership. The
+// g.mu section that admits n also enqueues the snapshot request on the
+// sibling, so every concurrent write fan-out either precedes the
+// snapshot request in the sibling's FIFO (and is therefore in the
+// snapshot n loads) or sees n as a member (and lands in its hold queue,
+// flushed after the load) — each write reaches n exactly once.
+//
+// It returns false when n was not admitted (no v3 sibling to snapshot
+// from; the caller retries later). Once n is admitted, every failure
+// funnels through failNode — which owns cleanup and schedules the next
+// rejoin — and the function returns true so the calling loop exits.
+func (c *Cluster) readmitWithCatchUp(ep *epoch, g *replicaGroup, n *clusterNode) bool {
+	snapP := c.getPending()
+	snapP.kind = pkSnapshot
+	snapP.done = make(chan *pending, 1)
+	g.mu.Lock()
+	select {
+	case <-ep.failed:
+		g.mu.Unlock()
+		n.conn.Close()
+		c.putPending(snapP)
+		return true // the epoch is over; nothing left to rejoin
+	default:
+	}
+	var sib *clusterNode
+	for i := range g.members {
+		m := g.members[(g.cursor+i+1)%len(g.members)]
+		if m != n && !m.catchingUp && m.version >= ProtoV3 {
+			sib = m
+			break
+		}
+	}
+	if sib == nil {
+		g.mu.Unlock()
+		c.putPending(snapP)
+		return false
+	}
+	snapP.reqID = c.reqID.Add(1)
+	if !sib.enqueue(snapP) {
+		g.mu.Unlock()
+		c.putPending(snapP)
+		return false
+	}
+	sib.stats().dispatched.Add(1)
+	n.catchingUp = true
+	g.members = append(g.members, n)
+	g.mu.Unlock()
+	ep.wg.Add(2)
+	go n.sendLoop(ep)
+	go n.readLoop(ep)
+
+	p := <-snapP.done
+	err := p.err
+	snapKeys := append([]uint32(nil), p.keys...)
+	c.putPending(p)
+	if err != nil {
+		c.failNode(ep, n, fmt.Errorf("netrun: catch-up snapshot for partition %d: %w", g.part, err))
+		return true
+	}
+	loadP := c.getPending()
+	loadP.kind = pkLoad
+	loadP.keys = append(loadP.keys, snapKeys...)
+	loadP.done = make(chan *pending, 1)
+	loadP.reqID = c.reqID.Add(1)
+	if !n.enqueue(loadP) {
+		// n died already; its failNode swept the hold queue.
+		c.putPending(loadP)
+		return true
+	}
+	n.stats().dispatched.Add(1)
+	p = <-loadP.done
+	err = p.err
+	c.putPending(p)
+	if err != nil {
+		c.failNode(ep, n, fmt.Errorf("netrun: catch-up load for partition %d: %w", g.part, err))
+		return true
+	}
+	// Promote: flush the held writes onto the connection — they follow
+	// the load frame in the FIFO, so the reset cannot wipe them — and
+	// open the member to reads.
+	g.mu.Lock()
+	n.catchingUp = false
+	held := n.holdq
+	n.holdq = nil
+	for _, hp := range held {
+		hp.reqID = c.reqID.Add(1)
+		if n.enqueue(hp) {
+			n.stats().dispatched.Add(1)
+		} else {
+			// n died between the load ack and the flush; the survivors
+			// hold the write (the insert sweep semantics).
+			hp.complete(nil)
+		}
+	}
+	g.mu.Unlock()
+	n.stats().rejoins.Add(1)
+	return true
 }
 
 // sendLoop writes queued frames to the node. Flushes coalesce: the
@@ -701,12 +1053,21 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 		// blocking socket I/O below never touches p. Sorted runs go out
 		// as v2 delta frames when this connection negotiated them; on a
 		// v1 connection (or after failover onto one) the same keys go
-		// out as a plain OpLookup.
+		// out as a plain OpLookup. The v3 kinds (insert, snapshot,
+		// load) only ever reach v3-negotiated connections — dispatch
+		// and failover enforce it.
 		var buf []byte
 		var encErr error
-		if p.sorted && n.version >= ProtoV2 {
-			buf, encErr = n.bc.fw.encodeDeltaKeys(p.reqID, p.keys)
-		} else {
+		switch {
+		case p.kind == pkInsert:
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpInsert, ReqID: p.reqID, Payload: p.keys})
+		case p.kind == pkSnapshot:
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpSnapshot, ReqID: p.reqID})
+		case p.kind == pkLoad:
+			buf, encErr = n.bc.fw.encodeDeltaOp(OpLoad, p.reqID, p.keys)
+		case p.sorted && n.version >= ProtoV2:
+			buf, encErr = n.bc.fw.encodeDeltaOp(OpLookupSorted, p.reqID, p.keys)
+		default:
 			buf, encErr = n.bc.fw.encode(Frame{Op: OpLookup, ReqID: p.reqID, Payload: p.keys})
 		}
 		n.mu.Unlock()
@@ -798,7 +1159,7 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			if ok {
 				nKeys = len(p.keys)
 			}
-			if ok && len(f.Payload) == nKeys {
+			if ok && p.kind == pkLookup && len(f.Payload) == nKeys {
 				delete(n.pending, f.ReqID)
 				if n.opTimeout > 0 {
 					if len(n.pending) == 0 {
@@ -810,14 +1171,18 @@ func (n *clusterNode) readLoop(ep *epoch) {
 					}
 				}
 				n.mu.Unlock()
+				// adj folds in the keys this client inserted into the
+				// preceding partitions: the node's static rank base
+				// predates them (see Cluster.ins).
+				adj := c.insBefore(n.g.part)
 				if p.contig {
 					base := p.posBase
 					for i, r := range f.Payload {
-						p.out[base+i] = int(r)
+						p.out[base+i] = int(r) + adj
 					}
 				} else {
 					for i, pos := range p.pos {
-						p.out[pos] = int(f.Payload[i])
+						p.out[pos] = int(f.Payload[i]) + adj
 					}
 				}
 				p.complete(nil)
@@ -837,11 +1202,83 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			// and re-routes it to a sibling for a correct answer.
 			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %d ranks for %d keys", n.g.part, n.addr, len(f.Payload), nKeys))
 			return
+		case OpInsertAck, OpLoadAck:
+			wantKind := pkInsert
+			if f.Op == OpLoadAck {
+				wantKind = pkLoad
+			}
+			n.mu.Lock()
+			p, ok := n.pending[f.ReqID]
+			if ok && p.kind == wantKind && len(f.Payload) == 1 && int(f.Payload[0]) == len(p.keys) {
+				delete(n.pending, f.ReqID)
+				if n.opTimeout > 0 {
+					if len(n.pending) == 0 {
+						n.conn.SetReadDeadline(time.Time{})
+					} else {
+						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
+					}
+				}
+				n.mu.Unlock()
+				p.complete(nil)
+				continue
+			}
+			n.mu.Unlock()
+			// Unknown id, wrong kind, or count mismatch: protocol
+			// violation — the sweep settles whatever was registered.
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent bad ack op %d for reqID %d", n.g.part, n.addr, f.Op, f.ReqID))
+			return
+		case OpSnapshotData:
+			vals, derr := decodeDeltaRun(f.Raw, rankScratch)
+			if derr != nil {
+				c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %w", n.g.part, n.addr, derr))
+				return
+			}
+			rankScratch = vals
+			n.mu.Lock()
+			p, ok := n.pending[f.ReqID]
+			if ok && p.kind == pkSnapshot {
+				delete(n.pending, f.ReqID)
+				if n.opTimeout > 0 {
+					if len(n.pending) == 0 {
+						n.conn.SetReadDeadline(time.Time{})
+					} else {
+						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
+					}
+				}
+				n.mu.Unlock()
+				p.keys = append(p.keys[:0], vals...)
+				p.complete(nil)
+				continue
+			}
+			n.mu.Unlock()
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent unsolicited snapshot for reqID %d", n.g.part, n.addr, f.ReqID))
+			return
 		case OpErr:
 			code := uint32(0)
 			if len(f.Payload) > 0 {
 				code = f.Payload[0]
 			}
+			// An OpErr answering a catch-up request (snapshot/load) is
+			// a refusal of that operation only — e.g. a snapshot too
+			// large for one frame — from a node that keeps serving.
+			// Fail just the catch-up; killing the connection would
+			// charge the failure to a healthy snapshot source and can
+			// cascade to epoch death.
+			n.mu.Lock()
+			if p, ok := n.pending[f.ReqID]; ok && (p.kind == pkSnapshot || p.kind == pkLoad) {
+				delete(n.pending, f.ReqID)
+				if n.opTimeout > 0 {
+					if len(n.pending) == 0 {
+						n.conn.SetReadDeadline(time.Time{})
+					} else {
+						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
+					}
+				}
+				n.mu.Unlock()
+				p.complete(fmt.Errorf("netrun: partition %d replica %s refused catch-up op %d", n.g.part, n.addr, code))
+				continue
+			}
+			n.mu.Unlock()
 			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s reported error %d", n.g.part, n.addr, code))
 			return
 		default:
@@ -853,11 +1290,13 @@ func (n *clusterNode) readLoop(ep *epoch) {
 
 func (c *Cluster) getPending() *pending {
 	p := c.pends.Get().(*pending)
+	p.kind = pkLookup
 	p.keys = p.keys[:0]
 	p.pos = p.pos[:0]
 	p.sorted = false
 	p.contig = false
 	p.posBase = 0
+	p.chunk = nil
 	p.err = nil
 	return p
 }
@@ -865,23 +1304,39 @@ func (c *Cluster) getPending() *pending {
 func (c *Cluster) putPending(p *pending) {
 	p.out = nil
 	p.done = nil
+	p.chunk = nil
+	// Snapshot and load pendings stage a full partition's key set —
+	// often orders of magnitude beyond BatchKeys. Recycling that
+	// backing array would pin it in the pool behind every future
+	// lookup pending for the cluster's lifetime; drop oversized
+	// buffers instead.
+	if cap(p.keys) > 2*c.batch {
+		p.keys = nil
+	}
 	c.pends.Put(p)
 }
 
-// route stamps p with a fresh request id and hands it to a healthy
-// replica of g, retrying (with restamping) across members until one
-// accepts it. When the group is empty the epoch is failing — the member
-// that zeroed it invokes ep.fail before route can observe the empty
-// group grow stale — so waiting on ep.failed is bounded and p completes
-// with the root cause.
+// route stamps p with a fresh request id and hands it to an eligible
+// healthy replica of g, retrying (with restamping) across members until
+// one accepts it. When the group is empty the epoch is failing — the
+// member that zeroed it invokes ep.fail before route can observe the
+// empty group grow stale — so waiting on ep.failed is bounded and p
+// completes with the root cause. A non-empty group with no member
+// eligible for p (e.g. only pre-v3 replicas left on a partition this
+// client has written to) fails p alone with a descriptive error; the
+// epoch stays healthy.
 func (c *Cluster) route(ep *epoch, g *replicaGroup, p *pending) {
 	for {
 		if err := ep.Err(); err != nil {
 			p.complete(err)
 			return
 		}
-		n := g.pick()
+		n, empty := g.pickFor(c, p)
 		if n == nil {
+			if !empty {
+				p.complete(fmt.Errorf("netrun: partition %d cannot serve the request: %s", g.part, g.describeIneligible(c)))
+				return
+			}
 			<-ep.failed
 			p.complete(ep.err)
 			return
@@ -1016,6 +1471,153 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 	return firstErr
 }
 
+// Insert routes k to its owning partition and applies it to every
+// healthy protocol-v3 replica of that partition. See InsertBatch.
+func (c *Cluster) Insert(k workload.Key) error {
+	var one [1]workload.Key
+	one[0] = k
+	return c.InsertBatch(one[:])
+}
+
+// InsertBatch adds keys (any order, duplicates allowed) to the running
+// TCP cluster. Each key routes to the partition owning its sub-range
+// and the write fans out to every healthy v3 replica of that partition
+// — replicas answer lookups independently, so all of them must hold
+// every write. Pre-v3 replicas never receive writes (and stop serving
+// this client's lookups for the partition once it has written, since
+// they are stale); a replica that dies mid-insert simply leaves the
+// group — the survivors define the partition's state, and the replica
+// reloads a sibling's snapshot when it rejoins. InsertBatch returns
+// once every live replica acked: lookups issued after it returns see
+// the keys. Safe for any number of concurrent callers and concurrently
+// with lookups.
+//
+// Durability is bounded by the v3 replica count: a write acked by a
+// partition's only v3 replica is lost if that replica's storage dies
+// before a sibling syncs from it (its process restarting from the
+// baseline key set cannot catch up from anyone, and reads of the
+// partition fail rather than serve stale ranks). Deploy at least two
+// v3 replicas per partition for writes that must survive a node loss.
+//
+// Global ranks stay exact through the client-side insert counters (see
+// Cluster.ins), which assumes this client is the deployment's only
+// writer; concurrent writing clients would need the counters shared.
+func (c *Cluster) InsertBatch(keys []workload.Key) error {
+	ep := c.ep.Load()
+	if ep == nil {
+		return ErrClusterClosed
+	}
+	if err := ep.Err(); err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+
+	groups := ep.groups
+	perPart := make([][]uint32, len(groups))
+	for _, k := range keys {
+		gi := c.part.Route(k)
+		perPart[gi] = append(perPart[gi], uint32(k))
+	}
+	// Worst-case fan-out pendings: every chunk to every configured
+	// replica; the gather channel covers it so read loops never block.
+	bound := 0
+	for gi, pk := range perPart {
+		if len(pk) > 0 {
+			bound += (len(pk)/c.batch + 1) * len(c.groups[gi])
+		}
+	}
+	done := make(chan *pending, bound)
+	inflight := 0
+	var firstErr error
+	// credit counts a gathered fan-out pending against its chunk and,
+	// once the chunk is fully and cleanly acked, credits the
+	// partition's rank-base counter. Per-chunk (not per-call) credit
+	// keeps the counters truthful under partial failure: a chunk whose
+	// replicas all applied is counted even when a later chunk errors —
+	// the nodes hold those keys, so the read path must shift for them
+	// — while a chunk that errored is not.
+	credit := func(p *pending) {
+		ck := p.chunk
+		if p.err != nil {
+			if firstErr == nil {
+				firstErr = p.err
+			}
+			ck.failed = true
+		}
+		if ck.remaining--; ck.remaining == 0 && !ck.failed {
+			c.ins[ck.part].Add(int64(ck.n))
+		}
+		c.putPending(p)
+	}
+	for gi, pk := range perPart {
+		if len(pk) == 0 {
+			continue
+		}
+		g := groups[gi]
+		for start := 0; start < len(pk); start += c.batch {
+			end := min(start+c.batch, len(pk))
+			chunk := pk[start:end]
+			ck := &insChunk{part: gi, n: len(chunk)}
+			// Fan out under g.mu: membership changes (a replica dying,
+			// a rejoiner being admitted) serialize against the fan-out,
+			// which is what makes the catch-up snapshot protocol
+			// exactly-once (see readmitWithCatchUp).
+			targets, members := 0, 0
+			g.mu.Lock()
+			members = len(g.members)
+			for _, m := range g.members {
+				if m.version < ProtoV3 {
+					continue
+				}
+				p := c.getPending()
+				p.kind = pkInsert
+				p.keys = append(p.keys, chunk...)
+				p.done = done
+				p.chunk = ck
+				if m.catchingUp {
+					m.holdq = append(m.holdq, p)
+					targets++
+					continue
+				}
+				p.reqID = c.reqID.Add(1)
+				if m.enqueue(p) {
+					m.stats().dispatched.Add(1)
+					targets++
+				} else {
+					// The member is being failed; the survivors (and
+					// its own future catch-up) cover the write.
+					c.putPending(p)
+				}
+			}
+			if targets > 0 {
+				g.writes++
+			}
+			g.mu.Unlock()
+			ck.remaining = targets
+			inflight += targets
+			if targets == 0 {
+				var err error
+				if members == 0 {
+					<-ep.failed
+					err = ep.err
+				} else {
+					err = fmt.Errorf("netrun: partition %d has no protocol-v3 replica to accept writes", gi)
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
+		}
+	}
+	for ; inflight > 0; inflight-- {
+		credit(<-done)
+	}
+	return firstErr
+}
+
 // Nodes returns the number of cluster partitions (replica groups).
 func (c *Cluster) Nodes() int { return len(c.part.Parts) }
 
@@ -1030,9 +1632,11 @@ func (c *Cluster) Health() []ReplicaHealth {
 	var out []ReplicaHealth
 	for _, g := range ep.groups {
 		alive := make([]bool, len(g.addrs))
+		syncing := make([]bool, len(g.addrs))
 		g.mu.Lock()
 		for _, m := range g.members {
 			alive[m.slot] = true
+			syncing[m.slot] = m.catchingUp
 		}
 		g.mu.Unlock()
 		for slot, addr := range g.addrs {
@@ -1041,11 +1645,23 @@ func (c *Cluster) Health() []ReplicaHealth {
 				Partition:  g.part,
 				Addr:       addr,
 				Healthy:    alive[slot],
+				Syncing:    syncing[slot],
 				Dispatched: s.dispatched.Load(),
 				Failures:   s.failures.Load(),
 				Rejoins:    s.rejoins.Load(),
 			})
 		}
+	}
+	return out
+}
+
+// InsertedKeys reports how many keys this client has inserted into each
+// partition (indexed by partition id) — the counters that correct the
+// nodes' static rank bases on the read path.
+func (c *Cluster) InsertedKeys() []int64 {
+	out := make([]int64, len(c.ins))
+	for i := range c.ins {
+		out[i] = c.ins[i].Load()
 	}
 	return out
 }

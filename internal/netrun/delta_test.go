@@ -198,12 +198,12 @@ func TestSortedFrameRoundTrip(t *testing.T) {
 	}
 }
 
-// encodeDeltaKeys (the send-path fused encoder) must produce exactly a
+// encodeDeltaOp (the send-path fused encoder) must produce exactly a
 // header plus appendDeltaRun's payload.
 func TestEncodeDeltaKeysMatchesFrame(t *testing.T) {
 	keys := []uint32{1, 2, 2, 900, 1 << 20}
 	var fw frameWriter
-	buf, err := fw.encodeDeltaKeys(77, keys)
+	buf, err := fw.encodeDeltaOp(OpLookupSorted, 77, keys)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,504 @@
+package netrun
+
+import (
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// tcpOracle mirrors the cluster's key multiset and answers reference
+// ranks with sort.SearchInts.
+type tcpOracle struct {
+	keys []int
+}
+
+func newTCPOracle(keys []workload.Key) *tcpOracle {
+	o := &tcpOracle{keys: make([]int, len(keys))}
+	for i, k := range keys {
+		o.keys[i] = int(k)
+	}
+	sort.Ints(o.keys)
+	return o
+}
+
+func (o *tcpOracle) insert(keys []workload.Key) {
+	for _, k := range keys {
+		o.keys = append(o.keys, int(k))
+	}
+	sort.Ints(o.keys)
+}
+
+func (o *tcpOracle) rank(k workload.Key) int {
+	return sort.SearchInts(o.keys, int(k)+1)
+}
+
+// checkTCPExact verifies the cluster matches the oracle on qs via both
+// the unsorted (OpLookup) and sorted (delta-frame) paths.
+func checkTCPExact(t *testing.T, c *Cluster, o *tcpOracle, qs []workload.Key) {
+	t.Helper()
+	out := make([]int, len(qs))
+	if err := c.LookupBatchInto(qs, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if want := o.rank(q); out[i] != want {
+			t.Fatalf("unsorted rank(%d) = %d, want %d", q, out[i], want)
+		}
+	}
+	asc := sortedCopy(qs)
+	if err := c.LookupBatchInto(asc, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range asc {
+		if want := o.rank(q); out[i] != want {
+			t.Fatalf("sorted rank(%d) = %d, want %d", q, out[i], want)
+		}
+	}
+}
+
+// TestTCPInsertExact pins the basic write path: inserts fan out to the
+// owning partitions, lookups fold the client-side insert counters into
+// the nodes' static rank bases, and both dispatch paths stay exact.
+func TestTCPInsertExact(t *testing.T) {
+	keys := workload.SortedKeys(12000, 61)
+	rc, shutdown := startReplicated(t, keys, 3, 1, 512, DialOptions{})
+	defer shutdown()
+	o := newTCPOracle(keys)
+	qs := workload.UniformQueries(4000, 62)
+
+	checkTCPExact(t, rc.c, o, qs)
+	r := workload.NewRNG(63)
+	for round := 0; round < 6; round++ {
+		ins := make([]workload.Key, 700)
+		for i := range ins {
+			ins[i] = r.Key()
+		}
+		if err := rc.c.InsertBatch(ins); err != nil {
+			t.Fatal(err)
+		}
+		o.insert(ins)
+		checkTCPExact(t, rc.c, o, qs)
+	}
+	total := int64(0)
+	for _, n := range rc.c.InsertedKeys() {
+		total += n
+	}
+	if total != 6*700 {
+		t.Fatalf("InsertedKeys total = %d, want %d", total, 6*700)
+	}
+}
+
+// TestTCPFreshClientSeesEarlierInserts pins the hello seeding: a brand
+// new client dialing nodes that absorbed writes from an earlier client
+// must still answer globally consistent ranks — the v3 hello's live
+// key count seeds the fresh client's rank-base correction counters.
+func TestTCPFreshClientSeesEarlierInserts(t *testing.T) {
+	keys := workload.SortedKeys(9000, 55)
+	rc, shutdown := startReplicated(t, keys, 3, 1, 512, DialOptions{})
+	defer shutdown()
+	o := newTCPOracle(keys)
+	ins := workload.UniformQueries(2000, 56)
+	if err := rc.c.InsertBatch(ins); err != nil {
+		t.Fatal(err)
+	}
+	o.insert(ins)
+	rc.c.Close() // the writing client goes away; the nodes keep running
+
+	var flat []string
+	for _, group := range rc.addrs {
+		flat = append(flat, group...)
+	}
+	fresh, err := Dial(flat, keys, DialOptions{BatchKeys: 512, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	checkTCPExact(t, fresh, o, workload.UniformQueries(3000, 57))
+}
+
+// TestTCPInsertFirstThenLookup pins the node's per-connection scratch
+// invariant: an insert as the very first frame on a connection grows
+// the key scratch, and a smaller lookup right after must not slice a
+// stale (shorter) rank scratch — a regression here panics the handler
+// and drops the replica.
+func TestTCPInsertFirstThenLookup(t *testing.T) {
+	keys := workload.SortedKeys(3000, 68)
+	rc, shutdown := startReplicated(t, keys, 1, 1, 512, DialOptions{})
+	defer shutdown()
+	o := newTCPOracle(keys)
+
+	ins := workload.UniformQueries(100, 69)
+	if err := rc.c.InsertBatch(ins); err != nil {
+		t.Fatal(err)
+	}
+	o.insert(ins)
+	checkTCPExact(t, rc.c, o, workload.UniformQueries(10, 70))
+	if err := rc.c.Err(); err != nil {
+		t.Fatalf("cluster unhealthy after insert-first connection: %v", err)
+	}
+}
+
+// TestTCPInsertReplicatedExact pins that writes reach every replica:
+// with 2 replicas per partition both serve lookups round-robin, so a
+// missed replica would surface as a wrong rank within a few batches.
+func TestTCPInsertReplicatedExact(t *testing.T) {
+	keys := workload.SortedKeys(10000, 64)
+	rc, shutdown := startReplicated(t, keys, 2, 2, 256, DialOptions{})
+	defer shutdown()
+	o := newTCPOracle(keys)
+	qs := workload.UniformQueries(3000, 65)
+
+	r := workload.NewRNG(66)
+	for round := 0; round < 5; round++ {
+		ins := make([]workload.Key, 400)
+		for i := range ins {
+			ins[i] = r.Key()
+		}
+		if err := rc.c.InsertBatch(ins); err != nil {
+			t.Fatal(err)
+		}
+		o.insert(ins)
+		// Several passes so the round-robin visits both replicas.
+		for pass := 0; pass < 4; pass++ {
+			checkTCPExact(t, rc.c, o, qs)
+		}
+	}
+}
+
+// TestTCPReplicaKilledMidInsert is the acceptance scenario: concurrent
+// lookups and an insert stream run against a 2x2 replicated cluster
+// while one replica is killed mid-stream. Every call must succeed
+// (failover, not errors), and the quiescent state must be
+// oracle-exact. The killed replica then restarts from its baseline key
+// set — stale by every insert so far — and must be readmitted only
+// after catching up from its sibling's snapshot: killing the sibling
+// afterwards forces all reads onto the rejoined replica, which must
+// still answer exactly.
+func TestTCPReplicaKilledMidInsert(t *testing.T) {
+	keys := workload.SortedKeys(16000, 71)
+	rc, shutdown := startReplicated(t, keys, 2, 2, 512, DialOptions{
+		OpTimeout:     2 * time.Second,
+		RejoinBackoff: 20 * time.Millisecond,
+	})
+	defer shutdown()
+	o := newTCPOracle(keys)
+	qs := workload.UniformQueries(3000, 72)
+
+	// Readers hammer throughout; they must never see an error.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := qs
+			if g == 1 {
+				mine = sortedCopy(qs)
+			}
+			out := make([]int, len(mine))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := rc.c.LookupBatchInto(mine, out); err != nil {
+					t.Errorf("lookup during failover: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	r := workload.NewRNG(73)
+	insertRounds := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			ins := make([]workload.Key, 300)
+			for j := range ins {
+				ins[j] = r.Key()
+			}
+			if err := rc.c.InsertBatch(ins); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			o.insert(ins)
+		}
+	}
+
+	insertRounds(3)
+	rc.kill(0, 0) // mid-stream: partition 0 loses a replica
+	insertRounds(5)
+	close(stop)
+	wg.Wait()
+	checkTCPExact(t, rc.c, o, qs)
+
+	// Restart the dead replica from its baseline keys: stale by every
+	// insert so far. The rejoin must catch it up from its sibling
+	// before readmission.
+	rc.restart(t, 0, 0)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h := rc.health(t, 0, 0)
+		if h.Healthy && !h.Syncing {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica did not rejoin: %+v", h)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// More writes after the rejoin: both members must apply them.
+	insertRounds(2)
+	checkTCPExact(t, rc.c, o, qs)
+
+	// Force every partition-0 read onto the rejoined replica: if the
+	// catch-up load or the post-rejoin writes were lost, this fails.
+	rc.kill(0, 1)
+	deadline = time.Now().Add(10 * time.Second)
+	for rc.health(t, 0, 1).Healthy {
+		if time.Now().After(deadline) {
+			t.Fatal("killed sibling still healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	checkTCPExact(t, rc.c, o, qs)
+	insertRounds(1)
+	checkTCPExact(t, rc.c, o, qs)
+}
+
+// TestTCPInsertRefusedWithoutV3 pins the version gate: a partition
+// whose only replica speaks v2 accepts lookups but refuses writes with
+// a descriptive error, and the cluster stays healthy.
+func TestTCPInsertRefusedWithoutV3(t *testing.T) {
+	keys := workload.SortedKeys(4000, 75)
+	p, err := core.NewPartitioning(keys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
+		node.protoCap = ProtoV2
+		nodes = append(nodes, node)
+		addrs = append(addrs, lis.Addr().String())
+		go node.Serve(lis)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	c, err := Dial(addrs, keys, DialOptions{BatchKeys: 256, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.InsertBatch([]workload.Key{1, 2, 3})
+	if err == nil || !strings.Contains(err.Error(), "no protocol-v3 replica") {
+		t.Fatalf("InsertBatch against v2 nodes: err = %v, want no-v3-replica", err)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cluster poisoned by refused insert: %v", err)
+	}
+	// Reads still work: no write was recorded, so the v2 members stay
+	// eligible.
+	o := newTCPOracle(keys)
+	checkTCPExact(t, c, o, workload.UniformQueries(2000, 76))
+}
+
+// TestTCPReadSkipsStaleReplica pins the stale-read guard: a mixed
+// group (one v3, one read-only v2 replica) keeps answering exactly
+// after writes, because lookups stop visiting the replica that cannot
+// have received them.
+func TestTCPReadSkipsStaleReplica(t *testing.T) {
+	keys := workload.SortedKeys(6000, 77)
+	p, err := core.NewPartitioning(keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	var addrs []string
+	for r := 0; r < 2; r++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewPartitionNode(p.Parts[0].Keys, p.Parts[0].RankBase)
+		if r == 1 {
+			node.ReadOnly = true // negotiates at most v2
+		}
+		nodes = append(nodes, node)
+		addrs = append(addrs, lis.Addr().String())
+		go node.Serve(lis)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	c, err := Dial([]string{addrs[0] + "|" + addrs[1]}, keys, DialOptions{BatchKeys: 256, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	o := newTCPOracle(keys)
+	qs := workload.UniformQueries(2000, 78)
+	checkTCPExact(t, c, o, qs)
+
+	ins := workload.UniformQueries(500, 79)
+	if err := c.InsertBatch(ins); err != nil {
+		t.Fatal(err)
+	}
+	o.insert(ins)
+	// Many passes: if the stale v2 replica still served reads, the
+	// round-robin would hit it immediately.
+	for pass := 0; pass < 6; pass++ {
+		checkTCPExact(t, c, o, qs)
+	}
+}
+
+// TestTCPInsertFailsWhenOnlyV3ReplicaDies pins the partial-failure
+// accounting: in a [v3, read-only v2] group, killing the v3 member must
+// turn inserts into errors — never false acks (a swept in-flight write
+// would otherwise "succeed" with no live node holding it) — and the
+// client's rank-base counters must count exactly the acknowledged
+// batches. The epoch stays healthy (the v2 member survives), but reads
+// of the written partition now refuse with a clear error instead of
+// serving stale ranks.
+func TestTCPInsertFailsWhenOnlyV3ReplicaDies(t *testing.T) {
+	keys := workload.SortedKeys(4000, 85)
+	p, err := core.NewPartitioning(keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	var addrs []string
+	for r := 0; r < 2; r++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewPartitionNode(p.Parts[0].Keys, p.Parts[0].RankBase)
+		node.ReadOnly = r == 1
+		nodes = append(nodes, node)
+		addrs = append(addrs, lis.Addr().String())
+		go node.Serve(lis)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	c, err := Dial([]string{addrs[0] + "|" + addrs[1]}, keys, DialOptions{
+		BatchKeys: 256, Timeout: 5 * time.Second, OpTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.InsertBatch(workload.UniformQueries(100, 86)); err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].Close() // the only writable replica dies
+
+	succeeded := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err = c.InsertBatch(workload.UniformQueries(50, 87))
+		if err != nil {
+			break
+		}
+		succeeded++
+		if time.Now().After(deadline) {
+			t.Fatal("inserts keep succeeding with no v3 replica alive")
+		}
+	}
+	if !strings.Contains(err.Error(), "protocol-v3 replica") {
+		t.Fatalf("insert error = %v, want only-v3-replica failure", err)
+	}
+	if got, want := c.InsertedKeys()[0], int64(100+50*succeeded); got != want {
+		t.Fatalf("InsertedKeys[0] = %d, want %d (every credited batch must have been acked)", got, want)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("epoch terminal despite surviving v2 member: %v", err)
+	}
+	// Reads of the written partition refuse rather than serve the v2
+	// member's stale ranks.
+	if _, err := c.LookupBatch(workload.UniformQueries(10, 88)); err == nil ||
+		!strings.Contains(err.Error(), "protocol-v3 replica") {
+		t.Fatalf("lookup err = %v, want stale-replica refusal", err)
+	}
+}
+
+// TestTCPInsertConcurrentWithLookups hammers inserts and lookups from
+// multiple goroutines; every lookup's result for a never-inserted probe
+// below all inserts must stay exact, and the final state must match the
+// oracle. Run with -race.
+func TestTCPInsertConcurrentWithLookups(t *testing.T) {
+	keys := workload.SortedKeys(8000, 81)
+	rc, shutdown := startReplicated(t, keys, 2, 2, 256, DialOptions{})
+	defer shutdown()
+	o := newTCPOracle(keys)
+	qs := workload.UniformQueries(1000, 82)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]int, len(qs))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := rc.c.LookupBatchInto(qs, out); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	var insMu sync.Mutex
+	var all []workload.Key
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := workload.NewRNG(uint64(90 + g))
+			for round := 0; round < 10; round++ {
+				ins := make([]workload.Key, 150)
+				for i := range ins {
+					ins[i] = r.Key()
+				}
+				if err := rc.c.InsertBatch(ins); err != nil {
+					t.Error(err)
+					return
+				}
+				insMu.Lock()
+				all = append(all, ins...)
+				insMu.Unlock()
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	o.insert(all)
+	checkTCPExact(t, rc.c, o, qs)
+}

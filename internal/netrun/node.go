@@ -14,12 +14,23 @@ import (
 
 // Node serves one index partition (or a full replica) over TCP: the
 // slave side of the paper's Figure 2. A Node is safe for any number of
-// concurrent client connections; each connection gets its own goroutine,
-// and lookups against the static index need no locking.
+// concurrent client connections; each connection gets its own
+// goroutine. Nodes built by NewPartitionNode are updatable (protocol
+// v3): inserts land in a delta buffer consulted alongside the immutable
+// base array, a background goroutine compacts the two, and snapshot/
+// load frames let a rejoining replica catch up from a sibling. Nodes
+// built over an arbitrary index via NewNode are read-only and negotiate
+// at most protocol v2.
 type Node struct {
 	idx      index.Index
+	upd      *index.Updatable // non-nil: the updatable serving path
 	rankBase int
 	lo, hi   workload.Key
+	// baseN is the key count at construction. The hello handshake
+	// always advertises the baseline identity (baseN, lo, hi), not the
+	// live count: the identity is what the client's static routing
+	// table verifies, and online inserts must not change it.
+	baseN int
 
 	lis     net.Listener
 	mu      sync.Mutex
@@ -37,33 +48,64 @@ type Node struct {
 	// Zero disables the deadline.
 	WriteTimeout time.Duration
 
+	// ReadOnly caps the negotiated protocol at v2, refusing writes:
+	// the node serves lookups but never receives OpInsert/OpLoad (a
+	// writing client skips pre-v3 replicas). Set before Serve.
+	ReadOnly bool
+
 	// protoCap caps the protocol version this node negotiates; 0 means
 	// ProtoVersion. Tests set it to ProtoV1 to emulate an old node
 	// byte-for-byte (4-word hello acks, v2 ops refused with OpErr) and
-	// prove a v2 master interoperates.
+	// prove a newer master interoperates.
 	protoCap uint32
+}
+
+// capVersion is the highest protocol version this node will negotiate:
+// protoCap (tests), capped at v2 when the node cannot serve writes
+// (read-only flag, or a NewNode index with no update layer).
+func (n *Node) capVersion() uint32 {
+	cap32 := n.protoCap
+	if cap32 == 0 {
+		cap32 = ProtoVersion
+	}
+	if (n.ReadOnly || n.upd == nil) && cap32 > ProtoV2 {
+		cap32 = ProtoV2
+	}
+	return cap32
 }
 
 // NewNode wraps an index partition for serving. rankBase is the global
 // rank of the partition's first key; lo/hi document the served key range
-// for the hello handshake (hi is inclusive).
+// for the hello handshake (hi is inclusive). A NewNode node is
+// read-only (protocol v2 at most); use NewPartitionNode for an
+// updatable v3 node.
 func NewNode(idx index.Index, rankBase int, lo, hi workload.Key) *Node {
 	return &Node{
 		idx:      idx,
 		rankBase: rankBase,
 		lo:       lo,
 		hi:       hi,
+		baseN:    idx.N(),
 		conns:    map[net.Conn]struct{}{},
 	}
 }
 
-// NewPartitionNode builds a Method C-3 node (sorted-array partition).
+// NewPartitionNode builds a Method C-3 node (sorted-array partition)
+// with the online-update layer: a delta buffer over the immutable
+// array, compacted in the background once it reaches
+// index.DefaultMergeThreshold keys.
 func NewPartitionNode(partKeys []workload.Key, rankBase int) *Node {
 	if len(partKeys) == 0 {
 		panic("netrun: empty partition")
 	}
 	arr := index.NewSortedArray(partKeys, 0)
-	return NewNode(arr, rankBase, partKeys[0], partKeys[len(partKeys)-1])
+	n := NewNode(arr, rankBase, partKeys[0], partKeys[len(partKeys)-1])
+	// The update layer shares the array built above (NewNode keeps it
+	// only for the hello identity); merges rebuild fresh ones.
+	n.upd = index.NewUpdatableOver(partKeys, arr, func(keys []workload.Key) index.BatchRanker {
+		return index.NewSortedArray(keys, 0)
+	}, 0)
+	return n
 }
 
 // Serve accepts connections on lis until Close. It returns the listener
@@ -128,6 +170,11 @@ func (n *Node) Close() {
 	}
 	n.mu.Unlock()
 	n.wg.Wait()
+	if n.upd != nil {
+		// Drain any background compaction so no goroutine outlives the
+		// node.
+		n.upd.Quiesce()
+	}
 }
 
 // isServing reports whether an accept loop is currently running.
@@ -167,18 +214,34 @@ func (n *Node) handle(conn net.Conn) {
 	// Per-connection lookup scratch, reused across requests so the
 	// steady state allocates nothing: keys (payload converted to
 	// workload.Key), ranks as ints for the batch ranker, ranks on the
-	// wire as uint32 (or delta+varint bytes for v2 sorted lookups).
+	// wire as uint32 (or delta+varint bytes for sorted lookups).
 	batcher, _ := n.idx.(batchRanker)
 	streamer, _ := n.idx.(sortedRanker)
-	cap32 := n.protoCap
-	if cap32 == 0 {
-		cap32 = ProtoVersion
-	}
+	cap32 := n.capVersion()
 	var keyBuf []workload.Key
 	var intBuf []int
 	var rankBuf []uint32
 	var deltaBuf []uint32 // decoded sorted keys
-	var replyBuf []byte   // encoded OpRanksDelta payload
+	var replyBuf []byte   // encoded delta-coded reply payload
+
+	// refuse sends OpErr and abandons the connection, the way the old
+	// binary refuses any unknown op.
+	refuse := func(f Frame) {
+		n.logf("netrun: unexpected op %d", f.Op)
+		n.armWrite(conn)
+		_ = bc.writeFrame(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}})
+		_ = bc.w.Flush()
+	}
+	// reply writes one response frame and flushes.
+	reply := func(f Frame) bool {
+		n.armWrite(conn)
+		if err := bc.writeFrame(f); err != nil {
+			n.logf("netrun: reply op %d: %v", f.Op, err)
+			return false
+		}
+		return bc.w.Flush() == nil
+	}
+
 	for {
 		f, err := bc.readFrame()
 		if err != nil {
@@ -189,42 +252,40 @@ func (n *Node) handle(conn net.Conn) {
 		}
 		switch f.Op {
 		case OpHello:
+			// The identity is the construction-time baseline; inserts
+			// do not move it (see the Node doc).
 			payload := []uint32{
-				uint32(n.rankBase), uint32(n.idx.N()), uint32(n.lo), uint32(n.hi),
+				uint32(n.rankBase), uint32(n.baseN), uint32(n.lo), uint32(n.hi),
 			}
-			// Version negotiation: a v2 client advertises its version
+			// Version negotiation: a v2+ client advertises its version
 			// in the hello reqID; answer with min(client, node) as a
 			// 5th word. v1 clients (reqID 0 or 1) get the 4-word ack
 			// they expect, and a protoCap==ProtoV1 node always acks
-			// 4 words — exactly what an old binary sends.
+			// 4 words — exactly what an old binary sends. On a
+			// v3-negotiated connection a 6th word advertises the LIVE
+			// key count: a fresh client seeds its rank-base correction
+			// counters from it (live minus baseline = inserts this
+			// node has absorbed), so ranks stay globally consistent
+			// against nodes written to by an earlier client.
 			if f.ReqID >= ProtoV2 && cap32 >= ProtoV2 {
-				payload = append(payload, min(f.ReqID, cap32))
+				v := min(f.ReqID, cap32)
+				payload = append(payload, v)
+				if v >= ProtoV3 && n.upd != nil {
+					payload = append(payload, uint32(n.upd.TotalKeys()))
+				}
 			}
-			ack := Frame{Op: OpHelloAck, ReqID: f.ReqID, Payload: payload}
-			n.armWrite(conn)
-			if err := bc.writeFrame(ack); err != nil {
-				n.logf("netrun: hello ack: %v", err)
-				return
-			}
-			if err := bc.w.Flush(); err != nil {
+			if !reply(Frame{Op: OpHelloAck, ReqID: f.ReqID, Payload: payload}) {
 				return
 			}
 		case OpLookupSorted:
 			if cap32 < ProtoV2 {
-				// A v1 node has no idea what this op is; refuse it the
-				// way the old binary refuses any unknown op.
-				n.logf("netrun: unexpected op %d", f.Op)
-				n.armWrite(conn)
-				_ = bc.writeFrame(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}})
-				_ = bc.w.Flush()
+				refuse(f)
 				return
 			}
 			decoded, err := decodeDeltaRun(f.Raw, deltaBuf)
 			if err != nil {
 				n.logf("netrun: sorted lookup: %v", err)
-				n.armWrite(conn)
-				_ = bc.writeFrame(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}})
-				_ = bc.w.Flush()
+				refuse(f)
 				return
 			}
 			deltaBuf = decoded
@@ -241,6 +302,8 @@ func (n *Node) handle(conn net.Conn) {
 			// are unsigned), so the streaming merge kernel applies
 			// directly; indexes without one fall back to batch search.
 			switch {
+			case n.upd != nil:
+				n.upd.RankSorted(keys, ints, n.rankBase)
 			case streamer != nil:
 				streamer.RankSorted(keys, ints, n.rankBase)
 			case batcher != nil:
@@ -264,12 +327,7 @@ func (n *Node) handle(conn net.Conn) {
 				n.logf("netrun: sorted ranks: %v", err)
 				return
 			}
-			n.armWrite(conn)
-			if err := bc.writeFrame(Frame{Op: OpRanksDelta, ReqID: f.ReqID, Raw: replyBuf}); err != nil {
-				n.logf("netrun: ranks: %v", err)
-				return
-			}
-			if err := bc.w.Flush(); err != nil {
+			if !reply(Frame{Op: OpRanksDelta, ReqID: f.ReqID, Raw: replyBuf}) {
 				return
 			}
 		case OpLookup:
@@ -278,7 +336,7 @@ func (n *Node) handle(conn net.Conn) {
 				rankBuf = make([]uint32, nq)
 			}
 			ranks := rankBuf[:nq]
-			if batcher != nil {
+			if n.upd != nil || batcher != nil {
 				if cap(keyBuf) < nq {
 					keyBuf = make([]workload.Key, nq)
 					intBuf = make([]int, nq)
@@ -287,7 +345,11 @@ func (n *Node) handle(conn net.Conn) {
 				for i, k := range f.Payload {
 					keys[i] = workload.Key(k)
 				}
-				batcher.RankBatch(keys, ints, n.rankBase)
+				if n.upd != nil {
+					n.upd.RankBatch(keys, ints, n.rankBase)
+				} else {
+					batcher.RankBatch(keys, ints, n.rankBase)
+				}
 				for i, r := range ints {
 					ranks[i] = uint32(r)
 				}
@@ -296,19 +358,91 @@ func (n *Node) handle(conn net.Conn) {
 					ranks[i] = uint32(n.rankBase + n.idx.Rank(workload.Key(k)))
 				}
 			}
-			n.armWrite(conn)
-			if err := bc.writeFrame(Frame{Op: OpRanks, ReqID: f.ReqID, Payload: ranks}); err != nil {
-				n.logf("netrun: ranks: %v", err)
+			if !reply(Frame{Op: OpRanks, ReqID: f.ReqID, Payload: ranks}) {
 				return
 			}
-			if err := bc.w.Flush(); err != nil {
+		case OpInsert:
+			if cap32 < ProtoV3 || n.upd == nil {
+				refuse(f)
+				return
+			}
+			nq := len(f.Payload)
+			// keyBuf and intBuf grow in lockstep everywhere (the lookup
+			// branches guard on keyBuf alone), so growing one without
+			// the other here would leave a stale short intBuf for the
+			// next lookup.
+			if cap(keyBuf) < nq {
+				keyBuf = make([]workload.Key, nq)
+				intBuf = make([]int, nq)
+			}
+			keys := keyBuf[:nq]
+			for i, k := range f.Payload {
+				keys[i] = workload.Key(k)
+			}
+			n.upd.InsertBatch(keys)
+			if !reply(Frame{Op: OpInsertAck, ReqID: f.ReqID, Payload: []uint32{uint32(nq)}}) {
+				return
+			}
+		case OpSnapshot:
+			if cap32 < ProtoV3 || n.upd == nil {
+				refuse(f)
+				return
+			}
+			snap := n.upd.SnapshotKeys()
+			if len(snap) > MaxFrameWords {
+				// The snapshot cannot fit one frame. Refuse just this
+				// request and keep serving: killing the connection
+				// would charge the failure to this (healthy) node and
+				// can cascade to epoch death when it is the partition's
+				// snapshot source. The client fails only the catch-up.
+				n.logf("netrun: snapshot of %d keys exceeds the frame limit; catch-up refused", len(snap))
+				if !reply(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}}) {
+					return
+				}
+				continue
+			}
+			// Local buffers, deliberately not the connection scratch: a
+			// snapshot is the whole live key set — orders of magnitude
+			// beyond the lookup regime — and a long-lived serving
+			// connection must not pin that much dead capacity after one
+			// rare catch-up.
+			words := make([]uint32, len(snap))
+			for i, k := range snap {
+				words[i] = uint32(k)
+			}
+			payload, err := appendDeltaRun(make([]byte, 0, 5+5*len(words)), words)
+			if err != nil {
+				n.logf("netrun: snapshot: %v", err)
+				return
+			}
+			if !reply(Frame{Op: OpSnapshotData, ReqID: f.ReqID, Raw: payload}) {
+				return
+			}
+		case OpLoad:
+			if cap32 < ProtoV3 || n.upd == nil {
+				refuse(f)
+				return
+			}
+			decoded, err := decodeDeltaRun(f.Raw, deltaBuf)
+			if err != nil {
+				n.logf("netrun: load: %v", err)
+				refuse(f)
+				return
+			}
+			deltaBuf = decoded
+			// The delta coding guarantees an ascending run; copy it out
+			// of the connection scratch, since Reset aliases its input
+			// for the node's lifetime.
+			fresh := make([]workload.Key, len(decoded))
+			for i, k := range decoded {
+				fresh[i] = workload.Key(k)
+			}
+			n.upd.Reset(fresh)
+			if !reply(Frame{Op: OpLoadAck, ReqID: f.ReqID, Payload: []uint32{uint32(len(fresh))}}) {
 				return
 			}
 		default:
-			n.logf("netrun: unexpected op %d", f.Op)
-			n.armWrite(conn)
-			_ = bc.writeFrame(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}})
-			_ = bc.w.Flush()
+			refuse(f)
 			return
 		}
 	}
@@ -329,16 +463,27 @@ type sortedRanker interface {
 	RankSorted(qs []workload.Key, out []int, add int)
 }
 
-// ListenAndServe is the one-call node entry point used by cmd/dcnode:
-// it serves the partition on addr until the process dies.
+// ListenAndServe is the one-call node entry point: it serves the
+// partition on addr until the process dies.
 func ListenAndServe(addr string, partKeys []workload.Key, rankBase int) error {
+	return ListenAndServeNode(addr, NewPartitionNode(partKeys, rankBase))
+}
+
+// ListenAndServeNode serves an already-configured node (cmd/dcnode
+// builds one to set flags like ReadOnly first) on addr with the
+// production defaults — log.Printf logging and a 30s reply-write
+// timeout — filled in where the caller left them unset.
+func ListenAndServeNode(addr string, node *Node) error {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("netrun: listen %s: %w", addr, err)
 	}
-	node := NewPartitionNode(partKeys, rankBase)
-	node.Logf = log.Printf
-	node.WriteTimeout = 30 * time.Second
-	log.Printf("netrun: serving %d keys (rank base %d) on %s", len(partKeys), rankBase, lis.Addr())
+	if node.Logf == nil {
+		node.Logf = log.Printf
+	}
+	if node.WriteTimeout == 0 {
+		node.WriteTimeout = 30 * time.Second
+	}
+	log.Printf("netrun: serving %d keys (rank base %d) on %s", node.baseN, node.rankBase, lis.Addr())
 	return node.Serve(lis)
 }

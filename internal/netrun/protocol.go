@@ -20,29 +20,62 @@
 // deltas small; a sorted uniform workload's frames shrink roughly 4x on
 // the rank direction and 25-45% on the key direction versus v1.
 //
-// Version negotiation rides the hello exchange, so v2 masters
-// interoperate with v1 nodes (and vice versa) frame-for-frame:
+// Protocol v3 adds online updates. OpInsert carries count keys (a word
+// payload, any order) to be added to the node's partition; the node
+// buffers them in its delta layer and answers OpInsertAck whose single
+// payload word echoes the applied count. OpSnapshot (no payload) asks a
+// node for its full current key set, answered by OpSnapshotData as a
+// delta+varint byte payload (the set is sorted, so the same codec the
+// sorted lookups use applies); OpLoad pushes such a payload at a node,
+// atomically replacing its key set, and is acknowledged by OpLoadAck
+// with the loaded count. Snapshot/load exist for replica catch-up: a
+// replica rejoining a group that has absorbed writes is first loaded
+// from a healthy sibling's snapshot, then readmitted.
+//
+// Version negotiation rides the hello exchange, so mixed-version
+// clusters interoperate frame-for-frame:
 //
 //   - The client sends OpHello with its highest supported version in
 //     the reqID field. A v1 client leaves it zero.
 //   - A v1 node replies OpHelloAck with the 4-word payload
 //     [rankBase, keyCount, loKey, hiKey] — its only form.
-//   - A v2 node replies the same 4 words to a v1 client, and appends a
-//     5th word, min(clientVersion, ProtoVersion), to a v2 client.
-//   - The client treats a 4-word ack as version 1 and never sends v2
-//     ops on that connection; a 5-word ack carries the negotiated
-//     version. Versioning is per connection, so a replica group may mix
-//     v1 and v2 nodes and failover re-encodes for the new connection.
+//   - A newer node replies the same 4 words to a v1 client, and appends
+//     a 5th word, min(clientVersion, ProtoVersion), to a v2+ client.
+//   - The client treats a 4-word ack as version 1; a 5-word ack carries
+//     the negotiated version. Versioning is per connection, so a
+//     replica group may mix versions and failover re-encodes for the
+//     new connection.
+//   - On a v3-negotiated connection an updatable node appends a 6th
+//     word: its LIVE key count. live minus baseline is the insert
+//     count the node has absorbed, which a freshly dialing client
+//     seeds its rank-base correction counters from — ranks stay
+//     globally consistent against nodes a previous client wrote to.
+//
+// The full negotiation table (rows: node's highest version; columns:
+// client's; cells: negotiated version = the ops that may flow):
+//
+//	          client v1   client v2   client v3
+//	node v1       1           1           1      lookups only
+//	node v2       1           2           2      + delta-coded sorted runs
+//	node v3       1           2           3      + inserts, snapshot/load
+//
+// Writes only ever flow on v3-negotiated connections: v1/v2 nodes
+// simply never receive OpInsert (the client skips them during write
+// fan-out), and once a client has written to a partition it stops
+// routing lookups to that partition's pre-v3 replicas, because they can
+// no longer prove they hold the full key set.
 //
 // A hello exchange also carries the node's partition metadata so the
 // client can verify its routing table against what the node actually
-// serves.
+// serves. The advertised identity is the node's *baseline* (its state
+// at construction): online inserts deliberately do not change it, so a
+// rejoining replica still verifies as the partition it was launched as.
 //
 // reqID multiplexes concurrent requests over one connection: the master
-// pipelines any number of OpLookup/OpLookupSorted frames and the reply
-// carries the request's id back, so a per-connection read loop can
-// demultiplex reply frames to the issuing callers in any order. Nodes
-// today reply in request order; the client does not rely on it.
+// pipelines any number of request frames and the reply carries the
+// request's id back, so a per-connection read loop can demultiplex
+// reply frames to the issuing callers in any order. Nodes today reply
+// in request order; the client does not rely on it.
 package netrun
 
 import (
@@ -61,8 +94,9 @@ const Magic uint32 = 0xDC1D_2005
 const (
 	ProtoV1 = 1
 	ProtoV2 = 2
+	ProtoV3 = 3
 
-	ProtoVersion = ProtoV2
+	ProtoVersion = ProtoV3
 )
 
 // Op codes.
@@ -88,11 +122,32 @@ const (
 	// OpRanksDelta (v2) is the sorted lookup's response: the
 	// nondecreasing ranks, delta+varint coded (byte payload).
 	OpRanksDelta uint8 = 7
+	// OpInsert (v3) carries count keys (word payload, any order) to add
+	// to the node's partition; the node answers OpInsertAck.
+	OpInsert uint8 = 8
+	// OpInsertAck (v3) acknowledges an insert; payload[0] is the
+	// applied key count.
+	OpInsertAck uint8 = 9
+	// OpSnapshot (v3, no payload) requests the node's full current key
+	// set; the node answers OpSnapshotData.
+	OpSnapshot uint8 = 10
+	// OpSnapshotData (v3) is the snapshot response: the sorted key set,
+	// delta+varint coded (byte payload).
+	OpSnapshotData uint8 = 11
+	// OpLoad (v3) pushes a full sorted key set (delta+varint byte
+	// payload) that atomically replaces the node's current set — the
+	// replica catch-up path. The node answers OpLoadAck.
+	OpLoad uint8 = 12
+	// OpLoadAck (v3) acknowledges a load; payload[0] is the loaded key
+	// count.
+	OpLoadAck uint8 = 13
 )
 
-// byteOp reports whether op's count field is a byte length (v2
-// delta-coded payload) rather than a 32-bit word count.
-func byteOp(op uint8) bool { return op == OpLookupSorted || op == OpRanksDelta }
+// byteOp reports whether op's count field is a byte length (delta-coded
+// payload) rather than a 32-bit word count.
+func byteOp(op uint8) bool {
+	return op == OpLookupSorted || op == OpRanksDelta || op == OpSnapshotData || op == OpLoad
+}
 
 // MaxFrameWords bounds a v1 frame payload (16M words = 64 MB) so a
 // corrupt length cannot force an absurd allocation. MaxFrameBytes is
@@ -180,24 +235,24 @@ func (fw *frameWriter) putHeader(buf []byte, op uint8, reqID, count uint32) {
 	binary.LittleEndian.PutUint32(buf[9:13], count)
 }
 
-// encodeDeltaKeys serializes an OpLookupSorted frame directly from the
-// ascending key run into the writer's scratch (header + delta+varint
-// payload, byte count backpatched), avoiding a staging buffer on the
-// send path.
-func (fw *frameWriter) encodeDeltaKeys(reqID uint32, keys []uint32) ([]byte, error) {
-	if len(keys) > MaxFrameWords {
-		return nil, fmt.Errorf("netrun: frame payload %d keys exceeds limit", len(keys))
+// encodeDeltaOp serializes a delta-coded frame (OpLookupSorted, OpLoad,
+// OpSnapshotData) directly from the ascending run into the writer's
+// scratch (header + delta+varint payload, byte count backpatched),
+// avoiding a staging buffer on the send path.
+func (fw *frameWriter) encodeDeltaOp(op uint8, reqID uint32, vals []uint32) ([]byte, error) {
+	if len(vals) > MaxFrameWords {
+		return nil, fmt.Errorf("netrun: frame payload %d values exceeds limit", len(vals))
 	}
 	if cap(fw.buf) < 13 {
-		fw.buf = make([]byte, 0, 13+5+5*len(keys))
+		fw.buf = make([]byte, 0, 13+5+5*len(vals))
 	}
 	buf := fw.buf[:13]
-	buf, err := appendDeltaRun(buf, keys)
+	buf, err := appendDeltaRun(buf, vals)
 	if err != nil {
 		return nil, err
 	}
 	fw.buf = buf[:0]
-	fw.putHeader(buf, OpLookupSorted, reqID, uint32(len(buf)-13))
+	fw.putHeader(buf, op, reqID, uint32(len(buf)-13))
 	return buf, nil
 }
 

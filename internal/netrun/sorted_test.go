@@ -66,14 +66,16 @@ func nodeVersions(c *Cluster) []uint32 {
 	return out
 }
 
-// TestHelloNegotiatesV2 pins the version exchange: v2 nodes negotiate
-// v2, emulated-v1 nodes negotiate v1, on the same cluster.
+// TestHelloNegotiatesV2 pins the version exchange: capped nodes
+// negotiate their cap, emulated-v1 nodes negotiate v1, and uncapped
+// updatable nodes negotiate the full current version — all on the same
+// cluster.
 func TestHelloNegotiatesV2(t *testing.T) {
 	keys := workload.SortedKeys(4000, 31)
 	c, shutdown := startClusterCaps(t, keys, 256, []uint32{0, ProtoV1, ProtoV2, 0})
 	defer shutdown()
 
-	want := []uint32{ProtoV2, ProtoV1, ProtoV2, ProtoV2} // cap 0 = full version
+	want := []uint32{ProtoVersion, ProtoV1, ProtoV2, ProtoVersion} // cap 0 = full version
 	got := nodeVersions(c)
 	for i := range want {
 		if got[i] != want[i] {

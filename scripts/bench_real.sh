@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # bench_real.sh — run the real-runtime serving benchmarks plus the
 # netrun TCP-loopback benchmarks and record the results as
 # BENCH_real.json (one object per benchmark), so the perf trajectory is
@@ -6,18 +6,40 @@
 #
 # Usage: scripts/bench_real.sh [benchtime]
 #   benchtime: go test -benchtime value (default 20x)
-set -eu
+#
+# Exit status is strict: any failing `go test -bench` invocation — a
+# benchmark binary that does not build, a bench that errors, a crash —
+# fails the script, so CI cannot silently pass on a broken bench and
+# then "compare" an empty JSON. pipefail covers the awk post-processing
+# stage as well.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-20x}"
 OUT="${BENCH_OUT:-BENCH_real.json}"
 
 # Collect bench output in a temp file first so a failing bench run
-# aborts the script (a pipeline would swallow go test's exit status and
-# emit a well-formed but empty BENCH_real.json).
+# aborts the script before it can emit a well-formed but empty
+# BENCH_real.json.
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
-go test -run '^$' -bench 'BenchmarkReal_' -benchmem -benchtime "$BENCHTIME" . > "$RAW"
+
+run_bench() {
+	# Propagate go test's exit status explicitly: with the output
+	# redirected into $RAW a failure would otherwise only surface as a
+	# malformed JSON much later, in benchcheck.
+	local status=0
+	go test -run '^$' -bench "$1" -benchmem -benchtime "$BENCHTIME" "$2" >> "$RAW" || status=$?
+	if [ "$status" -ne 0 ]; then
+		echo "bench_real.sh: go test -bench $1 $2 failed (exit $status)" >&2
+		cat "$RAW" >&2
+		exit "$status"
+	fi
+}
+
+# Real-runtime serving rows, including the mixed read/write
+# (online-update) row.
+run_bench 'BenchmarkReal_' .
 # TCP loopback mode: the multiplexed master over real sockets, solo and
 # with 4 concurrent callers (plus the serialized baseline), the
 # replicated rows — 8 partitions x 2 replicas in steady state
@@ -26,7 +48,8 @@ go test -run '^$' -bench 'BenchmarkReal_' -benchmem -benchtime "$BENCHTIME" . > 
 # sorted-batch rows (SortedDelta and its same-parameter unsorted
 # companion, plus the CPU-bound loopback variant), which exercise the
 # protocol-v2 delta frames end to end.
-go test -run '^$' -bench 'BenchmarkTCPCluster' -benchmem -benchtime "$BENCHTIME" ./internal/netrun >> "$RAW"
+run_bench 'BenchmarkTCPCluster' ./internal/netrun
+
 cat "$RAW" >&2
 
 awk '

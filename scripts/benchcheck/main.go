@@ -1,11 +1,22 @@
-// Command benchcheck compares a fresh BENCH_real.json against the
+// Command benchcheck compares fresh BENCH_real.json runs against the
 // committed baseline and fails (exit 1) when any benchmark's ns_per_key
 // regressed by more than the tolerance (default 20%, generous because
-// CI runs on noisy shared VMs). Benchmarks present on only one side are
-// reported but not fatal — new rows appear with new features, and
-// renamed rows should update the baseline in the same PR.
+// CI runs on noisy shared VMs).
 //
-// Usage: go run ./scripts/benchcheck [-tolerance 0.20] committed.json fresh.json
+// Variance awareness: pass several fresh files (CI runs the bench suite
+// three times) and each benchmark is judged on its best (minimum)
+// ns_per_key across them — the minimum is the run least disturbed by
+// neighbors on the shared VM, so run-to-run noise (>10% on the 1-core
+// CI container) cannot fail a healthy build. Benchmarks present on only
+// one side are reported but not fatal — new rows appear with new
+// features, and renamed rows should update the baseline in the same PR.
+//
+// When the GITHUB_STEP_SUMMARY environment variable is set (GitHub
+// Actions), a per-benchmark delta table in Markdown is appended to that
+// file, so the job summary shows every row's baseline, best-of-N fresh
+// value, and delta at a glance.
+//
+// Usage: go run ./scripts/benchcheck [-tolerance 0.20] committed.json fresh.json [fresh2.json ...]
 package main
 
 import (
@@ -13,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
 
 type benchFile struct {
@@ -39,11 +51,42 @@ func load(path string) (map[string]*float64, error) {
 	return out, nil
 }
 
+// row is one benchmark's comparison outcome, shared by the stdout
+// report and the job-summary table.
+type row struct {
+	name         string
+	base, best   float64
+	delta        float64 // fractional
+	status       string
+	comparedBoth bool
+}
+
+// bestOf folds several fresh runs into one map of per-benchmark minimum
+// ns_per_key (with the number of runs the row appeared in).
+func bestOf(runs []map[string]*float64) map[string]*float64 {
+	best := make(map[string]*float64)
+	for _, run := range runs {
+		for name, v := range run {
+			if v == nil {
+				if _, seen := best[name]; !seen {
+					best[name] = nil
+				}
+				continue
+			}
+			if cur, seen := best[name]; !seen || cur == nil || *v < *cur {
+				val := *v
+				best[name] = &val
+			}
+		}
+	}
+	return best
+}
+
 func main() {
-	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns_per_key regression")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns_per_key regression (vs best fresh run)")
 	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [-tolerance 0.20] committed.json fresh.json")
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-tolerance 0.20] committed.json fresh.json [fresh2.json ...]")
 		os.Exit(2)
 	}
 	committed, err := load(flag.Arg(0))
@@ -51,18 +94,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(2)
 	}
-	fresh, err := load(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck:", err)
-		os.Exit(2)
+	var runs []map[string]*float64
+	for _, arg := range flag.Args()[1:] {
+		run, err := load(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		runs = append(runs, run)
 	}
+	fresh := bestOf(runs)
 
+	var rows []row
 	failed := false
 	compared := 0
 	for name, base := range committed {
 		cur, ok := fresh[name]
 		if !ok {
-			fmt.Printf("benchcheck: %-45s missing from fresh run (renamed? update the baseline)\n", name)
+			fmt.Printf("benchcheck: %-45s missing from fresh runs (renamed? update the baseline)\n", name)
 			continue
 		}
 		if base == nil || cur == nil {
@@ -75,21 +124,67 @@ func main() {
 			status = "REGRESSED"
 			failed = true
 		}
-		fmt.Printf("benchcheck: %-45s %8.2f -> %8.2f ns/key (%+.1f%%) %s\n",
-			name, *base, *cur, (ratio-1)*100, status)
+		rows = append(rows, row{name: name, base: *base, best: *cur, delta: ratio - 1, status: status, comparedBoth: true})
 	}
-	for name := range fresh {
+	for name, v := range fresh {
 		if _, ok := committed[name]; !ok {
-			fmt.Printf("benchcheck: %-45s new row (no baseline yet)\n", name)
+			r := row{name: name, status: "new row"}
+			if v != nil {
+				r.best = *v
+			}
+			rows = append(rows, r)
 		}
 	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		if !r.comparedBoth {
+			fmt.Printf("benchcheck: %-45s new row (no baseline yet)\n", r.name)
+			continue
+		}
+		fmt.Printf("benchcheck: %-45s %8.2f -> %8.2f ns/key (%+.1f%%, best of %d) %s\n",
+			r.name, r.base, r.best, r.delta*100, len(runs), r.status)
+	}
+
+	writeSummary(rows, len(runs), *tolerance)
+
 	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchcheck: no comparable ns_per_key rows — baseline or fresh file malformed?")
+		fmt.Fprintln(os.Stderr, "benchcheck: no comparable ns_per_key rows — baseline or fresh files malformed?")
 		os.Exit(1)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchcheck: ns_per_key regression beyond %.0f%% tolerance\n", *tolerance*100)
 		os.Exit(1)
 	}
-	fmt.Printf("benchcheck: %d rows within %.0f%% tolerance\n", compared, *tolerance*100)
+	fmt.Printf("benchcheck: %d rows within %.0f%% tolerance (best of %d runs)\n", compared, *tolerance*100, len(runs))
+}
+
+// writeSummary appends the delta table to the GitHub Actions job
+// summary when running in CI; a missing or unwritable summary file is
+// not an error (local runs).
+func writeSummary(rows []row, nRuns int, tolerance float64) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: step summary:", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "### Bench regression check (best of %d runs, %.0f%% tolerance)\n\n", nRuns, tolerance*100)
+	fmt.Fprintln(f, "| benchmark | baseline ns/key | best fresh ns/key | delta | status |")
+	fmt.Fprintln(f, "|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		if !r.comparedBoth {
+			fmt.Fprintf(f, "| %s | — | %.2f | — | new row |\n", r.name, r.best)
+			continue
+		}
+		mark := r.status
+		if mark == "REGRESSED" {
+			mark = "**REGRESSED**"
+		}
+		fmt.Fprintf(f, "| %s | %.2f | %.2f | %+.1f%% | %s |\n", r.name, r.base, r.best, r.delta*100, mark)
+	}
+	fmt.Fprintln(f)
 }

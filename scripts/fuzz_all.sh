@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# fuzz_all.sh — discover and run every Fuzz* target in the module for a
+# fixed budget each. CI runs this for 30s per target on pull requests
+# and 10 minutes per target on the nightly schedule; any crasher go
+# writes to testdata/fuzz fails the run.
+#
+# Usage: scripts/fuzz_all.sh [fuzztime]
+#   fuzztime: go test -fuzztime value per target (default 30s)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${1:-30s}"
+
+found=0
+for pkg in $(go list ./...); do
+	# go test -list prints matching target names, one per line, plus an
+	# "ok" trailer; keep only the Fuzz identifiers.
+	targets=$(go test -run '^$' -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)
+	[ -z "$targets" ] && continue
+	for t in $targets; do
+		found=$((found + 1))
+		echo ">>> fuzzing $pkg $t for $FUZZTIME" >&2
+		go test -run '^$' -fuzz "^${t}\$" -fuzztime "$FUZZTIME" "$pkg"
+	done
+done
+
+if [ "$found" -eq 0 ]; then
+	echo "fuzz_all.sh: no Fuzz targets found — discovery broken?" >&2
+	exit 1
+fi
+echo "fuzz_all.sh: $found targets fuzzed for $FUZZTIME each" >&2
