@@ -260,7 +260,14 @@ func BenchmarkReal_RankBatch_Eytzinger(b *testing.B) { benchRealInto(b, dcindex.
 // fresh cluster so the index size (and therefore ns/key) is identical
 // across iterations regardless of -benchtime; setup and teardown run
 // off the clock. ns/key counts reads and writes together.
-func BenchmarkReal_MixedReadWrite(b *testing.B) {
+func BenchmarkReal_MixedReadWrite(b *testing.B) { benchRealMixed(b, false) }
+
+// BenchmarkReal_MixedReadWriteDurable is the same mix with WALDir set
+// at the default fsync interval (every group commit): what durability
+// costs on the serving path. Each iteration logs to a fresh directory.
+func BenchmarkReal_MixedReadWriteDurable(b *testing.B) { benchRealMixed(b, true) }
+
+func benchRealMixed(b *testing.B, durable bool) {
 	keys := dcindex.GenerateKeys(327680, 1)
 	queries := dcindex.GenerateQueries(1<<18, 2)
 	ins := dcindex.GenerateQueries(1<<15, 3)
@@ -271,7 +278,11 @@ func BenchmarkReal_MixedReadWrite(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		idx, err := dcindex.Open(keys, dcindex.Options{Method: dcindex.MethodC3, Workers: 8, BatchKeys: chunk})
+		opt := dcindex.Options{Method: dcindex.MethodC3, Workers: 8, BatchKeys: chunk}
+		if durable {
+			opt.WALDir = b.TempDir()
+		}
+		idx, err := dcindex.Open(keys, opt)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -40,6 +40,19 @@
 // to cap it at protocol v2: it then serves lookups only and never
 // receives writes (a writing client also stops routing that
 // partition's lookups to it, since it would be stale).
+//
+// With -wal-dir the node is durable (protocol v4): every insert is
+// appended to a write-ahead log and fsynced before it is acknowledged,
+// frozen delta layers become immutable segment snapshots in the
+// background (which retires the covered log files), and a restart
+// recovers the newest intact segment plus the log tail — every acked
+// insert survives kill -9. A rejoin after a crash then catches up from
+// a sibling via the positioned delta (only the missed writes move)
+// instead of a full snapshot. -fsync-interval trades ack latency for
+// sync frequency: 0 syncs as soon as the current group commit claims
+// the log (batching concurrent acks into one fsync), a positive value
+// additionally spaces syncs at least that far apart, and a negative
+// value disables fsync entirely (acks stop implying crash durability).
 package main
 
 import (
@@ -50,6 +63,7 @@ import (
 
 	"repro/dcindex"
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/netrun"
 	"repro/internal/workload"
 )
@@ -63,6 +77,8 @@ func main() {
 		part     = flag.Int("part", 0, "this node's partition id (0-based)")
 		listen   = flag.String("listen", ":7000", "listen address")
 		readonly = flag.Bool("readonly", false, "serve lookups only (protocol v2): never accept inserts or snapshot loads")
+		walDir   = flag.String("wal-dir", "", "durable mode: per-partition WAL + segment directory (created if missing); acked inserts survive crashes")
+		fsyncInt = flag.Duration("fsync-interval", 0, "with -wal-dir: minimum spacing between WAL fsyncs (0 = every group commit, negative = never fsync)")
 	)
 	flag.Parse()
 
@@ -87,12 +103,29 @@ func main() {
 	}
 	mine := p.Parts[*part]
 	mode := "updatable (v3)"
-	if *readonly {
+	switch {
+	case *readonly:
 		mode = "read-only (v2)"
+	case *walDir != "":
+		mode = "durable (v4)"
 	}
 	log.Printf("dcnode: partition %d/%d: %d keys, rank base %d, %s",
 		*part, *parts, len(mine.Keys), mine.RankBase, mode)
-	node := netrun.NewPartitionNode(mine.Keys, mine.RankBase)
+	var node *netrun.Node
+	if *walDir != "" && !*readonly {
+		node, err = netrun.NewDurablePartitionNode(mine.Keys, mine.RankBase, *walDir, index.StoreOptions{
+			FsyncInterval: *fsyncInt,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("dcnode: %v", err)
+		}
+		gen, _ := node.Position()
+		log.Printf("dcnode: recovered durable state from %s: generation %d (%d logged inserts over the baseline)",
+			*walDir, gen, gen)
+	} else {
+		node = netrun.NewPartitionNode(mine.Keys, mine.RankBase)
+	}
 	node.ReadOnly = *readonly
 	if err := netrun.ListenAndServeNode(*listen, node); err != nil {
 		log.Fatalf("dcnode: %v", err)

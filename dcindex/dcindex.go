@@ -56,6 +56,7 @@ package dcindex
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -161,6 +162,18 @@ type Options struct {
 	// skew partitions. Zero selects twice the initial partition size;
 	// negative disables rebalancing.
 	PartitionBudget int
+	// WALDir, when non-empty, makes writes durable: every partition
+	// keeps a write-ahead log and segment snapshots under this
+	// directory, InsertBatch returns only after the batch is fsynced,
+	// and Open recovers the directory's state — the caller's keys then
+	// serve only as the baseline for a fresh directory. Empty keeps the
+	// index purely in memory.
+	WALDir string
+	// FsyncInterval spaces WAL fsyncs apart when WALDir is set: 0
+	// fsyncs every group commit (full durability), > 0 trades a bounded
+	// post-crash ack window for throughput, < 0 never fsyncs
+	// (benchmarking only — acks are no longer crash-durable).
+	FsyncInterval time.Duration
 }
 
 func (o Options) withDefaults() core.RealConfig {
@@ -173,6 +186,8 @@ func (o Options) withDefaults() core.RealConfig {
 		SortedBatches:   o.SortedBatches,
 		MergeThreshold:  o.MergeThreshold,
 		PartitionBudget: o.PartitionBudget,
+		WALDir:          o.WALDir,
+		FsyncInterval:   o.FsyncInterval,
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 8

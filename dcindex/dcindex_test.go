@@ -154,3 +154,44 @@ func TestArchConstructors(t *testing.T) {
 		}
 	}
 }
+
+// TestOptionsWALDirDurable: the public API's durability opt-in. Insert
+// through Options.WALDir, close, reopen the directory with a poisoned
+// baseline — recovery must come from disk and ranks must stay exact.
+func TestOptionsWALDirDurable(t *testing.T) {
+	dir := t.TempDir()
+	keys := GenerateKeys(4096, 1)
+	opt := Options{Method: MethodC3, Workers: 4, WALDir: dir}
+	idx, err := Open(keys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserted := []Key{7, 7, 500_000, 4_000_000_000}
+	if err := idx.InsertBatch(inserted); err != nil {
+		t.Fatal(err)
+	}
+	queries := GenerateQueries(2000, 2)
+	want, err := idx.RankBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Close()
+
+	idx2, err := Open(GenerateKeys(16, 99), opt)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer idx2.Close()
+	if got := idx2.N(); got != len(keys)+len(inserted) {
+		t.Fatalf("recovered %d keys, want %d", got, len(keys)+len(inserted))
+	}
+	got, err := idx2.RankBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if got[i] != want[i] {
+			t.Fatalf("rank[%d] after restart = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

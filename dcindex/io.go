@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
+
+	"repro/internal/faultfs"
+	"repro/internal/index"
 )
 
 // Key-set snapshot format: a TCP deployment needs every node and client
@@ -84,8 +86,14 @@ func ReadKeys(r io.Reader) ([]Key, error) {
 		if byteCount := remaining * 4; byteCount < uint64(chunk) {
 			chunk = int(byteCount)
 		}
-		if _, err := io.ReadFull(br, buf[:chunk]); err != nil {
-			return nil, fmt.Errorf("dcindex: snapshot truncated at key %d: %w", len(keys), err)
+		if n, err := io.ReadFull(br, buf[:chunk]); err != nil {
+			// Name both sides of the shortfall: a truncated copy of a
+			// snapshot looks exactly like a corrupt one, and "got X of Y
+			// bytes" is what lets an operator tell them apart.
+			have := 16 + 4*int64(len(keys)) + int64(n)
+			want := 16 + 4*int64(count)
+			return nil, fmt.Errorf("dcindex: snapshot truncated at key %d of %d: got %d bytes, want %d: %w",
+				(have-16)/4, count, have, want, err)
 		}
 		for off := 0; off < chunk; off += 4 {
 			k := Key(binary.LittleEndian.Uint32(buf[off:]))
@@ -101,63 +109,41 @@ func ReadKeys(r io.Reader) ([]Key, error) {
 
 // SaveKeys writes a snapshot to path atomically: the bytes are written
 // to a uniquely named temp file in the target directory, fsynced, and
-// renamed into place. The unique temp name keeps concurrent savers of
-// the same path from clobbering each other's half-written file (the
-// last rename wins with a complete snapshot); the fsync keeps a crash
-// right after the rename from surfacing an empty or truncated "atomic"
-// snapshot on journaled filesystems.
+// renamed into place, with the parent directory fsynced so the rename
+// itself survives a crash. The unique temp name keeps concurrent savers
+// of the same path from clobbering each other's half-written file (the
+// last rename wins with a complete snapshot). The write rides
+// index.AtomicWriteFile — the same crash-safe path the durability
+// layer's segment snapshots use.
 func SaveKeys(path string, keys []Key) error {
-	// os.CreateTemp creates 0600; a snapshot is meant to be distributed
-	// (every node and client reads it), so widen to the target's
-	// existing permissions, or the conventional 0644 for a new file.
+	// index.AtomicWriteFile creates the temp file with os.CreateTemp's
+	// 0600; a snapshot is meant to be distributed (every node and client
+	// reads it), so widen to the target's existing permissions, or the
+	// conventional 0644 for a new file.
 	mode := os.FileMode(0o644)
 	if st, err := os.Stat(path); err == nil {
 		mode = st.Mode().Perm()
 	}
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Chmod(mode); err != nil {
-		return fail(err)
-	}
-	if err := WriteKeys(f, keys); err != nil {
-		return fail(err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	// The rename itself is durable only once the directory entry is on
-	// disk: fsync the parent so a crash right after SaveKeys returns
-	// cannot resurrect the old snapshot (or, for a first save, nothing).
-	dir, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return err
-	}
-	defer dir.Close()
-	return dir.Sync()
+	return index.AtomicWriteFile(faultfs.OS, path, mode, func(w io.Writer) error {
+		return WriteKeys(w, keys)
+	})
 }
 
-// LoadKeys reads a snapshot from path.
+// LoadKeys reads a snapshot from path. Decode failures are wrapped with
+// the path and the file's on-disk size, so a truncated or corrupt
+// snapshot names the exact file to regenerate.
 func LoadKeys(path string) ([]Key, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadKeys(f)
+	keys, err := ReadKeys(f)
+	if err != nil {
+		if st, serr := f.Stat(); serr == nil {
+			return nil, fmt.Errorf("dcindex: load %s (%d bytes on disk): %w", path, st.Size(), err)
+		}
+		return nil, fmt.Errorf("dcindex: load %s: %w", path, err)
+	}
+	return keys, nil
 }

@@ -3,6 +3,7 @@ package dcindex
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"net"
 	"os"
 	"path/filepath"
@@ -162,6 +163,49 @@ func TestTCPDeploymentEndToEnd(t *testing.T) {
 		if want := workload.ReferenceRank(keys, q); ranks[i] != want {
 			t.Fatalf("rank[%d] = %d, want %d", i, ranks[i], want)
 		}
+	}
+}
+
+// TestSnapshotTruncatedMidKeyError cuts a snapshot file in the middle
+// of a key and wants the load error to name the file and both sides of
+// the shortfall — an operator diagnosing a bad copy needs "got X of Y
+// bytes in <path>", not a bare unexpected-EOF.
+func TestSnapshotTruncatedMidKeyError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.dcx")
+	keys := GenerateKeys(1000, 7)
+	if err := SaveKeys(path, keys); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := int64(len(data)) // 16 + 4*1000
+	cut := data[:16+4*123+2]      // mid-way through key 123
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadKeys(path)
+	if err == nil {
+		t.Fatal("truncated snapshot loaded")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		path,                              // which file
+		"truncated",                       // what happened
+		fmt.Sprintf("want %d", wantBytes), // expected byte count
+		fmt.Sprintf("(%d bytes on disk)", len(cut)), // actual byte count
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+	// The unbuffered decode path (ReadKeys over a stream) reports the
+	// same shortfall arithmetic without a path to name.
+	_, err = ReadKeys(bytes.NewReader(cut))
+	if err == nil || !strings.Contains(err.Error(), "truncated at key 123 of 1000") {
+		t.Fatalf("ReadKeys error %v, want the key-level truncation position", err)
 	}
 }
 

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/faultfs"
+	"repro/internal/index"
+	"repro/internal/workload"
+)
+
+// Cluster-level durability. With RealConfig.WALDir set, every partition
+// (or, for the replicated methods, the single shared copy) gets an
+// index.Store: inserts append to its WAL before the workers apply them
+// and the ack waits for the group fsync; frozen-layer publishes flush
+// segments through a background daemon that then retires covered WAL
+// files. The directory is laid out as
+//
+//	WALDir/MANIFEST        current epoch + partition count
+//	WALDir/e<epoch>/p<i>/  partition i's segments and WAL files
+//
+// A rebalance (or a recovery whose key distribution no longer matches
+// the stored partition boundaries) writes a complete new epoch —
+// fresh per-partition segments at generation 0 — and then atomically
+// replaces MANIFEST, so a crash at any point leaves either the old or
+// the new epoch fully intact; orphaned epoch directories are swept on
+// the next open.
+
+const manifestName = "MANIFEST"
+
+// storeFlush is one frozen-layer publish waiting to become a segment.
+type storeFlush struct {
+	store *index.Store
+	keys  []workload.Key
+	gen   uint64
+}
+
+// clusterStore owns the manifest and the per-partition stores.
+type clusterStore struct {
+	fs    faultfs.FS
+	dir   string
+	opt   index.StoreOptions
+	epoch uint64
+
+	stores  []*index.Store
+	perPart [][]workload.Key // recovered keys per partition; nil once adopted
+
+	flushCh chan storeFlush
+	stopped chan struct{}
+	wg      sync.WaitGroup
+}
+
+func (cs *clusterStore) logf(format string, args ...any) {
+	if cs.opt.Logf != nil {
+		cs.opt.Logf(format, args...)
+	}
+}
+
+// openClusterStore reads the manifest and recovers every partition
+// store. A missing manifest means a fresh directory (no stores yet); a
+// partition that cannot recover refuses the whole open.
+func openClusterStore(dir string, opt index.StoreOptions) (*clusterStore, error) {
+	fs := opt.FS
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cs := &clusterStore{
+		fs:      fs,
+		dir:     dir,
+		opt:     opt,
+		flushCh: make(chan storeFlush, 32),
+		stopped: make(chan struct{}),
+	}
+	data, err := fs.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return cs, nil
+		}
+		return nil, err
+	}
+	epoch, parts, err := parseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%s: %w", dir, manifestName, err)
+	}
+	cs.epoch = epoch
+	for p := 0; p < parts; p++ {
+		st, keys, err := index.OpenStore(cs.partDir(epoch, p), nil, opt)
+		if err != nil {
+			cs.closeStores()
+			return nil, fmt.Errorf("core: recover partition %d: %w", p, err)
+		}
+		if !st.HasSegment() {
+			st.Close()
+			cs.closeStores()
+			return nil, fmt.Errorf("core: recover partition %d: %w: no intact segment (its baseline is not reconstructible)", p, index.ErrStoreCorrupt)
+		}
+		cs.stores = append(cs.stores, st)
+		cs.perPart = append(cs.perPart, keys)
+	}
+	cs.sweepOrphanEpochs()
+	return cs, nil
+}
+
+func (cs *clusterStore) partDir(epoch uint64, p int) string {
+	return filepath.Join(cs.dir, fmt.Sprintf("e%d", epoch), fmt.Sprintf("p%d", p))
+}
+
+// sweepOrphanEpochs removes epoch directories the manifest does not
+// reference — leftovers of a rebase that crashed before (or after) the
+// manifest swap.
+func (cs *clusterStore) sweepOrphanEpochs() {
+	ents, err := cs.fs.ReadDir(cs.dir)
+	if err != nil {
+		return
+	}
+	current := fmt.Sprintf("e%d", cs.epoch)
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, "e") || name == current {
+			continue
+		}
+		if err := cs.fs.RemoveAll(filepath.Join(cs.dir, name)); err == nil {
+			cs.logf("core: swept orphan epoch directory %s", name)
+		}
+	}
+}
+
+func parseManifest(data []byte) (epoch uint64, parts int, err error) {
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 || strings.TrimSpace(lines[0]) != "dcstore v1" {
+		return 0, 0, fmt.Errorf("unrecognized manifest")
+	}
+	if _, err := fmt.Sscanf(strings.TrimSpace(lines[1]), "epoch %d", &epoch); err != nil {
+		return 0, 0, fmt.Errorf("unrecognized manifest epoch line")
+	}
+	if _, err := fmt.Sscanf(strings.TrimSpace(lines[2]), "parts %d", &parts); err != nil {
+		return 0, 0, fmt.Errorf("unrecognized manifest parts line")
+	}
+	if parts <= 0 || parts > 1<<20 {
+		return 0, 0, fmt.Errorf("manifest parts %d out of range", parts)
+	}
+	return epoch, parts, nil
+}
+
+// recoveredKeys concatenates the per-partition recoveries into the full
+// key multiset (partitions hold disjoint ascending ranges; the caller
+// re-validates sort order).
+func (cs *clusterStore) recoveredKeys() []workload.Key {
+	if cs.perPart == nil {
+		return nil
+	}
+	n := 0
+	for _, p := range cs.perPart {
+		n += len(p)
+	}
+	all := make([]workload.Key, 0, n)
+	for _, p := range cs.perPart {
+		all = append(all, p...)
+	}
+	return all
+}
+
+// matches reports whether the stored partitions line up with the given
+// partition sizes. Because the recovered full multiset is exactly what
+// the new partitioning was computed over, equal counts imply identical
+// content — the stores can be adopted as-is.
+func (cs *clusterStore) matches(sizes []int) bool {
+	if cs.perPart == nil || len(cs.stores) != len(sizes) {
+		return false
+	}
+	for i, n := range sizes {
+		if len(cs.perPart[i]) != n {
+			return false
+		}
+	}
+	return true
+}
+
+// adopt marks the recovered stores as live (drops the recovery copies).
+func (cs *clusterStore) adopt() { cs.perPart = nil }
+
+// rebase writes a complete new epoch — one fresh store per partition,
+// each anchored by a generation-0 segment of its key slice — then
+// atomically swaps the manifest and retires the old epoch. Called at
+// first creation, after a recovery whose boundaries moved, and on every
+// rebalance (with writes excluded, so the slices are exact).
+func (cs *clusterStore) rebase(parts [][]workload.Key) error {
+	newEpoch := cs.epoch + 1
+	stores := make([]*index.Store, 0, len(parts))
+	fail := func(err error) error {
+		for _, st := range stores {
+			st.Close()
+		}
+		cs.fs.RemoveAll(filepath.Join(cs.dir, fmt.Sprintf("e%d", newEpoch)))
+		return err
+	}
+	for p, keys := range parts {
+		st, _, err := index.OpenStore(cs.partDir(newEpoch, p), keys, cs.opt)
+		if err != nil {
+			return fail(fmt.Errorf("core: rebase partition %d: %w", p, err))
+		}
+		if err := st.FlushSegment(keys, 0); err != nil {
+			st.Close()
+			return fail(fmt.Errorf("core: rebase partition %d: %w", p, err))
+		}
+		stores = append(stores, st)
+	}
+	manifest := fmt.Sprintf("dcstore v1\nepoch %d\nparts %d\n", newEpoch, len(parts))
+	err := index.AtomicWriteFile(cs.fs, filepath.Join(cs.dir, manifestName), 0o644, func(w io.Writer) error {
+		_, werr := io.WriteString(w, manifest)
+		return werr
+	})
+	if err != nil {
+		return fail(fmt.Errorf("core: rebase manifest: %w", err))
+	}
+	old, oldEpoch := cs.stores, cs.epoch
+	cs.stores, cs.epoch, cs.perPart = stores, newEpoch, nil
+	for _, st := range old {
+		st.Close()
+	}
+	if old != nil {
+		cs.fs.RemoveAll(filepath.Join(cs.dir, fmt.Sprintf("e%d", oldEpoch)))
+	}
+	return nil
+}
+
+// attachDurable adopts (or rebases) the cluster store onto a freshly
+// built epoch and wires each partition's store and segment-flush hook
+// into its live part. Called before the epoch is published, so no
+// traffic races the wiring.
+func (c *Cluster) attachDurable(ep *updEpoch) error {
+	sizes := make([]int, len(ep.lps))
+	for s := range ep.lps {
+		sizes[s] = len(ep.part.Parts[s].Keys)
+	}
+	if c.cs.matches(sizes) {
+		c.cs.adopt()
+	} else {
+		parts := make([][]workload.Key, len(ep.lps))
+		for s := range parts {
+			parts[s] = ep.part.Parts[s].Keys
+		}
+		if err := c.cs.rebase(parts); err != nil {
+			return err
+		}
+	}
+	for s, lp := range ep.lps {
+		st := c.cs.stores[s]
+		lp.store = st
+		lp.upd.OnPublish = func(keys []workload.Key, gen uint64) { c.cs.enqueue(st, keys, gen) }
+	}
+	return nil
+}
+
+// attachDurableRepl wires the single shared store for the replicated
+// methods. All replicas apply the same logged stream; replica 0 is the
+// designated flusher (segment generations deduplicate, so one is
+// enough).
+func (c *Cluster) attachDurableRepl(keys []workload.Key) error {
+	if c.cs.matches([]int{len(keys)}) {
+		c.cs.adopt()
+	} else if err := c.cs.rebase([][]workload.Key{keys}); err != nil {
+		return err
+	}
+	st := c.cs.stores[0]
+	c.replStore = st
+	c.repl[0].upd.OnPublish = func(keys []workload.Key, gen uint64) { c.cs.enqueue(st, keys, gen) }
+	return nil
+}
+
+// start launches the segment-flush daemon.
+func (cs *clusterStore) start() {
+	cs.wg.Add(1)
+	go cs.run()
+}
+
+// enqueue is the OnPublish sink. Non-blocking: a dropped request only
+// delays WAL retirement (the data is already durable in the log).
+func (cs *clusterStore) enqueue(st *index.Store, keys []workload.Key, gen uint64) {
+	if gen == 0 {
+		return
+	}
+	select {
+	case cs.flushCh <- storeFlush{store: st, keys: keys, gen: gen}:
+	default:
+	}
+}
+
+func (cs *clusterStore) run() {
+	defer cs.wg.Done()
+	for {
+		select {
+		case <-cs.stopped:
+			return
+		case req := <-cs.flushCh:
+			if err := req.store.FlushSegment(req.keys, req.gen); err != nil {
+				cs.logf("core: segment flush at generation %d in %s failed: %v", req.gen, req.store.Dir(), err)
+			}
+		}
+	}
+}
+
+func (cs *clusterStore) closeStores() {
+	for _, st := range cs.stores {
+		st.Close()
+	}
+}
+
+// close stops the daemon and closes every store. The caller must have
+// drained inserts and compactions first.
+func (cs *clusterStore) close() {
+	close(cs.stopped)
+	cs.wg.Wait()
+	cs.closeStores()
+}

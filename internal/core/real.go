@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/index"
 	"repro/internal/workload"
 )
@@ -80,6 +81,25 @@ type RealConfig struct {
 	// (twice the average partition size) instead of storming rebuilds.
 	// Only meaningful for the distributed methods.
 	PartitionBudget int
+	// WALDir, when non-empty, makes writes durable: every partition
+	// gets a write-ahead log under this directory, inserts are logged
+	// and fsynced (group commit) before InsertBatch returns, frozen-
+	// layer publishes flush immutable segments, and NewCluster recovers
+	// segment+WAL state from the directory — in which case the caller's
+	// keys serve only as the baseline for a fresh directory. Empty
+	// keeps the index purely in memory (the previous behaviour).
+	WALDir string
+	// FsyncInterval is the group-commit window (see
+	// index.StoreOptions.FsyncInterval): 0 fsyncs on every commit
+	// leader, > 0 spaces fsyncs apart, < 0 disables fsync (acks are no
+	// longer crash-durable). Only meaningful with WALDir.
+	FsyncInterval time.Duration
+	// WALFS overrides the filesystem the durability layer writes
+	// through (fault-injection hook for tests); nil means the real one.
+	WALFS faultfs.FS
+	// Logf, if set, receives recovery/quarantine/flush notices from the
+	// durability layer.
+	Logf func(format string, args ...any)
 }
 
 // DefaultRealConfig returns a ready-to-use configuration for m.
@@ -137,6 +157,9 @@ type realBatch struct {
 	// insert marks the batch as a write: keys are applied to lp's delta
 	// buffer instead of ranked.
 	insert bool
+	// seq is the durable watermark for a logged insert batch (the WAL
+	// generation after its record); 0 for in-memory-only inserts.
+	seq uint64
 	// sorted marks keys as an ascending run, steering the worker onto
 	// the streaming merge kernel (RankSorted) instead of per-key search.
 	sorted bool
@@ -215,6 +238,13 @@ type Cluster struct {
 	batches     sync.Pool
 	calls       sync.Pool
 
+	// cs is the durable state (nil without WALDir). For the replicated
+	// methods all workers share one store, dispatched under replMu; the
+	// distributed methods keep per-partition stores on their livePart.
+	cs        *clusterStore
+	replStore *index.Store
+	replMu    sync.Mutex
+
 	// mu is held shared by lookups for their full duration and
 	// exclusively by Close, which therefore waits out in-flight calls.
 	mu     sync.RWMutex
@@ -233,6 +263,10 @@ type callState struct {
 	reply chan *realBatch
 	// accum[w] is worker w's accumulating batch (Method C dispatch).
 	accum []*realBatch
+	// ends[w] is the highest WAL offset this call appended to partition
+	// w's store (durable inserts); the ack waits on the group fsync
+	// covering every entry.
+	ends []int64
 	// sort is the pooled radix-sort scratch for SortedBatches callers.
 	sort RadixScratch
 }
@@ -251,6 +285,31 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 		return nil, err
 	}
 
+	// Durable mode: recover the stored state first — an existing store
+	// overrides the caller's keys, which then only seed a fresh
+	// directory.
+	var cs *clusterStore
+	if cfg.WALDir != "" {
+		var err error
+		cs, err = openClusterStore(cfg.WALDir, index.StoreOptions{
+			FS: cfg.WALFS, FsyncInterval: cfg.FsyncInterval, Logf: cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rec := cs.recoveredKeys(); rec != nil {
+			if len(rec) == 0 {
+				cs.closeStores()
+				return nil, fmt.Errorf("core: recovered an empty index from %s", cfg.WALDir)
+			}
+			if err := checkSorted(rec); err != nil {
+				cs.closeStores()
+				return nil, fmt.Errorf("core: recovered keys from %s: %w", cfg.WALDir, err)
+			}
+			keys = rec
+		}
+	}
+
 	c := &Cluster{
 		cfg:         cfg,
 		keys:        keys,
@@ -258,6 +317,7 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 		stats:       make([]workerStats, cfg.Workers),
 		rebalanceCh: make(chan struct{}, 1),
 		stop:        make(chan struct{}),
+		cs:          cs,
 	}
 	c.batches.New = func() any { return new(realBatch) }
 	replyCap := cfg.Workers*cfg.QueueDepth + cfg.Workers
@@ -265,6 +325,7 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 		return &callState{
 			reply: make(chan *realBatch, replyCap),
 			accum: make([]*realBatch, cfg.Workers),
+			ends:  make([]int64, cfg.Workers),
 		}
 	}
 	// Free-list capacities cover the steady state: every worker queue
@@ -276,7 +337,16 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 	if cfg.Method.Distributed() {
 		ep, err := c.newEpoch(keys)
 		if err != nil {
+			if cs != nil {
+				cs.closeStores()
+			}
 			return nil, err
+		}
+		if cs != nil {
+			if err := c.attachDurable(ep); err != nil {
+				cs.closeStores()
+				return nil, err
+			}
 		}
 		c.epoch.Store(ep)
 		if cfg.PartitionBudget > 0 {
@@ -294,6 +364,15 @@ func NewCluster(keys []workload.Key, cfg RealConfig) (*Cluster, error) {
 			u.OnMerge = c.noteMerge
 			c.repl[w] = &livePart{slot: w, upd: u}
 		}
+		if cs != nil {
+			if err := c.attachDurableRepl(keys); err != nil {
+				cs.closeStores()
+				return nil, err
+			}
+		}
+	}
+	if cs != nil {
+		cs.start()
 	}
 
 	for w := 0; w < cfg.Workers; w++ {
@@ -322,7 +401,11 @@ func (c *Cluster) Partitioning() *Partitioning {
 func (c *Cluster) processBatch(b *realBatch) {
 	lp := b.lp
 	if b.insert {
-		lp.upd.InsertBatch(b.keys)
+		if b.seq != 0 {
+			lp.upd.InsertBatchAt(b.keys, b.seq)
+		} else {
+			lp.upd.InsertBatch(b.keys)
+		}
 		if lp.ep != nil {
 			lp.ep.inserted[lp.slot].n.Add(int64(len(b.keys)))
 		}
@@ -374,6 +457,7 @@ func (c *Cluster) getBatch(reply chan *realBatch) *realBatch {
 	b.sorted = false
 	b.alias = false
 	b.insert = false
+	b.seq = 0
 	b.lp = nil
 	b.reply = reply
 	return b
@@ -648,4 +732,7 @@ func (c *Cluster) Close() {
 	c.wg.Wait()
 	c.updWG.Wait()
 	c.quiesceUpdates()
+	if c.cs != nil {
+		c.cs.close()
+	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/buffering"
@@ -45,6 +46,14 @@ type livePart struct {
 	rankBase int
 	upd      *index.Updatable
 	ep       *updEpoch
+
+	// store is the partition's durable log (nil without WALDir).
+	// dispatchMu serializes append-to-log with enqueue-to-worker: the
+	// worker channel is single-consumer, so holding the lock across
+	// both makes apply order equal WAL order — the invariant that lets
+	// a frozen-layer watermark double as a segment flush point.
+	store      *index.Store
+	dispatchMu sync.Mutex
 }
 
 // updEpoch is one generation of the distributed methods' routing and
@@ -222,8 +231,44 @@ func (c *Cluster) InsertBatch(keys []workload.Key) error {
 		}
 	}
 
+	// In durable mode an insert is logged before it is sent to its
+	// worker (under the partition's dispatch lock, so apply order equals
+	// WAL order) and the ack additionally waits for the group fsync
+	// covering the appended records. An error return means nothing was
+	// acknowledged — the keys may or may not survive a restart, exactly
+	// like a crash mid-call.
+	var insErr error
 	if c.cfg.Method.Distributed() {
 		ep := c.epoch.Load()
+		durable := c.cs != nil
+		if durable {
+			for s := range cs.ends {
+				cs.ends[s] = 0
+			}
+		}
+		sendIns := func(s int, b *realBatch) {
+			if !durable {
+				send(s, b)
+				return
+			}
+			if insErr != nil {
+				c.putBatch(b) // already failing: drop, don't ack
+				return
+			}
+			lp := ep.lps[s]
+			lp.dispatchMu.Lock()
+			end, gen, err := lp.store.Append(b.keys)
+			if err != nil {
+				lp.dispatchMu.Unlock()
+				c.putBatch(b)
+				insErr = err
+				return
+			}
+			b.seq = gen
+			send(s, b)
+			lp.dispatchMu.Unlock()
+			cs.ends[s] = end
+		}
 		for _, k := range keys {
 			s := ep.part.Route(k)
 			b := cs.accum[s]
@@ -236,7 +281,7 @@ func (c *Cluster) InsertBatch(keys []workload.Key) error {
 			b.keys = append(b.keys, k)
 			if len(b.keys) >= bk {
 				cs.accum[s] = nil
-				send(s, b)
+				sendIns(s, b)
 			}
 		}
 		for s, b := range cs.accum {
@@ -244,25 +289,79 @@ func (c *Cluster) InsertBatch(keys []workload.Key) error {
 				continue
 			}
 			cs.accum[s] = nil
-			send(s, b)
+			sendIns(s, b)
+		}
+		for pending > 0 {
+			gather(<-cs.reply)
+		}
+		if durable {
+			// Commit every touched partition concurrently: each Commit
+			// blocks on (group) fsync, and the partitions' logs are
+			// independent files, so serializing them would multiply the
+			// ack latency by the partition count.
+			var wg sync.WaitGroup
+			var cmu sync.Mutex
+			for s, end := range cs.ends {
+				if end == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(s int, end int64) {
+					defer wg.Done()
+					if err := ep.lps[s].store.Commit(end); err != nil {
+						cmu.Lock()
+						if insErr == nil {
+							insErr = err
+						}
+						cmu.Unlock()
+					}
+				}(s, end)
+			}
+			wg.Wait()
 		}
 	} else {
 		// Replicated index: every worker holds a full copy, so every
-		// worker must apply the batch before it is acknowledged.
-		for w := 0; w < c.cfg.Workers; w++ {
-			for start := 0; start < len(keys); start += bk {
-				end := min(start+bk, len(keys))
+		// worker must apply the batch before it is acknowledged. In
+		// durable mode each chunk is logged once to the shared store and
+		// fanned out to all workers under replMu, so every replica
+		// applies the logged stream in the same order.
+		var lastEnd int64
+		for start := 0; start < len(keys); start += bk {
+			stop := min(start+bk, len(keys))
+			chunk := keys[start:stop]
+			var gen uint64
+			if c.cs != nil {
+				c.replMu.Lock()
+				end, g, err := c.replStore.Append(chunk)
+				if err != nil {
+					c.replMu.Unlock()
+					insErr = err
+					break
+				}
+				gen, lastEnd = g, end
+			}
+			for w := 0; w < c.cfg.Workers; w++ {
 				b := c.getBatch(cs.reply)
 				b.insert = true
 				b.lp = c.repl[w]
-				b.keys = append(b.keys, keys[start:end]...)
+				b.seq = gen
+				b.keys = append(b.keys, chunk...)
 				send(w, b)
 			}
+			if c.cs != nil {
+				c.replMu.Unlock()
+			}
+		}
+		for pending > 0 {
+			gather(<-cs.reply)
+		}
+		if insErr == nil && c.cs != nil && lastEnd > 0 {
+			insErr = c.replStore.Commit(lastEnd)
 		}
 	}
 
-	for pending > 0 {
-		gather(<-cs.reply)
+	if insErr != nil {
+		return insErr
 	}
 	c.insertedKeys.Add(int64(len(keys)))
 	return nil
@@ -353,6 +452,19 @@ func (c *Cluster) rebalance() {
 		// Unreachable: all has at least the seed keys, which filled
 		// Workers partitions once already.
 		return
+	}
+	if c.cs != nil {
+		// Re-anchor durability on the new boundaries: write a complete
+		// new store epoch (fresh generation-0 segments per partition)
+		// before any traffic can route to it. On failure keep the old
+		// epoch — index and store still agree — and retry on the next
+		// trigger.
+		if err := c.attachDurable(next); err != nil {
+			if c.cfg.Logf != nil {
+				c.cfg.Logf("core: rebalance kept current epoch, store rebase failed: %v", err)
+			}
+			return
+		}
 	}
 	c.epoch.Store(next)
 	c.rebalances.Add(1)

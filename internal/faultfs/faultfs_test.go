@@ -1,0 +1,69 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFaultyOrdinalsAndStickiness(t *testing.T) {
+	f := NewFaulty(OS)
+	path := filepath.Join(t.TempDir(), "x")
+	file, err := f.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+
+	f.FailWriteAt(3)
+	for i := 1; i <= 2; i++ {
+		if _, err := file.Write([]byte("a")); err != nil {
+			t.Fatalf("write %d failed before the armed ordinal: %v", i, err)
+		}
+	}
+	if _, err := file.Write([]byte("a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 3 = %v, want ErrInjected", err)
+	}
+	// A dying disk stays dead: ordinal 4 fails too.
+	if _, err := file.Write([]byte("a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 4 = %v, want ErrInjected (sticky)", err)
+	}
+	if got := f.Writes(); got != 4 {
+		t.Fatalf("Writes() = %d, want 4", got)
+	}
+
+	f.FailSyncAt(1)
+	if err := file.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 1 = %v, want ErrInjected", err)
+	}
+	if got := f.Syncs(); got != 1 {
+		t.Fatalf("Syncs() = %d, want 1", got)
+	}
+}
+
+// TestFaultyCountsAcrossFiles: ordinals are FS-wide, so a test can aim a
+// fault at "the nth write anywhere in the store" without knowing which
+// file it lands in.
+func TestFaultyCountsAcrossFiles(t *testing.T) {
+	f := NewFaulty(OS)
+	dir := t.TempDir()
+	a, err := f.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := f.CreateTemp(dir, "b-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	f.FailWriteAt(2)
+	if _, err := a.Write([]byte("x")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := b.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write (other file) = %v, want ErrInjected", err)
+	}
+}

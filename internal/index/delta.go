@@ -218,11 +218,26 @@ type Updatable struct {
 	gen      uint64 // bumped by Reset; stale merges discard
 	inflight int    // compactions running
 
+	// seq is the durable watermark of the in-memory state: the WAL
+	// generation of the last batch applied via InsertBatchAt. Because
+	// the caller serializes log append with apply, the state always
+	// covers exactly the log prefix [0, seq] — which is what makes
+	// frozenSeq (captured when the buffer freezes) a valid segment
+	// flush point.
+	seq       uint64
+	frozenSeq uint64
+
 	merges atomic.Uint64
 
 	// OnMerge, if set before first use, is called after each completed
 	// merge install (cluster-level stats hook).
 	OnMerge func()
+
+	// OnPublish, if set before first use, is called after each merge
+	// install with the freshly compacted base keys and the durable
+	// watermark they cover — the segment-flush driver. The slice is the
+	// live base: read-only.
+	OnPublish func(keys []workload.Key, seq uint64)
 }
 
 // DefaultMergeThreshold is the delta size that triggers a background
@@ -329,6 +344,24 @@ func (u *Updatable) InsertBatch(keys []workload.Key) {
 	u.mu.Unlock()
 }
 
+// InsertBatchAt is InsertBatch for a durably logged batch: seq is the
+// WAL generation after the batch's record, recorded as the in-memory
+// watermark. The caller must apply batches in log order (the cluster's
+// per-partition dispatch serialization guarantees it).
+func (u *Updatable) InsertBatchAt(keys []workload.Key, seq uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	sorted := append([]workload.Key(nil), keys...)
+	sortKeys(sorted)
+	u.mu.Lock()
+	u.dirty.Store(true)
+	u.delta = u.delta.MergeIn(sorted)
+	u.seq = seq
+	u.maybeMergeLocked()
+	u.mu.Unlock()
+}
+
 // Insert adds one key.
 func (u *Updatable) Insert(k workload.Key) {
 	u.mu.Lock()
@@ -345,6 +378,7 @@ func (u *Updatable) maybeMergeLocked() {
 		return
 	}
 	u.frozen = u.delta
+	u.frozenSeq = u.seq
 	u.delta = emptyDelta
 	s := u.base.Load()
 	gen := u.gen
@@ -370,11 +404,13 @@ func (u *Updatable) merge(s *baseState, fr *Delta, gen uint64) {
 	}
 	u.base.Store(&baseState{keys: merged, r: r})
 	u.frozen = nil
+	pubSeq := u.frozenSeq
 	if u.delta.Len() == 0 {
 		u.dirty.Store(false)
 	}
 	u.merges.Add(1)
 	hook := u.OnMerge
+	pub := u.OnPublish
 	// The active buffer may have refilled past the threshold while the
 	// compaction ran; chain the next one immediately.
 	u.maybeMergeLocked()
@@ -383,17 +419,27 @@ func (u *Updatable) merge(s *baseState, fr *Delta, gen uint64) {
 	if hook != nil {
 		hook()
 	}
+	if pub != nil {
+		pub(merged, pubSeq)
+	}
 }
 
 // Reset replaces the entire state with sorted keys (aliased, not
 // copied): the replica catch-up path. Any in-flight merge becomes
 // stale and is discarded.
-func (u *Updatable) Reset(keys []workload.Key) {
+func (u *Updatable) Reset(keys []workload.Key) { u.ResetAt(keys, 0) }
+
+// ResetAt is Reset with a durable watermark: seq is the WAL generation
+// the replacement state corresponds to (the full-snapshot catch-up
+// path on a durable node).
+func (u *Updatable) ResetAt(keys []workload.Key, seq uint64) {
 	u.mu.Lock()
 	u.gen++
 	u.base.Store(&baseState{keys: keys, r: u.build(keys)})
 	u.delta = emptyDelta
 	u.frozen = nil
+	u.seq = seq
+	u.frozenSeq = 0
 	u.dirty.Store(false)
 	u.mu.Unlock()
 }

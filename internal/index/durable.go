@@ -1,0 +1,211 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// DurablePartition couples one Updatable with its Store under the
+// WAL-order-equals-apply-order contract: every insert is appended to
+// the log and applied to memory under one lock (so the in-memory state
+// always covers an exact log prefix), then the ack path waits for the
+// group fsync. Frozen-layer publishes flush segments through a
+// background daemon, which is what retires replayed WAL files.
+//
+// This is the building block netrun's durable nodes serve from; the
+// core cluster wires Stores into its worker pipeline directly (the
+// apply side there is a channel send) but follows the same contract.
+type DurablePartition struct {
+	Store *Store
+	Upd   *Updatable
+
+	mu      sync.Mutex // serializes append+apply
+	flushCh chan flushReq
+	stopped chan struct{}
+	wg      sync.WaitGroup
+	logf    func(format string, args ...any)
+}
+
+type flushReq struct {
+	keys []workload.Key
+	gen  uint64
+}
+
+// ErrCatchUpMismatch reports a delta catch-up whose keys would not
+// reproduce the sibling's (generation, chain) accounting — the replicas
+// diverged, and only a full snapshot can reconcile them.
+var ErrCatchUpMismatch = errors.New("index: delta catch-up does not reproduce the expected generation/chain")
+
+// OpenDurablePartition recovers (or creates) the durable state in dir —
+// newest intact segment plus WAL tail, baseline when the directory is
+// fresh — and serves it through an Updatable built with build.
+func OpenDurablePartition(dir string, baseline []workload.Key, build Builder, threshold int, opt StoreOptions) (*DurablePartition, error) {
+	st, recovered, err := OpenStore(dir, baseline, opt)
+	if err != nil {
+		return nil, err
+	}
+	d := &DurablePartition{
+		Store:   st,
+		flushCh: make(chan flushReq, 4),
+		stopped: make(chan struct{}),
+		logf:    opt.Logf,
+	}
+	u := NewUpdatable(recovered, build, threshold)
+	u.OnPublish = d.enqueueFlush
+	d.Upd = u
+	d.wg.Add(1)
+	go d.flusher()
+	return d, nil
+}
+
+// InsertBatch logs keys, applies them, and returns once the record is
+// fsynced: a nil return is the durability guarantee behind an insert
+// ack. On error nothing was acked (the keys may or may not survive a
+// restart, exactly like a crash mid-call).
+func (d *DurablePartition) InsertBatch(keys []workload.Key) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	end, gen, err := d.Store.Append(keys)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.Upd.InsertBatchAt(keys, gen)
+	d.mu.Unlock()
+	return d.Store.Commit(end)
+}
+
+// InsertDelta applies a rejoin catch-up tail: keys (in the sibling's
+// append order) must advance this partition exactly to wantGen/
+// wantChain, which is verified before anything is logged — a mismatch
+// means the histories diverged and the caller must fall back to a full
+// snapshot.
+func (d *DurablePartition) InsertDelta(keys []workload.Key, wantGen, wantChain uint64) error {
+	d.mu.Lock()
+	if got := d.Store.Gen() + uint64(len(keys)); got != wantGen {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: would reach generation %d, want %d", ErrCatchUpMismatch, got, wantGen)
+	}
+	if got := ChainFold(d.Store.Chain(), keys); got != wantChain {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: fold mismatch at generation %d", ErrCatchUpMismatch, wantGen)
+	}
+	if len(keys) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	end, gen, err := d.Store.Append(keys)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.Upd.InsertBatchAt(keys, gen)
+	d.mu.Unlock()
+	return d.Store.Commit(end)
+}
+
+// ResetTo replaces the entire state with a full snapshot at the
+// sibling's generation and chain (chain 0 = unknown; later delta
+// catch-ups from this node then degrade to full snapshots).
+func (d *DurablePartition) ResetTo(keys []workload.Key, gen, chain uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.Store.ResetTo(keys, gen, chain); err != nil {
+		return err
+	}
+	d.Upd.ResetAt(keys, gen)
+	return nil
+}
+
+// DeltaSince returns every key logged after generation gen in append
+// order, together with the (generation, chain) position the delta
+// advances to, all captured atomically against concurrent inserts.
+// ok=false means the history cannot prove continuity from (gen, chain) —
+// chain mismatch, compacted-away tail, or a corrupt retained log — and
+// the caller must fall back to a full snapshot.
+func (d *DurablePartition) DeltaSince(gen, chain uint64) (keys []workload.Key, curGen, curChain uint64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys, ok, err := d.Store.InsertsSince(gen, chain)
+	if err != nil {
+		if d.logf != nil {
+			d.logf("durable partition %s: delta catch-up read failed: %v", d.Store.Dir(), err)
+		}
+		return nil, 0, 0, false
+	}
+	if !ok {
+		return nil, 0, 0, false
+	}
+	return keys, d.Store.Gen(), d.Store.Chain(), true
+}
+
+// Snapshot returns the full current key set with the (generation,
+// chain) position it corresponds to — the full-catch-up source. The
+// position is captured atomically with the keys.
+func (d *DurablePartition) Snapshot() (keys []workload.Key, gen, chain uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Upd.SnapshotKeys(), d.Store.Gen(), d.Store.Chain()
+}
+
+// Position returns the durable (generation, chain) position, captured
+// atomically against concurrent inserts.
+func (d *DurablePartition) Position() (gen, chain uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Store.Gen(), d.Store.Chain()
+}
+
+// enqueueFlush is the Updatable's OnPublish hook. Non-blocking: if the
+// daemon is behind, the request is dropped — the data is already
+// durable in the WAL, a later publish re-covers it, and only file
+// retirement is delayed.
+func (d *DurablePartition) enqueueFlush(keys []workload.Key, gen uint64) {
+	if gen == 0 {
+		return
+	}
+	select {
+	case d.flushCh <- flushReq{keys: keys, gen: gen}:
+	default:
+	}
+}
+
+// flusher is the compaction daemon: it turns frozen-layer publishes
+// into segment files and thereby retires the WAL files they cover.
+func (d *DurablePartition) flusher() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.stopped:
+			return
+		case req := <-d.flushCh:
+			// Coalesce to the newest pending publish.
+			for {
+				select {
+				case r2 := <-d.flushCh:
+					req = r2
+					continue
+				default:
+				}
+				break
+			}
+			if err := d.Store.FlushSegment(req.keys, req.gen); err != nil && d.logf != nil {
+				d.logf("durable partition %s: segment flush at generation %d failed: %v", d.Store.Dir(), req.gen, err)
+			}
+		}
+	}
+}
+
+// Close drains background work and closes the store. The caller must
+// have stopped inserts first.
+func (d *DurablePartition) Close() error {
+	d.Upd.Quiesce()
+	close(d.stopped)
+	d.wg.Wait()
+	return d.Store.Close()
+}

@@ -1,0 +1,132 @@
+package index
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/workload"
+)
+
+func TestSegmentRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg-00000000000000000009.seg")
+	keys := []workload.Key{1, 2, 2, 5, 9, 100}
+	if err := WriteSegment(faultfs.OS, path, keys, 9, 0xfeed); err != nil {
+		t.Fatalf("WriteSegment: %v", err)
+	}
+	seg, err := ReadSegment(faultfs.OS, path)
+	if err != nil {
+		t.Fatalf("ReadSegment: %v", err)
+	}
+	if seg.Gen != 9 || seg.Chain != 0xfeed {
+		t.Fatalf("position (%d, %#x), want (9, 0xfeed)", seg.Gen, seg.Chain)
+	}
+	if len(seg.Keys) != len(keys) {
+		t.Fatalf("%d keys, want %d", len(seg.Keys), len(keys))
+	}
+	for i := range keys {
+		if seg.Keys[i] != keys[i] {
+			t.Fatalf("key %d = %d, want %d", i, seg.Keys[i], keys[i])
+		}
+	}
+}
+
+// TestSegmentBitFlipDetected flips every bit of a segment file: every
+// single flip must be caught by the checksum (or header validation) —
+// a rotted segment is quarantined, never served.
+func TestSegmentBitFlipDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-00000000000000000004.seg")
+	if err := WriteSegment(faultfs.OS, path, []workload.Key{3, 4, 4, 8}, 4, 0xabc); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutPath := filepath.Join(dir, "mut.seg")
+	for byteOff := 0; byteOff < len(data); byteOff++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[byteOff] ^= 1 << bit
+			if err := os.WriteFile(mutPath, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadSegment(faultfs.OS, mutPath); !errors.Is(err, ErrSegmentCorrupt) {
+				t.Fatalf("flip %d.%d: error %v, want ErrSegmentCorrupt", byteOff, bit, err)
+			}
+		}
+	}
+}
+
+// TestSegmentTruncationDetected cuts the file at every length: any
+// truncation must fail validation.
+func TestSegmentTruncationDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-00000000000000000004.seg")
+	if err := WriteSegment(faultfs.OS, path, []workload.Key{3, 4, 8}, 4, 0xabc); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutPath := filepath.Join(dir, "mut.seg")
+	for cut := 0; cut < len(data); cut++ {
+		if err := os.WriteFile(mutPath, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSegment(faultfs.OS, mutPath); !errors.Is(err, ErrSegmentCorrupt) {
+			t.Fatalf("cut %d: error %v, want ErrSegmentCorrupt", cut, err)
+		}
+	}
+}
+
+// TestAtomicWriteFileFaults: any injected failure along the temp-write-
+// sync-rename path must leave the destination untouched (old content or
+// absent) and clean up the temp file.
+func TestAtomicWriteFileFaults(t *testing.T) {
+	writeOld := func(t *testing.T, dir string) string {
+		path := filepath.Join(dir, "target.seg")
+		if err := WriteSegment(faultfs.OS, path, []workload.Key{1}, 1, 0x1); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	for _, tc := range []struct {
+		name string
+		arm  func(f *faultfs.Faulty)
+	}{
+		{"write", func(f *faultfs.Faulty) { f.FailWriteAt(1) }},
+		{"sync", func(f *faultfs.Faulty) { f.FailSyncAt(1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := writeOld(t, dir)
+			faulty := faultfs.NewFaulty(faultfs.OS)
+			tc.arm(faulty)
+			err := WriteSegment(faulty, path, []workload.Key{7, 8, 9}, 3, 0x3)
+			if !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("error %v, want ErrInjected", err)
+			}
+			seg, err := ReadSegment(faultfs.OS, path)
+			if err != nil {
+				t.Fatalf("old segment damaged by failed overwrite: %v", err)
+			}
+			if seg.Gen != 1 {
+				t.Fatalf("old segment replaced: gen %d", seg.Gen)
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if e.Name() != filepath.Base(path) {
+					t.Fatalf("leftover file %s after failed atomic write", e.Name())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,610 @@
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/workload"
+)
+
+// Store is the durable state of one partition: an append-only WAL for
+// inserts plus immutable segment snapshots flushed whenever the
+// in-memory index publishes a compacted base. On open it recovers by
+// loading the newest valid segment and replaying the WAL tail past it;
+// a corrupt segment is quarantined and recovery falls back to the
+// previous segment (whose covering WAL files are retained exactly for
+// this), and a WAL with a mid-file hole makes the store refuse to open
+// rather than serve a gapped history.
+//
+// Concurrency contract: the caller serializes Append with its in-memory
+// apply (so WAL order equals apply order — the invariant that makes a
+// frozen-layer watermark a prefix of the log); Commit is safe from any
+// goroutine and group-commits across callers. FlushSegment and
+// InsertsSince take the store lock internally.
+
+// StoreOptions configures durability behaviour.
+type StoreOptions struct {
+	// FS is the filesystem to write through; nil means the real one.
+	FS faultfs.FS
+	// FsyncInterval is the group-commit window: 0 fsyncs as soon as a
+	// commit leader claims the flush, > 0 additionally spaces fsyncs at
+	// least this far apart (higher insert latency, fewer fsyncs), < 0
+	// disables fsync entirely (acks are no longer crash-durable).
+	FsyncInterval time.Duration
+	// Logf, if set, receives recovery and quarantine notices.
+	Logf func(format string, args ...any)
+}
+
+// ErrStoreCorrupt reports durable state the store refuses to serve
+// from: a WAL hole, broken cross-file accounting, or no intact segment
+// chain back to the baseline.
+var ErrStoreCorrupt = errors.New("index: store corrupt")
+
+type walFileRef struct {
+	path string
+	base uint64 // generation before the file's first record
+}
+
+// Store is one partition's durable log + segment directory.
+type Store struct {
+	fs  faultfs.FS
+	dir string
+	opt StoreOptions
+
+	mu         sync.Mutex
+	wal        *WAL
+	walPrefix  int64        // cumulative bytes of rotated-away WAL files (see Commit)
+	wals       []walFileRef // ascending by base; last is the active log
+	gen        uint64
+	chain      uint64
+	segGen     uint64
+	segPath    string
+	hasSeg     bool
+	prevSegGen uint64
+	hasPrev    bool
+	chainAt    map[uint64]uint64 // record-end gen -> chain, appends since open
+	closed     bool
+}
+
+func segName(gen uint64) string      { return fmt.Sprintf("seg-%020d.seg", gen) }
+func walName(firstSeq uint64) string { return fmt.Sprintf("wal-%020d.wal", firstSeq) }
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// quarantine renames a damaged file aside (suffix .corrupt) so it is
+// never picked up again but stays available for inspection.
+func (s *Store) quarantine(path string, cause error) {
+	if err := s.fs.Rename(path, path+".corrupt"); err != nil {
+		s.logf("store %s: quarantine %s failed: %v", s.dir, filepath.Base(path), err)
+		return
+	}
+	s.logf("store %s: quarantined %s: %v", s.dir, filepath.Base(path), cause)
+}
+
+// OpenStore opens (or creates) the durable store in dir and returns it
+// together with the recovered key multiset: the newest intact segment's
+// keys (or baseline when no segment exists) merged with every WAL
+// record past that segment's generation. The recovered generation
+// counter resumes where the log ends, and a fresh WAL file is cut so
+// old files stay immutable.
+func OpenStore(dir string, baseline []workload.Key, opt StoreOptions) (*Store, []workload.Key, error) {
+	fs := opt.FS
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	s := &Store{fs: fs, dir: dir, opt: opt, chain: ChainStart(), chainAt: make(map[uint64]uint64)}
+
+	segs, walRefs, err := s.scanDir()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Newest intact segment wins; corrupt ones are quarantined and the
+	// previous segment (still covered by retained WAL files) takes over.
+	base := baseline
+	for i := len(segs) - 1; i >= 0; i-- {
+		seg, err := ReadSegment(fs, segs[i].path)
+		if err != nil {
+			s.quarantine(segs[i].path, err)
+			continue
+		}
+		if seg.Gen != segs[i].base {
+			s.quarantine(segs[i].path, fmt.Errorf("%w: header gen %d does not match name", ErrSegmentCorrupt, seg.Gen))
+			continue
+		}
+		base = seg.Keys
+		s.gen, s.chain = seg.Gen, seg.Chain
+		s.segGen, s.segPath, s.hasSeg = seg.Gen, segs[i].path, true
+		if i > 0 {
+			s.prevSegGen, s.hasPrev = segs[i-1].base, true
+		}
+		break
+	}
+
+	// Replay the WAL tail. Files are threaded in order: each file's
+	// records must continue the previous file's generation and chain
+	// fold exactly, and the fold must pass through the segment's
+	// (gen, chain) point — any break is corruption, not a torn tail.
+	segGen, segChain := s.gen, s.chain
+	gen, chain := uint64(0), uint64(0)
+	haveThread := false
+	var replayed []workload.Key
+	for _, wf := range walRefs {
+		var want *uint64
+		if haveThread {
+			if wf.base != gen {
+				return nil, nil, fmt.Errorf("%w: WAL gap in %s: %s starts at generation %d, log ends at %d",
+					ErrStoreCorrupt, dir, filepath.Base(wf.path), wf.base, gen)
+			}
+			want = &chain
+		} else if wf.base == segGen && s.hasSeg {
+			want = &segChain
+		}
+		rep, err := replayWALChecked(fs, wf.path, wf.base, want)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %s: %v", ErrStoreCorrupt, dir, err)
+		}
+		if !haveThread {
+			gen, chain = rep.BaseGen, rep.BaseChain
+			haveThread = true
+		}
+		for _, rec := range rep.Records {
+			count := uint64(len(rec.Keys))
+			first := rec.Seq - count // generation before the record
+			if rec.Seq > segGen {
+				keep := rec.Keys
+				if first < segGen {
+					keep = keep[segGen-first:]
+				}
+				replayed = append(replayed, keep...)
+			}
+			if rec.Seq == segGen && s.hasSeg && rec.Chain != segChain {
+				return nil, nil, fmt.Errorf("%w: %s: WAL fold at generation %d disagrees with segment",
+					ErrStoreCorrupt, dir, segGen)
+			}
+			gen, chain = rec.Seq, rec.Chain
+		}
+		if rep.Torn {
+			s.logf("store %s: %s has a torn tail after %d bytes (crash); recovered the valid prefix",
+				dir, filepath.Base(wf.path), rep.Size)
+		}
+	}
+	if haveThread {
+		if gen < segGen {
+			// The log ends before the segment it should extend — records
+			// the segment proves existed are gone.
+			return nil, nil, fmt.Errorf("%w: %s: WAL ends at generation %d but segment covers %d",
+				ErrStoreCorrupt, dir, gen, segGen)
+		}
+		if s.hasSeg && walRefs[0].base > segGen {
+			return nil, nil, fmt.Errorf("%w: %s: oldest WAL starts at generation %d, past segment %d",
+				ErrStoreCorrupt, dir, walRefs[0].base, segGen)
+		}
+		s.gen, s.chain = gen, chain
+	}
+
+	recovered := base
+	if len(replayed) > 0 {
+		sorted := append([]workload.Key(nil), replayed...)
+		sortKeys(sorted)
+		recovered = MergeKeys(base, sorted)
+	}
+
+	// Cut a fresh log for this run; replayed files stay immutable until
+	// segment flushes retire them.
+	w, err := CreateWAL(fs, filepath.Join(dir, walName(s.gen+1)), s.gen, s.chain, opt.FsyncInterval)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.wal = w
+	s.wals = append(s.retainedWALs(walRefs), walFileRef{path: w.Path(), base: s.gen})
+	return s, recovered, nil
+}
+
+// replayWALChecked replays one file, verifying the header chain when
+// the caller knows what it must be.
+func replayWALChecked(fs faultfs.FS, path string, wantBaseGen uint64, wantChain *uint64) (*WALReplay, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= walHeaderSize && wantChain == nil {
+		// Trust the header fold; the segment-boundary check catches a lie
+		// before any of its records are served.
+		c := readWALHeaderChain(data)
+		wantChain = &c
+	}
+	if wantChain == nil {
+		c := ChainStart()
+		wantChain = &c
+	}
+	rep, err := ReplayWALBytes(data, wantBaseGen, *wantChain)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return rep, nil
+}
+
+func readWALHeaderChain(data []byte) uint64 {
+	return binary.LittleEndian.Uint64(data[16:24])
+}
+
+// scanDir inventories segment and WAL files, ascending.
+func (s *Store) scanDir() (segs, wals []walFileRef, err error) {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg"):
+			n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".seg"), 10, 64)
+			if err != nil {
+				continue
+			}
+			segs = append(segs, walFileRef{path: filepath.Join(s.dir, name), base: n})
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".wal"):
+			n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".wal"), 10, 64)
+			if err != nil || n == 0 {
+				continue
+			}
+			wals = append(wals, walFileRef{path: filepath.Join(s.dir, name), base: n - 1})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	sort.Slice(wals, func(i, j int) bool { return wals[i].base < wals[j].base })
+	return segs, wals, nil
+}
+
+// retainedWALs drops replayed files that are already fully covered by
+// the retention floor (everything at or below the previous segment).
+func (s *Store) retainedWALs(refs []walFileRef) []walFileRef {
+	floor := s.retentionFloor()
+	out := refs[:0:0]
+	for i, wf := range refs {
+		end := s.gen
+		if i+1 < len(refs) {
+			end = refs[i+1].base
+		}
+		if end <= floor {
+			if err := s.fs.Remove(wf.path); err == nil {
+				continue
+			}
+		}
+		out = append(out, wf)
+	}
+	return out
+}
+
+// retentionFloor is the generation below which durable history may be
+// discarded: the previous segment's generation, so that if the newest
+// segment rots, recovery still has old-segment + WAL tail.
+func (s *Store) retentionFloor() uint64 {
+	if s.hasPrev {
+		return s.prevSegGen
+	}
+	return 0
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Gen returns the current generation (keys appended since baseline).
+func (s *Store) Gen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Chain returns the current insert-stream fold.
+func (s *Store) Chain() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chain
+}
+
+// Broken reports the WAL's sticky I/O error, if any.
+func (s *Store) Broken() error { return s.wal.Broken() }
+
+// HasSegment reports whether the store currently holds an intact
+// segment (cluster stores require one: their baseline is the segment).
+func (s *Store) HasSegment() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hasSeg
+}
+
+// Append logs keys as one record. The caller must apply keys to the
+// in-memory index before releasing whatever lock serializes its insert
+// path (see the concurrency contract above), and must Commit(end)
+// before acking.
+func (s *Store) Append(keys []workload.Key) (end int64, gen uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, 0, fmt.Errorf("index: store %s is closed", s.dir)
+	}
+	end, gen, err = s.wal.Append(keys)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.gen = gen
+	s.chain = s.wal.Chain()
+	s.chainAt[gen] = s.chain
+	// The returned end is cumulative across rotations, so a Commit that
+	// races a background FlushSegment still resolves correctly.
+	return s.walPrefix + end, gen, nil
+}
+
+// Commit blocks until the log is durable through end (group commit).
+// end is the cumulative offset Append returned; a record whose file has
+// since been rotated away is already durable (rotation commits the old
+// file before swapping it out), so Commit returns immediately rather
+// than waiting on the new file — which would never reach that offset.
+func (s *Store) Commit(end int64) error {
+	s.mu.Lock()
+	w, prefix := s.wal, s.walPrefix
+	s.mu.Unlock()
+	if end <= prefix {
+		return nil
+	}
+	return w.Commit(end - prefix)
+}
+
+// FlushSegment makes the compacted key set at watermark gen durable as
+// an immutable segment, rotates the WAL, and retires files older than
+// the retention floor. keys must be exactly the multiset covered by
+// generations [0, gen] plus the baseline (the frozen-layer publish
+// guarantees this). Duplicate or stale watermarks are ignored.
+func (s *Store) FlushSegment(keys []workload.Key, gen uint64) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("index: store %s is closed", s.dir)
+	}
+	if err := s.wal.Broken(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if s.hasSeg && gen <= s.segGen {
+		s.mu.Unlock()
+		return nil
+	}
+	chain, ok := s.chainAt[gen]
+	if !ok {
+		if gen == s.gen {
+			chain = s.chain
+		} else {
+			s.mu.Unlock()
+			return fmt.Errorf("index: store %s: no fold recorded for flush watermark %d", s.dir, gen)
+		}
+	}
+	path := filepath.Join(s.dir, segName(gen))
+
+	// Write the segment off-lock: it is a full-partition image (two
+	// fsyncs through AtomicWriteFile), and appends — the ack path —
+	// must not stall behind it. The segment's content depends only on
+	// (keys, gen, chain), all resolved above; concurrent appends land
+	// in the WAL and stay retained until a later flush covers them.
+	s.mu.Unlock()
+	if err := WriteSegment(s.fs, path, keys, gen, chain); err != nil {
+		return fmt.Errorf("index: store %s: flush segment %d: %w", s.dir, gen, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("index: store %s is closed", s.dir)
+	}
+	if (s.hasSeg && gen <= s.segGen) || gen > s.gen {
+		// A concurrent flush advanced past us while the file was being
+		// written, or a ResetTo rewound the store below our watermark;
+		// either way ours is stale, not current.
+		s.fs.Remove(path)
+		return nil
+	}
+
+	// Rotate so the files holding already-covered records become
+	// immutable and retirable. If the active log is still empty, keep
+	// it — rotation would recreate the same name.
+	if s.gen > s.wals[len(s.wals)-1].base {
+		if err := s.rotateLocked(); err != nil {
+			// The segment is durable; a failed rotation only delays
+			// retirement. Keep serving.
+			s.logf("store %s: WAL rotation after segment %d failed: %v", s.dir, gen, err)
+		}
+	}
+
+	if s.hasSeg {
+		s.prevSegGen, s.hasPrev = s.segGen, true
+	}
+	s.segGen, s.segPath, s.hasSeg = gen, path, true
+	s.retireLocked()
+	for g := range s.chainAt {
+		if g <= gen {
+			delete(s.chainAt, g)
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the active log (after a final commit so no
+// group-commit waiter races the close) and cuts a fresh one.
+func (s *Store) rotateLocked() error {
+	old := s.wal
+	if err := old.Commit(s.walEnd(old)); err != nil {
+		return err
+	}
+	w, err := CreateWAL(s.fs, filepath.Join(s.dir, walName(s.gen+1)), s.gen, s.chain, s.opt.FsyncInterval)
+	if err != nil {
+		return err
+	}
+	// Everything in the old file is durable as of the Commit above;
+	// advancing the prefix makes outstanding cumulative ends that point
+	// into it resolve as already-committed.
+	s.walPrefix += s.walEnd(old)
+	old.Close()
+	s.wal = w
+	s.wals = append(s.wals, walFileRef{path: w.Path(), base: s.gen})
+	return nil
+}
+
+func (s *Store) walEnd(w *WAL) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// retireLocked deletes segments and WAL files wholly below the
+// retention floor.
+func (s *Store) retireLocked() {
+	floor := s.retentionFloor()
+	if segs, _, err := s.scanDir(); err == nil {
+		for _, sf := range segs {
+			keep := sf.base == s.segGen || (s.hasPrev && sf.base == s.prevSegGen)
+			if !keep {
+				s.fs.Remove(sf.path)
+			}
+		}
+	}
+	out := s.wals[:0]
+	for i, wf := range s.wals {
+		if i+1 < len(s.wals) && s.wals[i+1].base <= floor {
+			if err := s.fs.Remove(wf.path); err == nil {
+				continue
+			}
+		}
+		out = append(out, wf)
+	}
+	s.wals = out
+}
+
+// InsertsSince returns, in append order, every key logged after
+// generation gen, verifying that the caller's fold at gen matches this
+// store's history (ok=false on any mismatch, gap, or compacted-away
+// tail — the caller then falls back to a full snapshot). gen must be a
+// record boundary, which it is whenever it came from a store
+// generation on either side.
+func (s *Store) InsertsSince(gen, chain uint64) (keys []workload.Key, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen > s.gen {
+		return nil, false, nil
+	}
+	if gen == s.gen {
+		return nil, chain == s.chain, nil
+	}
+	if len(s.wals) == 0 || s.wals[0].base > gen {
+		return nil, false, nil // compacted past the caller's generation
+	}
+	var out []workload.Key
+	boundary := false
+	tgen, tchain := uint64(0), uint64(0)
+	threaded := false
+	for _, wf := range s.wals {
+		var want *uint64
+		if threaded {
+			if wf.base != tgen {
+				return nil, false, fmt.Errorf("%w: %s: WAL gap at generation %d", ErrStoreCorrupt, s.dir, wf.base)
+			}
+			want = &tchain
+		}
+		rep, rerr := replayWALChecked(s.fs, wf.path, wf.base, want)
+		if rerr != nil {
+			return nil, false, fmt.Errorf("%w: %s: %v", ErrStoreCorrupt, s.dir, rerr)
+		}
+		if !threaded {
+			tgen, tchain = rep.BaseGen, rep.BaseChain
+			threaded = true
+		}
+		if wf.base == gen && rep.BaseChain == chain {
+			boundary = true
+		}
+		for _, rec := range rep.Records {
+			if rec.Seq == gen {
+				boundary = rec.Chain == chain
+			}
+			if rec.Seq > gen {
+				first := rec.Seq - uint64(len(rec.Keys))
+				if first < gen {
+					return nil, false, nil // not a record boundary
+				}
+				out = append(out, rec.Keys...)
+			}
+			tgen, tchain = rec.Seq, rec.Chain
+		}
+	}
+	if tgen != s.gen || !boundary {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// ResetTo replaces the entire durable state with keys at generation gen
+// (fold chain): the full-snapshot catch-up path. Old files are deleted
+// first — a crash mid-reset recovers to the baseline and honestly
+// re-runs catch-up rather than resurrecting the pre-reset history with
+// a generation that no longer means anything.
+func (s *Store) ResetTo(keys []workload.Key, gen, chain uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("index: store %s is closed", s.dir)
+	}
+	if err := s.wal.Broken(); err != nil {
+		return err
+	}
+	// A reset replaces all durable state; ends handed out against the
+	// discarded log must not wait on the fresh one.
+	s.walPrefix += s.walEnd(s.wal)
+	s.wal.Close()
+	if segs, wals, err := s.scanDir(); err == nil {
+		for _, f := range append(segs, wals...) {
+			s.fs.Remove(f.path)
+		}
+	}
+	s.gen, s.chain = gen, chain
+	s.segGen, s.hasSeg = gen, true
+	s.hasPrev = false
+	s.chainAt = make(map[uint64]uint64)
+	path := filepath.Join(s.dir, segName(gen))
+	if err := WriteSegment(s.fs, path, keys, gen, chain); err != nil {
+		return err
+	}
+	s.segPath = path
+	w, err := CreateWAL(s.fs, filepath.Join(s.dir, walName(gen+1)), gen, chain, s.opt.FsyncInterval)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	s.wals = []walFileRef{{path: w.Path(), base: gen}}
+	return nil
+}
+
+// Close closes the active WAL file. It does not flush: durability is
+// already guaranteed through the last Commit.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+

@@ -1,0 +1,467 @@
+package index
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/workload"
+)
+
+// sortedCopy is the oracle normal form: the durable layer promises a
+// multiset, not an order.
+func sortedCopy(keys []workload.Key) []workload.Key {
+	out := append([]workload.Key(nil), keys...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameKeys(got, want []workload.Key) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustOpenStore(t *testing.T, dir string, baseline []workload.Key, opt StoreOptions) (*Store, []workload.Key) {
+	t.Helper()
+	s, rec, err := OpenStore(dir, baseline, opt)
+	if err != nil {
+		t.Fatalf("OpenStore(%s): %v", dir, err)
+	}
+	return s, rec
+}
+
+func storeAppend(t *testing.T, s *Store, keys []workload.Key) {
+	t.Helper()
+	end, _, err := s.Append(keys)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.Commit(end); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestStoreFreshOpenServesBaseline(t *testing.T) {
+	baseline := []workload.Key{10, 20, 30}
+	s, rec := mustOpenStore(t, t.TempDir(), baseline, StoreOptions{})
+	defer s.Close()
+	if !sameKeys(rec, baseline) {
+		t.Fatalf("fresh recovery = %v, want baseline %v", rec, baseline)
+	}
+	if s.Gen() != 0 || s.Chain() != ChainStart() {
+		t.Fatalf("fresh position (%d, %#x), want (0, seed)", s.Gen(), s.Chain())
+	}
+}
+
+func TestStoreRecoversWALTail(t *testing.T) {
+	dir := t.TempDir()
+	baseline := []workload.Key{10, 20, 30}
+	s, _ := mustOpenStore(t, dir, baseline, StoreOptions{})
+	storeAppend(t, s, []workload.Key{5, 25})
+	storeAppend(t, s, []workload.Key{40})
+	gen, chain := s.Gen(), s.Chain()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := mustOpenStore(t, dir, baseline, StoreOptions{})
+	defer s2.Close()
+	want := sortedCopy(append(append([]workload.Key(nil), baseline...), 5, 25, 40))
+	if !sameKeys(rec, want) {
+		t.Fatalf("recovered %v, want %v", rec, want)
+	}
+	if s2.Gen() != gen || s2.Chain() != chain {
+		t.Fatalf("recovered position (%d, %#x), want (%d, %#x)", s2.Gen(), s2.Chain(), gen, chain)
+	}
+}
+
+func TestStoreSegmentPlusTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	baseline := []workload.Key{10, 20}
+	s, _ := mustOpenStore(t, dir, baseline, StoreOptions{})
+	storeAppend(t, s, []workload.Key{1, 2})
+	// Frozen-layer publish at generation 2: baseline + the two inserts.
+	compact := sortedCopy(append(append([]workload.Key(nil), baseline...), 1, 2))
+	if err := s.FlushSegment(compact, 2); err != nil {
+		t.Fatalf("FlushSegment: %v", err)
+	}
+	storeAppend(t, s, []workload.Key{99}) // tail past the segment
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A recovery that ignored the baseline arg would catch a store that
+	// failed to persist the segment: pass a poisoned baseline.
+	s2, rec := mustOpenStore(t, dir, []workload.Key{777}, StoreOptions{})
+	defer s2.Close()
+	want := sortedCopy(append(append([]workload.Key(nil), compact...), 99))
+	if !sameKeys(rec, want) {
+		t.Fatalf("recovered %v, want segment+tail %v", rec, want)
+	}
+	if s2.Gen() != 3 {
+		t.Fatalf("recovered generation %d, want 3", s2.Gen())
+	}
+}
+
+// TestStoreCorruptSegmentFallsBack rots the newest segment: recovery
+// must quarantine it and rebuild the exact state from the previous
+// segment plus the retained WAL files.
+func TestStoreCorruptSegmentFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	baseline := []workload.Key{10, 20}
+	s, _ := mustOpenStore(t, dir, baseline, StoreOptions{})
+	oracle := append([]workload.Key(nil), baseline...)
+
+	flushAt := func(gen uint64) {
+		t.Helper()
+		if err := s.FlushSegment(sortedCopy(oracle), gen); err != nil {
+			t.Fatalf("FlushSegment(%d): %v", gen, err)
+		}
+	}
+	storeAppend(t, s, []workload.Key{1, 2})
+	oracle = append(oracle, 1, 2)
+	flushAt(2)
+	storeAppend(t, s, []workload.Key{3, 4})
+	oracle = append(oracle, 3, 4)
+	flushAt(4)
+	storeAppend(t, s, []workload.Key{5})
+	oracle = append(oracle, 5)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a bit in the newest segment (generation 4).
+	segPath := filepath.Join(dir, segName(4))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var notices []string
+	s2, rec := mustOpenStore(t, dir, baseline, StoreOptions{
+		Logf: func(format string, args ...any) { notices = append(notices, format) },
+	})
+	defer s2.Close()
+	if !sameKeys(rec, sortedCopy(oracle)) {
+		t.Fatalf("fallback recovery = %v, want oracle %v", rec, sortedCopy(oracle))
+	}
+	if s2.Gen() != 5 {
+		t.Fatalf("recovered generation %d, want 5", s2.Gen())
+	}
+	if _, err := os.Stat(segPath + ".corrupt"); err != nil {
+		t.Fatalf("rotted segment not quarantined: %v", err)
+	}
+	quarantined := false
+	for _, n := range notices {
+		if strings.Contains(n, "quarantined") {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatal("no quarantine notice logged")
+	}
+}
+
+// TestStoreCrashAtEveryOffset is the store-level kill -9 sweep: truncate
+// the active WAL at every byte offset (a crash leaves an arbitrary
+// prefix) and reopen. Recovery must yield exactly baseline + the records
+// wholly contained in the prefix — the durable contract for unacked
+// writes is "all-or-nothing per record".
+func TestStoreCrashAtEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	baseline := []workload.Key{100, 200}
+	batches := [][]workload.Key{{1, 2}, {3}, {4, 5, 6}}
+	s, _ := mustOpenStore(t, dir, baseline, StoreOptions{})
+	for _, b := range batches {
+		storeAppend(t, s, b)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walName(1))
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-batch oracle states and their record end offsets.
+	ends := []int64{walHeaderSize}
+	states := [][]workload.Key{sortedCopy(baseline)}
+	acc := append([]workload.Key(nil), baseline...)
+	o := int64(walHeaderSize)
+	for _, b := range batches {
+		o += int64(walRecHeaderSize + 4*len(b) + walRecTrailerSize)
+		ends = append(ends, o)
+		acc = append(acc, b...)
+		states = append(states, sortedCopy(acc))
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		crashDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(crashDir, walName(1)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		whole := 0
+		for whole+1 < len(ends) && ends[whole+1] <= int64(cut) {
+			whole++
+		}
+		s2, rec, err := OpenStore(crashDir, baseline, StoreOptions{})
+		if err != nil {
+			t.Fatalf("cut %d: recovery refused: %v", cut, err)
+		}
+		if !sameKeys(rec, states[whole]) {
+			t.Fatalf("cut %d: recovered %v, want %v", cut, rec, states[whole])
+		}
+		var wantGen uint64
+		for i := 0; i < whole; i++ {
+			wantGen += uint64(len(batches[i]))
+		}
+		if s2.Gen() != wantGen {
+			t.Fatalf("cut %d: generation %d, want %d", cut, s2.Gen(), wantGen)
+		}
+		s2.Close()
+	}
+}
+
+// TestStoreMidFileCorruptionRefuses: a hole in the middle of the log
+// (valid records after the damage) must refuse to open — serving a
+// gapped history would be silently wrong.
+func TestStoreMidFileCorruptionRefuses(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpenStore(t, dir, []workload.Key{10}, StoreOptions{})
+	storeAppend(t, s, []workload.Key{1, 2, 3})
+	storeAppend(t, s, []workload.Key{4, 5, 6})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walName(1))
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[walHeaderSize+walRecHeaderSize] ^= 0xff // first record's first key
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenStore(dir, []workload.Key{10}, StoreOptions{}); !errors.Is(err, ErrStoreCorrupt) {
+		t.Fatalf("open over mid-file hole = %v, want ErrStoreCorrupt", err)
+	}
+}
+
+func TestStoreInsertsSince(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpenStore(t, dir, []workload.Key{10}, StoreOptions{})
+	defer s.Close()
+
+	c0 := s.Chain()
+	storeAppend(t, s, []workload.Key{1, 2})
+	g1, c1 := s.Gen(), s.Chain()
+	storeAppend(t, s, []workload.Key{3})
+	g2, c2 := s.Gen(), s.Chain()
+
+	keys, ok, err := s.InsertsSince(0, c0)
+	if err != nil || !ok || !sameKeys(keys, []workload.Key{1, 2, 3}) {
+		t.Fatalf("since 0: keys=%v ok=%v err=%v", keys, ok, err)
+	}
+	keys, ok, err = s.InsertsSince(g1, c1)
+	if err != nil || !ok || !sameKeys(keys, []workload.Key{3}) {
+		t.Fatalf("since %d: keys=%v ok=%v err=%v", g1, keys, ok, err)
+	}
+	keys, ok, err = s.InsertsSince(g2, c2)
+	if err != nil || !ok || len(keys) != 0 {
+		t.Fatalf("since head: keys=%v ok=%v err=%v", keys, ok, err)
+	}
+	// Diverged caller: right generation, wrong fold.
+	if _, ok, err := s.InsertsSince(g1, c1^1); ok || err != nil {
+		t.Fatalf("chain mismatch accepted (ok=%v err=%v)", ok, err)
+	}
+	// Future caller: a generation this store has never reached.
+	if _, ok, err := s.InsertsSince(g2+5, c2); ok || err != nil {
+		t.Fatalf("future generation accepted (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestStoreInsertsSinceSurvivesRotation: the delta must thread across
+// rotated WAL files, and a generation compacted past the retention floor
+// must be refused (ok=false), steering the caller to a full snapshot.
+func TestStoreInsertsSinceSurvivesRotation(t *testing.T) {
+	dir := t.TempDir()
+	baseline := []workload.Key{10}
+	s, _ := mustOpenStore(t, dir, baseline, StoreOptions{})
+	defer s.Close()
+	oracle := append([]workload.Key(nil), baseline...)
+	c0 := s.Chain()
+
+	storeAppend(t, s, []workload.Key{1, 2})
+	oracle = append(oracle, 1, 2)
+	if err := s.FlushSegment(sortedCopy(oracle), 2); err != nil {
+		t.Fatal(err)
+	}
+	g1, c1 := s.Gen(), s.Chain()
+	storeAppend(t, s, []workload.Key{3, 4})
+	oracle = append(oracle, 3, 4)
+	if err := s.FlushSegment(sortedCopy(oracle), 4); err != nil {
+		t.Fatal(err)
+	}
+	storeAppend(t, s, []workload.Key{5})
+
+	// Generation 0 predates the retention floor (segment 2) once segment
+	// 4 exists: the WAL that covered (0, 2] has been retired.
+	if _, ok, err := s.InsertsSince(0, c0); ok || err != nil {
+		t.Fatalf("compacted-away generation served a delta (ok=%v err=%v)", ok, err)
+	}
+	// Generation 2 is the previous segment: still covered by retained files.
+	keys, ok, err := s.InsertsSince(g1, c1)
+	if err != nil || !ok || !sameKeys(keys, []workload.Key{3, 4, 5}) {
+		t.Fatalf("since retained floor: keys=%v ok=%v err=%v", keys, ok, err)
+	}
+}
+
+func TestStoreResetToSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpenStore(t, dir, []workload.Key{10}, StoreOptions{})
+	storeAppend(t, s, []workload.Key{1})
+	fresh := []workload.Key{50, 60, 70}
+	if err := s.ResetTo(fresh, 9, 0xbeef); err != nil {
+		t.Fatalf("ResetTo: %v", err)
+	}
+	storeAppend(t, s, []workload.Key{80})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec := mustOpenStore(t, dir, []workload.Key{777}, StoreOptions{})
+	defer s2.Close()
+	want := sortedCopy(append(append([]workload.Key(nil), fresh...), 80))
+	if !sameKeys(rec, want) {
+		t.Fatalf("recovered %v, want %v", rec, want)
+	}
+	if s2.Gen() != 10 {
+		t.Fatalf("generation %d, want 10", s2.Gen())
+	}
+	if s2.Chain() != ChainFold(0xbeef, []workload.Key{80}) {
+		t.Fatalf("chain %#x does not continue the reset fold", s2.Chain())
+	}
+}
+
+// TestStoreFsyncFailureNeverAcks: when the disk refuses to sync, Commit
+// must error (the caller never acks) and the store must refuse all
+// further writes instead of acking over the hole.
+func TestStoreFsyncFailureNeverAcks(t *testing.T) {
+	faulty := faultfs.NewFaulty(faultfs.OS)
+	s, _ := mustOpenStore(t, t.TempDir(), []workload.Key{10}, StoreOptions{FS: faulty})
+	defer s.Close()
+	storeAppend(t, s, []workload.Key{1})
+	faulty.FailSyncAt(faulty.Syncs() + 1)
+	end, _, err := s.Append([]workload.Key{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(end); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("commit on dead disk = %v, want ErrInjected", err)
+	}
+	faulty.FailSyncAt(0)
+	if _, _, err := s.Append([]workload.Key{3}); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("append after fsync failure = %v, want ErrWALBroken", err)
+	}
+	if s.Broken() == nil {
+		t.Fatal("Broken() = nil after fsync failure")
+	}
+	if err := s.FlushSegment([]workload.Key{1, 2, 10}, 2); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("segment flush on a broken store = %v, want the sticky error", err)
+	}
+}
+
+// TestStoreSegmentRetiresWALs: after a segment flush, WAL files wholly
+// below the retention floor are deleted; the newest two segments are
+// kept so a rotted head segment still has a fallback.
+func TestStoreSegmentRetiresWALs(t *testing.T) {
+	dir := t.TempDir()
+	baseline := []workload.Key{10}
+	s, _ := mustOpenStore(t, dir, baseline, StoreOptions{})
+	defer s.Close()
+	oracle := append([]workload.Key(nil), baseline...)
+	for round := 0; round < 4; round++ {
+		b := []workload.Key{workload.Key(round*10 + 1), workload.Key(round*10 + 2)}
+		storeAppend(t, s, b)
+		oracle = append(oracle, b...)
+		if err := s.FlushSegment(sortedCopy(oracle), uint64(2*(round+1))); err != nil {
+			t.Fatalf("flush %d: %v", round, err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs, wals int
+	for _, e := range ents {
+		switch {
+		case strings.HasSuffix(e.Name(), ".seg"):
+			segs++
+		case strings.HasSuffix(e.Name(), ".wal"):
+			wals++
+		}
+	}
+	if segs != 2 {
+		t.Fatalf("%d segments retained, want 2 (newest + fallback)", segs)
+	}
+	// Retained WALs: those covering (prevSegGen, gen] plus the active log.
+	if wals > 3 {
+		t.Fatalf("%d WAL files retained, want <= 3 (retirement is not keeping up)", wals)
+	}
+}
+
+// TestStoreCommitAfterRotation: an insert's Commit can race a
+// background segment flush that rotates the WAL out from under it. The
+// cumulative end must resolve against the rotated file — whose records
+// rotation already committed — instead of waiting on the fresh log to
+// reach an offset it will never hold (a livelock that fsyncs forever).
+func TestStoreCommitAfterRotation(t *testing.T) {
+	s, _ := mustOpenStore(t, t.TempDir(), []workload.Key{10}, StoreOptions{})
+	defer s.Close()
+	end, gen, err := s.Append([]workload.Key{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flush rotates the active WAL before this append's Commit runs
+	// — exactly what a concurrent frozen-layer publish does.
+	if err := s.FlushSegment([]workload.Key{1, 2, 3, 10}, gen); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Commit(end) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Commit after rotation: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Commit hung waiting on a rotated-away WAL offset")
+	}
+	// The fresh log still appends and commits normally.
+	end2, _, err := s.Append([]workload.Key{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(end2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Gen(); got != gen+1 {
+		t.Fatalf("gen after post-rotation append = %d, want %d", got, gen+1)
+	}
+}

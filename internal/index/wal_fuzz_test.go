@@ -1,0 +1,88 @@
+package index
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// buildWALImage assembles a valid in-memory WAL file for fuzz seeds.
+func buildWALImage(baseGen, baseChain uint64, batches [][]workload.Key) []byte {
+	data := make([]byte, walHeaderSize)
+	binary.LittleEndian.PutUint32(data[0:4], walMagic)
+	binary.LittleEndian.PutUint32(data[4:8], walVersion)
+	binary.LittleEndian.PutUint64(data[8:16], baseGen)
+	binary.LittleEndian.PutUint64(data[16:24], baseChain)
+	gen, chain := baseGen, baseChain
+	for _, b := range batches {
+		gen += uint64(len(b))
+		chain = ChainFold(chain, b)
+		rec := make([]byte, walRecHeaderSize+4*len(b)+walRecTrailerSize)
+		binary.LittleEndian.PutUint32(rec[0:4], walRecMagic)
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(len(b)))
+		binary.LittleEndian.PutUint64(rec[8:16], gen)
+		binary.LittleEndian.PutUint64(rec[16:24], chain)
+		for i, k := range b {
+			binary.LittleEndian.PutUint32(rec[walRecHeaderSize+4*i:], uint32(k))
+		}
+		crc := crc32.Checksum(rec[:len(rec)-walRecTrailerSize], crcTab)
+		binary.LittleEndian.PutUint32(rec[len(rec)-walRecTrailerSize:], crc)
+		data = append(data, rec...)
+	}
+	return data
+}
+
+// FuzzWALReplay feeds arbitrary byte-mangled WAL images to the replay
+// path. The contract under fuzzing: never panic, never allocate beyond
+// the record-size bound, and whatever is recovered must be internally
+// consistent — the generation/chain accounting re-derived from the
+// recovered keys matches what replay reported, and replaying a clean
+// re-serialization of the recovered records reproduces them exactly
+// (so a recovered index is always *some* crash-consistent prefix, never
+// an invented history).
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{}, uint64(0), ChainStart())
+	f.Add(buildWALImage(0, ChainStart(), [][]workload.Key{{1, 2, 3}, {9}}), uint64(0), ChainStart())
+	f.Add(buildWALImage(5, 0xdeadbeef, [][]workload.Key{{7, 7}, {0}, {1 << 31}}), uint64(5), uint64(0xdeadbeef))
+	torn := buildWALImage(0, ChainStart(), [][]workload.Key{{4, 5, 6}})
+	f.Add(torn[:len(torn)-3], uint64(0), ChainStart())
+	f.Fuzz(func(t *testing.T, data []byte, baseGen, baseChain uint64) {
+		rep, err := ReplayWALBytes(data, baseGen, baseChain)
+		if err != nil {
+			// Refusal is always a legal outcome; it must only be deterministic.
+			if _, err2 := ReplayWALBytes(data, baseGen, baseChain); err2 == nil {
+				t.Fatal("replay nondeterministic: error then success on identical input")
+			}
+			return
+		}
+		if rep.Size > int64(len(data)) {
+			t.Fatalf("valid prefix %d exceeds input %d", rep.Size, len(data))
+		}
+		gen, chain := rep.BaseGen, rep.BaseChain
+		for i, rec := range rep.Records {
+			gen += uint64(len(rec.Keys))
+			chain = ChainFold(chain, rec.Keys)
+			if rec.Seq != gen || rec.Chain != chain {
+				t.Fatalf("record %d: reported (%d, %#x), re-derived (%d, %#x)", i, rec.Seq, rec.Chain, gen, chain)
+			}
+		}
+		if rep.Gen() != gen || rep.Chain() != chain {
+			t.Fatalf("final position (%d, %#x), re-derived (%d, %#x)", rep.Gen(), rep.Chain(), gen, chain)
+		}
+		// Round-trip: the recovered history must survive re-serialization.
+		var batches [][]workload.Key
+		for _, rec := range rep.Records {
+			batches = append(batches, rec.Keys)
+		}
+		clean := buildWALImage(rep.BaseGen, rep.BaseChain, batches)
+		rep2, err := ReplayWALBytes(clean, rep.BaseGen, rep.BaseChain)
+		if err != nil {
+			t.Fatalf("re-serialized history refused: %v", err)
+		}
+		if rep2.Torn || len(rep2.Records) != len(rep.Records) {
+			t.Fatalf("round-trip lost records: %d -> %d (torn=%v)", len(rep.Records), len(rep2.Records), rep2.Torn)
+		}
+	})
+}

@@ -1,0 +1,302 @@
+package index
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/workload"
+)
+
+// appendOracle writes batches to a fresh WAL at path and returns the
+// per-record oracle (what a correct replay must reproduce).
+func appendOracle(t *testing.T, path string, batches [][]workload.Key) []WALRecord {
+	t.Helper()
+	w, err := CreateWAL(faultfs.OS, path, 0, ChainStart(), 0)
+	if err != nil {
+		t.Fatalf("CreateWAL: %v", err)
+	}
+	var oracle []WALRecord
+	gen, chain := uint64(0), ChainStart()
+	for _, b := range batches {
+		end, g, err := w.Append(b)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := w.Commit(end); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		gen += uint64(len(b))
+		chain = ChainFold(chain, b)
+		if g != gen {
+			t.Fatalf("Append returned gen %d, want %d", g, gen)
+		}
+		oracle = append(oracle, WALRecord{Seq: gen, Chain: chain, Keys: b})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return oracle
+}
+
+func walBatches() [][]workload.Key {
+	return [][]workload.Key{
+		{10, 20, 30},
+		{5},
+		{40, 41, 42, 43, 44},
+		{7, 7, 7}, // duplicates are legal: the index is a multiset
+		{99, 1},
+	}
+}
+
+// sameRecords compares a replay against an oracle prefix.
+func sameRecords(got, want []WALRecord) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].Seq != want[i].Seq || got[i].Chain != want[i].Chain || len(got[i].Keys) != len(want[i].Keys) {
+			return false
+		}
+		for j := range got[i].Keys {
+			if got[i].Keys[j] != want[i].Keys[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestWALReplayRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-00000000000000000001.wal")
+	oracle := appendOracle(t, path, walBatches())
+	rep, err := ReplayWAL(faultfs.OS, path, 0, ChainStart())
+	if err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	if rep.Torn {
+		t.Fatal("clean file reported torn")
+	}
+	if !sameRecords(rep.Records, oracle) {
+		t.Fatalf("replay diverged from oracle: got %d records, want %d", len(rep.Records), len(oracle))
+	}
+	if rep.Gen() != oracle[len(oracle)-1].Seq || rep.Chain() != oracle[len(oracle)-1].Chain {
+		t.Fatalf("replay position (%d, %#x) != oracle (%d, %#x)",
+			rep.Gen(), rep.Chain(), oracle[len(oracle)-1].Seq, oracle[len(oracle)-1].Chain)
+	}
+}
+
+// TestWALCrashAtEveryOffset simulates kill -9 at every possible write
+// boundary: for each prefix length of the log file, replay must recover
+// exactly the records wholly contained in the prefix — never an error,
+// never a record that was not fully written.
+func TestWALCrashAtEveryOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-00000000000000000001.wal")
+	oracle := appendOracle(t, path, walBatches())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record end offsets, to know which prefix covers which records.
+	ends := []int64{walHeaderSize}
+	o := int64(walHeaderSize)
+	for _, rec := range oracle {
+		o += int64(walRecHeaderSize + 4*len(rec.Keys) + walRecTrailerSize)
+		ends = append(ends, o)
+	}
+	if o != int64(len(data)) {
+		t.Fatalf("offset accounting: computed end %d, file is %d bytes", o, len(data))
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		rep, err := ReplayWALBytes(data[:cut], 0, ChainStart())
+		if err != nil {
+			t.Fatalf("cut %d: replay error %v (a torn tail must recover, not refuse)", cut, err)
+		}
+		// How many records fit wholly in the prefix?
+		whole := 0
+		for whole+1 < len(ends) && ends[whole+1] <= int64(cut) {
+			whole++
+		}
+		if !sameRecords(rep.Records, oracle[:whole]) {
+			t.Fatalf("cut %d: recovered %d records, want the %d whole ones", cut, len(rep.Records), whole)
+		}
+		wantTorn := cut != 0 && int64(cut) != ends[whole] // an empty file is absent, not torn
+		if rep.Torn != wantTorn {
+			t.Fatalf("cut %d: Torn = %v, want %v", cut, rep.Torn, wantTorn)
+		}
+	}
+}
+
+// TestWALBitFlipNeverSilentlyWrong flips every bit of the file, one at a
+// time. Each flip must either be rejected (ErrWALCorrupt — mid-file
+// damage, bad header, broken accounting) or recover a strict prefix of
+// the oracle (damage in the final record is indistinguishable from a
+// torn write). It must never return records that differ from the oracle.
+func TestWALBitFlipNeverSilentlyWrong(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-00000000000000000001.wal")
+	oracle := appendOracle(t, path, walBatches())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for byteOff := 0; byteOff < len(data); byteOff++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[byteOff] ^= 1 << bit
+			rep, err := ReplayWALBytes(mut, 0, ChainStart())
+			if err != nil {
+				if !errors.Is(err, ErrWALCorrupt) {
+					t.Fatalf("flip %d.%d: error %v is not ErrWALCorrupt", byteOff, bit, err)
+				}
+				continue
+			}
+			if len(rep.Records) <= len(oracle) && sameRecords(rep.Records, oracle[:len(rep.Records)]) {
+				continue // a clean prefix: equivalent to crashing earlier
+			}
+			t.Fatalf("flip %d.%d: silently wrong replay (%d records, not an oracle prefix)",
+				byteOff, bit, len(rep.Records))
+		}
+	}
+}
+
+// TestWALGroupCommitConcurrent hammers Append+Commit from many
+// goroutines (run under -race): every acked record must be in the file,
+// and the final replay must match the generation/chain accounting.
+func TestWALGroupCommitConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-00000000000000000001.wal")
+	w, err := CreateWAL(faultfs.OS, path, 0, ChainStart(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		perW    = 50
+	)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var acked int
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				keys := []workload.Key{workload.Key(g*1000 + i)}
+				end, _, err := w.Append(keys)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := w.Commit(end); err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				acked++
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("writer failed: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayWAL(faultfs.OS, path, 0, ChainStart())
+	if err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	if rep.Torn {
+		t.Fatal("torn tail after clean close")
+	}
+	if got, want := rep.Gen(), uint64(writers*perW); got != want {
+		t.Fatalf("replayed generation %d, want %d (every acked record must be present)", got, want)
+	}
+	if acked != writers*perW {
+		t.Fatalf("acked %d, want %d", acked, writers*perW)
+	}
+}
+
+// TestWALInjectedWriteFailure: a failed append poisons the log — the
+// caller gets an error (no ack), and every later append refuses with
+// ErrWALBroken rather than writing past a hole.
+func TestWALInjectedWriteFailure(t *testing.T) {
+	faulty := faultfs.NewFaulty(faultfs.OS)
+	path := filepath.Join(t.TempDir(), "wal-00000000000000000001.wal")
+	w, err := CreateWAL(faulty, path, 0, ChainStart(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, _, err := w.Append([]workload.Key{1, 2}); err != nil {
+		t.Fatalf("healthy append: %v", err)
+	}
+	faulty.FailWriteAt(faulty.Writes() + 1)
+	if _, _, err := w.Append([]workload.Key{3}); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("injected append error = %v, want ErrInjected", err)
+	}
+	faulty.FailWriteAt(0) // disk "recovers" — the log must stay poisoned
+	if _, _, err := w.Append([]workload.Key{4}); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("append after failure = %v, want ErrWALBroken", err)
+	}
+	if w.Broken() == nil {
+		t.Fatal("Broken() = nil after write failure")
+	}
+}
+
+// TestWALInjectedSyncFailure: a failed fsync means Commit returns an
+// error (the insert is never acked), and the failure is sticky for every
+// later committer.
+func TestWALInjectedSyncFailure(t *testing.T) {
+	faulty := faultfs.NewFaulty(faultfs.OS)
+	path := filepath.Join(t.TempDir(), "wal-00000000000000000001.wal")
+	w, err := CreateWAL(faulty, path, 0, ChainStart(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	end1, _, err := w.Append([]workload.Key{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(end1); err != nil {
+		t.Fatalf("healthy commit: %v", err)
+	}
+	faulty.FailSyncAt(faulty.Syncs() + 1)
+	end2, _, err := w.Append([]workload.Key{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(end2); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("commit over failed fsync = %v, want ErrInjected", err)
+	}
+	faulty.FailSyncAt(0)
+	if err := w.Commit(end2); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("commit after fsync failure = %v, want ErrWALBroken", err)
+	}
+	if _, _, err := w.Append([]workload.Key{3}); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("append after fsync failure = %v, want ErrWALBroken", err)
+	}
+}
+
+// TestWALHeaderMismatch: a file whose header disagrees with what the
+// caller expects (wrong base generation or fold) is corruption, never a
+// silent accept.
+func TestWALHeaderMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-00000000000000000001.wal")
+	appendOracle(t, path, walBatches())
+	if _, err := ReplayWAL(faultfs.OS, path, 7, ChainStart()); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("baseGen mismatch = %v, want ErrWALCorrupt", err)
+	}
+	if _, err := ReplayWAL(faultfs.OS, path, 0, 12345); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("baseChain mismatch = %v, want ErrWALCorrupt", err)
+	}
+}

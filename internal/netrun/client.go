@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"os"
 	"strings"
@@ -85,6 +86,11 @@ type Cluster struct {
 
 	ep atomic.Pointer[epoch]
 
+	// deltaCatchups counts rejoins completed via the v4 positioned
+	// delta path (as opposed to full-snapshot loads); tests assert the
+	// cheap path actually ran.
+	deltaCatchups atomic.Int64
+
 	mu     sync.Mutex // serializes Close and Redial
 	closed bool
 }
@@ -141,6 +147,15 @@ type replicaStats struct {
 	dispatched atomic.Uint64
 	failures   atomic.Uint64
 	rejoins    atomic.Uint64
+	// forceFull demands a full-snapshot catch-up on the next rejoin.
+	// Set when a delta catch-up was refused (the histories diverged —
+	// e.g. the replica durably logged writes this client never saw
+	// acked); sticky until a catch-up of any kind succeeds. It lives on
+	// the stats (not the member) because the decision must survive the
+	// failed member's teardown: a catch-up cannot switch from delta to
+	// full mid-admission — the hold queue and a later snapshot cut
+	// would double-apply writes — so the whole admission is retried.
+	forceFull atomic.Bool
 }
 
 // pickFor returns a healthy member eligible for p, round-robin.
@@ -284,6 +299,12 @@ type clusterNode struct {
 	// liveCount is the node's current key count from a v3 hello's 6th
 	// word (0 on older acks): baseline plus every insert it absorbed.
 	liveCount int
+	// chain is the node's durable fold position from a v4 hello's words
+	// 7-8 (0: not a durable node, or unknown history). Together with
+	// liveCount-keyCount (= the durable generation) it identifies the
+	// exact insert history the node holds, which is what makes the
+	// positioned delta catch-up safe to offer.
+	chain uint64
 	// version is the negotiated protocol version for this connection
 	// (ProtoV1 against old nodes — sorted pendings are then sent as
 	// plain OpLookup frames, so failover across mixed-version replica
@@ -327,6 +348,14 @@ const (
 	// pkLoad pushes a snapshot at one specific (catching-up) member; it
 	// never fails over — the target dying aborts that catch-up attempt.
 	pkLoad
+	// pkSnapshotSince (v4) asks a durable sibling for the insert tail
+	// after a rejoiner's position; keys holds the 4 request words
+	// (generation, chain) and the reply overwrites them with the
+	// OpSnapshotDelta payload. Same failover semantics as pkSnapshot.
+	pkSnapshotSince
+	// pkLoadAt (v4) pushes an OpSnapshotDelta-shaped payload (5 header
+	// words + keys) at one specific member; same semantics as pkLoad.
+	pkLoadAt
 )
 
 // pending is one request frame's lifecycle: the caller accumulates keys
@@ -414,7 +443,9 @@ type DialOptions struct {
 	Replicas int
 	// RejoinBackoff is the initial delay before a failed replica is
 	// re-dialed (default 100ms). Each failed attempt doubles it, up to
-	// RejoinMaxBackoff.
+	// RejoinMaxBackoff, and every sleep is jittered over the upper half
+	// of the current delay so replicas that failed together (one
+	// machine, many partitions) do not re-dial in lockstep.
 	RejoinBackoff time.Duration
 	// RejoinMaxBackoff caps the rejoin backoff (default 3s).
 	RejoinMaxBackoff time.Duration
@@ -661,7 +692,7 @@ func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
-	if f.Op != OpHelloAck || len(f.Payload) < 4 || len(f.Payload) > 6 {
+	if f.Op != OpHelloAck || len(f.Payload) < 4 || len(f.Payload) > 8 || len(f.Payload) == 7 {
 		return fmt.Errorf("bad hello ack (op %d, %d words)", f.Op, len(f.Payload))
 	}
 	n.version = ProtoV1
@@ -672,8 +703,13 @@ func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
 		}
 		n.version = v
 	}
-	if len(f.Payload) == 6 {
+	if len(f.Payload) >= 6 {
 		n.liveCount = int(f.Payload[5])
+	}
+	if len(f.Payload) == 8 {
+		// A durable v4 node: words 7-8 carry its chain (low word
+		// first); its generation is liveCount - keyCount.
+		n.chain = uint64(f.Payload[6]) | uint64(f.Payload[7])<<32
 	}
 	n.rankBase = int(f.Payload[0])
 	n.keyCount = int(f.Payload[1])
@@ -787,11 +823,11 @@ func (c *Cluster) failNode(ep *epoch, n *clusterNode, err error) {
 				default:
 					p.complete(fmt.Errorf("netrun: partition %d lost its last full protocol-v3 replica (%s) with a write in flight: %w", g.part, n.addr, err))
 				}
-			case pkLoad:
+			case pkLoad, pkLoadAt:
 				// A load binds to this exact member; the catch-up
 				// attempt aborts and the next rejoin retries.
 				p.complete(fmt.Errorf("netrun: catch-up load to partition %d replica %s interrupted: %w", g.part, n.addr, err))
-			case pkSnapshot:
+			case pkSnapshot, pkSnapshotSince:
 				// A snapshot must not fail over: its position in this
 				// member's FIFO is what makes catch-up exactly-once
 				// (re-enqueueing it elsewhere could double-deliver
@@ -836,13 +872,11 @@ func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
 		select {
 		case <-ep.failed:
 			return
-		case <-time.After(backoff):
+		case <-time.After(jitterBackoff(backoff)):
 		}
 		n, err := c.dialNode(g, slot, ep.failed)
 		if err != nil {
-			if backoff *= 2; backoff > c.opt.RejoinMaxBackoff {
-				backoff = c.opt.RejoinMaxBackoff
-			}
+			backoff = nextBackoff(backoff, c.opt.RejoinMaxBackoff)
 			continue
 		}
 		// Install under g.mu, re-checking the terminal flag: ep.fail
@@ -877,9 +911,7 @@ func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
 		if n.version < ProtoV3 {
 			// Stale forever: it cannot receive the missed writes.
 			n.conn.Close()
-			if backoff *= 2; backoff > c.opt.RejoinMaxBackoff {
-				backoff = c.opt.RejoinMaxBackoff
-			}
+			backoff = nextBackoff(backoff, c.opt.RejoinMaxBackoff)
 			continue
 		}
 		if c.readmitWithCatchUp(ep, g, n) {
@@ -887,11 +919,28 @@ func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
 		}
 		// No snapshot source right now; retry from scratch.
 		n.conn.Close()
-		if backoff *= 2; backoff > c.opt.RejoinMaxBackoff {
-			backoff = c.opt.RejoinMaxBackoff
-		}
+		backoff = nextBackoff(backoff, c.opt.RejoinMaxBackoff)
 		continue
 	}
+}
+
+// nextBackoff doubles a rejoin delay, capped at max.
+func nextBackoff(d, max time.Duration) time.Duration {
+	if d *= 2; d > max {
+		return max
+	}
+	return d
+}
+
+// jitterBackoff spreads a rejoin sleep uniformly over [d/2, d): when
+// one machine death drops several replicas at once, their rejoin dials
+// de-correlate instead of thundering back at the recovering node in
+// lockstep at every doubling.
+func jitterBackoff(d time.Duration) time.Duration {
+	if d < 2 {
+		return d
+	}
+	return d/2 + rand.N(d/2)
 }
 
 // readmitWithCatchUp admits n as a catching-up member — write fan-outs
@@ -902,6 +951,19 @@ func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
 // snapshot request in the sibling's FIFO (and is therefore in the
 // snapshot n loads) or sees n as a member (and lands in its hold queue,
 // flushed after the load) — each write reaches n exactly once.
+//
+// When both the rejoiner and the sibling are durable v4 nodes with a
+// known chain, the catch-up asks for the insert tail since the
+// rejoiner's own durable position instead of the full key set
+// (OpSnapshotSince): a rejoining replica already holds everything it
+// fsynced before the crash, so only the writes it missed move over the
+// wire. The sibling falls back to a full payload by itself when it
+// compacted past that position or the chains diverge; a delta the
+// rejoiner *refuses* (it durably logged writes the sibling never acked
+// — divergent histories) aborts the admission with a sticky full-
+// snapshot demand, because switching payload kinds mid-admission would
+// let writes land twice (the hold-queue cut belongs to the original
+// request).
 //
 // It returns false when n was not admitted (no v3 sibling to snapshot
 // from; the caller retries later). Once n is admitted, every failure
@@ -933,6 +995,15 @@ func (c *Cluster) readmitWithCatchUp(ep *epoch, g *replicaGroup, n *clusterNode)
 		c.putPending(snapP)
 		return false
 	}
+	useDelta := n.version >= ProtoV4 && sib.version >= ProtoV4 &&
+		n.chain != 0 && sib.chain != 0 && !n.stats().forceFull.Load()
+	if useDelta {
+		snapP.kind = pkSnapshotSince
+		rejGen := uint64(n.liveCount - n.keyCount)
+		snapP.keys = append(snapP.keys[:0],
+			uint32(rejGen), uint32(rejGen>>32),
+			uint32(n.chain), uint32(n.chain>>32))
+	}
 	snapP.reqID = c.reqID.Add(1)
 	if !sib.enqueue(snapP) {
 		g.mu.Unlock()
@@ -952,11 +1023,24 @@ func (c *Cluster) readmitWithCatchUp(ep *epoch, g *replicaGroup, n *clusterNode)
 	snapKeys := append([]uint32(nil), p.keys...)
 	c.putPending(p)
 	if err != nil {
+		if useDelta {
+			n.stats().forceFull.Store(true)
+		}
 		c.failNode(ep, n, fmt.Errorf("netrun: catch-up snapshot for partition %d: %w", g.part, err))
 		return true
 	}
+	wasDelta := false
 	loadP := c.getPending()
-	loadP.kind = pkLoad
+	if useDelta {
+		if len(snapKeys) < snapDeltaHeader {
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent a truncated positioned snapshot (%d words)", g.part, sib.addr, len(snapKeys)))
+			return true
+		}
+		wasDelta = snapKeys[0] == snapKindDelta
+		loadP.kind = pkLoadAt
+	} else {
+		loadP.kind = pkLoad
+	}
 	loadP.keys = append(loadP.keys, snapKeys...)
 	loadP.done = make(chan *pending, 1)
 	loadP.reqID = c.reqID.Add(1)
@@ -970,9 +1054,16 @@ func (c *Cluster) readmitWithCatchUp(ep *epoch, g *replicaGroup, n *clusterNode)
 	err = p.err
 	c.putPending(p)
 	if err != nil {
+		if useDelta {
+			n.stats().forceFull.Store(true)
+		}
 		c.failNode(ep, n, fmt.Errorf("netrun: catch-up load for partition %d: %w", g.part, err))
 		return true
 	}
+	if wasDelta {
+		c.deltaCatchups.Add(1)
+	}
+	n.stats().forceFull.Store(false)
 	// Promote: flush the held writes onto the connection — they follow
 	// the load frame in the FIFO, so the reset cannot wipe them — and
 	// open the member to reads.
@@ -1065,6 +1156,10 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 			buf, encErr = n.bc.fw.encode(Frame{Op: OpSnapshot, ReqID: p.reqID})
 		case p.kind == pkLoad:
 			buf, encErr = n.bc.fw.encodeDeltaOp(OpLoad, p.reqID, p.keys)
+		case p.kind == pkSnapshotSince:
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpSnapshotSince, ReqID: p.reqID, Payload: p.keys})
+		case p.kind == pkLoadAt:
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpLoadAt, ReqID: p.reqID, Payload: p.keys})
 		case p.sorted && n.version >= ProtoV2:
 			buf, encErr = n.bc.fw.encodeDeltaOp(OpLookupSorted, p.reqID, p.keys)
 		default:
@@ -1203,13 +1298,22 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %d ranks for %d keys", n.g.part, n.addr, len(f.Payload), nKeys))
 			return
 		case OpInsertAck, OpLoadAck:
-			wantKind := pkInsert
-			if f.Op == OpLoadAck {
-				wantKind = pkLoad
-			}
 			n.mu.Lock()
 			p, ok := n.pending[f.ReqID]
-			if ok && p.kind == wantKind && len(f.Payload) == 1 && int(f.Payload[0]) == len(p.keys) {
+			kindOK, wantN := false, 0
+			if ok {
+				switch {
+				case f.Op == OpInsertAck && p.kind == pkInsert:
+					kindOK, wantN = true, len(p.keys)
+				case f.Op == OpLoadAck && p.kind == pkLoad:
+					kindOK, wantN = true, len(p.keys)
+				case f.Op == OpLoadAck && p.kind == pkLoadAt:
+					// The payload carries the 5 header words ahead of
+					// the keys; the node acks only the keys.
+					kindOK, wantN = true, len(p.keys)-snapDeltaHeader
+				}
+			}
+			if kindOK && len(f.Payload) == 1 && int(f.Payload[0]) == wantN {
 				delete(n.pending, f.ReqID)
 				if n.opTimeout > 0 {
 					if len(n.pending) == 0 {
@@ -1253,6 +1357,26 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			n.mu.Unlock()
 			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent unsolicited snapshot for reqID %d", n.g.part, n.addr, f.ReqID))
 			return
+		case OpSnapshotDelta:
+			n.mu.Lock()
+			p, ok := n.pending[f.ReqID]
+			if ok && p.kind == pkSnapshotSince && len(f.Payload) >= snapDeltaHeader {
+				delete(n.pending, f.ReqID)
+				if n.opTimeout > 0 {
+					if len(n.pending) == 0 {
+						n.conn.SetReadDeadline(time.Time{})
+					} else {
+						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
+					}
+				}
+				n.mu.Unlock()
+				p.keys = append(p.keys[:0], f.Payload...)
+				p.complete(nil)
+				continue
+			}
+			n.mu.Unlock()
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent unsolicited positioned snapshot for reqID %d", n.g.part, n.addr, f.ReqID))
+			return
 		case OpErr:
 			code := uint32(0)
 			if len(f.Payload) > 0 {
@@ -1265,7 +1389,7 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			// charge the failure to a healthy snapshot source and can
 			// cascade to epoch death.
 			n.mu.Lock()
-			if p, ok := n.pending[f.ReqID]; ok && (p.kind == pkSnapshot || p.kind == pkLoad) {
+			if p, ok := n.pending[f.ReqID]; ok && (p.kind == pkSnapshot || p.kind == pkLoad || p.kind == pkSnapshotSince || p.kind == pkLoadAt) {
 				delete(n.pending, f.ReqID)
 				if n.opTimeout > 0 {
 					if len(n.pending) == 0 {

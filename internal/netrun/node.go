@@ -24,6 +24,11 @@ import (
 type Node struct {
 	idx      index.Index
 	upd      *index.Updatable // non-nil: the updatable serving path
+	// dp is the durable write path (non-nil only for nodes built by
+	// NewDurablePartitionNode): inserts append to its WAL and the ack
+	// waits for the group fsync; the v4 positioned catch-up ops serve
+	// from and apply to it.
+	dp       *index.DurablePartition
 	rankBase int
 	lo, hi   workload.Key
 	// baseN is the key count at construction. The hello handshake
@@ -108,6 +113,35 @@ func NewPartitionNode(partKeys []workload.Key, rankBase int) *Node {
 	return n
 }
 
+// NewDurablePartitionNode is NewPartitionNode with crash durability:
+// the node recovers its state from dir (newest intact segment plus WAL
+// tail; partKeys only seed a fresh directory), inserts are fsynced
+// before they are acknowledged, and the hello advertises the node's
+// durable position so a rejoin can catch up from the insert tail
+// instead of a full snapshot. partKeys remains the node's baseline
+// identity — the partition it verifies as — regardless of how many
+// logged inserts the recovery replayed.
+func NewDurablePartitionNode(partKeys []workload.Key, rankBase int, dir string, opt index.StoreOptions) (*Node, error) {
+	if len(partKeys) == 0 {
+		return nil, errors.New("netrun: empty partition")
+	}
+	dp, err := index.OpenDurablePartition(dir, partKeys, func(keys []workload.Key) index.BatchRanker {
+		return index.NewSortedArray(keys, 0)
+	}, 0, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		dp:       dp,
+		upd:      dp.Upd,
+		rankBase: rankBase,
+		lo:       partKeys[0],
+		hi:       partKeys[len(partKeys)-1],
+		baseN:    len(partKeys),
+		conns:    map[net.Conn]struct{}{},
+	}, nil
+}
+
 // Serve accepts connections on lis until Close. It returns the listener
 // error that ended the accept loop (net.ErrClosed after Close). Only
 // one Serve may run at a time: a second concurrent call is refused
@@ -170,11 +204,29 @@ func (n *Node) Close() {
 	}
 	n.mu.Unlock()
 	n.wg.Wait()
+	if n.dp != nil {
+		// Close drains the compaction daemon and the store (quiescing
+		// the update layer on the way).
+		if err := n.dp.Close(); err != nil {
+			n.logf("netrun: close durable state: %v", err)
+		}
+		return
+	}
 	if n.upd != nil {
 		// Drain any background compaction so no goroutine outlives the
 		// node.
 		n.upd.Quiesce()
 	}
+}
+
+// Position reports a durable node's (generation, chain) position —
+// the logged insert count over the baseline and the order-sensitive
+// fold over those inserts. Zeros for a non-durable node.
+func (n *Node) Position() (gen, chain uint64) {
+	if n.dp == nil {
+		return 0, 0
+	}
+	return n.dp.Position()
 }
 
 // isServing reports whether an accept loop is currently running.
@@ -266,12 +318,21 @@ func (n *Node) handle(conn net.Conn) {
 			// key count: a fresh client seeds its rank-base correction
 			// counters from it (live minus baseline = inserts this
 			// node has absorbed), so ranks stay globally consistent
-			// against nodes written to by an earlier client.
+			// against nodes written to by an earlier client. On a
+			// v4-negotiated connection a durable node appends words 7-8
+			// with its chain; live count and chain are captured as one
+			// consistent position (generation = live - baseline).
 			if f.ReqID >= ProtoV2 && cap32 >= ProtoV2 {
 				v := min(f.ReqID, cap32)
 				payload = append(payload, v)
 				if v >= ProtoV3 && n.upd != nil {
-					payload = append(payload, uint32(n.upd.TotalKeys()))
+					if v >= ProtoV4 && n.dp != nil {
+						gen, chain := n.dp.Position()
+						payload = append(payload, uint32(n.baseN)+uint32(gen),
+							uint32(chain), uint32(chain>>32))
+					} else {
+						payload = append(payload, uint32(n.upd.TotalKeys()))
+					}
 				}
 			}
 			if !reply(Frame{Op: OpHelloAck, ReqID: f.ReqID, Payload: payload}) {
@@ -379,7 +440,20 @@ func (n *Node) handle(conn net.Conn) {
 			for i, k := range f.Payload {
 				keys[i] = workload.Key(k)
 			}
-			n.upd.InsertBatch(keys)
+			if n.dp != nil {
+				// The ack is a durability promise: log, apply, and wait
+				// for the group fsync. A log failure must never ack —
+				// refuse and drop the connection so the client fails
+				// this replica over instead of trusting a write the
+				// disk did not take.
+				if err := n.dp.InsertBatch(keys); err != nil {
+					n.logf("netrun: insert not durable: %v", err)
+					refuse(f)
+					return
+				}
+			} else {
+				n.upd.InsertBatch(keys)
+			}
 			if !reply(Frame{Op: OpInsertAck, ReqID: f.ReqID, Payload: []uint32{uint32(nq)}}) {
 				return
 			}
@@ -437,7 +511,98 @@ func (n *Node) handle(conn net.Conn) {
 			for i, k := range decoded {
 				fresh[i] = workload.Key(k)
 			}
-			n.upd.Reset(fresh)
+			if n.dp != nil {
+				// A legacy load carries no position: reconstruct the
+				// generation from the key count (every logged insert
+				// adds one key over the baseline) and mark the chain
+				// unknown — later delta catch-ups from this node degrade
+				// to full snapshots, but the store never diverges from
+				// the served state.
+				var gen uint64
+				if len(fresh) > n.baseN {
+					gen = uint64(len(fresh) - n.baseN)
+				}
+				if err := n.dp.ResetTo(fresh, gen, 0); err != nil {
+					n.logf("netrun: load reset: %v", err)
+					refuse(f)
+					return
+				}
+			} else {
+				n.upd.Reset(fresh)
+			}
+			if !reply(Frame{Op: OpLoadAck, ReqID: f.ReqID, Payload: []uint32{uint32(len(fresh))}}) {
+				return
+			}
+		case OpSnapshotSince:
+			if cap32 < ProtoV4 || n.dp == nil || len(f.Payload) != 4 {
+				refuse(f)
+				return
+			}
+			wantGen := uint64(f.Payload[0]) | uint64(f.Payload[1])<<32
+			wantChain := uint64(f.Payload[2]) | uint64(f.Payload[3])<<32
+			payload, ok := n.snapshotSince(wantGen, wantChain)
+			if !ok {
+				// Neither the delta nor the full set fits one frame.
+				// Refuse just this request (see the OpSnapshot comment).
+				n.logf("netrun: positioned catch-up from generation %d exceeds the frame limit; refused", wantGen)
+				if !reply(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}}) {
+					return
+				}
+				continue
+			}
+			if !reply(Frame{Op: OpSnapshotDelta, ReqID: f.ReqID, Payload: payload}) {
+				return
+			}
+		case OpLoadAt:
+			if cap32 < ProtoV4 || n.dp == nil || len(f.Payload) < snapDeltaHeader {
+				refuse(f)
+				return
+			}
+			kind := f.Payload[0]
+			gen := uint64(f.Payload[1]) | uint64(f.Payload[2])<<32
+			chain := uint64(f.Payload[3]) | uint64(f.Payload[4])<<32
+			words := f.Payload[snapDeltaHeader:]
+			fresh := make([]workload.Key, len(words))
+			for i, k := range words {
+				fresh[i] = workload.Key(k)
+			}
+			switch kind {
+			case snapKindDelta:
+				// Append-order insert tail: verified against the carried
+				// position before anything is logged. A mismatch means
+				// the histories diverged (e.g. this node durably logged
+				// writes its sibling never acked); refuse so the client
+				// retries with a full snapshot — never apply a delta
+				// that cannot prove continuity.
+				if err := n.dp.InsertDelta(fresh, gen, chain); err != nil {
+					n.logf("netrun: delta load refused: %v", err)
+					if errors.Is(err, index.ErrCatchUpMismatch) {
+						// The node's own state is untouched; keep serving.
+						if !reply(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}}) {
+							return
+						}
+						continue
+					}
+					refuse(f)
+					return
+				}
+			case snapKindFull:
+				for i := 1; i < len(fresh); i++ {
+					if fresh[i] < fresh[i-1] {
+						n.logf("netrun: full load payload not sorted")
+						refuse(f)
+						return
+					}
+				}
+				if err := n.dp.ResetTo(fresh, gen, chain); err != nil {
+					n.logf("netrun: positioned load reset: %v", err)
+					refuse(f)
+					return
+				}
+			default:
+				refuse(f)
+				return
+			}
 			if !reply(Frame{Op: OpLoadAck, ReqID: f.ReqID, Payload: []uint32{uint32(len(fresh))}}) {
 				return
 			}
@@ -446,6 +611,39 @@ func (n *Node) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// snapshotSince builds an OpSnapshotDelta payload answering a catch-up
+// from (gen, chain): the logged insert tail when the store can prove
+// continuity from that position, the full current key set otherwise.
+// ok=false when neither fits a frame.
+func (n *Node) snapshotSince(gen, chain uint64) (payload []uint32, ok bool) {
+	if chain != 0 {
+		if tail, curGen, curChain, ok := n.dp.DeltaSince(gen, chain); ok {
+			if len(tail)+snapDeltaHeader <= MaxFrameWords {
+				return appendSnapPayload(snapKindDelta, curGen, curChain, tail), true
+			}
+			// An oversized delta nearly always means an oversized full
+			// set too, but fall through and let the full-path check
+			// decide.
+		}
+	}
+	snap, curGen, curChain := n.dp.Snapshot()
+	if len(snap)+snapDeltaHeader > MaxFrameWords {
+		return nil, false
+	}
+	return appendSnapPayload(snapKindFull, curGen, curChain, snap), true
+}
+
+func appendSnapPayload(kind uint32, gen, chain uint64, keys []workload.Key) []uint32 {
+	payload := make([]uint32, snapDeltaHeader, snapDeltaHeader+len(keys))
+	payload[0] = kind
+	payload[1], payload[2] = uint32(gen), uint32(gen>>32)
+	payload[3], payload[4] = uint32(chain), uint32(chain>>32)
+	for _, k := range keys {
+		payload = append(payload, uint32(k))
+	}
+	return payload
 }
 
 // batchRanker is the optional fast path an index can offer: batch rank

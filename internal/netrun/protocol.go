@@ -32,6 +32,24 @@
 // replica rejoining a group that has absorbed writes is first loaded
 // from a healthy sibling's snapshot, then readmitted.
 //
+// Protocol v4 adds durable-node catch-up. A node backed by a
+// write-ahead log carries a (generation, chain) position: the
+// generation counts every key it logged since its baseline and the
+// chain is an order-sensitive fold over them, so two replicas hold the
+// same insert history iff their positions match. OpSnapshotSince asks a
+// sibling for the insert tail after a rejoiner's position (payload:
+// four words, generation then chain, low word first); the sibling
+// answers OpSnapshotDelta whose payload is [kind, gen(2 words),
+// chain(2 words), keys...] — kind 0 is a delta (keys in append order),
+// kind 1 a full snapshot (sorted keys), which the sibling falls back to
+// when it compacted past the requested generation, the chains diverge,
+// or the delta cannot fit a frame. OpLoadAt pushes the same payload
+// shape at the rejoiner: a delta is verified against the advertised
+// position before anything is applied (a mismatch is refused with
+// OpErr — the histories diverged and only a full snapshot reconciles),
+// a full load replaces the node's state at the carried position. Both
+// are acknowledged by OpLoadAck counting the applied keys.
+//
 // Version negotiation rides the hello exchange, so mixed-version
 // clusters interoperate frame-for-frame:
 //
@@ -50,14 +68,21 @@
 //     count the node has absorbed, which a freshly dialing client
 //     seeds its rank-base correction counters from — ranks stay
 //     globally consistent against nodes a previous client wrote to.
+//   - On a v4-negotiated connection a DURABLE node appends words 7-8:
+//     its chain (low word first). An 8-word ack therefore identifies a
+//     durable peer (generation = live minus baseline), and the client
+//     prefers the delta catch-up on rejoin when both ends advertise
+//     one; a 6-word v4 ack is an updatable-but-not-durable node, served
+//     by the v3 full-snapshot flow.
 //
 // The full negotiation table (rows: node's highest version; columns:
 // client's; cells: negotiated version = the ops that may flow):
 //
-//	          client v1   client v2   client v3
-//	node v1       1           1           1      lookups only
-//	node v2       1           2           2      + delta-coded sorted runs
-//	node v3       1           2           3      + inserts, snapshot/load
+//	          client v1   client v2   client v3   client v4
+//	node v1       1           1           1           1      lookups only
+//	node v2       1           2           2           2      + delta-coded sorted runs
+//	node v3       1           2           3           3      + inserts, snapshot/load
+//	node v4       1           2           3           4      + positioned catch-up
 //
 // Writes only ever flow on v3-negotiated connections: v1/v2 nodes
 // simply never receive OpInsert (the client skips them during write
@@ -95,8 +120,9 @@ const (
 	ProtoV1 = 1
 	ProtoV2 = 2
 	ProtoV3 = 3
+	ProtoV4 = 4
 
-	ProtoVersion = ProtoV3
+	ProtoVersion = ProtoV4
 )
 
 // Op codes.
@@ -141,6 +167,29 @@ const (
 	// OpLoadAck (v3) acknowledges a load; payload[0] is the loaded key
 	// count.
 	OpLoadAck uint8 = 13
+	// OpSnapshotSince (v4) asks a durable node for the insert tail after
+	// a position: payload is 4 words, generation then chain, low word
+	// first. Answered by OpSnapshotDelta.
+	OpSnapshotSince uint8 = 14
+	// OpSnapshotDelta (v4) is the positioned-catch-up payload: [kind,
+	// gen(2), chain(2), keys...]. kind 0 = delta tail in append order,
+	// kind 1 = full sorted snapshot; gen/chain are the position the
+	// payload advances its consumer to.
+	OpSnapshotDelta uint8 = 15
+	// OpLoadAt (v4) pushes an OpSnapshotDelta-shaped payload at a
+	// durable node; acknowledged by OpLoadAck with the applied key
+	// count, or refused with OpErr when a delta does not reproduce the
+	// carried position (divergent histories).
+	OpLoadAt uint8 = 16
+)
+
+// OpSnapshotDelta/OpLoadAt payload layout: a 5-word header — kind,
+// generation (2 words, low first), chain (2 words, low first) — then
+// the keys.
+const (
+	snapDeltaHeader = 5
+	snapKindDelta   = 0 // keys are the insert tail, append order
+	snapKindFull    = 1 // keys are the full sorted set
 )
 
 // byteOp reports whether op's count field is a byte length (delta-coded
