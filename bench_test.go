@@ -250,7 +250,80 @@ func BenchmarkReal_RankBatch(b *testing.B) { benchRealInto(b, dcindex.LayoutSort
 // pipeline switches to one-sweep routing + streaming merge kernels.
 func BenchmarkReal_RankBatchSorted(b *testing.B) { benchRealInto(b, dcindex.LayoutSortedArray, true) }
 
-func BenchmarkReal_RankBatch_Eytzinger(b *testing.B) { benchRealInto(b, dcindex.LayoutEytzinger, false) }
+func BenchmarkReal_RankBatch_Eytzinger(b *testing.B) {
+	benchRealInto(b, dcindex.LayoutEytzinger, false)
+}
+
+// BenchmarkReal_CountRange is the v5 query-surface acceptance row:
+// ~2^19 range counts per op, built by pairing up the sorted query
+// stream into ascending disjoint ranges — the direct analog of
+// BenchmarkReal_RankBatchSorted's pre-sorted input. A count decomposes
+// into (lo-1, hi) endpoint ranks whose stream is then itself ascending,
+// so the batch rides the sorted one-search-per-delimiter dispatch with
+// no radix pass, and ns/endpoint must stay within 2x the sorted-rank
+// ns/key of BenchmarkReal_RankBatchSorted (benchcheck compares the
+// recorded rows). Unsorted range batches buy into the same path via
+// one pooled radix sort, mirroring the RankBatch/RankBatchSorted gap.
+func BenchmarkReal_CountRange(b *testing.B) {
+	keys := dcindex.GenerateKeys(327680, 1)
+	qs := dcindex.GenerateQueries(1<<20, 2)
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	ranges := make([]dcindex.KeyRange, 0, len(qs)/2)
+	endpoints := 0
+	for i := 0; i+1 < len(qs); i += 2 {
+		lo, hi := qs[i], qs[i+1]
+		if n := len(ranges); n > 0 && lo <= ranges[n-1].Hi {
+			continue // keep ranges strictly disjoint so the endpoint stream stays ascending
+		}
+		ranges = append(ranges, dcindex.KeyRange{Lo: lo, Hi: hi})
+		endpoints += 2
+		if lo == 0 {
+			endpoints--
+		}
+	}
+	idx, err := dcindex.Open(keys, dcindex.Options{Method: dcindex.MethodC3, Workers: 8, BatchKeys: 16384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	out := make([]int, len(ranges))
+	if err := idx.CountRangeBatch(ranges, out); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(endpoints * workload.KeyBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.CountRangeBatch(ranges, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(endpoints), "ns/endpoint")
+}
+
+// BenchmarkReal_TopK pulls the 16K largest keys per op — one partition
+// head-run merge across all workers; ns/key is per returned key.
+func BenchmarkReal_TopK(b *testing.B) {
+	keys := dcindex.GenerateKeys(327680, 1)
+	idx, err := dcindex.Open(keys, dcindex.Options{Method: dcindex.MethodC3, Workers: 8, BatchKeys: 16384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	const k = 16384
+	buf, err := idx.TopK(k, nil) // warm the pools
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(k * workload.KeyBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = idx.TopK(k, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/key")
+}
 
 // BenchmarkReal_MixedReadWrite is the online-update serving row: Method
 // C-3 at the paper's index size under a ~89/11 read/write mix — every

@@ -53,6 +53,15 @@
 // the log (batching concurrent acks into one fsync), a positive value
 // additionally spaces syncs at least that far apart, and a negative
 // value disables fsync entirely (acks stop implying crash durability).
+//
+// Updatable nodes also serve the protocol-v5 query ops — range counts,
+// ordered range scans, top-k, and key multiplicities — against their
+// live partition (dcq -op count|scan|topk|multiget drives them).
+// -max-version caps the negotiated protocol version: -max-version 4
+// emulates a pre-v5 node byte-for-byte, which a v5 client keeps using
+// for rank lookups and writes but excludes from the v5 query ops — the
+// mixed-version rollout the negotiation table in
+// internal/netrun/protocol.go pins.
 package main
 
 import (
@@ -79,8 +88,14 @@ func main() {
 		readonly = flag.Bool("readonly", false, "serve lookups only (protocol v2): never accept inserts or snapshot loads")
 		walDir   = flag.String("wal-dir", "", "durable mode: per-partition WAL + segment directory (created if missing); acked inserts survive crashes")
 		fsyncInt = flag.Duration("fsync-interval", 0, "with -wal-dir: minimum spacing between WAL fsyncs (0 = every group commit, negative = never fsync)")
+		maxVer   = flag.Uint("max-version", 0, "cap the negotiated protocol version (0 = newest); e.g. 4 emulates a pre-v5 node for mixed-version rollouts and interop tests")
 	)
 	flag.Parse()
+
+	if *maxVer > uint(netrun.ProtoVersion) {
+		fmt.Fprintf(os.Stderr, "dcnode: -max-version %d exceeds the newest protocol this build speaks (v%d)\n", *maxVer, netrun.ProtoVersion)
+		os.Exit(2)
+	}
 
 	if *part < 0 || *part >= *parts {
 		fmt.Fprintf(os.Stderr, "dcnode: -part %d out of range [0,%d)\n", *part, *parts)
@@ -102,12 +117,15 @@ func main() {
 		log.Fatalf("dcnode: %v", err)
 	}
 	mine := p.Parts[*part]
-	mode := "updatable (v3)"
+	mode := "updatable (v5)"
 	switch {
 	case *readonly:
 		mode = "read-only (v2)"
 	case *walDir != "":
-		mode = "durable (v4)"
+		mode = "durable (v5, WAL)"
+	}
+	if *maxVer > 0 {
+		mode += fmt.Sprintf(", capped at v%d", *maxVer)
 	}
 	log.Printf("dcnode: partition %d/%d: %d keys, rank base %d, %s",
 		*part, *parts, len(mine.Keys), mine.RankBase, mode)
@@ -127,6 +145,7 @@ func main() {
 		node = netrun.NewPartitionNode(mine.Keys, mine.RankBase)
 	}
 	node.ReadOnly = *readonly
+	node.MaxVersion = uint32(*maxVer)
 	if err := netrun.ListenAndServeNode(*listen, node); err != nil {
 		log.Fatalf("dcnode: %v", err)
 	}

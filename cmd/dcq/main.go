@@ -8,8 +8,16 @@
 //
 // Usage:
 //
-//	go run ./cmd/dcq [-method C-3] [-n 327680] [-q 1000000] [-workers 8] [-batch 16384] [-compare] [-sorted] [-insert-rate 0.05]
-//	go run ./cmd/dcq -connect host:7000,host:7001,... [-masters 4] [-optimeout 10s] [-insert-rate 0.05]
+//	go run ./cmd/dcq [-method C-3] [-op rank] [-n 327680] [-q 1000000] [-workers 8] [-batch 16384] [-compare] [-sorted] [-insert-rate 0.05]
+//	go run ./cmd/dcq -connect host:7000,host:7001,... [-op rank] [-masters 4] [-optimeout 10s] [-insert-rate 0.05]
+//
+// -op selects the query operation: rank (the default), count (range
+// counts via CountRangeBatch), scan (ordered range scans), topk, or
+// multiget (key multiplicities). Every op derives its inputs
+// deterministically from the -seed query stream, so -compare holds for
+// all of them: identical checksums prove every method — and the TCP
+// cluster, which serves the same ops over protocol v5 — computes
+// identical results. -insert-rate applies to -op rank only.
 //
 // -insert-rate R runs a mixed read/write workload: for every read
 // batch, R*batch freshly generated keys are inserted into the running
@@ -47,6 +55,7 @@ import (
 func main() {
 	var (
 		methodName = flag.String("method", "C-3", "method: A, B, C-1, C-2, C-3")
+		opName     = flag.String("op", "rank", "query op: rank, count, scan, topk, multiget")
 		n          = flag.Int("n", 327680, "index key count (ignored with -keysfile)")
 		q          = flag.Int("q", 1_000_000, "query count")
 		workers    = flag.Int("workers", 8, "worker goroutines")
@@ -83,26 +92,37 @@ func main() {
 		sort.Slice(queries, func(i, j int) bool { return queries[i] < queries[j] })
 	}
 
+	switch *opName {
+	case "rank", "count", "scan", "topk", "multiget":
+	default:
+		fmt.Fprintf(os.Stderr, "dcq: unknown op %q (want rank, count, scan, topk, multiget)\n", *opName)
+		os.Exit(2)
+	}
+	if *opName != "rank" && *insertRate > 0 {
+		fmt.Fprintln(os.Stderr, "dcq: -insert-rate applies to -op rank only; ignoring it")
+		*insertRate = 0
+	}
+
 	if *connect != "" {
-		runTCP(strings.Split(*connect, ","), keys, queries, *batch, *masters, *replicas, *optimeout, *insertRate, *seed)
+		runTCP(strings.Split(*connect, ","), keys, queries, *opName, *batch, *masters, *replicas, *optimeout, *insertRate, *seed)
 		return
 	}
 
 	if *compare {
-		t := tab.NewTable("method", "wall time", "Mkeys/s", "checksum")
+		t := tab.NewTable("method", "wall time", "Mops/s", "checksum")
 		for _, m := range dcindex.Methods() {
-			el, sum, ins := run(keys, queries, m, *workers, *batch, *insertRate, *seed)
+			el, sum, units := run(keys, queries, m, *opName, *workers, *batch, *insertRate, *seed)
 			t.Row(m.String(), el.Round(time.Millisecond).String(),
-				fmt.Sprintf("%.1f", float64(*q+ins)/el.Seconds()/1e6),
+				fmt.Sprintf("%.1f", float64(units)/el.Seconds()/1e6),
 				fmt.Sprintf("%08x", sum))
 		}
-		fmt.Printf("real runtime, %d keys, %d queries, %d workers, batch %d", len(keys), *q, *workers, *batch)
+		fmt.Printf("real runtime, op %s, %d keys, %d queries, %d workers, batch %d", *opName, len(keys), *q, *workers, *batch)
 		if *insertRate > 0 {
 			fmt.Printf(", insert rate %.3f", *insertRate)
 		}
 		fmt.Print("\n\n")
 		fmt.Print(t)
-		fmt.Println("\nIdentical checksums confirm all methods return identical ranks.")
+		fmt.Printf("\nIdentical checksums confirm all methods return identical %s results.\n", *opName)
 		return
 	}
 
@@ -111,21 +131,133 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dcq: unknown method %q (want A, B, C-1, C-2, C-3)\n", *methodName)
 		os.Exit(2)
 	}
-	el, sum, ins := run(keys, queries, m, *workers, *batch, *insertRate, *seed)
-	fmt.Printf("method %s: %d queries (+%d inserts) over %d keys in %s (%.1f Mkeys/s), checksum %08x\n",
-		m, *q, ins, len(keys), el.Round(time.Millisecond), float64(*q+ins)/el.Seconds()/1e6, sum)
+	el, sum, units := run(keys, queries, m, *opName, *workers, *batch, *insertRate, *seed)
+	fmt.Printf("method %s, op %s: %d result units over %d keys in %s (%.1f Mops/s), checksum %08x\n",
+		m, *opName, units, len(keys), el.Round(time.Millisecond), float64(units)/el.Seconds()/1e6, sum)
 }
 
-// run drives one method over the query stream. With insertRate > 0 the
-// stream interleaves writes: before each read batch, rate*batch fresh
-// keys (deterministic per seed) are inserted into the running index.
-func run(keys, queries []dcindex.Key, m dcindex.Method, workers, batch int, insertRate float64, seed uint64) (time.Duration, uint32, int) {
+// queryEngine is the op surface shared by the in-process Index and the
+// TCP cluster client: the same dcq workload drives either.
+type queryEngine interface {
+	CountRangeBatch(ranges []dcindex.KeyRange, out []int) error
+	ScanRange(lo, hi dcindex.Key, limit int, buf []dcindex.Key) ([]dcindex.Key, error)
+	TopK(k int, buf []dcindex.Key) ([]dcindex.Key, error)
+	MultiGetInto(keys []dcindex.Key, out []int) error
+}
+
+// runOps replays the query stream as op inputs — count and scan read
+// range endpoints from consecutive query pairs, topk derives k from the
+// stream, multiget uses the queries as lookup keys — and returns the
+// result-unit count and a rolling checksum. Deterministic per stream,
+// so checksums compare across methods and transports.
+func runOps(eng queryEngine, op string, queries []dcindex.Key, batch int) (int, uint32, error) {
+	var sum uint32
+	units := 0
+	switch op {
+	case "count":
+		ranges := make([]dcindex.KeyRange, 0, batch)
+		counts := make([]int, batch)
+		flush := func() error {
+			if len(ranges) == 0 {
+				return nil
+			}
+			if err := eng.CountRangeBatch(ranges, counts[:len(ranges)]); err != nil {
+				return err
+			}
+			for _, n := range counts[:len(ranges)] {
+				sum = sum*31 + uint32(n)
+			}
+			units += len(ranges)
+			ranges = ranges[:0]
+			return nil
+		}
+		for i := 0; i+1 < len(queries); i += 2 {
+			lo, hi := queries[i], queries[i+1]
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			ranges = append(ranges, dcindex.KeyRange{Lo: lo, Hi: hi})
+			if len(ranges) == batch {
+				if err := flush(); err != nil {
+					return units, sum, err
+				}
+			}
+		}
+		return units, sum, flush()
+	case "scan":
+		// One bounded scan per batch of stream positions: endpoints from
+		// a query pair, at most batch keys back.
+		var buf []dcindex.Key
+		for off := 0; off+1 < len(queries); off += batch {
+			lo, hi := queries[off], queries[off+1]
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			got, err := eng.ScanRange(lo, hi, batch, buf[:0])
+			if err != nil {
+				return units, sum, err
+			}
+			buf = got
+			for _, k := range got {
+				sum = sum*31 + uint32(k)
+			}
+			units += len(got)
+		}
+		return units, sum, nil
+	case "topk":
+		var buf []dcindex.Key
+		for off := 0; off < len(queries); off += batch {
+			k := 1 + int(queries[off]%1024)
+			got, err := eng.TopK(k, buf[:0])
+			if err != nil {
+				return units, sum, err
+			}
+			buf = got
+			for _, key := range got {
+				sum = sum*31 + uint32(key)
+			}
+			units += len(got)
+		}
+		return units, sum, nil
+	case "multiget":
+		out := make([]int, batch)
+		for off := 0; off < len(queries); off += batch {
+			end := min(off+batch, len(queries))
+			if err := eng.MultiGetInto(queries[off:end], out[:end-off]); err != nil {
+				return units, sum, err
+			}
+			for _, n := range out[:end-off] {
+				sum = sum*31 + uint32(n)
+			}
+			units += end - off
+		}
+		return units, sum, nil
+	}
+	return 0, 0, fmt.Errorf("unknown op %q", op)
+}
+
+// run drives one method over the query stream, returning elapsed time,
+// checksum, and the result-unit count (for rank: queries + inserts).
+// With insertRate > 0 the rank stream interleaves writes: before each
+// read batch, rate*batch fresh keys (deterministic per seed) are
+// inserted into the running index.
+func run(keys, queries []dcindex.Key, m dcindex.Method, op string, workers, batch int, insertRate float64, seed uint64) (time.Duration, uint32, int) {
 	idx, err := dcindex.Open(keys, dcindex.Options{Method: m, Workers: workers, BatchKeys: batch})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcq:", err)
 		os.Exit(1)
 	}
 	defer idx.Close()
+	if op != "rank" {
+		start := time.Now()
+		units, sum, err := runOps(idx, op, queries, batch)
+		el := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcq:", err)
+			os.Exit(1)
+		}
+		return el, sum, units
+	}
 	if insertRate <= 0 {
 		start := time.Now()
 		ranks, err := idx.RankBatch(queries)
@@ -134,7 +266,7 @@ func run(keys, queries []dcindex.Key, m dcindex.Method, workers, batch int, inse
 			fmt.Fprintln(os.Stderr, "dcq:", err)
 			os.Exit(1)
 		}
-		return el, checksum(ranks), 0
+		return el, checksum(ranks), len(queries)
 	}
 	out := make([]int, len(queries))
 	// One deterministic insert pool per seed: every method in a
@@ -161,7 +293,7 @@ func run(keys, queries []dcindex.Key, m dcindex.Method, workers, batch int, inse
 	st := idx.UpdateStats()
 	fmt.Fprintf(os.Stderr, "dcq: %s update stats: %d keys inserted, %d merges, %d rebalances, index now %d keys\n",
 		m, st.InsertedKeys, st.Merges, st.Rebalances, idx.N())
-	return el, checksum(out), inserted
+	return el, checksum(out), len(queries) + inserted
 }
 
 // runTCP drives a dcnode cluster: masters concurrent callers split the
@@ -171,7 +303,7 @@ func run(keys, queries []dcindex.Key, m dcindex.Method, workers, batch int, inse
 // every replica of the owning partition). Replicated partitions fail
 // over and load-spread automatically; any failover that occurred is
 // summarized from Cluster.Health after the run.
-func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters, replicas int, opTimeout time.Duration, insertRate float64, seed uint64) {
+func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, masters, replicas int, opTimeout time.Duration, insertRate float64, seed uint64) {
 	if masters < 1 {
 		masters = 1
 	}
@@ -185,6 +317,42 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters, replica
 		os.Exit(1)
 	}
 	defer c.Close()
+
+	if op != "rank" {
+		units := make([]int, masters)
+		sums := make([]uint32, masters)
+		errs := make([]error, masters)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for m := 0; m < masters; m++ {
+			lo := m * len(queries) / masters
+			hi := (m + 1) * len(queries) / masters
+			wg.Add(1)
+			go func(m, lo, hi int) {
+				defer wg.Done()
+				units[m], sums[m], errs[m] = runOps(c, op, queries[lo:hi], batch)
+			}(m, lo, hi)
+		}
+		wg.Wait()
+		el := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dcq:", err)
+				os.Exit(1)
+			}
+		}
+		total, sum := 0, uint32(0)
+		for m := range units {
+			total += units[m]
+			// XOR combines the per-master checksums order-independently,
+			// so the result is stable for a given -masters split.
+			sum ^= sums[m]
+		}
+		fmt.Printf("TCP cluster (%d partitions, %d masters), op %s: %d result units in %s (%.1f Mops/s), checksum %08x\n",
+			c.Nodes(), masters, op, total, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e6, sum)
+		printHealth(c)
+		return
+	}
 
 	out := make([]int, len(queries))
 	errs := make([]error, masters)
@@ -240,7 +408,12 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters, replica
 	fmt.Printf("TCP cluster (%d partitions, %d masters): %d queries (+%d inserts) in %s (%.1f Mkeys/s), checksum %08x\n",
 		c.Nodes(), masters, len(queries), inserted, el.Round(time.Millisecond),
 		float64(len(queries)+inserted)/el.Seconds()/1e6, checksum(out))
+	printHealth(c)
+}
 
+// printHealth summarizes per-replica liveness after a TCP run, but only
+// when a failover actually occurred.
+func printHealth(c *dcindex.TCPCluster) {
 	health := c.Health()
 	degraded := false
 	for _, h := range health {
@@ -256,8 +429,8 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, batch, masters, replica
 			if !h.Healthy {
 				state = "DOWN"
 			}
-			fmt.Printf("  partition %d  %-21s  %-7s  dispatched %d, failures %d, rejoins %d\n",
-				h.Partition, h.Addr, state, h.Dispatched, h.Failures, h.Rejoins)
+			fmt.Printf("  partition %d  %-21s  %-7s  proto v%d, dispatched %d, failures %d, rejoins %d\n",
+				h.Partition, h.Addr, state, h.Proto, h.Dispatched, h.Failures, h.Rejoins)
 		}
 	}
 }

@@ -38,7 +38,11 @@
 //     per-partition deltas, background merges compact them, and a
 //     rebalance re-derives the partition delimiters when inserts skew
 //     a partition past its cache budget (see the README's "Online
-//     updates").
+//     updates"). Beyond ranks, the same op-tagged batch pipeline
+//     answers range counts, ordered range scans, top-k, and key
+//     multiplicities — CountRange/CountRangeBatch, ScanRange, TopK,
+//     MultiGet — exact against the live index (see the README's
+//     "Query surface").
 //   - The simulator (Simulate, Sweep): a trace-driven cache/network/
 //     cluster simulation parameterized by the paper's measured Pentium
 //     III constants (Table 2), which reproduces the paper's Figure 3 and
@@ -267,6 +271,44 @@ func (ix *Index) InsertBatch(keys []Key) error { return ix.c.InsertBatch(keys) }
 // background merges completed, rebalances installed.
 func (ix *Index) UpdateStats() core.UpdateStats { return ix.c.UpdateStats() }
 
+// KeyRange is an inclusive key interval [Lo, Hi] for CountRangeBatch.
+type KeyRange = core.KeyRange
+
+// CountRange returns the number of indexed keys in [lo, hi] inclusive
+// (0 if hi < lo). Range endpoints ride the sorted-batch rank pipeline —
+// one boundary search per partition delimiter, not one routing step per
+// endpoint — so a count costs about two sorted rank lookups. Exact at
+// quiescence; a consistent point-in-time answer under concurrent
+// inserts.
+func (ix *Index) CountRange(lo, hi Key) (int, error) { return ix.c.CountRange(lo, hi) }
+
+// CountRangeBatch answers many range counts in one dispatch: out[i]
+// receives the key count of ranges[i] (len(out) >= len(ranges)).
+func (ix *Index) CountRangeBatch(ranges []KeyRange, out []int) error {
+	return ix.c.CountRangeBatch(ranges, out)
+}
+
+// ScanRange returns the indexed keys in [lo, hi] in ascending order,
+// at most limit of them (limit < 0 means unlimited), appended to buf.
+// Partitions stream their sub-ranges in partition order, which is key
+// order, so the concatenation needs no merge.
+func (ix *Index) ScanRange(lo, hi Key, limit int, buf []Key) ([]Key, error) {
+	return ix.c.ScanRange(lo, hi, limit, buf)
+}
+
+// TopK returns the k largest indexed keys in descending order,
+// appended to buf.
+func (ix *Index) TopK(k int, buf []Key) ([]Key, error) { return ix.c.TopK(k, buf) }
+
+// MultiGet returns the multiplicity of each query key — how many
+// copies the index holds — in query order. A multiplicity is exactly
+// CountRange(k, k), answered partition-locally.
+func (ix *Index) MultiGet(keys []Key) ([]int, error) { return ix.c.MultiGet(keys) }
+
+// MultiGetInto is MultiGet writing into a caller-provided slice
+// (len(out) >= len(keys)).
+func (ix *Index) MultiGetInto(keys []Key, out []int) error { return ix.c.MultiGetInto(keys, out) }
+
 // Owner returns the worker (slave) that owns key k's sub-range: the
 // routing decision a master makes, answered from the cluster's own
 // routing table. For replicated methods every worker owns every key,
@@ -409,6 +451,16 @@ func Sweep(o SimOptions, batchBytes ...int) ([]Report, error) {
 // so it cannot serve stale ranks. See the netrun package documentation
 // for the protocol and the single-writer assumption behind exact
 // global ranks.
+//
+// Beyond ranks, a TCPCluster serves the same query surface as an
+// in-process Index — CountRange/CountRangeBatch, ScanRange, TopK, and
+// MultiGet/MultiGetInto — over protocol v5. Each op scatters to the
+// partitions whose key sub-ranges it touches and composes per-replica
+// answers in partition (= key) order; a replica that dies mid-op has
+// its pending requests re-dispatched to a sibling, so results are
+// identical through a failover. Pre-v5 nodes are excluded from the new
+// ops only (they fail with a descriptive availability error), never
+// from rank lookups.
 type TCPCluster = netrun.Cluster
 
 // TCPOptions configures DialClusterOptions: batch granularity, the

@@ -135,12 +135,43 @@ func (c RealConfig) validate() error {
 	return nil
 }
 
+// batchOp tags a realBatch with the operation the worker executes.
+// One op-generic pipeline — pooled batches, per-call gather channels,
+// epoch-pinned routing — serves every query shape; adding an op is a
+// dispatch-table entry, not a new pipeline.
+type batchOp uint8
+
+const (
+	// opRank resolves keys to global ranks (the paper's one query).
+	opRank batchOp = iota
+	// opCount is opRank for range endpoints: batches carry the hi and
+	// lo-1 keys of inclusive ranges and the worker ranks them exactly
+	// like opRank — count(lo,hi) = rank(hi) - rank(lo-1) composes
+	// client-side. The tag exists so the dispatcher can always sort
+	// endpoint batches (one delimiter search per boundary) regardless
+	// of the SortedBatches setting.
+	opCount
+	// opScan returns the partition's keys in [keys[0], keys[1]],
+	// ascending, at most limit of them, in outKeys.
+	opScan
+	// opTopK returns the partition's limit largest keys, descending,
+	// in outKeys.
+	opTopK
+	// opMultiGet resolves each key to its multiplicity (indexed copies
+	// of exactly that key). Multiplicities are partition-local — every
+	// copy of a key routes to one partition — so no rank base applies.
+	opMultiGet
+	// opInsert applies keys to the partition's delta buffer.
+	opInsert
+)
+
 // realBatch is one message on the channel interconnect. Batches are
-// pooled per cluster: the dispatcher checks one out, fills keys (and pos
-// for scattered batches), the worker fills ranks, and the gatherer
-// returns it to the pool after copying the ranks out — steady state
-// allocates nothing.
+// pooled per cluster: the dispatcher checks one out, tags the op, fills
+// keys (and pos for scattered batches), the worker fills ranks or
+// outKeys, and the gatherer returns it to the pool after copying the
+// results out — steady state allocates nothing.
 type realBatch struct {
+	op   batchOp
 	keys []workload.Key
 	// pos[i] is keys[i]'s position in the caller's query slice. A nil
 	// pos means the batch is a contiguous run starting at posBase (the
@@ -148,15 +179,20 @@ type realBatch struct {
 	// without a scatter.
 	pos     []int32
 	posBase int
-	// ranks is the worker's reply, global ranks (rank base folded in).
+	// ranks is the worker's reply for the int-valued ops: global ranks
+	// (rank base folded in) for opRank/opCount, multiplicities for
+	// opMultiGet.
 	ranks []int
+	// limit bounds a scan's result count (negative: unbounded) and is
+	// the k of a top-k batch.
+	limit int
+	// outKeys is the worker's reply for the key-run ops (opScan
+	// ascending, opTopK descending). Owned by the batch and recycled.
+	outKeys []workload.Key
 	// lp is the partition (or replica) state the batch is answered
 	// against: set at dispatch from the pinned epoch, so a batch routed
 	// before a rebalance is answered by the epoch that routed it.
 	lp *livePart
-	// insert marks the batch as a write: keys are applied to lp's delta
-	// buffer instead of ranked.
-	insert bool
 	// seq is the durable watermark for a logged insert batch (the WAL
 	// generation after its record); 0 for in-memory-only inserts.
 	seq uint64
@@ -269,6 +305,11 @@ type callState struct {
 	ends []int64
 	// sort is the pooled radix-sort scratch for SortedBatches callers.
 	sort RadixScratch
+	// qbuf/rbuf are the range ops' endpoint and endpoint-rank scratch
+	// (CountRangeBatch builds its rank queries here before handing them
+	// to rankDispatch).
+	qbuf []workload.Key
+	rbuf []int
 }
 
 // NewCluster builds the index (replicated or partitioned per the
@@ -395,12 +436,15 @@ func (c *Cluster) Partitioning() *Partitioning {
 }
 
 // processBatch executes one batch against the partition state it was
-// routed with: inserts land in the delta buffer, reads compute global
-// ranks into b.ranks with the rank base — static plus the preceding
-// partitions' insert counters — folded into the single write per key.
+// routed with, switching on the op tag: inserts land in the delta
+// buffer, scans and top-k fill outKeys from a pinned snapshot, and the
+// rank-shaped ops compute into b.ranks with the rank base — static plus
+// the preceding partitions' insert counters — folded into the single
+// write per key.
 func (c *Cluster) processBatch(b *realBatch) {
 	lp := b.lp
-	if b.insert {
+	switch b.op {
+	case opInsert:
 		if b.seq != 0 {
 			lp.upd.InsertBatchAt(b.keys, b.seq)
 		} else {
@@ -412,6 +456,14 @@ func (c *Cluster) processBatch(b *realBatch) {
 		c.maybeRebalance(lp)
 		b.ranks = b.ranks[:0]
 		return
+	case opScan:
+		b.outKeys = lp.upd.ScanRange(b.keys[0], b.keys[1], b.limit, b.outKeys[:0])
+		b.ranks = b.ranks[:0]
+		return
+	case opTopK:
+		b.outKeys = lp.upd.TopK(b.limit, b.outKeys[:0])
+		b.ranks = b.ranks[:0]
+		return
 	}
 	n := len(b.keys)
 	if cap(b.ranks) < n {
@@ -419,6 +471,10 @@ func (c *Cluster) processBatch(b *realBatch) {
 	}
 	out := b.ranks[:n]
 	b.ranks = out
+	if b.op == opMultiGet {
+		lp.upd.CountKeys(b.keys, out)
+		return
+	}
 	add := lp.rankBase
 	if lp.ep != nil {
 		add += lp.ep.insertedBefore(lp.slot)
@@ -451,12 +507,14 @@ func (c *Cluster) getBatch(reply chan *realBatch) *realBatch {
 	default:
 		b = c.batches.Get().(*realBatch)
 	}
+	b.op = opRank
 	b.keys = b.keys[:0]
 	b.pos = b.pos[:0]
 	b.posBase = 0
+	b.limit = 0
+	b.outKeys = b.outKeys[:0]
 	b.sorted = false
 	b.alias = false
-	b.insert = false
 	b.seq = 0
 	b.lp = nil
 	b.reply = reply
@@ -513,20 +571,41 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 	if len(queries) == 0 {
 		return nil
 	}
+	cs := c.getCall()
+	defer c.putCall(cs)
+	c.rankDispatch(cs, queries, out, c.cfg.SortedBatches, opRank)
+	return nil
+}
 
-	var cs *callState
+// getCall checks a pooled per-call dispatch state out.
+func (c *Cluster) getCall() *callState {
 	select {
-	case cs = <-c.freeCalls:
+	case cs := <-c.freeCalls:
+		return cs
 	default:
-		cs = c.calls.Get().(*callState)
+		return c.calls.Get().(*callState)
 	}
-	defer func() {
-		select {
-		case c.freeCalls <- cs:
-		default:
-			c.calls.Put(cs)
-		}
-	}()
+}
+
+// putCall recycles a call's dispatch state.
+func (c *Cluster) putCall(cs *callState) {
+	select {
+	case c.freeCalls <- cs:
+	default:
+		c.calls.Put(cs)
+	}
+}
+
+// rankDispatch routes the int-valued ops (opRank, opCount, opMultiGet):
+// it batches queries, dispatches them over the interconnect, and
+// scatters the workers' results into out in query order. sortUnsorted
+// opts an unsorted batch into the radix-sort + one-search-per-delimiter
+// path (always on for opCount and opMultiGet callers; SortedBatches for
+// plain ranks). The caller holds c.mu shared and owns cs.
+func (c *Cluster) rankDispatch(cs *callState, queries []workload.Key, out []int, sortUnsorted bool, op batchOp) {
+	if len(queries) == 0 {
+		return
+	}
 	bk := c.cfg.BatchKeys
 	// Worst-case batches in flight: one full batch per BatchKeys run
 	// plus one final partial flush per worker. Steady state this is a
@@ -572,7 +651,7 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 	runKeys := queries
 	var runPos []int32 // nil: run positions == run indices (aliases queries)
 	sorted := SortedRun(queries)
-	if !sorted && c.cfg.SortedBatches {
+	if !sorted && sortUnsorted {
 		runKeys, runPos = cs.sort.SortByKey(queries)
 		sorted = true
 	}
@@ -595,6 +674,7 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		// permutation.
 		ForEachSortedRun(ep.part.delims, runKeys, bk, func(s, start, end int) {
 			b := c.getBatch(cs.reply)
+			b.op = op
 			b.keys = runKeys[start:end]
 			b.posBase = start
 			b.sorted = true
@@ -615,6 +695,7 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 			b := cs.accum[s]
 			if b == nil {
 				b = c.getBatch(cs.reply)
+				b.op = op
 				b.lp = ep.lps[s]
 				cs.accum[s] = b
 			}
@@ -644,6 +725,7 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		for start := 0; start < len(runKeys); start += bk {
 			end := min(start+bk, len(runKeys))
 			b := c.getBatch(cs.reply)
+			b.op = op
 			b.keys = runKeys[start:end]
 			b.posBase = start
 			b.sorted = sorted
@@ -662,7 +744,6 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 	for pending > 0 {
 		gather(<-cs.reply)
 	}
-	return nil
 }
 
 // nextWorker advances the round-robin cursor. The cursor is 64-bit so

@@ -187,19 +187,8 @@ func (c *Cluster) InsertBatch(keys []workload.Key) error {
 	c.insertMu.RLock()
 	defer c.insertMu.RUnlock()
 
-	var cs *callState
-	select {
-	case cs = <-c.freeCalls:
-	default:
-		cs = c.calls.Get().(*callState)
-	}
-	defer func() {
-		select {
-		case c.freeCalls <- cs:
-		default:
-			c.calls.Put(cs)
-		}
-	}()
+	cs := c.getCall()
+	defer c.putCall(cs)
 	bk := c.cfg.BatchKeys
 	// Worst-case in-flight batches: the distributed methods split the
 	// keys across partitions (one partial flush each); the replicated
@@ -274,7 +263,7 @@ func (c *Cluster) InsertBatch(keys []workload.Key) error {
 			b := cs.accum[s]
 			if b == nil {
 				b = c.getBatch(cs.reply)
-				b.insert = true
+				b.op = opInsert
 				b.lp = ep.lps[s]
 				cs.accum[s] = b
 			}
@@ -342,7 +331,7 @@ func (c *Cluster) InsertBatch(keys []workload.Key) error {
 			}
 			for w := 0; w < c.cfg.Workers; w++ {
 				b := c.getBatch(cs.reply)
-				b.insert = true
+				b.op = opInsert
 				b.lp = c.repl[w]
 				b.seq = gen
 				b.keys = append(b.keys, chunk...)

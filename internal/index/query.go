@@ -1,0 +1,207 @@
+package index
+
+import "repro/internal/workload"
+
+// This file is the query surface beyond exact rank: selection (the
+// inverse of Rank), forward scans, range counts, top-k tails, and
+// per-key multiplicities. Everything here reduces to positions in
+// sorted key runs, so the static half operates on SortedArray and the
+// updatable half operates on the raw sorted slices of a pinned
+// (base, delta, frozen) snapshot — which is what makes the ops exact
+// for every method and layout (trees, buffered plans, Eytzinger):
+// the Updatable always retains its base's sorted keys alongside
+// whatever ranker was built over them.
+
+// lowerBound is the number of keys < k, by binary search — the
+// counterpart of upperBound (keys <= k). CountRange and the
+// multiplicity kernel are differences of the two.
+func lowerBound(keys []workload.Key, k workload.Key) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// countRange counts keys in the inclusive range [lo, hi] of a sorted
+// run: upperBound(hi) - lowerBound(lo), 0 for an inverted range.
+func countRange(keys []workload.Key, lo, hi workload.Key) int {
+	if hi < lo {
+		return 0
+	}
+	return upperBound(keys, hi) - lowerBound(keys, lo)
+}
+
+// Select returns the key at sorted position rank (0-based) — the
+// inverse of Rank: for any key k, Select(Rank(k)-1) <= k when
+// Rank(k) > 0. The second result is false when rank is out of range.
+func (a *SortedArray) Select(rank int) (workload.Key, bool) {
+	if rank < 0 || rank >= len(a.keys) {
+		return 0, false
+	}
+	return a.keys[rank], true
+}
+
+// CountRange returns the number of keys in the inclusive range
+// [lo, hi]: two binary searches, no materialization.
+func (a *SortedArray) CountRange(lo, hi workload.Key) int {
+	return countRange(a.keys, lo, hi)
+}
+
+// Cursor is a forward iterator over a sorted key run: the scan half of
+// the query surface. A Cursor holds a view into an immutable published
+// array, so it stays valid (and consistent) however long the caller
+// iterates.
+type Cursor struct {
+	keys []workload.Key
+	i    int
+}
+
+// Next returns the next key in ascending order; ok is false when the
+// cursor is exhausted.
+func (c *Cursor) Next() (k workload.Key, ok bool) {
+	if c.i >= len(c.keys) {
+		return 0, false
+	}
+	k = c.keys[c.i]
+	c.i++
+	return k, true
+}
+
+// Remaining returns how many keys the cursor has left.
+func (c *Cursor) Remaining() int { return len(c.keys) - c.i }
+
+// ScanFrom returns a cursor positioned at sorted position rank,
+// yielding at most limit keys (limit < 0 means no limit). Rank is
+// clamped into [0, n].
+func (a *SortedArray) ScanFrom(rank, limit int) Cursor {
+	n := len(a.keys)
+	if rank < 0 {
+		rank = 0
+	}
+	if rank > n {
+		rank = n
+	}
+	end := n
+	if limit >= 0 && rank+limit < n {
+		end = rank + limit
+	}
+	return Cursor{keys: a.keys[rank:end]}
+}
+
+// CountRange returns the number of buffered keys in [lo, hi].
+func (d *Delta) CountRange(lo, hi workload.Key) int {
+	return countRange(d.keys, lo, hi)
+}
+
+// layers captures the up-to-three sorted runs of a pinned snapshot.
+// frozen may be nil; the helpers below treat it as empty.
+func (u *Updatable) layers() (base, delta, frozen []workload.Key) {
+	s, d, f := u.pin()
+	base, delta = s.keys, d.keys
+	if f != nil {
+		frozen = f.keys
+	}
+	return
+}
+
+// CountRange returns the number of indexed keys in the inclusive range
+// [lo, hi]: the sum of the three layers' counts over one pinned
+// snapshot, exact under concurrent inserts and merges.
+func (u *Updatable) CountRange(lo, hi workload.Key) int {
+	if !u.dirty.Load() {
+		return countRange(u.base.Load().keys, lo, hi)
+	}
+	base, delta, frozen := u.layers()
+	return countRange(base, lo, hi) + countRange(delta, lo, hi) + countRange(frozen, lo, hi)
+}
+
+// CountKeys writes each query key's multiplicity (how many indexed
+// copies of exactly that key exist) into out[i]. The queries need not
+// be sorted. This is the MultiGet kernel: a multiplicity is
+// upperBound - lowerBound summed across the pinned layers, so it is
+// exact for every base structure without touching the ranker.
+func (u *Updatable) CountKeys(qs []workload.Key, out []int) {
+	base, delta, frozen := u.layers()
+	for i, q := range qs {
+		n := upperBound(base, q) - lowerBound(base, q)
+		if len(delta) > 0 {
+			n += upperBound(delta, q) - lowerBound(delta, q)
+		}
+		if len(frozen) > 0 {
+			n += upperBound(frozen, q) - lowerBound(frozen, q)
+		}
+		out[i] = n
+	}
+}
+
+// ScanRange appends the indexed keys in [lo, hi], ascending, to out —
+// at most max of them (max < 0 means no limit) — and returns the
+// extended slice. The scan pins one (base, delta, frozen) snapshot and
+// three-way-merges the layers' sub-ranges, so a concurrent insert or
+// epoch swap never tears the result: the caller sees exactly the keys
+// of one consistent instant.
+func (u *Updatable) ScanRange(lo, hi workload.Key, max int, out []workload.Key) []workload.Key {
+	if hi < lo || max == 0 {
+		return out
+	}
+	base, delta, frozen := u.layers()
+	a := base[lowerBound(base, lo):upperBound(base, hi)]
+	b := delta[lowerBound(delta, lo):upperBound(delta, hi)]
+	c := frozen[lowerBound(frozen, lo):upperBound(frozen, hi)]
+	total := len(a) + len(b) + len(c)
+	if max < 0 || max > total {
+		max = total
+	}
+	for n := 0; n < max; n++ {
+		// Pick the smallest head of the three runs. Two compares per
+		// key; the buffers are tiny next to the base, so the common
+		// case is a straight copy of the base run.
+		switch {
+		case len(a) > 0 && (len(b) == 0 || a[0] <= b[0]) && (len(c) == 0 || a[0] <= c[0]):
+			out = append(out, a[0])
+			a = a[1:]
+		case len(b) > 0 && (len(c) == 0 || b[0] <= c[0]):
+			out = append(out, b[0])
+			b = b[1:]
+		default:
+			out = append(out, c[0])
+			c = c[1:]
+		}
+	}
+	return out
+}
+
+// TopK appends the k largest indexed keys, descending, to out and
+// returns the extended slice (fewer than k when the structure holds
+// fewer keys). Like ScanRange it merges one pinned snapshot — here
+// from the tails of the three runs backward.
+func (u *Updatable) TopK(k int, out []workload.Key) []workload.Key {
+	if k <= 0 {
+		return out
+	}
+	a, b, c := u.layers()
+	if total := len(a) + len(b) + len(c); k > total {
+		k = total
+	}
+	for n := 0; n < k; n++ {
+		la, lb, lc := len(a), len(b), len(c)
+		switch {
+		case la > 0 && (lb == 0 || a[la-1] >= b[lb-1]) && (lc == 0 || a[la-1] >= c[lc-1]):
+			out = append(out, a[la-1])
+			a = a[:la-1]
+		case lb > 0 && (lc == 0 || b[lb-1] >= c[lc-1]):
+			out = append(out, b[lb-1])
+			b = b[:lb-1]
+		default:
+			out = append(out, c[lc-1])
+			c = c[:lc-1]
+		}
+	}
+	return out
+}

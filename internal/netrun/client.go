@@ -66,6 +66,10 @@ type Cluster struct {
 	groups [][]string // replica addresses, one slice per partition
 	batch  int
 	opt    DialOptions
+	// helloVer is the protocol version this client advertises:
+	// ProtoVersion, capped by DialOptions.MaxVersion. Every connection
+	// negotiates min(helloVer, node version).
+	helloVer uint32
 
 	calls sync.Pool // *netCall
 	pends sync.Pool // *pending
@@ -159,16 +163,18 @@ type replicaStats struct {
 }
 
 // pickFor returns a healthy member eligible for p, round-robin.
-// Eligibility: catching-up members take no traffic (their state is
-// mid-load); snapshot requests need a v3 peer; and once this client has
-// written to the partition, pre-v3 members are excluded from lookups —
-// they never receive writes, so they can no longer prove they hold the
-// full key set. The second result distinguishes "group empty"
-// (nil, true — the epoch is failing, wait for the root cause) from
-// "members exist but none can serve p" (nil, false — fail the request
-// with a clear error, the epoch is fine).
+// Eligibility is a per-kind minimum protocol version (see
+// minVersionFor): catching-up members take no traffic (their state is
+// mid-load); snapshot requests need a v3 peer; the v5 query ops need a
+// v5 peer; and once this client has written to the partition, pre-v3
+// members are excluded from lookups — they never receive writes, so
+// they can no longer prove they hold the full key set. The second
+// result distinguishes "group empty" (nil, true — the epoch is
+// failing, wait for the root cause) from "members exist but none can
+// serve p" (nil, false — fail the request with a clear error, the
+// epoch is fine).
 func (g *replicaGroup) pickFor(c *Cluster, p *pending) (n *clusterNode, empty bool) {
-	needV3 := p.kind == pkSnapshot || c.ins[g.part].Load() > 0
+	minV := c.minVersionFor(g, p)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if len(g.members) == 0 {
@@ -177,7 +183,7 @@ func (g *replicaGroup) pickFor(c *Cluster, p *pending) (n *clusterNode, empty bo
 	for range g.members {
 		g.cursor++
 		m := g.members[g.cursor%len(g.members)]
-		if m.catchingUp || (needV3 && m.version < ProtoV3) {
+		if m.catchingUp || m.version < minV {
 			continue
 		}
 		return m, false
@@ -191,7 +197,8 @@ func (g *replicaGroup) pickFor(c *Cluster, p *pending) (n *clusterNode, empty bo
 // partition whose last writable replica died stays read-unavailable
 // (and may have lost acked writes) until a protocol-v3 replica rejoins
 // and catches up.
-func (g *replicaGroup) describeIneligible(c *Cluster) string {
+func (g *replicaGroup) describeIneligible(c *Cluster, p *pending) string {
+	minV := c.minVersionFor(g, p)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	syncing := 0
@@ -201,8 +208,10 @@ func (g *replicaGroup) describeIneligible(c *Cluster) string {
 		}
 	}
 	switch {
+	case minV >= ProtoV5 && syncing == 0:
+		return "no protocol-v5 replica is available for the range/scan/top-k/multiget ops (rank lookups still work; upgrade the partition's nodes or cap the client with MaxVersion)"
 	case syncing > 0:
-		return "its only protocol-v3 replica is still syncing a sibling snapshot (momentary; retry)"
+		return "its only eligible replica is still syncing a sibling snapshot (momentary; retry)"
 	case c.ins[g.part].Load() > 0:
 		return "it absorbed writes and then lost its last writable protocol-v3 replica; the remaining pre-v3 replicas are stale, and acked writes may be lost until a v3 replica rejoins and catches up"
 	default:
@@ -238,6 +247,10 @@ type ReplicaHealth struct {
 	// receives writes (via its hold queue) but serves no reads until
 	// the sibling snapshot load completes.
 	Syncing bool
+	// Proto is the protocol version this replica's live connection
+	// negotiated (0 while the replica is down). Mid-rollout it tells an
+	// operator which replicas can serve the v5 query ops.
+	Proto uint32
 	// Dispatched counts lookup frames handed to this replica.
 	Dispatched uint64
 	// Failures counts times the replica was dropped from its group.
@@ -356,7 +369,43 @@ const (
 	// pkLoadAt (v4) pushes an OpSnapshotDelta-shaped payload (5 header
 	// words + keys) at one specific member; same semantics as pkLoad.
 	pkLoadAt
+	// pkCount (v5) carries range endpoint pairs in keys; the OpCounts
+	// reply overwrites keys with the per-range counts and the issuing
+	// call sums them across partitions via pos (a range can span
+	// several). Fails over like a lookup — the request words survive
+	// until a reply lands.
+	pkCount
+	// pkScan (v5) carries [lo, hi, limit] in keys; the OpKeysDelta
+	// reply overwrites keys with the partition's ascending key run.
+	// Fails over like a lookup.
+	pkScan
+	// pkTopK (v5) carries [k] in keys; the OpKeysDelta reply overwrites
+	// keys with the partition's top-k run, ascending on the wire. Fails
+	// over like a lookup.
+	pkTopK
+	// pkMultiGet (v5) carries an ascending key run; the OpCounts reply
+	// scatters each key's multiplicity straight into out via pos/
+	// posBase (a key's multiplicity is partition-local, so exactly one
+	// pending writes each slot). Fails over like a lookup.
+	pkMultiGet
 )
+
+// minVersionFor is the protocol version a member must have negotiated
+// to serve p: the v5 query ops need a v5 peer, snapshots (and every
+// read against a written-to partition) need v3, plain lookups ride any
+// version.
+func (c *Cluster) minVersionFor(g *replicaGroup, p *pending) uint32 {
+	switch p.kind {
+	case pkCount, pkScan, pkTopK, pkMultiGet:
+		return ProtoV5
+	case pkSnapshot:
+		return ProtoV3
+	}
+	if c.ins[g.part].Load() > 0 {
+		return ProtoV3
+	}
+	return ProtoV1
+}
 
 // pending is one request frame's lifecycle: the caller accumulates keys
 // and positions into it, the send loop writes and registers it, the
@@ -456,6 +505,14 @@ type DialOptions struct {
 	// delta-coded frames. Ascending batches are always auto-detected
 	// and take the sorted path regardless of this flag.
 	SortedBatches bool
+	// MaxVersion caps the protocol version this client advertises in
+	// the hello exchange; 0 means ProtoVersion (the highest this build
+	// speaks). Capping below ProtoV5 emulates an older client
+	// byte-for-byte — connections then negotiate at most this version,
+	// and the v5 query ops (CountRange/ScanRange/TopK/MultiGet) fail
+	// with a descriptive error while rank lookups keep working.
+	// Interop tests and operators staging a rollout use it.
+	MaxVersion uint32
 }
 
 // GroupAddrs expands a dial address list into one replica address set
@@ -540,7 +597,10 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{part: part, groups: groups, batch: opt.BatchKeys, opt: opt}
+	c := &Cluster{part: part, groups: groups, batch: opt.BatchKeys, opt: opt, helloVer: ProtoVersion}
+	if opt.MaxVersion > 0 && opt.MaxVersion < ProtoVersion {
+		c.helloVer = opt.MaxVersion
+	}
 	nParts := len(part.Parts)
 	c.ins = make([]atomic.Int64, nParts)
 	c.calls.New = func() any { return &netCall{accum: make([]*pending, nParts)} }
@@ -661,7 +721,7 @@ func (c *Cluster) dialNode(g *replicaGroup, slot int, abort <-chan struct{}) (*c
 		pending:   map[uint32]*pending{},
 	}
 	n.cond = sync.NewCond(&n.mu)
-	if err := hello(n, c.part.Parts[g.part], c.opt.Timeout); err != nil {
+	if err := hello(n, c.part.Parts[g.part], c.opt.Timeout, c.helloVer); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("netrun: partition %d replica %s: %w", g.part, addr, err)
 	}
@@ -676,13 +736,14 @@ func closeEpochNodes(ep *epoch) {
 	}
 }
 
-func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
+func hello(n *clusterNode, want core.Partition, timeout time.Duration, ver uint32) error {
 	n.conn.SetDeadline(time.Now().Add(timeout))
 	defer n.conn.SetDeadline(time.Time{})
-	// The reqID field of the hello advertises our protocol version; a
-	// v1 node ignores it and acks 4 words, a v2 node acks 5 with the
-	// negotiated version appended (see the package doc).
-	if err := n.bc.writeFrame(Frame{Op: OpHello, ReqID: ProtoVersion}); err != nil {
+	// The reqID field of the hello advertises our protocol version
+	// (ProtoVersion, or the DialOptions.MaxVersion cap); a v1 node
+	// ignores it and acks 4 words, a v2 node acks 5 with the negotiated
+	// version appended (see the package doc).
+	if err := n.bc.writeFrame(Frame{Op: OpHello, ReqID: ver}); err != nil {
 		return err
 	}
 	if err := n.bc.w.Flush(); err != nil {
@@ -698,7 +759,7 @@ func hello(n *clusterNode, want core.Partition, timeout time.Duration) error {
 	n.version = ProtoV1
 	if len(f.Payload) >= 5 {
 		v := f.Payload[4]
-		if v < ProtoV1 || v > ProtoVersion {
+		if v < ProtoV1 || v > ver {
 			return fmt.Errorf("node negotiated unsupported protocol version %d", v)
 		}
 		n.version = v
@@ -1160,6 +1221,14 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 			buf, encErr = n.bc.fw.encode(Frame{Op: OpSnapshotSince, ReqID: p.reqID, Payload: p.keys})
 		case p.kind == pkLoadAt:
 			buf, encErr = n.bc.fw.encode(Frame{Op: OpLoadAt, ReqID: p.reqID, Payload: p.keys})
+		case p.kind == pkCount:
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpCountRange, ReqID: p.reqID, Payload: p.keys})
+		case p.kind == pkScan:
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpScanRange, ReqID: p.reqID, Payload: p.keys})
+		case p.kind == pkTopK:
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpTopK, ReqID: p.reqID, Payload: p.keys})
+		case p.kind == pkMultiGet:
+			buf, encErr = n.bc.fw.encodeDeltaOp(OpMultiGet, p.reqID, p.keys)
 		case p.sorted && n.version >= ProtoV2:
 			buf, encErr = n.bc.fw.encodeDeltaOp(OpLookupSorted, p.reqID, p.keys)
 		default:
@@ -1377,19 +1446,27 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			n.mu.Unlock()
 			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent unsolicited positioned snapshot for reqID %d", n.g.part, n.addr, f.ReqID))
 			return
-		case OpErr:
-			code := uint32(0)
-			if len(f.Payload) > 0 {
-				code = f.Payload[0]
+		case OpCounts:
+			// Reply to OpCountRange (per-range counts) or OpMultiGet
+			// (per-key multiplicities), demuxed by the pending's kind.
+			vals, derr := decodeVarRun(f.Raw, rankScratch)
+			if derr != nil {
+				c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %w", n.g.part, n.addr, derr))
+				return
 			}
-			// An OpErr answering a catch-up request (snapshot/load) is
-			// a refusal of that operation only — e.g. a snapshot too
-			// large for one frame — from a node that keeps serving.
-			// Fail just the catch-up; killing the connection would
-			// charge the failure to a healthy snapshot source and can
-			// cascade to epoch death.
+			rankScratch = vals
 			n.mu.Lock()
-			if p, ok := n.pending[f.ReqID]; ok && (p.kind == pkSnapshot || p.kind == pkLoad || p.kind == pkSnapshotSince || p.kind == pkLoadAt) {
+			p, ok := n.pending[f.ReqID]
+			wantN := -1
+			if ok {
+				switch p.kind {
+				case pkCount:
+					wantN = len(p.keys) / 2
+				case pkMultiGet:
+					wantN = len(p.keys)
+				}
+			}
+			if ok && len(vals) == wantN {
 				delete(n.pending, f.ReqID)
 				if n.opTimeout > 0 {
 					if len(n.pending) == 0 {
@@ -1399,8 +1476,89 @@ func (n *clusterNode) readLoop(ep *epoch) {
 					}
 				}
 				n.mu.Unlock()
-				p.complete(fmt.Errorf("netrun: partition %d replica %s refused catch-up op %d", n.g.part, n.addr, code))
+				if p.kind == pkCount {
+					// Ranges can span partitions, so concurrent read loops
+					// must not add into shared output slots; stage the
+					// counts and let the single caller sum via p.pos.
+					p.keys = append(p.keys[:0], vals...)
+				} else if p.contig {
+					base := p.posBase
+					for i, v := range vals {
+						p.out[base+i] = int(v)
+					}
+				} else {
+					for i, pos := range p.pos {
+						p.out[pos] = int(vals[i])
+					}
+				}
+				p.complete(nil)
 				continue
+			}
+			n.mu.Unlock()
+			if !ok {
+				c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent unknown reqID %d (corrupt or stale stream)", n.g.part, n.addr, f.ReqID))
+				return
+			}
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %d counts, want %d", n.g.part, n.addr, len(vals), wantN))
+			return
+		case OpKeysDelta:
+			// Reply to OpScanRange or OpTopK: an ascending key run. The
+			// request words stay in p.keys until the reply lands (so a
+			// failover re-encodes them); overwrite them with the result,
+			// OpSnapshotData-style.
+			vals, derr := decodeDeltaRun(f.Raw, rankScratch)
+			if derr != nil {
+				c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s: %w", n.g.part, n.addr, derr))
+				return
+			}
+			rankScratch = vals
+			n.mu.Lock()
+			p, ok := n.pending[f.ReqID]
+			if ok && (p.kind == pkScan || p.kind == pkTopK) {
+				delete(n.pending, f.ReqID)
+				if n.opTimeout > 0 {
+					if len(n.pending) == 0 {
+						n.conn.SetReadDeadline(time.Time{})
+					} else {
+						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
+					}
+				}
+				n.mu.Unlock()
+				p.keys = append(p.keys[:0], vals...)
+				p.complete(nil)
+				continue
+			}
+			n.mu.Unlock()
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent unsolicited key run for reqID %d", n.g.part, n.addr, f.ReqID))
+			return
+		case OpErr:
+			code := uint32(0)
+			if len(f.Payload) > 0 {
+				code = f.Payload[0]
+			}
+			// An OpErr answering a catch-up request (snapshot/load) or a
+			// v5 query op is a refusal of that operation only — e.g. a
+			// snapshot or scan result too large for one frame — from a
+			// node that keeps serving. Fail just the request; killing the
+			// connection would charge the failure to a healthy node and
+			// can cascade to epoch death, and failing over an oversized
+			// scan to a sibling would only be refused identically.
+			n.mu.Lock()
+			if p, ok := n.pending[f.ReqID]; ok {
+				switch p.kind {
+				case pkSnapshot, pkLoad, pkSnapshotSince, pkLoadAt, pkCount, pkScan, pkTopK, pkMultiGet:
+					delete(n.pending, f.ReqID)
+					if n.opTimeout > 0 {
+						if len(n.pending) == 0 {
+							n.conn.SetReadDeadline(time.Time{})
+						} else {
+							n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
+						}
+					}
+					n.mu.Unlock()
+					p.complete(fmt.Errorf("netrun: partition %d replica %s refused the request (op %d)", n.g.part, n.addr, code))
+					continue
+				}
 			}
 			n.mu.Unlock()
 			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s reported error %d", n.g.part, n.addr, code))
@@ -1458,7 +1616,7 @@ func (c *Cluster) route(ep *epoch, g *replicaGroup, p *pending) {
 		n, empty := g.pickFor(c, p)
 		if n == nil {
 			if !empty {
-				p.complete(fmt.Errorf("netrun: partition %d cannot serve the request: %s", g.part, g.describeIneligible(c)))
+				p.complete(fmt.Errorf("netrun: partition %d cannot serve the request: %s", g.part, g.describeIneligible(c, p)))
 				return
 			}
 			<-ep.failed
@@ -1757,10 +1915,12 @@ func (c *Cluster) Health() []ReplicaHealth {
 	for _, g := range ep.groups {
 		alive := make([]bool, len(g.addrs))
 		syncing := make([]bool, len(g.addrs))
+		proto := make([]uint32, len(g.addrs))
 		g.mu.Lock()
 		for _, m := range g.members {
 			alive[m.slot] = true
 			syncing[m.slot] = m.catchingUp
+			proto[m.slot] = m.version
 		}
 		g.mu.Unlock()
 		for slot, addr := range g.addrs {
@@ -1770,6 +1930,7 @@ func (c *Cluster) Health() []ReplicaHealth {
 				Addr:       addr,
 				Healthy:    alive[slot],
 				Syncing:    syncing[slot],
+				Proto:      proto[slot],
 				Dispatched: s.dispatched.Load(),
 				Failures:   s.failures.Load(),
 				Rejoins:    s.rejoins.Load(),

@@ -16,7 +16,12 @@ import (
 // key outbound and ~1 byte per rank inbound versus fixed 4-byte words,
 // on top of which the decoder's pass is strictly sequential.
 //
-// Hostile input rules (mirrored by FuzzDeltaPayload):
+// Protocol v5 adds a second, non-delta codec over the same varint
+// primitive (appendVarRun/decodeVarRun) for payloads whose values are
+// small but not monotone — the OpCounts replies.
+//
+// Hostile input rules (mirrored by FuzzDeltaPayload and
+// FuzzVarRunPayload):
 //   - a varint may span at most 5 bytes and must fit in 32 bits;
 //   - the element count is validated against the remaining payload
 //     length before any allocation (every element takes >= 1 byte), so
@@ -96,6 +101,51 @@ func deltaRunCount(payload []byte) (count, hdr int, err error) {
 		return 0, 0, fmt.Errorf("netrun: delta count %d exceeds payload (%d bytes left): forged frame", c, len(payload)-n)
 	}
 	return int(c), n, nil
+}
+
+// appendVarRun appends the v5 plain-varint encoding of vals to dst:
+// varint(count) followed by each value as its own varint, with no
+// delta accumulation. It is the payload of OpCounts — per-range key
+// counts and per-key multiplicities are small but not monotone, so the
+// delta codec's ascending-run precondition does not hold, while the
+// values themselves still compress well (a multiplicity is almost
+// always 0 or 1, one byte against a fixed four).
+func appendVarRun(dst []byte, vals []uint32) []byte {
+	dst = appendUvarint32(dst, uint32(len(vals)))
+	for _, v := range vals {
+		dst = appendUvarint32(dst, v)
+	}
+	return dst
+}
+
+// decodeVarRun decodes a v5 plain-varint payload into out (grown as
+// needed). The hostile-input rules match decodeDeltaRun exactly —
+// count validated against the remaining bytes before any allocation,
+// per-varint 5-byte/32-bit bounds, exact consumption — minus the
+// monotonicity that plain values do not promise. Fuzzed by
+// FuzzVarRunPayload.
+func decodeVarRun(payload []byte, out []uint32) ([]uint32, error) {
+	count, hdr, err := deltaRunCount(payload)
+	if err != nil {
+		return nil, err
+	}
+	if cap(out) < count {
+		out = make([]uint32, count)
+	}
+	out = out[:count]
+	pos := hdr
+	for i := 0; i < count; i++ {
+		v, n := uvarint32(payload[pos:])
+		if n == 0 {
+			return nil, errDeltaTruncated
+		}
+		pos += n
+		out[i] = v
+	}
+	if pos != len(payload) {
+		return nil, errDeltaTrailing
+	}
+	return out, nil
 }
 
 // decodeDeltaRun decodes a full v2 payload into out (grown as needed,

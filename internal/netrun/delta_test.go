@@ -147,6 +147,83 @@ func FuzzDeltaPayload(f *testing.F) {
 	})
 }
 
+func TestVarRunRoundTrip(t *testing.T) {
+	f := func(vals []uint32) bool {
+		enc := appendVarRun(nil, vals)
+		dec, err := decodeVarRun(enc, nil)
+		if err != nil || len(dec) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Non-monotone values are the codec's reason to exist: counts jump
+	// both directions.
+	enc := appendVarRun(nil, []uint32{5, 0, 0xFFFFFFFF, 1, 5})
+	dec, err := decodeVarRun(enc, nil)
+	if err != nil || len(dec) != 5 || dec[2] != 0xFFFFFFFF || dec[4] != 5 {
+		t.Fatalf("non-monotone round trip: %v %v", dec, err)
+	}
+}
+
+func TestDecodeVarRunTruncations(t *testing.T) {
+	enc := appendVarRun(nil, []uint32{10, 0, 300000, 7, 0xFFFFFFFF})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := decodeVarRun(enc[:cut], nil); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := decodeVarRun(append(append([]byte(nil), enc...), 0x00), nil); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDecodeVarRunHostileCount(t *testing.T) {
+	payload := appendUvarint32(nil, 0xFFFFFFFF) // claims 4G elements
+	payload = append(payload, 1, 2, 3)
+	if _, err := decodeVarRun(payload, nil); err == nil || !strings.Contains(err.Error(), "forged") {
+		t.Fatalf("err = %v, want forged-frame rejection", err)
+	}
+}
+
+// FuzzVarRunPayload drives the v5 plain-varint decoder with arbitrary
+// bytes: no panic, allocation bounded by the count guard, and every
+// successful decode must re-encode/re-decode to the same values.
+func FuzzVarRunPayload(f *testing.F) {
+	f.Add(appendVarRun(nil, []uint32{1, 0, 3, 100000, 0xFFFFFFFF}))
+	f.Add(appendVarRun(nil, []uint32{}))
+	f.Add(appendVarRun(nil, []uint32{0, 0, 0, 0}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F})       // hostile count
+	f.Add([]byte{0x02, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // out-of-range varint
+	f.Add(bytes.Repeat([]byte{0x80}, 64))             // unterminated varints
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		vals, err := decodeVarRun(payload, nil)
+		if err != nil {
+			return
+		}
+		if len(vals) > len(payload) {
+			t.Fatalf("%d elements out of %d bytes", len(vals), len(payload))
+		}
+		enc := appendVarRun(nil, vals)
+		back, err := decodeVarRun(enc, nil)
+		if err != nil || len(back) != len(vals) {
+			t.Fatalf("re-decode: %v (%d vals)", err, len(back))
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				t.Fatalf("round trip diverged at %d", i)
+			}
+		}
+	})
+}
+
 // FuzzFrameReader feeds arbitrary byte streams to the frame decoder
 // (header + v1 word payloads + v2 byte payloads): no panic, no
 // unbounded allocation.

@@ -288,7 +288,7 @@ func TestTCPInsertRefusedWithoutV3(t *testing.T) {
 			t.Fatal(err)
 		}
 		node := NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
-		node.protoCap = ProtoV2
+		node.MaxVersion = ProtoV2
 		nodes = append(nodes, node)
 		addrs = append(addrs, lis.Addr().String())
 		go node.Serve(lis)

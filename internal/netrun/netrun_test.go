@@ -553,6 +553,35 @@ func BenchmarkTCPClusterLookupBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkTCPClusterScanStream is the v5 scan-streaming row: each op
+// scans the full key range (unlimited), so every partition streams its
+// whole sub-range back as one delta-coded OpKeysDelta frame and the
+// client concatenates the runs in partition order. Bytes/op counts the
+// keys returned.
+func BenchmarkTCPClusterScanStream(b *testing.B) {
+	c, shutdown := benchCluster(b, 16384, 0)
+	defer shutdown()
+
+	keys := workload.SortedKeys(327680, 1)
+	lo, hi := keys[0], keys[len(keys)-1]
+	buf, err := c.ScanRange(lo, hi, -1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(buf) != len(keys) {
+		b.Fatalf("scan returned %d keys, want %d", len(buf), len(keys))
+	}
+	b.SetBytes(int64(len(keys) * workload.KeyBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = c.ScanRange(lo, hi, -1, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Concurrent vs Serialized pairs: 4 masters multiplexing over one
 // shared connection set, against the same 4 callers forced through one
 // big lock (what the old single-mutex client did to every caller). The

@@ -22,8 +22,8 @@ import (
 // built over an arbitrary index via NewNode are read-only and negotiate
 // at most protocol v2.
 type Node struct {
-	idx      index.Index
-	upd      *index.Updatable // non-nil: the updatable serving path
+	idx index.Index
+	upd *index.Updatable // non-nil: the updatable serving path
 	// dp is the durable write path (non-nil only for nodes built by
 	// NewDurablePartitionNode): inserts append to its WAL and the ack
 	// waits for the group fsync; the v4 positioned catch-up ops serve
@@ -58,18 +58,21 @@ type Node struct {
 	// writing client skips pre-v3 replicas). Set before Serve.
 	ReadOnly bool
 
-	// protoCap caps the protocol version this node negotiates; 0 means
-	// ProtoVersion. Tests set it to ProtoV1 to emulate an old node
-	// byte-for-byte (4-word hello acks, v2 ops refused with OpErr) and
-	// prove a newer master interoperates.
-	protoCap uint32
+	// MaxVersion caps the protocol version this node negotiates; 0
+	// means ProtoVersion (the highest this build speaks). Set before
+	// Serve. Capping at ProtoV1 emulates an old node byte-for-byte
+	// (4-word hello acks, newer ops refused with OpErr); interop tests
+	// and cmd/dcnode's -max-version flag use it to prove mixed-version
+	// deployments keep answering — a v5 client excludes a capped node
+	// from the v5 query ops but keeps routing rank lookups to it.
+	MaxVersion uint32
 }
 
 // capVersion is the highest protocol version this node will negotiate:
-// protoCap (tests), capped at v2 when the node cannot serve writes
+// MaxVersion (when set), capped at v2 when the node cannot serve writes
 // (read-only flag, or a NewNode index with no update layer).
 func (n *Node) capVersion() uint32 {
-	cap32 := n.protoCap
+	cap32 := n.MaxVersion
 	if cap32 == 0 {
 		cap32 = ProtoVersion
 	}
@@ -273,8 +276,9 @@ func (n *Node) handle(conn net.Conn) {
 	var keyBuf []workload.Key
 	var intBuf []int
 	var rankBuf []uint32
-	var deltaBuf []uint32 // decoded sorted keys
-	var replyBuf []byte   // encoded delta-coded reply payload
+	var deltaBuf []uint32      // decoded sorted keys
+	var replyBuf []byte        // encoded delta-coded reply payload
+	var scanBuf []workload.Key // v5 scan/top-k result staging
 
 	// refuse sends OpErr and abandons the connection, the way the old
 	// binary refuses any unknown op.
@@ -312,7 +316,7 @@ func (n *Node) handle(conn net.Conn) {
 			// Version negotiation: a v2+ client advertises its version
 			// in the hello reqID; answer with min(client, node) as a
 			// 5th word. v1 clients (reqID 0 or 1) get the 4-word ack
-			// they expect, and a protoCap==ProtoV1 node always acks
+			// they expect, and a MaxVersion==ProtoV1 node always acks
 			// 4 words — exactly what an old binary sends. On a
 			// v3-negotiated connection a 6th word advertises the LIVE
 			// key count: a fresh client seeds its rank-base correction
@@ -604,6 +608,126 @@ func (n *Node) handle(conn net.Conn) {
 				return
 			}
 			if !reply(Frame{Op: OpLoadAck, ReqID: f.ReqID, Payload: []uint32{uint32(len(fresh))}}) {
+				return
+			}
+		case OpCountRange:
+			if cap32 < ProtoV5 || n.upd == nil || len(f.Payload)%2 != 0 {
+				refuse(f)
+				return
+			}
+			nr := len(f.Payload) / 2
+			if cap(rankBuf) < nr {
+				rankBuf = make([]uint32, nr)
+			}
+			counts := rankBuf[:nr]
+			for i := 0; i < nr; i++ {
+				lo, hi := workload.Key(f.Payload[2*i]), workload.Key(f.Payload[2*i+1])
+				counts[i] = uint32(n.upd.CountRange(lo, hi))
+			}
+			replyBuf = appendVarRun(replyBuf[:0], counts)
+			if !reply(Frame{Op: OpCounts, ReqID: f.ReqID, Raw: replyBuf}) {
+				return
+			}
+		case OpScanRange:
+			if cap32 < ProtoV5 || n.upd == nil || len(f.Payload) != 3 {
+				refuse(f)
+				return
+			}
+			lo, hi := workload.Key(f.Payload[0]), workload.Key(f.Payload[1])
+			max := int(f.Payload[2])
+			if max == 0 {
+				max = -1 // wire 0 = unlimited
+			}
+			scanBuf = n.upd.ScanRange(lo, hi, max, scanBuf[:0])
+			if len(scanBuf) > MaxFrameWords {
+				// The result cannot fit one frame: refuse just this
+				// request and keep serving (the OpSnapshot convention) —
+				// a truncated scan would silently be a wrong answer.
+				n.logf("netrun: scan of %d keys exceeds the frame limit; refused", len(scanBuf))
+				if !reply(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}}) {
+					return
+				}
+				continue
+			}
+			if cap(rankBuf) < len(scanBuf) {
+				rankBuf = make([]uint32, len(scanBuf))
+			}
+			words := rankBuf[:len(scanBuf)]
+			for i, k := range scanBuf {
+				words[i] = uint32(k)
+			}
+			var err error
+			replyBuf, err = appendDeltaRun(replyBuf[:0], words)
+			if err != nil {
+				n.logf("netrun: scan reply: %v", err)
+				return
+			}
+			if !reply(Frame{Op: OpKeysDelta, ReqID: f.ReqID, Raw: replyBuf}) {
+				return
+			}
+		case OpTopK:
+			if cap32 < ProtoV5 || n.upd == nil || len(f.Payload) != 1 {
+				refuse(f)
+				return
+			}
+			k := int(f.Payload[0])
+			if k > MaxFrameWords {
+				n.logf("netrun: top-%d exceeds the frame limit; refused", k)
+				if !reply(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}}) {
+					return
+				}
+				continue
+			}
+			scanBuf = n.upd.TopK(k, scanBuf[:0])
+			// TopK yields descending keys; the wire run is ascending so
+			// the delta codec applies — reverse while converting.
+			if cap(rankBuf) < len(scanBuf) {
+				rankBuf = make([]uint32, len(scanBuf))
+			}
+			words := rankBuf[:len(scanBuf)]
+			for i, key := range scanBuf {
+				words[len(scanBuf)-1-i] = uint32(key)
+			}
+			var err error
+			replyBuf, err = appendDeltaRun(replyBuf[:0], words)
+			if err != nil {
+				n.logf("netrun: top-k reply: %v", err)
+				return
+			}
+			if !reply(Frame{Op: OpKeysDelta, ReqID: f.ReqID, Raw: replyBuf}) {
+				return
+			}
+		case OpMultiGet:
+			if cap32 < ProtoV5 || n.upd == nil {
+				refuse(f)
+				return
+			}
+			decoded, err := decodeDeltaRun(f.Raw, deltaBuf)
+			if err != nil {
+				n.logf("netrun: multiget: %v", err)
+				refuse(f)
+				return
+			}
+			deltaBuf = decoded
+			nq := len(decoded)
+			if cap(keyBuf) < nq {
+				keyBuf = make([]workload.Key, nq)
+				intBuf = make([]int, nq)
+			}
+			keys, ints := keyBuf[:nq], intBuf[:nq]
+			for i, k := range decoded {
+				keys[i] = workload.Key(k)
+			}
+			n.upd.CountKeys(keys, ints)
+			if cap(rankBuf) < nq {
+				rankBuf = make([]uint32, nq)
+			}
+			counts := rankBuf[:nq]
+			for i, c := range ints {
+				counts[i] = uint32(c)
+			}
+			replyBuf = appendVarRun(replyBuf[:0], counts)
+			if !reply(Frame{Op: OpCounts, ReqID: f.ReqID, Raw: replyBuf}) {
 				return
 			}
 		default:

@@ -50,6 +50,23 @@
 // a full load replaces the node's state at the carried position. Both
 // are acknowledged by OpLoadAck counting the applied keys.
 //
+// Protocol v5 generalizes the query surface beyond ranks: four
+// op-tagged read frames, all served from the node's update layer so
+// they see delta-buffered inserts coherently with the frozen base.
+// OpCountRange carries pairs of inclusive range endpoints (word
+// payload: lo1,hi1,lo2,hi2,...) and is answered by OpCounts, each
+// range's local key count as a varint run (counts are not monotone, so
+// the plain-varint codec applies, not the delta codec). OpScanRange
+// carries [lo, hi, limit] (limit 0 = unlimited) and OpTopK carries
+// [k]; both are answered by OpKeysDelta, an ascending delta+varint key
+// run (a top-k reply is ascending on the wire — the client reads it
+// backward). OpMultiGet carries an ascending delta-coded key run and
+// is answered by OpCounts with each key's multiplicity. Because every
+// partition holds a disjoint key sub-range, the client composes exact
+// global answers from local ones: counts sum, scans concatenate in
+// partition order, top-k reads partitions from the highest down, and a
+// multiplicity never crosses a partition boundary.
+//
 // Version negotiation rides the hello exchange, so mixed-version
 // clusters interoperate frame-for-frame:
 //
@@ -78,11 +95,25 @@
 // The full negotiation table (rows: node's highest version; columns:
 // client's; cells: negotiated version = the ops that may flow):
 //
-//	          client v1   client v2   client v3   client v4
-//	node v1       1           1           1           1      lookups only
-//	node v2       1           2           2           2      + delta-coded sorted runs
-//	node v3       1           2           3           3      + inserts, snapshot/load
-//	node v4       1           2           3           4      + positioned catch-up
+//	          client v1   client v2   client v3   client v4   client v5
+//	node v1       1           1           1           1           1      lookups only
+//	node v2       1           2           2           2           2      + delta-coded sorted runs
+//	node v3       1           2           3           3           3      + inserts, snapshot/load
+//	node v4       1           2           3           4           4      + positioned catch-up
+//	node v5       1           2           3           4           5      + range/scan/top-k/multiget
+//
+// Op x minimum version, for every request op a client may send:
+//
+//	v1  OpLookup
+//	v2  OpLookupSorted
+//	v3  OpInsert, OpSnapshot, OpLoad
+//	v4  OpSnapshotSince, OpLoadAt
+//	v5  OpCountRange, OpScanRange, OpTopK, OpMultiGet
+//
+// A v5 client never sends a v5 op on a connection that negotiated less
+// (dispatch and failover both re-check the member's version), so
+// pre-v5 replicas keep serving ranks — they are excluded from the new
+// ops only, never from lookups.
 //
 // Writes only ever flow on v3-negotiated connections: v1/v2 nodes
 // simply never receive OpInsert (the client skips them during write
@@ -121,8 +152,9 @@ const (
 	ProtoV2 = 2
 	ProtoV3 = 3
 	ProtoV4 = 4
+	ProtoV5 = 5
 
-	ProtoVersion = ProtoV4
+	ProtoVersion = ProtoV5
 )
 
 // Op codes.
@@ -181,6 +213,29 @@ const (
 	// count, or refused with OpErr when a delta does not reproduce the
 	// carried position (divergent histories).
 	OpLoadAt uint8 = 16
+	// OpCountRange (v5) carries inclusive range endpoint pairs (word
+	// payload: lo1,hi1,lo2,hi2,...); the node answers OpCounts with
+	// each pair's local key count.
+	OpCountRange uint8 = 17
+	// OpScanRange (v5) carries [lo, hi, limit] (word payload; limit 0
+	// means unlimited); the node answers OpKeysDelta with its keys in
+	// [lo, hi], ascending, at most limit of them.
+	OpScanRange uint8 = 18
+	// OpTopK (v5) carries [k] (word payload); the node answers
+	// OpKeysDelta with its k largest keys — ascending on the wire, the
+	// client reads the run backward.
+	OpTopK uint8 = 19
+	// OpMultiGet (v5) carries an ascending key run, delta+varint coded
+	// (byte payload); the node answers OpCounts with each key's
+	// multiplicity.
+	OpMultiGet uint8 = 20
+	// OpKeysDelta (v5) answers OpScanRange and OpTopK: an ascending key
+	// run, delta+varint coded (byte payload).
+	OpKeysDelta uint8 = 21
+	// OpCounts (v5) answers OpCountRange and OpMultiGet: one count per
+	// request element as a plain varint run (byte payload; counts are
+	// not monotone, so no delta coding — see appendVarRun).
+	OpCounts uint8 = 22
 )
 
 // OpSnapshotDelta/OpLoadAt payload layout: a 5-word header — kind,
@@ -192,10 +247,15 @@ const (
 	snapKindFull    = 1 // keys are the full sorted set
 )
 
-// byteOp reports whether op's count field is a byte length (delta-coded
+// byteOp reports whether op's count field is a byte length (varint
 // payload) rather than a 32-bit word count.
 func byteOp(op uint8) bool {
-	return op == OpLookupSorted || op == OpRanksDelta || op == OpSnapshotData || op == OpLoad
+	switch op {
+	case OpLookupSorted, OpRanksDelta, OpSnapshotData, OpLoad,
+		OpMultiGet, OpKeysDelta, OpCounts:
+		return true
+	}
+	return false
 }
 
 // MaxFrameWords bounds a v1 frame payload (16M words = 64 MB) so a

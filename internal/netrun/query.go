@@ -1,0 +1,311 @@
+package netrun
+
+// Client-side entry points for the protocol-v5 query ops. Each op
+// scatters to the partitions whose key sub-ranges it touches and
+// composes the replies by partition order, which is key order — the
+// dial-time delimiters assign strictly ascending disjoint sub-ranges:
+//
+//   - CountRange sends the full [lo,hi] to every spanned partition and
+//     sums the local counts. No clamping and no insert-counter
+//     corrections are needed: a partition only holds keys from its own
+//     sub-range, and inserts route by the same delimiters, so the
+//     spanned partitions Route(lo)..Route(hi) hold exactly the keys in
+//     [lo,hi] at all times.
+//   - ScanRange collects one ascending run per spanned partition and
+//     concatenates them lowest partition first, truncating at limit.
+//   - TopK asks every partition for its k largest (ascending on the
+//     wire) and reads the replies highest partition down, each run from
+//     its end, until k keys are taken.
+//   - MultiGet radix-sorts the key batch (the OpMultiGet frame is the
+//     v2 delta codec, which requires ascending runs), scatters sorted
+//     runs to their owning partitions, and lets the read loops write
+//     each multiplicity straight into the output slot — each key is
+//     owned by exactly one partition, so the scatter is race-free.
+//
+// All four ride the rank pipeline's failover machinery: a pending
+// whose replica dies is re-dispatched to a healthy v5 sibling with the
+// request words intact (they stay in p.keys until a reply lands), so a
+// mid-scan kill resolves to the same bytes a healthy run produces.
+// Partitions with no v5-capable replica fail the op with a descriptive
+// error while rank lookups keep working — see describeIneligible.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// KeyRange is re-exported so callers holding only a *Cluster can build
+// CountRangeBatch inputs without importing core.
+type KeyRange = core.KeyRange
+
+// CountRange returns the number of keys in [lo, hi] (inclusive) across
+// the whole cluster; 0 if hi < lo. Exact at quiescence, a consistent
+// point-in-time view under concurrent inserts.
+func (c *Cluster) CountRange(lo, hi workload.Key) (int, error) {
+	var one [1]int
+	if err := c.CountRangeBatch([]KeyRange{{Lo: lo, Hi: hi}}, one[:]); err != nil {
+		return 0, err
+	}
+	return one[0], nil
+}
+
+// CountRangeBatch answers many inclusive range counts in one scatter:
+// out[i] receives the key count of ranges[i] (len(out) >= len(ranges)).
+// Ranges spanning several partitions batch their endpoint pairs with
+// every other range touching the same partition, so the wire cost is
+// bounded by spanned-partition pairs, not ranges times partitions.
+func (c *Cluster) CountRangeBatch(ranges []KeyRange, out []int) error {
+	if len(out) < len(ranges) {
+		return fmt.Errorf("netrun: out len %d < %d ranges", len(out), len(ranges))
+	}
+	ep := c.ep.Load()
+	if ep == nil {
+		return ErrClusterClosed
+	}
+	if err := ep.Err(); err != nil {
+		return err
+	}
+	for i := range ranges {
+		out[i] = 0
+	}
+	if len(ranges) == 0 {
+		return nil
+	}
+
+	groups := ep.groups
+	accum := make([]*pending, len(groups))
+	var gis []int
+	var pends []*pending
+	for i, r := range ranges {
+		if r.Hi < r.Lo {
+			continue
+		}
+		gLo, gHi := c.part.Route(r.Lo), c.part.Route(r.Hi)
+		for gi := gLo; gi <= gHi; gi++ {
+			p := accum[gi]
+			if p == nil {
+				p = c.getPending()
+				p.kind = pkCount
+				accum[gi] = p
+				gis = append(gis, gi)
+				pends = append(pends, p)
+			}
+			p.keys = append(p.keys, uint32(r.Lo), uint32(r.Hi))
+			p.pos = append(p.pos, int32(i))
+			if len(p.keys) >= c.batch {
+				accum[gi] = nil
+			}
+		}
+	}
+	if len(pends) == 0 {
+		return nil
+	}
+	done := make(chan *pending, len(pends))
+	for j, p := range pends {
+		c.dispatch(ep, gis[j], p, nil, done)
+	}
+	// The read loops stage each reply's counts in p.keys rather than
+	// adding into out: a range spanning partitions has several replies
+	// targeting the same slot, and only this single gather loop may sum
+	// them.
+	var firstErr error
+	for range pends {
+		p := <-done
+		if p.err != nil {
+			if firstErr == nil {
+				firstErr = p.err
+			}
+		} else {
+			for j, pos := range p.pos {
+				out[pos] += int(p.keys[j])
+			}
+		}
+		c.putPending(p)
+	}
+	return firstErr
+}
+
+// ScanRange returns the keys in [lo, hi] in ascending order, at most
+// limit of them (limit < 0 means unlimited), appended to buf. Results
+// larger than one protocol frame (MaxFrameWords keys from a single
+// partition) are refused by the serving node; bound them with limit.
+func (c *Cluster) ScanRange(lo, hi workload.Key, limit int, buf []workload.Key) ([]workload.Key, error) {
+	out := buf
+	if hi < lo || limit == 0 {
+		return out, nil
+	}
+	ep := c.ep.Load()
+	if ep == nil {
+		return out, ErrClusterClosed
+	}
+	if err := ep.Err(); err != nil {
+		return out, err
+	}
+	limWord := uint32(0) // wire encoding: 0 means unlimited
+	if limit > 0 {
+		limWord = uint32(limit)
+	}
+	gLo, gHi := c.part.Route(lo), c.part.Route(hi)
+	span := gHi - gLo + 1
+	done := make(chan *pending, span)
+	pends := make([]*pending, span)
+	for gi := gLo; gi <= gHi; gi++ {
+		p := c.getPending()
+		p.kind = pkScan
+		p.keys = append(p.keys, uint32(lo), uint32(hi), limWord)
+		p.posBase = gi - gLo
+		c.dispatch(ep, gi, p, nil, done)
+	}
+	var firstErr error
+	for i := 0; i < span; i++ {
+		p := <-done
+		if p.err != nil && firstErr == nil {
+			firstErr = p.err
+		}
+		pends[p.posBase] = p
+	}
+	if firstErr == nil {
+		// Partition order is key order: concatenating the per-partition
+		// ascending runs lowest partition first and truncating at limit
+		// reproduces the oracle's "first limit keys from lo" exactly.
+		taken := 0
+		for _, p := range pends {
+			if limit >= 0 && taken >= limit {
+				break
+			}
+			for _, v := range p.keys {
+				if limit >= 0 && taken >= limit {
+					break
+				}
+				out = append(out, workload.Key(v))
+				taken++
+			}
+		}
+	}
+	for _, p := range pends {
+		c.putPending(p)
+	}
+	return out, firstErr
+}
+
+// TopK returns the k largest keys in descending order, appended to buf.
+func (c *Cluster) TopK(k int, buf []workload.Key) ([]workload.Key, error) {
+	out := buf
+	if k <= 0 {
+		return out, nil
+	}
+	ep := c.ep.Load()
+	if ep == nil {
+		return out, ErrClusterClosed
+	}
+	if err := ep.Err(); err != nil {
+		return out, err
+	}
+	groups := ep.groups
+	done := make(chan *pending, len(groups))
+	pends := make([]*pending, len(groups))
+	for gi := range groups {
+		p := c.getPending()
+		p.kind = pkTopK
+		p.keys = append(p.keys, uint32(k))
+		p.posBase = gi
+		c.dispatch(ep, gi, p, nil, done)
+	}
+	var firstErr error
+	for range pends {
+		p := <-done
+		if p.err != nil && firstErr == nil {
+			firstErr = p.err
+		}
+		pends[p.posBase] = p
+	}
+	if firstErr == nil {
+		// Highest partition holds the largest keys; each reply is an
+		// ascending run, read back-to-front.
+		have := 0
+		for gi := len(pends) - 1; gi >= 0 && have < k; gi-- {
+			run := pends[gi].keys
+			for j := len(run) - 1; j >= 0 && have < k; j-- {
+				out = append(out, workload.Key(run[j]))
+				have++
+			}
+		}
+	}
+	for _, p := range pends {
+		c.putPending(p)
+	}
+	return out, firstErr
+}
+
+// MultiGet returns the multiplicity of each query key (how many copies
+// the cluster holds), in query order.
+func (c *Cluster) MultiGet(keys []workload.Key) ([]int, error) {
+	out := make([]int, len(keys))
+	if err := c.MultiGetInto(keys, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MultiGetInto is MultiGet writing into a caller-provided slice
+// (len(out) >= len(keys)). Unlike LookupBatchInto, the batch always
+// takes the sorted pipeline regardless of DialOptions.SortedBatches:
+// the OpMultiGet frame is the v2 delta codec, which only carries
+// ascending runs, so unsorted input is radix-sorted client-side and
+// the replies scatter through the position array.
+func (c *Cluster) MultiGetInto(keys []workload.Key, out []int) error {
+	if len(out) < len(keys) {
+		return fmt.Errorf("netrun: out len %d < %d keys", len(out), len(keys))
+	}
+	ep := c.ep.Load()
+	if ep == nil {
+		return ErrClusterClosed
+	}
+	if err := ep.Err(); err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+
+	groups := ep.groups
+	nc := c.calls.Get().(*netCall)
+	if need := len(keys)/c.batch + len(groups) + 1; cap(nc.done) < need {
+		nc.done = make(chan *pending, need)
+	}
+	runKeys := keys
+	var runPos []int32
+	if !core.SortedRun(keys) {
+		runKeys, runPos = nc.sort.SortByKey(keys)
+	}
+	inflight := 0
+	core.ForEachSortedRun(c.part.Delimiters(), runKeys, c.batch, func(gi, start, end int) {
+		p := c.getPending()
+		p.kind = pkMultiGet
+		p.sorted = true
+		for _, q := range runKeys[start:end] {
+			p.keys = append(p.keys, uint32(q))
+		}
+		if runPos != nil {
+			p.pos = append(p.pos, runPos[start:end]...)
+		} else {
+			p.contig = true
+			p.posBase = start
+		}
+		c.dispatch(ep, gi, p, out, nc.done)
+		inflight++
+	})
+	var firstErr error
+	for inflight > 0 {
+		p := <-nc.done
+		inflight--
+		if p.err != nil && firstErr == nil {
+			firstErr = p.err
+		}
+		c.putPending(p)
+	}
+	c.calls.Put(nc)
+	return firstErr
+}

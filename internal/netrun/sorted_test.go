@@ -28,7 +28,7 @@ func startClusterCaps(t *testing.T, keys []workload.Key, batch int, caps []uint3
 			t.Fatal(err)
 		}
 		node := NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
-		node.protoCap = cap32
+		node.MaxVersion = cap32
 		nodes = append(nodes, node)
 		addrs = append(addrs, lis.Addr().String())
 		go node.Serve(lis)
@@ -227,7 +227,7 @@ func TestSortedFailoverToV1Sibling(t *testing.T) {
 			}
 			node := NewPartitionNode(p.Parts[i].Keys, p.Parts[i].RankBase)
 			if r == 1 {
-				node.protoCap = ProtoV1 // the surviving sibling speaks v1 only
+				node.MaxVersion = ProtoV1 // the surviving sibling speaks v1 only
 			}
 			nodes[i] = append(nodes[i], node)
 			group = append(group, lis.Addr().String())

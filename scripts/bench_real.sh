@@ -38,7 +38,8 @@ run_bench() {
 }
 
 # Real-runtime serving rows, including the mixed read/write
-# (online-update) row.
+# (online-update) row and the v5 query-surface rows (CountRange, whose
+# ns/endpoint must track the sorted-rank ns/key, and TopK).
 run_bench 'BenchmarkReal_' .
 # TCP loopback mode: the multiplexed master over real sockets, solo and
 # with 4 concurrent callers (plus the serialized baseline), the
@@ -47,7 +48,8 @@ run_bench 'BenchmarkReal_' .
 # batch must stay checksum-correct (ReplicatedFailover) — and the
 # sorted-batch rows (SortedDelta and its same-parameter unsorted
 # companion, plus the CPU-bound loopback variant), which exercise the
-# protocol-v2 delta frames end to end.
+# protocol-v2 delta frames end to end, and the v5 scan-streaming row
+# (ScanStream: full-range ScanRange over the wire).
 run_bench 'BenchmarkTCPCluster' ./internal/netrun
 
 cat "$RAW" >&2
@@ -61,6 +63,7 @@ awk '
 			if ($(i+1) == "ns/op")     ns    = $i
 			if ($(i+1) == "MB/s")      mbs   = $i
 			if ($(i+1) == "ns/key")    nskey = $i
+			if ($(i+1) == "ns/endpoint") nskey = $i
 			if ($(i+1) == "B/op")      bop   = $i
 			if ($(i+1) == "allocs/op") aop   = $i
 		}
