@@ -1,0 +1,34 @@
+// Command dclint is the repo's invariant checker: a multichecker binary for
+// the custom analyzers under internal/analyzers, speaking cmd/go's -vettool
+// protocol.
+//
+// Usage:
+//
+//	go build -o bin/dclint ./cmd/dclint
+//	go vet -vettool=$PWD/bin/dclint ./...
+//
+// or directly (dclint re-executes itself under go vet):
+//
+//	./bin/dclint ./...
+//
+// Suppressions use `//dc:ignore <analyzer> <reason>` on or above the
+// offending statement; set DCLINT_SUPPRESS_REPORT=<file> to record every
+// suppression hit, which scripts/lint.sh totals in CI output.
+package main
+
+import (
+	"repro/internal/analyzers/framepair"
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/lockguard"
+	"repro/internal/analyzers/noalloc"
+	"repro/internal/analyzers/snappin"
+)
+
+func main() {
+	framework.Main(
+		lockguard.Analyzer,
+		noalloc.Analyzer,
+		framepair.Analyzer,
+		snappin.Analyzer,
+	)
+}

@@ -1,0 +1,183 @@
+// Package analyzertest runs dclint analyzers over fixture packages and
+// matches their diagnostics against `// want "regex"` comments — a
+// dependency-free analogue of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under testdata/src/<pkgpath> and may import sibling fixture
+// packages; a stub sync package (testdata/src/sync) stands in for the real
+// one so lock-discipline fixtures type-check without toolchain export data.
+// Expectations are end-of-line comments of the form
+//
+//	code() // want `regex` "another regex"
+//
+// attached to the line a diagnostic is reported on. Every kept diagnostic
+// must match an expectation on its line and every expectation must be
+// matched, including the "dclint" diagnostics FilterIgnored emits for
+// malformed //dc:ignore comments.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers/framework"
+)
+
+// Run applies analyzers to the fixture package at testdata/src/<pkgpath>,
+// filters //dc:ignore suppressions exactly as the dclint driver does, and
+// fails t on any mismatch between diagnostics and want expectations.
+func Run(t *testing.T, testdata string, analyzers []*framework.Analyzer, pkgpath string) {
+	t.Helper()
+	fset, files, pkg, info := Load(t, testdata, pkgpath)
+	diags, err := framework.RunAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("run analyzers on %s: %v", pkgpath, err)
+	}
+	kept, _ := framework.FilterIgnored(fset, files, diags, analyzers)
+	wants := collectWants(t, fset, files)
+
+	for _, d := range kept {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants[posKey{pos.Filename, pos.Line}] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", w.at, w.re)
+			}
+		}
+	}
+}
+
+// Load parses and type-checks the fixture package at testdata/src/<pkgpath>,
+// resolving imports against sibling fixture packages.
+func Load(t *testing.T, testdata, pkgpath string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	l := &loader{
+		fset: token.NewFileSet(),
+		root: filepath.Join(testdata, "src"),
+		pkgs: map[string]*types.Package{},
+	}
+	pkg, files, info, err := l.load(pkgpath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkgpath, err)
+	}
+	return l.fset, files, pkg, info
+}
+
+// loader is a minimal source importer rooted at the fixture tree. A package's
+// import path is its directory relative to testdata/src, so a fixture
+// importing "sync" gets the stub — and IsMutex, which keys on the package
+// path, treats its Mutex exactly like the real one.
+type loader struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*types.Package
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	pkg, _, _, err := l.load(path)
+	return pkg, err
+}
+
+func (l *loader) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil, nil, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := framework.NewTypesInfo()
+	cfg := &types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, info, nil
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type wantExpr struct {
+	re      *regexp.Regexp
+	at      string // position string, for failure messages
+	matched bool
+}
+
+// wantLit matches one Go string literal (interpreted or raw) at the start of
+// the remaining want-comment text.
+var wantLit = regexp.MustCompile("^(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*wantExpr {
+	t.Helper()
+	wants := map[posKey][]*wantExpr{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(text[len("want"):])
+				for rest != "" {
+					lit := wantLit.FindString(rest)
+					if lit == "" {
+						t.Fatalf("%s: malformed want expectation near %q", pos, rest)
+					}
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: unquote %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: compile want regexp %q: %v", pos, pat, err)
+					}
+					key := posKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &wantExpr{re: re, at: pos.String()})
+					rest = strings.TrimSpace(rest[len(lit):])
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,108 @@
+// Package directives parses the //dc: comment vocabulary that dclint's
+// analyzers enforce:
+//
+//	//dc:guardedby <path>        field may only be accessed with <path> held,
+//	                             resolved relative to the declaring struct
+//	                             (e.g. `mu` is a sibling field, `g.mu` is the
+//	                             mu field of the sibling pointer field g)
+//	//dc:holds <path>            function runs with <path> already held by its
+//	                             caller; <path> is relative to the receiver or
+//	                             a parameter (e.g. `u.mu`)
+//	//dc:lockorder <A.f> <B.g>   package-level acquisition order: a goroutine
+//	                             holding B.g must not acquire A.f
+//	//dc:noalloc                 function body must stay free of
+//	                             heap-escaping constructs
+//	//dc:pinvia <method> <mu>    field may only be read inside <method> (the
+//	                             snapshot pin helper) or with <mu> held
+//	//dc:optable                 marks the op→min-version table variable that
+//	                             framepair checks for completeness
+//	//dc:ignore <analyzer> <reason...>  suppress that analyzer's diagnostics
+//	                             on the statement or declaration that follows;
+//	                             suppressions are counted in CI output
+//
+// Both `//dc:name` and `// dc:name` spellings are accepted.
+package directives
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one parsed //dc: comment.
+type Directive struct {
+	Pos  token.Pos
+	Name string
+	Args []string
+}
+
+// Arg returns the i'th argument or "".
+func (d Directive) Arg(i int) string {
+	if i < len(d.Args) {
+		return d.Args[i]
+	}
+	return ""
+}
+
+// Parse parses a single comment line. ok is false if the comment is not a
+// //dc: directive.
+func Parse(c *ast.Comment) (d Directive, ok bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, "//") {
+		return d, false // block comments never carry directives
+	}
+	text = strings.TrimSpace(text[2:])
+	if !strings.HasPrefix(text, "dc:") {
+		return d, false
+	}
+	fields := strings.Fields(text[len("dc:"):])
+	if len(fields) == 0 {
+		return d, false
+	}
+	return Directive{Pos: c.Pos(), Name: fields[0], Args: fields[1:]}, true
+}
+
+// OfGroup returns all directives in a comment group.
+func OfGroup(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		if d, ok := Parse(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// All returns every directive in the file, wherever the comment sits.
+func All(f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		out = append(out, OfGroup(cg)...)
+	}
+	return out
+}
+
+// Named filters ds to directives called name.
+func Named(ds []Directive, name string) []Directive {
+	var out []Directive
+	for _, d := range ds {
+		if d.Name == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FieldDirectives returns the directives attached to a struct field: its doc
+// comment group and its end-of-line comment group.
+func FieldDirectives(field *ast.Field) []Directive {
+	return append(OfGroup(field.Doc), OfGroup(field.Comment)...)
+}
+
+// FuncDirectives returns the directives in a function's doc comment.
+func FuncDirectives(fn *ast.FuncDecl) []Directive {
+	return OfGroup(fn.Doc)
+}

@@ -1,0 +1,196 @@
+// Package framepair checks that every protocol op constant is fully wired:
+// an `OpX` constant must have
+//
+//  1. an entry in the op→min-version table (the var marked //dc:optable),
+//  2. a dispatch site — a switch case or ==/!= comparison — i.e. a decode
+//     path that recognizes the op on the wire, and
+//  3. a construction site — any other use, typically `Frame{Op: OpX}` or an
+//     encode-helper argument — i.e. an encode path that emits it.
+//
+// A half-wired op (encoded but never dispatched, or vice versa) is exactly
+// the bug class behind PR 7's append-vs-overwrite divergence: both sides
+// compiled, but one direction of the frame pairing was missing.
+//
+// The check runs only in packages that declare a //dc:optable variable, so
+// unrelated packages with Op-prefixed constants are untouched.
+package framepair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analyzers/directives"
+	"repro/internal/analyzers/framework"
+)
+
+// Analyzer is the framepair pass.
+var Analyzer = &framework.Analyzer{
+	Name: "framepair",
+	Doc:  "checks every Op constant has encode and decode sites and an op×version table entry",
+	Run:  run,
+}
+
+var opName = regexp.MustCompile(`^Op[A-Z]`)
+
+type opState struct {
+	pos       token.Pos
+	inTable   bool
+	dispatch  bool
+	construct bool
+}
+
+func run(pass *framework.Pass) error {
+	table, tableSpan := findOpTable(pass)
+	if table == nil {
+		return nil
+	}
+
+	ops := map[types.Object]*opState{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !opName.MatchString(name.Name) {
+						continue
+					}
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						ops[obj] = &opState{pos: name.Pos()}
+					}
+				}
+			}
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		classifyUses(pass, f, ops, tableSpan)
+	}
+
+	for obj, st := range ops {
+		if !st.inTable {
+			pass.Reportf(st.pos, "%s has no entry in the //dc:optable op×version table", obj.Name())
+		}
+		if !st.dispatch {
+			pass.Reportf(st.pos, "%s is never dispatched on (no switch case or ==/!= comparison): decode path missing", obj.Name())
+		}
+		if !st.construct {
+			pass.Reportf(st.pos, "%s is never constructed into a frame (no use outside its declaration, the op table, and dispatch sites): encode path missing", obj.Name())
+		}
+	}
+	return nil
+}
+
+type span struct{ pos, end token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.pos != token.NoPos && p >= s.pos && p < s.end }
+
+// findOpTable locates the var marked //dc:optable and returns its composite
+// literal plus source extent.
+func findOpTable(pass *framework.Pass) (*ast.CompositeLit, span) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			marked := len(directives.Named(directives.OfGroup(gd.Doc), "optable")) > 0
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if !marked && len(directives.Named(directives.OfGroup(vs.Doc), "optable")) == 0 {
+					continue
+				}
+				for _, v := range vs.Values {
+					if cl, ok := v.(*ast.CompositeLit); ok {
+						return cl, span{gd.Pos(), gd.End()}
+					}
+				}
+				pass.Reportf(vs.Pos(), "//dc:optable variable must be initialized with a map composite literal")
+			}
+		}
+	}
+	return nil, span{}
+}
+
+// classifyUses assigns each use of an op constant to table / dispatch /
+// construct buckets.
+func classifyUses(pass *framework.Pass, f *ast.File, ops map[types.Object]*opState, tableSpan span) {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		st, ok := ops[obj]
+		if !ok {
+			return true
+		}
+		switch {
+		case tableSpan.contains(id.Pos()):
+			st.inTable = true
+		case isDispatchUse(parents, id):
+			st.dispatch = true
+		default:
+			st.construct = true
+		}
+		return true
+	})
+}
+
+// isDispatchUse reports whether id appears directly in a case-clause
+// expression list or in an ==/!= comparison.
+func isDispatchUse(parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	p := parents[id]
+	// Unwrap one level of selector qualification (pkg.OpX) or parens.
+	for {
+		switch pp := p.(type) {
+		case *ast.SelectorExpr:
+			if pp.Sel == id {
+				p = parents[pp]
+				continue
+			}
+		case *ast.ParenExpr:
+			p = parents[pp]
+			continue
+		}
+		break
+	}
+	switch pp := p.(type) {
+	case *ast.CaseClause:
+		return true
+	case *ast.BinaryExpr:
+		return pp.Op == token.EQL || pp.Op == token.NEQ
+	}
+	return false
+}

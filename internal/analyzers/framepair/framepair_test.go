@@ -1,0 +1,13 @@
+package framepair_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analyzertest"
+	"repro/internal/analyzers/framepair"
+	"repro/internal/analyzers/framework"
+)
+
+func TestFramePair(t *testing.T) {
+	analyzertest.Run(t, "../testdata", []*framework.Analyzer{framepair.Analyzer}, "framepairfix")
+}

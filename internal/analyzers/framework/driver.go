@@ -1,0 +1,230 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Config mirrors the JSON that cmd/go writes to vet.cfg for each package when
+// it invokes a -vettool. Field names must match cmd/go/internal/work exactly.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a dclint-style vettool. It implements the
+// protocol cmd/go speaks to -vettool binaries:
+//
+//	tool -flags          print a JSON list of the tool's flags
+//	tool -V=full         print a version line that keys go's build cache
+//	tool <dir>/vet.cfg   analyze one package described by the config
+//
+// Any other argument list is treated as package patterns and re-executed as
+// `go vet -vettool=<self> <args>`, so `dclint ./...` works directly.
+func Main(analyzers ...*Analyzer) {
+	prog := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	for _, a := range args {
+		switch {
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasPrefix(a, "-V="):
+			fmt.Println(versionLine(prog))
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnitchecker(analyzers, args[0]))
+	}
+
+	// Standalone mode: delegate to go vet with ourselves as the vettool.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		os.Exit(1)
+	}
+}
+
+// versionLine mimics x/tools unitchecker: the build ID must change whenever
+// the tool binary changes, or go's cache would serve stale vet results.
+// DCLINT_CACHE_SALT (set by scripts/lint.sh) is folded in so a lint run that
+// wants the //dc:ignore suppression report can defeat go vet's result cache —
+// cached successes would otherwise skip the tool entirely and under-count.
+func versionLine(prog string) string {
+	h := sha256.New()
+	if self, err := os.Executable(); err == nil {
+		if f, err := os.Open(self); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	h.Write([]byte(os.Getenv("DCLINT_CACHE_SALT")))
+	return fmt.Sprintf("%s version devel comments-go-here buildID=%x", prog, h.Sum(nil)[:16])
+}
+
+func runUnitchecker(analyzers []*Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing vet config: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go expects the vetx (facts) file to exist even for dependency-only
+	// visits. dclint keeps no cross-package facts, so an empty file suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("dclint\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: type-checking: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	kept, suppressed := FilterIgnored(fset, files, diags, analyzers)
+	reportSuppressed(cfg.ImportPath, fset, suppressed)
+	if len(kept) == 0 {
+		return 0
+	}
+	for _, d := range kept {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+func typeCheck(fset *token.FileSet, files []*ast.File, cfg *Config) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		canon, ok := cfg.ImportMap[path]
+		if !ok {
+			canon = path
+		}
+		file, ok := cfg.PackageFile[canon]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := types.Config{
+		Importer:  unsafeAware{base},
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect only the first hard failure below
+	}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// unsafeAware short-circuits the "unsafe" pseudo-package, which has no export
+// data on disk.
+type unsafeAware struct{ next types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.next.Import(path)
+}
+
+// reportSuppressed makes //dc:ignore use visible in CI. When the
+// DCLINT_SUPPRESS_REPORT environment variable names a file, one line per
+// suppressed diagnostic — position included, so identical messages at
+// different sites stay distinct through lint.sh's dedupe — is appended to it;
+// scripts/lint.sh totals them.
+func reportSuppressed(importPath string, fset *token.FileSet, suppressed []Diagnostic) {
+	path := os.Getenv("DCLINT_SUPPRESS_REPORT")
+	if path == "" || len(suppressed) == 0 {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o666)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	for _, d := range suppressed {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(f, "%s\t%s:%d\t%s\t%s\n", importPath, filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+	}
+}

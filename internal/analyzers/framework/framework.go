@@ -1,0 +1,92 @@
+// Package framework is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that dclint's analyzers are written
+// against, plus a driver speaking cmd/go's -vettool protocol.
+//
+// The repo builds offline with a zero-dependency go.mod, so we cannot import
+// x/tools. The subset here is deliberately API-compatible in shape (Analyzer,
+// Pass, Diagnostic, Pass.Reportf) so the analyzers could be ported to the real
+// framework by changing one import line.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's short name, used in CLI output and in
+	// //dc:ignore directives.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+// Pass holds the inputs to a single application of an Analyzer to one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Diagnostics returns the findings recorded so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
+
+// RunAnalyzers type-checks nothing; it applies each analyzer to an
+// already-type-checked package and returns the combined diagnostics.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		out = append(out, pass.diagnostics...)
+	}
+	return out, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers rely on
+// populated, so go/types records full use/def/selection/type information.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,91 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analyzers/directives"
+)
+
+// FilterIgnored splits diags into kept and suppressed according to
+// //dc:ignore directives in files. An ignore directive covers the statement or
+// declaration that starts on its line (end-of-line comment) or on the line
+// below it (comment above), for the full source extent of that node.
+//
+// Malformed ignores — a missing reason, or a name that matches no shipped
+// analyzer — are themselves reported, so a suppression can never silently rot.
+func FilterIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic, analyzers []*Analyzer) (kept, suppressed []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	type span struct {
+		analyzer   string
+		begin, end int // line range, inclusive
+	}
+	spans := map[string][]span{} // filename -> spans
+
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, d := range directives.Named(directives.All(f), "ignore") {
+			line := fset.Position(d.Pos).Line
+			if len(d.Args) < 2 || !known[d.Arg(0)] {
+				kept = append(kept, Diagnostic{
+					Pos:      d.Pos,
+					Analyzer: "dclint",
+					Message:  "malformed //dc:ignore: want `//dc:ignore <analyzer> <reason>` with a known analyzer name",
+				})
+				continue
+			}
+			begin, end := line, line
+			if node := coveredNode(fset, f, line); node != nil {
+				if e := fset.Position(node.End()).Line; e > end {
+					end = e
+				}
+			}
+			spans[fname] = append(spans[fname], span{d.Arg(0), begin, end})
+		}
+	}
+
+	for _, diag := range diags {
+		pos := fset.Position(diag.Pos)
+		hit := false
+		for _, s := range spans[pos.Filename] {
+			if s.analyzer == diag.Analyzer && pos.Line >= s.begin && pos.Line <= s.end {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			suppressed = append(suppressed, diag)
+		} else {
+			kept = append(kept, diag)
+		}
+	}
+	return kept, suppressed
+}
+
+// coveredNode finds the smallest statement, declaration, or struct field that
+// starts on line or line+1 — the code a //dc:ignore comment is read as
+// annotating.
+func coveredNode(fset *token.FileSet, f *ast.File, line int) ast.Node {
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, *ast.Field:
+			start := fset.Position(n.Pos()).Line
+			if start == line || start == line+1 {
+				// Prefer the smallest (innermost) covering node.
+				if best == nil || n.Pos() >= best.Pos() && n.End() <= best.End() {
+					best = n
+				}
+			}
+		}
+		return true
+	})
+	return best
+}

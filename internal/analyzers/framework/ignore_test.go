@@ -1,0 +1,45 @@
+package framework_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers/analyzertest"
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/lockguard"
+)
+
+// TestFilterIgnored drives the suppression machinery the way the dclint
+// driver does: two well-formed ignores suppress their findings (these are
+// what CI counts), while a missing reason and an unknown analyzer name each
+// keep the finding and add a malformed-ignore diagnostic.
+func TestFilterIgnored(t *testing.T) {
+	fset, files, pkg, info := analyzertest.Load(t, "../testdata", "ignorefix")
+	analyzers := []*framework.Analyzer{lockguard.Analyzer}
+	diags, err := framework.RunAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("run lockguard: %v", err)
+	}
+	kept, suppressed := framework.FilterIgnored(fset, files, diags, analyzers)
+
+	if len(suppressed) != 2 {
+		t.Errorf("suppressed %d diagnostics, want 2: %+v", len(suppressed), suppressed)
+	}
+	var lock, malformed int
+	for _, d := range kept {
+		switch d.Analyzer {
+		case "lockguard":
+			lock++
+		case "dclint":
+			malformed++
+			if !strings.Contains(d.Message, "malformed //dc:ignore") {
+				t.Errorf("unexpected dclint diagnostic: %s", d.Message)
+			}
+		default:
+			t.Errorf("unexpected analyzer %q in kept diagnostics", d.Analyzer)
+		}
+	}
+	if lock != 2 || malformed != 2 {
+		t.Errorf("kept %d lockguard + %d malformed-ignore diagnostics, want 2 + 2 (kept: %+v)", lock, malformed, kept)
+	}
+}

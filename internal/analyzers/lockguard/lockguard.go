@@ -1,0 +1,188 @@
+// Package lockguard enforces //dc:guardedby field annotations and
+// //dc:lockorder acquisition-order declarations.
+//
+// A field annotated `//dc:guardedby g.mu` (path relative to its declaring
+// struct) may only be read with that mutex held — shared or exclusive — and
+// only written with it held exclusively. Functions whose callers hold a lock
+// declare it with `//dc:holds <path>`. Acquisition order is declared at
+// package level as `//dc:lockorder Outer.mu Inner.mu`, meaning Outer.mu is
+// taken first: acquiring Outer.mu while holding Inner.mu is a lock-inversion
+// diagnostic.
+//
+// Tracking is at type granularity (see internal/analyzers/lockstate), walked
+// per function in source order with branch-sensitive held sets. Locals built
+// from composite literals in the same function are exempt: the value is not
+// shared yet, which is exactly the constructor pattern.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analyzers/directives"
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/lockstate"
+)
+
+// Analyzer is the lockguard pass.
+var Analyzer = &framework.Analyzer{
+	Name: "lockguard",
+	Doc:  "checks //dc:guardedby field access discipline and //dc:lockorder acquisition order",
+	Run:  run,
+}
+
+type orderPair struct {
+	first, second         types.Object
+	firstName, secondName string
+}
+
+func run(pass *framework.Pass) error {
+	guards := map[*types.Var]types.Object{} // field -> required mutex
+	guardPath := map[*types.Var]string{}
+	var orders []orderPair
+
+	for _, f := range pass.Files {
+		collectGuards(pass, f, guards, guardPath)
+		orders = append(orders, collectOrders(pass, f)...)
+	}
+	if len(guards) == 0 && len(orders) == 0 {
+		return nil
+	}
+
+	cb := lockstate.Callbacks{
+		OnAccess: func(sel *ast.SelectorExpr, field *types.Var, write bool, held *lockstate.Held) {
+			mu, ok := guards[field]
+			if !ok {
+				return
+			}
+			if held.Has(mu, write) {
+				return
+			}
+			verb := "read"
+			need := ""
+			if write {
+				verb = "written"
+				if held.Has(mu, false) {
+					need = " exclusively (only RLock is held)"
+				}
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s is guarded by %s but %s without holding it%s",
+				field.Name(), guardPath[field], verb, need)
+		},
+		OnAcquire: func(call *ast.CallExpr, mu types.Object, excl bool, held *lockstate.Held) {
+			for _, p := range orders {
+				if p.first == mu && held.Has(p.second, false) {
+					pass.Reportf(call.Pos(), "lock order inversion: acquiring %s while holding %s (declared order: %s before %s)",
+						p.firstName, p.secondName, p.firstName, p.secondName)
+				}
+			}
+		},
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			seed := lockstate.NewHeld()
+			for _, d := range directives.Named(directives.FuncDirectives(fn), "holds") {
+				if len(d.Args) != 1 {
+					pass.Reportf(d.Pos, "malformed //dc:holds: want one lock path")
+					continue
+				}
+				mu, err := lockstate.ResolveFuncPath(pass.TypesInfo, pass.Pkg, fn, strings.Split(d.Arg(0), "."))
+				if err != nil {
+					pass.Reportf(d.Pos, "//dc:holds %s: %v", d.Arg(0), err)
+					continue
+				}
+				seed.Add(mu, true)
+			}
+			lockstate.WalkFunc(pass.TypesInfo, fn.Body, seed, cb)
+		}
+	}
+	return nil
+}
+
+// collectGuards resolves every //dc:guardedby field annotation in f.
+func collectGuards(pass *framework.Pass, f *ast.File, guards map[*types.Var]types.Object, guardPath map[*types.Var]string) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		owner := pass.TypesInfo.Defs[ts.Name]
+		if owner == nil {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			for _, d := range directives.Named(directives.FieldDirectives(field), "guardedby") {
+				if len(d.Args) != 1 {
+					pass.Reportf(d.Pos, "malformed //dc:guardedby: want one lock path")
+					continue
+				}
+				mu, err := lockstate.FieldByPath(pass.Pkg, owner.Type(), strings.Split(d.Arg(0), "."))
+				if err != nil {
+					pass.Reportf(d.Pos, "//dc:guardedby %s: %v", d.Arg(0), err)
+					continue
+				}
+				if !lockstate.IsMutex(mu.Type()) {
+					pass.Reportf(d.Pos, "//dc:guardedby %s: %s is not a sync.Mutex or sync.RWMutex", d.Arg(0), mu.Name())
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+						guardPath[v] = d.Arg(0)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectOrders parses package-level //dc:lockorder directives, whose
+// arguments are Type.field pairs resolved in the package scope.
+func collectOrders(pass *framework.Pass, f *ast.File) []orderPair {
+	var out []orderPair
+	for _, d := range directives.Named(directives.All(f), "lockorder") {
+		if len(d.Args) != 2 {
+			pass.Reportf(d.Pos, "malformed //dc:lockorder: want two Type.field lock names")
+			continue
+		}
+		resolve := func(s string) types.Object {
+			parts := strings.Split(s, ".")
+			tn := pass.Pkg.Scope().Lookup(parts[0])
+			if tn == nil {
+				pass.Reportf(d.Pos, "//dc:lockorder: no package-level name %q", parts[0])
+				return nil
+			}
+			if len(parts) == 1 {
+				return tn
+			}
+			mu, err := lockstate.FieldByPath(pass.Pkg, tn.Type(), parts[1:])
+			if err != nil {
+				pass.Reportf(d.Pos, "//dc:lockorder %s: %v", s, err)
+				return nil
+			}
+			return mu
+		}
+		a, b := resolve(d.Args[0]), resolve(d.Args[1])
+		if a == nil || b == nil {
+			continue
+		}
+		for _, mu := range []types.Object{a, b} {
+			if !lockstate.IsMutex(mu.Type()) {
+				pass.Reportf(d.Pos, "//dc:lockorder: %s is not a mutex", mu.Name())
+			}
+		}
+		out = append(out, orderPair{first: a, second: b, firstName: d.Args[0], secondName: d.Args[1]})
+	}
+	return out
+}

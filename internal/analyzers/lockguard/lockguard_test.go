@@ -1,0 +1,19 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analyzertest"
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/lockguard"
+)
+
+var suite = []*framework.Analyzer{lockguard.Analyzer}
+
+func TestGuardedBy(t *testing.T) {
+	analyzertest.Run(t, "../testdata", suite, "lockguardfix")
+}
+
+func TestLockOrder(t *testing.T) {
+	analyzertest.Run(t, "../testdata", suite, "lockorderfix")
+}

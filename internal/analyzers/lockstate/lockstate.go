@@ -1,0 +1,537 @@
+// Package lockstate walks function bodies in source order while tracking
+// which sync.Mutex / sync.RWMutex locks are held, at type granularity.
+//
+// A mutex is identified by its declaration object: the *types.Var of the
+// struct field (so replicaGroup.mu and clusterNode.mu are distinct, but two
+// *instances* of replicaGroup share one identity) or the package-level var.
+// Type granularity is what makes annotations like `//dc:guardedby g.mu` on a
+// clusterNode field checkable without alias analysis: any replicaGroup.mu
+// held on the path satisfies the guard. The cost is that locking one
+// instance satisfies accesses through another — an accepted, documented
+// approximation (the same one the g.mu→n.mu ordering comments in
+// internal/netrun/client.go are written at).
+package lockstate
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Held is the set of locks held at a program point.
+type Held struct {
+	m map[types.Object]bool // object -> exclusively held
+}
+
+// NewHeld returns an empty held-set.
+func NewHeld() *Held { return &Held{m: map[types.Object]bool{}} }
+
+// Add records mu as held, exclusively or shared.
+func (h *Held) Add(mu types.Object, excl bool) { h.m[mu] = excl }
+
+// Remove drops mu from the held set.
+func (h *Held) Remove(mu types.Object) { delete(h.m, mu) }
+
+// Has reports whether mu is held; if needExcl, an RLock does not count.
+func (h *Held) Has(mu types.Object, needExcl bool) bool {
+	excl, ok := h.m[mu]
+	if !ok {
+		return false
+	}
+	return excl || !needExcl
+}
+
+// Objects returns the held mutex objects in unspecified order.
+func (h *Held) Objects() []types.Object {
+	out := make([]types.Object, 0, len(h.m))
+	for o := range h.m {
+		out = append(out, o)
+	}
+	return out
+}
+
+func (h *Held) clone() *Held {
+	c := NewHeld()
+	for o, e := range h.m {
+		c.m[o] = e
+	}
+	return c
+}
+
+// intersect keeps locks held on both paths, demoting to shared when the
+// branches disagree on exclusivity.
+func intersect(a, b *Held) *Held {
+	out := NewHeld()
+	for o, ea := range a.m {
+		if eb, ok := b.m[o]; ok {
+			out.m[o] = ea && eb
+		}
+	}
+	return out
+}
+
+// Callbacks receive events during a walk.
+type Callbacks struct {
+	// OnAccess fires for each selector expression that reads or writes a
+	// struct field (Selection kind FieldVal). Accesses rooted at a local
+	// freshly built by a composite literal in the same function are skipped:
+	// the value is unshared, so no lock can be required yet.
+	OnAccess func(sel *ast.SelectorExpr, field *types.Var, write bool, held *Held)
+	// OnAcquire fires for each mu.Lock()/mu.RLock() call, before mu is added
+	// to the held set — so held is "what was already held at acquisition".
+	OnAcquire func(call *ast.CallExpr, mu types.Object, excl bool, held *Held)
+}
+
+// IsMutex reports whether t (possibly a pointer) is sync.Mutex or
+// sync.RWMutex.
+func IsMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// MutexObject resolves the expression a Lock/Unlock method is called on to
+// its declaration object: a mutex-typed struct field or package-level var.
+func MutexObject(info *types.Info, x ast.Expr) types.Object {
+	switch e := x.(type) {
+	case *ast.ParenExpr:
+		return MutexObject(info, e.X)
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok && IsMutex(v.Type()) {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok && IsMutex(v.Type()) {
+				return v
+			}
+		}
+		// Package-qualified var: pkg.Mu
+		if obj, ok := info.Uses[e.Sel]; ok {
+			if v, ok := obj.(*types.Var); ok && IsMutex(v.Type()) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// lockMethod classifies a call as a lock-state transition.
+// Returns the mutex object, whether exclusive, and +1 (acquire) / -1
+// (release); delta 0 means not a lock call.
+func lockMethod(info *types.Info, call *ast.CallExpr) (mu types.Object, excl bool, delta int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, 0
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		excl, delta = true, +1
+	case "RLock":
+		excl, delta = false, +1
+	case "Unlock":
+		excl, delta = true, -1
+	case "RUnlock":
+		excl, delta = false, -1
+	default:
+		return nil, false, 0
+	}
+	mu = MutexObject(info, sel.X)
+	if mu == nil {
+		return nil, false, 0
+	}
+	return mu, excl, delta
+}
+
+type walker struct {
+	info  *types.Info
+	cb    Callbacks
+	fresh map[types.Object]bool
+}
+
+// WalkFunc traverses body in source order with seed as the initial held set
+// (nil means none), invoking cb for accesses and acquisitions.
+func WalkFunc(info *types.Info, body *ast.BlockStmt, seed *Held, cb Callbacks) {
+	if body == nil {
+		return
+	}
+	if seed == nil {
+		seed = NewHeld()
+	}
+	w := &walker{info: info, cb: cb, fresh: freshLocals(info, body)}
+	w.block(body, seed.clone())
+}
+
+// freshLocals finds locals initialized from composite literals inside this
+// function: `x := &T{...}`, `x := T{...}`, `var x = &T{...}`. Such values are
+// not yet shared, so guarded-field checks do not apply through them.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	isLit := func(e ast.Expr) bool {
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = u.X
+		}
+		_, ok := e.(*ast.CompositeLit)
+		return ok
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isLit(st.Rhs[i]) {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) != len(st.Values) {
+				return true
+			}
+			for i, id := range st.Names {
+				if !isLit(st.Values[i]) {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// block walks stmts sequentially, threading the held set through; it returns
+// the out-state and whether control cannot fall off the end.
+func (w *walker) block(b *ast.BlockStmt, h *Held) (*Held, bool) {
+	return w.stmts(b.List, h)
+}
+
+func (w *walker) stmts(list []ast.Stmt, h *Held) (*Held, bool) {
+	for _, s := range list {
+		var term bool
+		h, term = w.stmt(s, h)
+		if term {
+			return h, true
+		}
+	}
+	return h, false
+}
+
+func (w *walker) stmt(s ast.Stmt, h *Held) (*Held, bool) {
+	switch st := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return h, false
+	case *ast.BlockStmt:
+		return w.block(st, h)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, h)
+	case *ast.ExprStmt:
+		w.expr(st.X, h, false)
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return h, true
+			}
+		}
+		return h, false
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.expr(r, h, false)
+		}
+		for _, l := range st.Lhs {
+			w.writeTarget(l, h)
+		}
+		return h, false
+	case *ast.IncDecStmt:
+		w.writeTarget(st.X, h)
+		return h, false
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, h, false)
+					}
+				}
+			}
+		}
+		return h, false
+	case *ast.SendStmt:
+		w.expr(st.Chan, h, false)
+		w.expr(st.Value, h, false)
+		return h, false
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.expr(r, h, false)
+		}
+		return h, true
+	case *ast.BranchStmt:
+		return h, true // break/continue/goto: no fall-through here
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` holds the lock to function end: no state
+		// change. Other deferred work runs at return time with unknown held
+		// state, so closures start empty.
+		if mu, _, delta := lockMethod(w.info, st.Call); mu != nil && delta < 0 {
+			return h, false
+		}
+		for _, a := range st.Call.Args {
+			w.expr(a, h, false)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLit(lit)
+		} else {
+			w.expr(st.Call.Fun, h, false)
+		}
+		return h, false
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			w.expr(a, h, false)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLit(lit)
+		} else {
+			w.expr(st.Call.Fun, h, false)
+		}
+		return h, false
+	case *ast.IfStmt:
+		if st.Init != nil {
+			h, _ = w.stmt(st.Init, h)
+		}
+		w.expr(st.Cond, h, false)
+		thenOut, thenTerm := w.block(st.Body, h.clone())
+		elseOut, elseTerm := h.clone(), false
+		if st.Else != nil {
+			elseOut, elseTerm = w.stmt(st.Else, h.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return h, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return intersect(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			h, _ = w.stmt(st.Init, h)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond, h, false)
+		}
+		body := h.clone()
+		body, _ = w.block(st.Body, body)
+		if st.Post != nil {
+			w.stmt(st.Post, body)
+		}
+		return h, false
+	case *ast.RangeStmt:
+		w.expr(st.X, h, false)
+		w.block(st.Body, h.clone())
+		return h, false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			h, _ = w.stmt(st.Init, h)
+		}
+		if st.Tag != nil {
+			w.expr(st.Tag, h, false)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, h, false)
+			}
+			w.stmts(cc.Body, h.clone())
+		}
+		return h, false
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			h, _ = w.stmt(st.Init, h)
+		}
+		w.stmt(st.Assign, h)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.stmts(cc.Body, h.clone())
+		}
+		return h, false
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			body := h.clone()
+			if cc.Comm != nil {
+				body, _ = w.stmt(cc.Comm, body)
+			}
+			w.stmts(cc.Body, body)
+		}
+		return h, false
+	default:
+		return h, false
+	}
+}
+
+// writeTarget records a write access through l.
+func (w *walker) writeTarget(l ast.Expr, h *Held) {
+	switch e := l.(type) {
+	case *ast.ParenExpr:
+		w.writeTarget(e.X, h)
+	case *ast.StarExpr:
+		w.writeTarget(e.X, h)
+	case *ast.IndexExpr:
+		// arr[i] = v mutates the backing store reached through arr.
+		w.writeTarget(e.X, h)
+		w.expr(e.Index, h, false)
+	case *ast.SelectorExpr:
+		w.expr(e, h, true)
+	default:
+		w.expr(l, h, false)
+	}
+}
+
+// expr scans e for field accesses, lock transitions, and nested closures.
+// write applies to the outermost selector only.
+func (w *walker) expr(e ast.Expr, h *Held, write bool) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *ast.ParenExpr:
+		w.expr(x.X, h, write)
+	case *ast.SelectorExpr:
+		w.reportAccess(x, write, h)
+		w.expr(x.X, h, false)
+	case *ast.CallExpr:
+		if mu, excl, delta := lockMethod(w.info, x); mu != nil {
+			if delta > 0 {
+				if w.cb.OnAcquire != nil {
+					w.cb.OnAcquire(x, mu, excl, h)
+				}
+				h.Add(mu, excl)
+			} else {
+				h.Remove(mu)
+			}
+			return
+		}
+		if lit, ok := x.Fun.(*ast.FuncLit); ok {
+			// Immediately-invoked literal runs here, inheriting held locks.
+			for _, a := range x.Args {
+				w.expr(a, h, false)
+			}
+			w.block(lit.Body, h.clone())
+			return
+		}
+		w.expr(x.Fun, h, false)
+		for _, a := range x.Args {
+			w.expr(a, h, false)
+		}
+	case *ast.FuncLit:
+		w.funcLit(x)
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			w.writeTarget(x.X, h)
+		} else {
+			w.expr(x.X, h, false)
+		}
+	case *ast.BinaryExpr:
+		w.expr(x.X, h, false)
+		w.expr(x.Y, h, false)
+	case *ast.StarExpr:
+		w.expr(x.X, h, write)
+	case *ast.IndexExpr:
+		w.expr(x.X, h, write)
+		w.expr(x.Index, h, false)
+	case *ast.IndexListExpr:
+		w.expr(x.X, h, write)
+		for _, i := range x.Indices {
+			w.expr(i, h, false)
+		}
+	case *ast.SliceExpr:
+		w.expr(x.X, h, write)
+		w.expr(x.Low, h, false)
+		w.expr(x.High, h, false)
+		w.expr(x.Max, h, false)
+	case *ast.TypeAssertExpr:
+		w.expr(x.X, h, false)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.expr(kv.Value, h, false)
+				continue
+			}
+			w.expr(el, h, false)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(x.Value, h, false)
+	}
+}
+
+// funcLit walks a closure body that runs at an unknown later time: no locks
+// are assumed held, and it has its own fresh-local set.
+func (w *walker) funcLit(lit *ast.FuncLit) {
+	inner := &walker{info: w.info, cb: w.cb, fresh: freshLocals(w.info, lit.Body)}
+	// Locals fresh in the enclosing function are still unshared inside the
+	// closure that captured them.
+	for o := range w.fresh {
+		inner.fresh[o] = true
+	}
+	inner.block(lit.Body, NewHeld())
+}
+
+func (w *walker) reportAccess(sel *ast.SelectorExpr, write bool, h *Held) {
+	if w.cb.OnAccess == nil {
+		return
+	}
+	s, ok := w.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	if w.fresh[rootObject(w.info, sel)] {
+		return
+	}
+	w.cb.OnAccess(sel, field, write, h)
+}
+
+// rootObject returns the object of the identifier at the base of a selector
+// chain, or nil.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package lockstate
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// FieldByPath walks a dotted field path (already split) from start, derefing
+// pointers at each hop, and returns the final field object.
+func FieldByPath(pkg *types.Package, start types.Type, path []string) (types.Object, error) {
+	cur := start
+	var obj types.Object
+	for _, name := range path {
+		o, _, _ := types.LookupFieldOrMethod(cur, true, pkg, name)
+		if o == nil {
+			return nil, fmt.Errorf("no field %q in %s", name, cur)
+		}
+		v, ok := o.(*types.Var)
+		if !ok {
+			return nil, fmt.Errorf("%q in %s is not a field", name, cur)
+		}
+		obj = v
+		cur = v.Type()
+	}
+	return obj, nil
+}
+
+// ResolveFuncPath resolves a dotted path like "u.mu" or "mu" relative to a
+// function: the first element names the receiver, a parameter, or a
+// package-level variable; the rest are fields.
+func ResolveFuncPath(info *types.Info, pkg *types.Package, fn *ast.FuncDecl, path []string) (types.Object, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("empty lock path")
+	}
+	var root types.Object
+	lookup := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if name.Name == path[0] {
+					root = info.Defs[name]
+				}
+			}
+		}
+	}
+	lookup(fn.Recv)
+	if root == nil && fn.Type != nil {
+		lookup(fn.Type.Params)
+	}
+	if root == nil {
+		if o := pkg.Scope().Lookup(path[0]); o != nil {
+			root = o
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("no receiver, parameter, or package var named %q", path[0])
+	}
+	if len(path) == 1 {
+		return root, nil
+	}
+	return FieldByPath(pkg, root.Type(), path[1:])
+}

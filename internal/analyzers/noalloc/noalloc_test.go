@@ -1,0 +1,13 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analyzertest"
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analyzertest.Run(t, "../testdata", []*framework.Analyzer{noalloc.Analyzer}, "noallocfix")
+}

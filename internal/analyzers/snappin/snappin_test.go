@@ -1,0 +1,13 @@
+package snappin_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analyzertest"
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/snappin"
+)
+
+func TestSnapPin(t *testing.T) {
+	analyzertest.Run(t, "../testdata", []*framework.Analyzer{snappin.Analyzer}, "snappinfix")
+}

@@ -1,0 +1,37 @@
+// Package framepairfix exercises framepair: OpPing and OpAck are fully wired
+// (table entry + dispatch + construction); OpFake has an encode site but no
+// table entry and no decode path — the half-wired state the analyzer exists
+// to catch.
+package framepairfix
+
+const (
+	OpPing uint8 = 1
+	OpAck  uint8 = 2
+	OpFake uint8 = 3 // want `OpFake has no entry in the //dc:optable op×version table` `OpFake is never dispatched on \(no switch case or ==/!= comparison\): decode path missing`
+)
+
+// opMinVersion is the op→min-version table framepair checks for completeness.
+//
+//dc:optable
+var opMinVersion = map[uint8]uint32{
+	OpPing: 1,
+	OpAck:  1,
+}
+
+func minVersion(op uint8) uint32 { return opMinVersion[op] }
+
+func encode(buf []byte, op uint8) []byte { return append(buf, op) }
+
+func encodePing(buf []byte) []byte { return encode(buf, OpPing) }
+func encodeAck(buf []byte) []byte  { return encode(buf, OpAck) }
+func encodeFake(buf []byte) []byte { return encode(buf, OpFake) }
+
+// dispatch covers both recognized decode forms: a switch case and an ==
+// comparison.
+func dispatch(op uint8) bool {
+	switch op {
+	case OpPing:
+		return true
+	}
+	return op == OpAck
+}

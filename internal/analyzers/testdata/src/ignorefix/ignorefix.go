@@ -1,0 +1,35 @@
+// Package ignorefix exercises //dc:ignore suppression: well-formed ignores
+// (above or at the end of the offending line) suppress and are counted;
+// a missing reason or an unknown analyzer name keeps the finding AND adds a
+// malformed-ignore diagnostic, so suppressions can never silently rot.
+package ignorefix
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int //dc:guardedby mu
+}
+
+// peekAbove's finding is suppressed by the ignore on the line above it.
+func peekAbove(b *box) int {
+	//dc:ignore lockguard single-threaded test helper
+	return b.n
+}
+
+// peekInline's finding is suppressed by the end-of-line ignore.
+func peekInline(b *box) int {
+	return b.n //dc:ignore lockguard quiescent caller
+}
+
+// badIgnore has no reason: the ignore is malformed and suppresses nothing.
+func badIgnore(b *box) int {
+	//dc:ignore lockguard
+	return b.n
+}
+
+// typoIgnore names no known analyzer: malformed, suppresses nothing.
+func typoIgnore(b *box) int {
+	//dc:ignore lockgard typo in the analyzer name
+	return b.n
+}

@@ -1,0 +1,83 @@
+// Package lockguardfix exercises //dc:guardedby field discipline: reads need
+// the guard held (shared is enough), writes need it exclusively, //dc:holds
+// seeds a caller-held lock, and constructor-fresh locals are exempt.
+package lockguardfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //dc:guardedby mu
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want `field n is guarded by mu but read without holding it`
+}
+
+func (c *counter) racyWrite() {
+	c.n = 1 // want `field n is guarded by mu but written without holding it`
+}
+
+// bumpLocked runs with the counter lock held by its caller.
+//
+//dc:holds c.mu
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// newCounter writes the guarded field on a local it just built: the value is
+// not shared yet, so no lock is required (the constructor exemption).
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7
+	return c
+}
+
+// branches: the lock survives on the fall-through path because the unlocking
+// arm returns; the walker's branch intersection must see that.
+func branches(c *counter, early bool) int {
+	c.mu.Lock()
+	if early {
+		c.mu.Unlock()
+		return 0
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  int //dc:guardedby mu
+}
+
+func (g *gauge) read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+func (g *gauge) sneakyWrite() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.v = 1 // want `field v is guarded by mu but written without holding it exclusively \(only RLock is held\)`
+}
+
+func (g *gauge) set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}

@@ -1,0 +1,39 @@
+// Package lockorderfix exercises //dc:lockorder: it mirrors internal/netrun's
+// replica-group/member-node hierarchy, where the group lock (g.mu) is always
+// taken before a member's lock (n.mu).
+package lockorderfix
+
+import "sync"
+
+type replicaGroup struct {
+	mu      sync.Mutex
+	cursor  int
+	members []*clusterNode
+}
+
+type clusterNode struct {
+	mu   sync.Mutex
+	dead bool
+}
+
+//dc:lockorder replicaGroup.mu clusterNode.mu
+
+// markDead follows the declared order: group lock first, then the member.
+func markDead(g *replicaGroup, n *clusterNode) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cursor = 0
+	n.mu.Lock()
+	n.dead = true
+	n.mu.Unlock()
+}
+
+// inverted acquires the group lock while already holding a member's — the
+// deadlock-shaped inversion lockguard must flag.
+func inverted(g *replicaGroup, n *clusterNode) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g.mu.Lock() // want `lock order inversion: acquiring replicaGroup.mu while holding clusterNode.mu \(declared order: replicaGroup.mu before clusterNode.mu\)`
+	g.cursor++
+	g.mu.Unlock()
+}

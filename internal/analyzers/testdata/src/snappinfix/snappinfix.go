@@ -1,0 +1,53 @@
+// Package snappinfix exercises //dc:pinvia: the (base, delta, frozen) triple
+// may only be read inside the designated pin helper or with the snapshot
+// mutex held; piecewise reads can observe a torn snapshot across a merge.
+package snappinfix
+
+import "sync"
+
+type layered struct {
+	mu     sync.Mutex
+	base   []int //dc:pinvia pin mu
+	delta  []int //dc:pinvia pin mu
+	frozen []int //dc:pinvia pin mu
+	gen    int
+}
+
+// pin is the sanctioned snapshot helper: the one place the triple may be
+// read together without further ceremony.
+func (l *layered) pin() ([]int, []int, []int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base, l.delta, l.frozen
+}
+
+// swap holds the mutex, so writing the triple is legal.
+func (l *layered) swap() {
+	l.mu.Lock()
+	l.frozen = l.delta
+	l.delta = nil
+	l.gen++
+	l.mu.Unlock()
+}
+
+// mergeLocked runs with the mutex held by its caller.
+//
+//dc:holds l.mu
+func (l *layered) mergeLocked() {
+	l.base = append(l.base, l.frozen...)
+	l.frozen = nil
+}
+
+// tornRead loads two layers as independent unsynchronized reads — the torn
+// snapshot bug class.
+func (l *layered) tornRead() int {
+	return len(l.base) + len(l.delta) // want `snapshot field base must be read via the pin helper or with mu held` `snapshot field delta must be read via the pin helper or with mu held`
+}
+
+type other struct{}
+
+// pin here is a same-named method on a different type: it must NOT inherit
+// the layered.pin exemption (regression for an early snappin bug).
+func (o *other) pin(l *layered) int {
+	return len(l.base) // want `snapshot field base must be read via the pin helper or with mu held`
+}

@@ -1,0 +1,19 @@
+// Package sync is a stub of the standard library's sync package, just deep
+// enough for dclint fixtures to type-check: the lockstate tracker only needs
+// the Mutex/RWMutex types (identified by package path "sync") and their
+// Lock/Unlock/RLock/RUnlock method names.
+package sync
+
+// Mutex is a stub of sync.Mutex.
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+// RWMutex is a stub of sync.RWMutex.
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

@@ -284,7 +284,7 @@ type Cluster struct {
 	// mu is held shared by lookups for their full duration and
 	// exclusively by Close, which therefore waits out in-flight calls.
 	mu     sync.RWMutex
-	closed bool
+	closed bool //dc:guardedby mu
 
 	rr atomic.Uint64 // round-robin cursor for replicated methods
 }
@@ -441,6 +441,8 @@ func (c *Cluster) Partitioning() *Partitioning {
 // rank-shaped ops compute into b.ranks with the rank base — static plus
 // the preceding partitions' insert counters — folded into the single
 // write per key.
+//
+//dc:noalloc
 func (c *Cluster) processBatch(b *realBatch) {
 	lp := b.lp
 	switch b.op {
@@ -559,6 +561,8 @@ func (c *Cluster) LookupBatch(queries []workload.Key) ([]int, error) {
 // round-robins (A/B) the stream into batches, dispatches them over the
 // channel interconnect, and gathers replies on a per-call channel —
 // concurrent callers pipeline through the same worker pool.
+//
+//dc:noalloc
 func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 	if len(out) < len(queries) {
 		return fmt.Errorf("core: out len %d < %d queries", len(out), len(queries))
@@ -602,6 +606,8 @@ func (c *Cluster) putCall(cs *callState) {
 // opts an unsorted batch into the radix-sort + one-search-per-delimiter
 // path (always on for opCount and opMultiGet callers; SortedBatches for
 // plain ranks). The caller holds c.mu shared and owns cs.
+//
+//dc:noalloc
 func (c *Cluster) rankDispatch(cs *callState, queries []workload.Key, out []int, sortUnsorted bool, op batchOp) {
 	if len(queries) == 0 {
 		return

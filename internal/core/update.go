@@ -56,6 +56,17 @@ type livePart struct {
 	dispatchMu sync.Mutex
 }
 
+// Lock ordering on the write path: an insert call holds the cluster
+// read gate (Cluster.mu) for its whole duration, takes the
+// write/rebalance gate (Cluster.insertMu) inside it, and only then a
+// dispatch lock — the owning partition's dispatchMu for the
+// distributed methods, the shared replMu for the replicated ones.
+// dclint (lockguard) enforces these orders.
+//
+//dc:lockorder Cluster.mu Cluster.insertMu
+//dc:lockorder Cluster.insertMu livePart.dispatchMu
+//dc:lockorder Cluster.insertMu Cluster.replMu
+
 // updEpoch is one generation of the distributed methods' routing and
 // partition state. A rebalance installs a fresh epoch; batches carry
 // the livePart they were routed with, so in-flight work finishes

@@ -92,6 +92,8 @@ const (
 // and finishes with plain binary search, so results are always exact;
 // the worst case is the sqrt(n)-bounded gallop (cheap sequential
 // probes) plus one binary search.
+//
+//dc:noalloc
 func (a *SortedArray) RankBatch(qs []workload.Key, out []int, add int) {
 	keys := a.keys
 	n := len(keys)
@@ -170,6 +172,8 @@ func (a *SortedArray) RankBatch(qs []workload.Key, out []int, add int) {
 // Out-of-range queries cost one compare (below min) or saturate the
 // cursor at n (above max); duplicate queries repeat the cursor without
 // touching the array again.
+//
+//dc:noalloc
 func (a *SortedArray) RankSorted(qs []workload.Key, out []int, add int) {
 	keys := a.keys
 	n := len(keys)

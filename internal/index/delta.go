@@ -67,6 +67,8 @@ func (d *Delta) Rank(k workload.Key) int { return upperBound(d.keys, k) }
 
 // RankAdd adds each query's buffer rank into out — the side-layer pass
 // over an unordered batch whose base ranks are already in out.
+//
+//dc:noalloc
 func (d *Delta) RankAdd(qs []workload.Key, out []int) {
 	if len(d.keys) == 0 {
 		return
@@ -78,6 +80,8 @@ func (d *Delta) RankAdd(qs []workload.Key, out []int) {
 
 // RankSortedAdd is RankAdd for an ascending query run: one forward
 // merge over the buffer instead of a search per key.
+//
+//dc:noalloc
 func (d *Delta) RankSortedAdd(qs []workload.Key, out []int) {
 	keys := d.keys
 	n := len(keys)
@@ -211,12 +215,18 @@ type Updatable struct {
 	base  atomic.Pointer[baseState]
 	dirty atomic.Bool // false => delta and frozen both empty
 
-	mu       sync.Mutex
-	cond     *sync.Cond // signaled when a compaction finishes
-	delta    *Delta
-	frozen   *Delta // being merged; nil otherwise
-	gen      uint64 // bumped by Reset; stale merges discard
-	inflight int    // compactions running
+	mu   sync.Mutex
+	cond *sync.Cond // signaled when a compaction finishes
+	// delta and frozen form, with base, the snapshot triple: readers must
+	// capture all three through pin() (or under mu) — piecewise reads can
+	// observe a torn view across a concurrent merge install.
+	delta *Delta //dc:pinvia pin mu
+	// frozen is the buffer being merged; nil otherwise.
+	frozen *Delta //dc:pinvia pin mu
+	// gen is bumped by Reset; stale merges discard.
+	gen uint64 //dc:guardedby mu
+	// inflight counts compactions running.
+	inflight int //dc:guardedby mu
 
 	// seq is the durable watermark of the in-memory state: the WAL
 	// generation of the last batch applied via InsertBatchAt. Because
@@ -224,8 +234,8 @@ type Updatable struct {
 	// covers exactly the log prefix [0, seq] — which is what makes
 	// frozenSeq (captured when the buffer freezes) a valid segment
 	// flush point.
-	seq       uint64
-	frozenSeq uint64
+	seq       uint64 //dc:guardedby mu
+	frozenSeq uint64 //dc:guardedby mu
 
 	merges atomic.Uint64
 
@@ -279,6 +289,8 @@ func (u *Updatable) pin() (s *baseState, delta, frozen *Delta) {
 // RankBatch resolves qs into out (len(out) >= len(qs)), adding add to
 // every rank. Exact at every moment: base ranks plus the delta layers'
 // contributions.
+//
+//dc:noalloc
 func (u *Updatable) RankBatch(qs []workload.Key, out []int, add int) {
 	if !u.dirty.Load() {
 		// Clean fast path: the base alone answers. A racing insert
@@ -296,6 +308,8 @@ func (u *Updatable) RankBatch(qs []workload.Key, out []int, add int) {
 
 // RankSorted is RankBatch for an ascending run: the base's streaming
 // kernel when it has one, and forward-merge passes over the buffers.
+//
+//dc:noalloc
 func (u *Updatable) RankSorted(qs []workload.Key, out []int, add int) {
 	if !u.dirty.Load() {
 		s := u.base.Load()
@@ -373,6 +387,8 @@ func (u *Updatable) Insert(k workload.Key) {
 
 // maybeMergeLocked freezes the active buffer and spawns the compaction
 // when it is due. Caller holds mu.
+//
+//dc:holds u.mu
 func (u *Updatable) maybeMergeLocked() {
 	if u.frozen != nil || u.delta.Len() < u.threshold {
 		return

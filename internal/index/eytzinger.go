@@ -125,6 +125,8 @@ func (e *Eytzinger) Rank(k workload.Key) int {
 // adding add to every rank — the partition rank base folds into the
 // single result write. Queries are processed in groups of eytzLanes
 // lock-step descents so their cache misses overlap.
+//
+//dc:noalloc
 func (e *Eytzinger) RankBatch(qs []workload.Key, out []int, add int) {
 	a, sidx, n := e.a, e.sidx, uint(e.n)
 	i := 0
@@ -170,6 +172,8 @@ func (e *Eytzinger) RankBatch(qs []workload.Key, out []int, add int) {
 // ascending queries share their top-of-tree path, which the hot
 // first-levels cache lines already capture. Results are bit-identical
 // to RankBatch.
+//
+//dc:noalloc
 func (e *Eytzinger) RankSorted(qs []workload.Key, out []int, add int) {
 	e.RankBatch(qs, out, add)
 }

@@ -59,19 +59,23 @@ type Store struct {
 	dir string
 	opt StoreOptions
 
-	mu         sync.Mutex
-	wal        *WAL
-	walPrefix  int64        // cumulative bytes of rotated-away WAL files (see Commit)
-	wals       []walFileRef // ascending by base; last is the active log
-	gen        uint64
-	chain      uint64
-	segGen     uint64
-	segPath    string
-	hasSeg     bool
-	prevSegGen uint64
-	hasPrev    bool
-	chainAt    map[uint64]uint64 // record-end gen -> chain, appends since open
-	closed     bool
+	mu  sync.Mutex
+	wal *WAL //dc:guardedby mu
+	// walPrefix is the cumulative byte count of rotated-away WAL files
+	// (see Commit).
+	walPrefix int64 //dc:guardedby mu
+	// wals is ascending by base; the last entry is the active log.
+	wals       []walFileRef //dc:guardedby mu
+	gen        uint64       //dc:guardedby mu
+	chain      uint64       //dc:guardedby mu
+	segGen     uint64       //dc:guardedby mu
+	segPath    string       //dc:guardedby mu
+	hasSeg     bool         //dc:guardedby mu
+	prevSegGen uint64       //dc:guardedby mu
+	hasPrev    bool         //dc:guardedby mu
+	// chainAt maps record-end gen -> chain, for appends since open.
+	chainAt map[uint64]uint64 //dc:guardedby mu
+	closed  bool              //dc:guardedby mu
 }
 
 func segName(gen uint64) string      { return fmt.Sprintf("seg-%020d.seg", gen) }
@@ -274,6 +278,10 @@ func (s *Store) scanDir() (segs, wals []walFileRef, err error) {
 
 // retainedWALs drops replayed files that are already fully covered by
 // the retention floor (everything at or below the previous segment).
+// Only Open calls it, before the store is shared with any other
+// goroutine, so the lock contract below is vacuously satisfied.
+//
+//dc:holds s.mu
 func (s *Store) retainedWALs(refs []walFileRef) []walFileRef {
 	floor := s.retentionFloor()
 	out := refs[:0:0]
@@ -295,6 +303,8 @@ func (s *Store) retainedWALs(refs []walFileRef) []walFileRef {
 // retentionFloor is the generation below which durable history may be
 // discarded: the previous segment's generation, so that if the newest
 // segment rots, recovery still has old-segment + WAL tail.
+//
+//dc:holds s.mu
 func (s *Store) retentionFloor() uint64 {
 	if s.hasPrev {
 		return s.prevSegGen
@@ -320,7 +330,12 @@ func (s *Store) Chain() uint64 {
 }
 
 // Broken reports the WAL's sticky I/O error, if any.
-func (s *Store) Broken() error { return s.wal.Broken() }
+func (s *Store) Broken() error {
+	s.mu.Lock()
+	w := s.wal
+	s.mu.Unlock()
+	return w.Broken()
+}
 
 // HasSegment reports whether the store currently holds an intact
 // segment (cluster stores require one: their baseline is the segment).
@@ -445,6 +460,8 @@ func (s *Store) FlushSegment(keys []workload.Key, gen uint64) error {
 
 // rotateLocked closes the active log (after a final commit so no
 // group-commit waiter races the close) and cuts a fresh one.
+//
+//dc:holds s.mu
 func (s *Store) rotateLocked() error {
 	old := s.wal
 	if err := old.Commit(s.walEnd(old)); err != nil {
@@ -472,6 +489,8 @@ func (s *Store) walEnd(w *WAL) int64 {
 
 // retireLocked deletes segments and WAL files wholly below the
 // retention floor.
+//
+//dc:holds s.mu
 func (s *Store) retireLocked() {
 	floor := s.retentionFloor()
 	if segs, _, err := s.scanDir(); err == nil {
@@ -607,4 +626,3 @@ func (s *Store) Close() error {
 	s.closed = true
 	return s.wal.Close()
 }
-

@@ -96,7 +96,7 @@ type Cluster struct {
 	deltaCatchups atomic.Int64
 
 	mu     sync.Mutex // serializes Close and Redial
-	closed bool
+	closed bool       //dc:guardedby mu
 }
 
 // insBefore sums the keys inserted into partitions < part: the dynamic
@@ -133,8 +133,8 @@ type replicaGroup struct {
 	addrs   []string
 	stats   []*replicaStats // parallel to addrs, survives member churn
 	mu      sync.Mutex
-	cursor  int
-	members []*clusterNode
+	cursor  int            //dc:guardedby mu
+	members []*clusterNode //dc:guardedby mu
 	// writes counts insert chunks fanned out to this group, bumped in
 	// the same mu section as the fan-out itself. The rejoin path gates
 	// on it rather than on the acked counters (Cluster.ins): a write
@@ -142,8 +142,15 @@ type replicaGroup struct {
 	// *issued* — the acked counter lags by a network round trip, and a
 	// replica installed in that window would permanently miss the
 	// in-flight write.
-	writes int
+	writes int //dc:guardedby mu
 }
+
+// Lock ordering: a write fan-out holds g.mu while it locks each
+// member's n.mu to enqueue; failNode and the rejoin path take the locks
+// in the same order. The reverse — acquiring g.mu with n.mu held —
+// would deadlock against them, and lockguard rejects it:
+//
+//dc:lockorder replicaGroup.mu clusterNode.mu
 
 // replicaStats counts one replica address's lifecycle events across
 // member churn within an epoch.
@@ -332,15 +339,15 @@ type clusterNode struct {
 	// is a member — so write fan-outs see it — but reads skip it and
 	// its insert pendings queue in holdq, flushed onto the connection
 	// after the OpLoad so the load cannot wipe them.
-	catchingUp bool
-	holdq      []*pending
+	catchingUp bool       //dc:guardedby g.mu
+	holdq      []*pending //dc:guardedby g.mu
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	sendq    []*pending
-	sendHead int
-	pending  map[uint32]*pending
-	dead     bool
+	sendq    []*pending          //dc:guardedby mu
+	sendHead int                 //dc:guardedby mu
+	pending  map[uint32]*pending //dc:guardedby mu
+	dead     bool                //dc:guardedby mu
 }
 
 func (n *clusterNode) stats() *replicaStats { return n.g.stats[n.slot] }
@@ -639,6 +646,7 @@ func (c *Cluster) dialEpoch() (*epoch, error) {
 	// session wrote to. Seeding happens only here, never on rejoin: at
 	// dial time this client has no insert in flight, so the advertised
 	// counts cannot double-count with a later ack credit.
+	//dc:ignore lockguard epoch not yet published, dial is single-threaded
 	for _, g := range ep.groups {
 		for _, n := range g.members {
 			if d := int64(n.liveCount - n.keyCount); d > 0 {
@@ -651,6 +659,7 @@ func (c *Cluster) dialEpoch() (*epoch, error) {
 			}
 		}
 	}
+	//dc:ignore lockguard epoch not yet published, dial is single-threaded
 	for _, g := range ep.groups {
 		for _, n := range g.members {
 			ep.wg.Add(2)
@@ -729,6 +738,7 @@ func (c *Cluster) dialNode(g *replicaGroup, slot int, abort <-chan struct{}) (*c
 }
 
 func closeEpochNodes(ep *epoch) {
+	//dc:ignore lockguard only called while dialing, before the epoch is published
 	for _, g := range ep.groups {
 		for _, n := range g.members {
 			n.conn.Close()
@@ -1653,6 +1663,8 @@ func (c *Cluster) LookupBatch(queries []workload.Key) ([]int, error) {
 // the zero-allocation steady-state entry point. Concurrent callers
 // multiplex over the shared node connections by request id; replies
 // scatter directly into out from the connection read loops.
+//
+//dc:noalloc
 func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 	if len(out) < len(queries) {
 		return fmt.Errorf("netrun: out len %d < %d queries", len(out), len(queries))

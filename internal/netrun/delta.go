@@ -38,6 +38,8 @@ var (
 )
 
 // appendUvarint32 appends v in LEB128 (at most 5 bytes).
+//
+//dc:noalloc
 func appendUvarint32(dst []byte, v uint32) []byte {
 	for v >= 0x80 {
 		dst = append(dst, byte(v)|0x80)
@@ -49,6 +51,8 @@ func appendUvarint32(dst []byte, v uint32) []byte {
 // uvarint32 decodes one varint from b, returning the value and the
 // number of bytes consumed; n == 0 reports truncated, overlong (> 5
 // bytes), or out-of-range (> 32 bits) input.
+//
+//dc:noalloc
 func uvarint32(b []byte) (v uint32, n int) {
 	var x uint64
 	var s uint
@@ -71,6 +75,8 @@ func uvarint32(b []byte) (v uint32, n int) {
 // to dst and returns it. The caller guarantees monotonicity (sorted
 // keys or their ranks); encode panics in race-detector-less production
 // would corrupt the stream, so it is checked and reported as an error.
+//
+//dc:noalloc
 func appendDeltaRun(dst []byte, vals []uint32) ([]byte, error) {
 	dst = appendUvarint32(dst, uint32(len(vals)))
 	prev := uint32(0)
@@ -110,6 +116,8 @@ func deltaRunCount(payload []byte) (count, hdr int, err error) {
 // delta codec's ascending-run precondition does not hold, while the
 // values themselves still compress well (a multiplicity is almost
 // always 0 or 1, one byte against a fixed four).
+//
+//dc:noalloc
 func appendVarRun(dst []byte, vals []uint32) []byte {
 	dst = appendUvarint32(dst, uint32(len(vals)))
 	for _, v := range vals {
@@ -124,6 +132,8 @@ func appendVarRun(dst []byte, vals []uint32) []byte {
 // per-varint 5-byte/32-bit bounds, exact consumption — minus the
 // monotonicity that plain values do not promise. Fuzzed by
 // FuzzVarRunPayload.
+//
+//dc:noalloc
 func decodeVarRun(payload []byte, out []uint32) ([]uint32, error) {
 	count, hdr, err := deltaRunCount(payload)
 	if err != nil {
@@ -152,6 +162,8 @@ func decodeVarRun(payload []byte, out []uint32) ([]uint32, error) {
 // bounded by the deltaRunCount guard) and returns the values. Used by
 // the node to recover a sorted key batch; the client decodes rank
 // payloads inline in its read loop to scatter without a staging array.
+//
+//dc:noalloc
 func decodeDeltaRun(payload []byte, out []uint32) ([]uint32, error) {
 	count, hdr, err := deltaRunCount(payload)
 	if err != nil {

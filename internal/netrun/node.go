@@ -273,6 +273,12 @@ func (n *Node) handle(conn net.Conn) {
 	batcher, _ := n.idx.(batchRanker)
 	streamer, _ := n.idx.(sortedRanker)
 	cap32 := n.capVersion()
+	// negotiated is the version the hello exchange settles on for this
+	// connection. Until a hello arrives the node's own cap applies — a
+	// legacy v1 client may send lookups without negotiating — but once a
+	// client has negotiated, ops above that version are refused: the
+	// op×version table (opMinVersion in protocol.go) is authoritative.
+	negotiated := cap32
 	var keyBuf []workload.Key
 	var intBuf []int
 	var rankBuf []uint32
@@ -306,6 +312,14 @@ func (n *Node) handle(conn net.Conn) {
 			}
 			return
 		}
+		// Protocol discipline: a known op above the connection's
+		// negotiated version is refused before dispatch. Unknown ops
+		// (OpMinVersion 0) fall through to the default refuse below,
+		// keeping the legacy diagnostic for them.
+		if OpMinVersion(f.Op) > negotiated {
+			refuse(f)
+			return
+		}
 		switch f.Op {
 		case OpHello:
 			// The identity is the construction-time baseline; inserts
@@ -328,6 +342,7 @@ func (n *Node) handle(conn net.Conn) {
 			// consistent position (generation = live - baseline).
 			if f.ReqID >= ProtoV2 && cap32 >= ProtoV2 {
 				v := min(f.ReqID, cap32)
+				negotiated = v
 				payload = append(payload, v)
 				if v >= ProtoV3 && n.upd != nil {
 					if v >= ProtoV4 && n.dp != nil {
@@ -338,6 +353,10 @@ func (n *Node) handle(conn net.Conn) {
 						payload = append(payload, uint32(n.upd.TotalKeys()))
 					}
 				}
+			} else {
+				// A v1 hello (or a v1-capped node): the connection speaks
+				// v1 from here on, whatever the node could do.
+				negotiated = ProtoV1
 			}
 			if !reply(Frame{Op: OpHelloAck, ReqID: f.ReqID, Payload: payload}) {
 				return

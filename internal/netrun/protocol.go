@@ -258,6 +258,44 @@ func byteOp(op uint8) bool {
 	return false
 }
 
+// opMinVersion is the op×version table: the protocol version that
+// introduced each op, requests and replies alike — the executable form
+// of the "Op x minimum version" matrix in the package comment. The
+// node's serve loop refuses any request op newer than what the
+// connection negotiated, and the framepair analyzer checks that every
+// Op constant has an entry here plus live encode and decode sites, so
+// a new op cannot ship half-wired.
+//
+//dc:optable
+var opMinVersion = map[uint8]uint32{
+	OpHello:         ProtoV1,
+	OpHelloAck:      ProtoV1,
+	OpLookup:        ProtoV1,
+	OpRanks:         ProtoV1,
+	OpErr:           ProtoV1,
+	OpLookupSorted:  ProtoV2,
+	OpRanksDelta:    ProtoV2,
+	OpInsert:        ProtoV3,
+	OpInsertAck:     ProtoV3,
+	OpSnapshot:      ProtoV3,
+	OpSnapshotData:  ProtoV3,
+	OpLoad:          ProtoV3,
+	OpLoadAck:       ProtoV3,
+	OpSnapshotSince: ProtoV4,
+	OpSnapshotDelta: ProtoV4,
+	OpLoadAt:        ProtoV4,
+	OpCountRange:    ProtoV5,
+	OpScanRange:     ProtoV5,
+	OpTopK:          ProtoV5,
+	OpMultiGet:      ProtoV5,
+	OpKeysDelta:     ProtoV5,
+	OpCounts:        ProtoV5,
+}
+
+// OpMinVersion returns the protocol version that introduced op, or 0
+// for an op this build does not know.
+func OpMinVersion(op uint8) uint32 { return opMinVersion[op] }
+
 // MaxFrameWords bounds a v1 frame payload (16M words = 64 MB) so a
 // corrupt length cannot force an absurd allocation. MaxFrameBytes is
 // the byte-payload equivalent for v2 frames: the same 16M elements at
@@ -308,6 +346,8 @@ type frameWriter struct {
 // (valid until the next encode). Splitting encoding from the socket
 // write lets a caller stop referencing f.Payload before any blocking
 // I/O starts. Byte ops (v2) take their payload from f.Raw.
+//
+//dc:noalloc
 func (fw *frameWriter) encode(f Frame) ([]byte, error) {
 	if byteOp(f.Op) {
 		if len(f.Raw) > MaxFrameBytes {
@@ -337,6 +377,7 @@ func (fw *frameWriter) encode(f Frame) ([]byte, error) {
 	return buf, nil
 }
 
+//dc:noalloc
 func (fw *frameWriter) putHeader(buf []byte, op uint8, reqID, count uint32) {
 	binary.LittleEndian.PutUint32(buf[0:4], Magic)
 	buf[4] = op
@@ -348,6 +389,8 @@ func (fw *frameWriter) putHeader(buf []byte, op uint8, reqID, count uint32) {
 // OpSnapshotData) directly from the ascending run into the writer's
 // scratch (header + delta+varint payload, byte count backpatched),
 // avoiding a staging buffer on the send path.
+//
+//dc:noalloc
 func (fw *frameWriter) encodeDeltaOp(op uint8, reqID uint32, vals []uint32) ([]byte, error) {
 	if len(vals) > MaxFrameWords {
 		return nil, fmt.Errorf("netrun: frame payload %d values exceeds limit", len(vals))
@@ -385,6 +428,7 @@ type frameReader struct {
 	payload []uint32
 }
 
+//dc:noalloc
 func (fr *frameReader) readFrom(r io.Reader) (Frame, error) {
 	if _, err := io.ReadFull(r, fr.head[:]); err != nil {
 		return Frame{}, err
