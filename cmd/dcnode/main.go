@@ -62,6 +62,19 @@
 // for rank lookups and writes but excludes from the v5 query ops — the
 // mixed-version rollout the negotiation table in
 // internal/netrun/protocol.go pins.
+//
+// The -chaos-* flags turn a node into a deterministic gray failure for
+// resilience drills: the node still computes correct answers, but its
+// accepted connections are wrapped in a seeded faultnet profile that
+// delays or stalls reply writes. Start one replica with -chaos-delay
+// 50ms and drive the cluster with dcq -hedge to watch hedged reads and
+// latency-scored ejection route around it:
+//
+//	dcnode -parts 2 -part 0 -listen :7000 -chaos-delay 50ms &
+//	dcnode -parts 2 -part 0 -listen :7100 &
+//	dcnode -parts 2 -part 1 -listen :7001 &
+//	dcnode -parts 2 -part 1 -listen :7101 &
+//	dcq -connect 'localhost:7000|localhost:7100,localhost:7001|localhost:7101' -hedge
 package main
 
 import (
@@ -72,6 +85,7 @@ import (
 
 	"repro/dcindex"
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/index"
 	"repro/internal/netrun"
 	"repro/internal/workload"
@@ -89,6 +103,11 @@ func main() {
 		walDir   = flag.String("wal-dir", "", "durable mode: per-partition WAL + segment directory (created if missing); acked inserts survive crashes")
 		fsyncInt = flag.Duration("fsync-interval", 0, "with -wal-dir: minimum spacing between WAL fsyncs (0 = every group commit, negative = never fsync)")
 		maxVer   = flag.Uint("max-version", 0, "cap the negotiated protocol version (0 = newest); e.g. 4 emulates a pre-v5 node for mixed-version rollouts and interop tests")
+
+		chaosDelay  = flag.Duration("chaos-delay", 0, "chaos drill: delay every reply write by this much (seeded faultnet wrapper on every accepted connection)")
+		chaosStall  = flag.Int("chaos-stall-after", 0, "chaos drill: stall each accepted connection at its Nth write — the hello ack is write 1, so 2 stalls the first reply (0 disarms)")
+		chaosJitter = flag.Float64("chaos-jitter", 0, "chaos drill: scale injected delays by a seeded random factor in [1-j, 1+j]")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "chaos drill: faultnet profile seed (same seed, same misbehavior)")
 	)
 	flag.Parse()
 
@@ -146,6 +165,21 @@ func main() {
 	}
 	node.ReadOnly = *readonly
 	node.MaxVersion = uint32(*maxVer)
+	if *chaosDelay > 0 || *chaosStall > 0 {
+		// Gray-failure drill: this node keeps serving correctly but
+		// misbehaves at the transport, deterministically per seed. Point
+		// a dcq -hedge client at the cluster to watch hedged reads and
+		// ejection route around it.
+		prof := faultnet.NewProfile(*chaosSeed)
+		prof.Set(faultnet.Faults{
+			WriteLatency:     *chaosDelay,
+			Jitter:           *chaosJitter,
+			StallAfterWrites: *chaosStall,
+		})
+		node.WrapConn = prof.Wrap
+		log.Printf("dcnode: chaos drill armed: reply delay %v (jitter %.2f), stall after %d writes, seed %d",
+			*chaosDelay, *chaosJitter, *chaosStall, *chaosSeed)
+	}
 	if err := netrun.ListenAndServeNode(*listen, node); err != nil {
 		log.Fatalf("dcnode: %v", err)
 	}

@@ -36,12 +36,27 @@
 // A replica failure mid-run fails over to its partition sibling instead
 // of aborting; dcq prints a per-replica health summary when that
 // happens.
+//
+// -hedge arms the gray-failure machinery against replicated clusters:
+// reads that outlive the partition's latency quantile (-hedge-quantile,
+// default p95) are re-dispatched to a sibling under a token budget, and
+// a replica whose latency stays a sustained outlier is ejected, probed,
+// and readmitted. -chaos D is the matching client-side drill: replies
+// from the first configured replica are delayed by D through a seeded
+// faultnet wrapper, no server changes needed (dcnode's -chaos-* flags
+// are the server-side equivalent). The health summary then includes the
+// per-replica latency EWMA, probation state, and hedge/ejection/budget
+// counters:
+//
+//	dcq -connect 'host:7000|host:7100,host:7001|host:7101' -hedge -chaos 50ms
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"sort"
 	"strings"
@@ -49,6 +64,7 @@ import (
 	"time"
 
 	"repro/dcindex"
+	"repro/internal/faultnet"
 	"repro/internal/tab"
 )
 
@@ -69,6 +85,9 @@ func main() {
 		replicas   = flag.Int("replicas", 1, "replicas per partition in a flat -connect list (grouped '|' syntax overrides)")
 		sorted     = flag.Bool("sorted", false, "sorted-batch mode: pre-sort the query stream (ascending batches auto-detect; over TCP, v2 nodes get delta-coded frames)")
 		insertRate = flag.Float64("insert-rate", 0, "mixed read/write mode: keys inserted per read key (0.05 = 5% writes)")
+		hedge      = flag.Bool("hedge", false, "gray-failure mode (with -connect): hedged reads, latency-scored outlier ejection, and a hedge token budget")
+		hedgeQuant = flag.Float64("hedge-quantile", 0.95, "latency quantile that arms a hedge (with -hedge)")
+		chaos      = flag.Duration("chaos", 0, "gray-failure drill (with -connect): delay replies from the first replica by this much via a seeded faultnet wrapper on its connection")
 	)
 	flag.Parse()
 
@@ -104,7 +123,8 @@ func main() {
 	}
 
 	if *connect != "" {
-		runTCP(strings.Split(*connect, ","), keys, queries, *opName, *batch, *masters, *replicas, *optimeout, *insertRate, *seed)
+		runTCP(strings.Split(*connect, ","), keys, queries, *opName, *batch, *masters, *replicas, *optimeout, *insertRate, *seed,
+			*hedge, *hedgeQuant, *chaos)
 		return
 	}
 
@@ -303,15 +323,42 @@ func run(keys, queries []dcindex.Key, m dcindex.Method, op string, workers, batc
 // every replica of the owning partition). Replicated partitions fail
 // over and load-spread automatically; any failover that occurred is
 // summarized from Cluster.Health after the run.
-func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, masters, replicas int, opTimeout time.Duration, insertRate float64, seed uint64) {
+func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, masters, replicas int, opTimeout time.Duration, insertRate float64, seed uint64,
+	hedge bool, hedgeQuantile float64, chaos time.Duration) {
 	if masters < 1 {
 		masters = 1
 	}
-	c, err := dcindex.DialClusterOptions(addrs, keys, dcindex.TCPOptions{
+	opt := dcindex.TCPOptions{
 		BatchKeys: batch,
 		OpTimeout: opTimeout,
 		Replicas:  replicas,
-	})
+	}
+	if hedge {
+		// Gray-failure mode: hedge reads that outlive the partition's
+		// latency quantile and eject sustained outlier replicas. The
+		// budget knobs keep their library defaults.
+		opt.HedgeQuantile = hedgeQuantile
+		opt.EjectFactor = 4
+	}
+	if chaos > 0 {
+		// Deterministic gray-failure drill: every connection to the
+		// first configured replica is wrapped in a seeded faultnet
+		// profile that delays replies (client-side reads), so the
+		// cluster stays untouched while this client sees one replica
+		// answer chaos late. Pair with -hedge to watch the rescue.
+		slow := strings.Split(addrs[0], "|")[0]
+		prof := faultnet.NewProfile(seed)
+		prof.Set(faultnet.Faults{ReadLatency: chaos})
+		opt.Dialer = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil || addr != slow {
+				return conn, err
+			}
+			return prof.Wrap(conn), nil
+		}
+	}
+	c, err := dcindex.DialClusterOptions(addrs, keys, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcq:", err)
 		os.Exit(1)
@@ -412,25 +459,43 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, maste
 }
 
 // printHealth summarizes per-replica liveness after a TCP run, but only
-// when a failover actually occurred.
+// when something noteworthy happened: a failover, or any gray-failure
+// handling (hedges, probation transitions, denied hedges).
 func printHealth(c *dcindex.TCPCluster) {
 	health := c.Health()
-	degraded := false
+	degraded, gray := false, false
 	for _, h := range health {
 		if !h.Healthy || h.Failures > 0 {
 			degraded = true
-			break
+		}
+		if h.Hedges > 0 || h.Ejections > 0 || h.Probes > 0 || h.Readmits > 0 || h.BudgetDenied > 0 || (h.State != "" && h.State != "healthy") {
+			gray = true
 		}
 	}
-	if degraded {
+	if !degraded && !gray {
+		return
+	}
+	switch {
+	case degraded && gray:
+		fmt.Println("replica health (failover and gray-failure handling during the run):")
+	case degraded:
 		fmt.Println("replica health (failover occurred during the run):")
-		for _, h := range health {
-			state := "healthy"
-			if !h.Healthy {
-				state = "DOWN"
-			}
-			fmt.Printf("  partition %d  %-21s  %-7s  proto v%d, dispatched %d, failures %d, rejoins %d\n",
-				h.Partition, h.Addr, state, h.Proto, h.Dispatched, h.Failures, h.Rejoins)
+	default:
+		fmt.Println("replica health (gray-failure handling during the run):")
+	}
+	for _, h := range health {
+		state := h.State
+		if state == "" {
+			state = "healthy"
+		}
+		if !h.Healthy {
+			state = "DOWN"
+		}
+		fmt.Printf("  partition %d  %-21s  %-7s  proto v%d, ewma %s, dispatched %d, failures %d, rejoins %d\n",
+			h.Partition, h.Addr, state, h.Proto, h.LatencyEWMA.Round(time.Microsecond), h.Dispatched, h.Failures, h.Rejoins)
+		if gray {
+			fmt.Printf("    hedges %d, ejections %d, probes %d, readmits %d, budget-denied %d\n",
+				h.Hedges, h.Ejections, h.Probes, h.Readmits, h.BudgetDenied)
 		}
 	}
 }

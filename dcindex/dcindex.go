@@ -470,11 +470,22 @@ type TCPCluster = netrun.Cluster
 // SortedBatches (sort unsorted streams client-side so they ride the
 // sorted pipeline's one-sweep routing and protocol-v2 delta frames;
 // ascending streams are auto-detected either way).
+//
+// The gray-failure knobs harden replicated clusters against replicas
+// that are slow rather than dead: HedgeQuantile arms hedged reads
+// (re-dispatch to a sibling past the partition's latency quantile,
+// first valid reply wins, spend capped by the HedgeBudget/HedgeBurst
+// token bucket), EjectFactor arms latency-scored outlier ejection with
+// probed readmission (ProbeBackoff/ProbeMaxBackoff), and Dialer
+// injects a custom transport — e.g. an internal/faultnet wrapper — for
+// deterministic resilience drills.
 type TCPOptions = netrun.DialOptions
 
 // ReplicaHealth is one replica's liveness and traffic counters, as
 // reported by TCPCluster.Health: partition, address, current liveness,
-// and dispatched/failure/rejoin counts for the current epoch.
+// dispatched/failure/rejoin counts for the current epoch, and the
+// gray-failure view — probation State, latency EWMA, and the
+// hedge/ejection/probe/readmit/budget-denied counters.
 type ReplicaHealth = netrun.ReplicaHealth
 
 // DialCluster connects to every replica of every partition of keys and

@@ -1,0 +1,375 @@
+// Package faultnet is the network sibling of internal/faultfs: a
+// deterministic, seeded fault-injection transport for gray-failure
+// testing. A Profile wraps net.Conn (or a net.Listener, so node-side
+// tests can degrade every accepted connection) and injects per-direction
+// latency, bandwidth throttling, stalls starting at the Nth write or
+// read, partial-delivery trickling, and silent blackholing / one-way
+// partitions. All knobs are dynamic — a test or the dcq -chaos drill can
+// slow a healthy replica mid-run and later heal it — and all jitter
+// comes from a seeded PRNG so every scenario replays bit-identically.
+//
+// The wrapper sits below the frame codec: a "frame" here is one
+// conn-level Write or Read call. Node replies are flushed one frame at
+// a time, so StallAfterWrites=N on a node-side profile stalls the
+// connection exactly at the Nth reply frame — the canonical gray
+// failure: alive enough to accept requests, silent on the wire.
+package faultnet
+
+import (
+	"errors"
+	"math/rand/v2"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is wrapped by every error faultnet fabricates itself (as
+// opposed to errors surfaced from the underlying connection), so tests
+// can tell injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Faults is one snapshot of the misbehavior a Profile injects. The zero
+// value is a transparent pass-through.
+type Faults struct {
+	// ReadLatency/WriteLatency are added to every conn-level Read and
+	// Write call, modeling a slow peer or congested path. Jitter, if
+	// nonzero, scales each delay by a seeded random factor in
+	// [1-Jitter, 1+Jitter].
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	Jitter       float64
+
+	// ReadBPS/WriteBPS throttle throughput to roughly n bytes/second in
+	// that direction (0 = unthrottled).
+	ReadBPS  int
+	WriteBPS int
+
+	// StallAfterWrites stalls the connection starting at the Nth write
+	// call (1 = stall immediately on the first write): the first N-1
+	// writes pass through, then every write blocks until the connection
+	// is closed, its deadline expires, or the profile is reconfigured.
+	// StallAfterReads is the same for the read direction. 0 disarms.
+	StallAfterWrites int
+	StallAfterReads  int
+
+	// BlackholeWrites reports every write as fully delivered without
+	// sending a byte — the peer hears nothing from us while we still
+	// hear them (a one-way partition). BlackholeReads is the mirror:
+	// reads block as if the peer went silent.
+	BlackholeWrites bool
+	BlackholeReads  bool
+
+	// MaxWriteChunk trickles writes to the peer at most this many bytes
+	// per underlying write, modeling partial delivery of a frame
+	// (combined with WriteLatency each chunk is delayed separately).
+	// 0 = deliver whole buffers.
+	MaxWriteChunk int
+}
+
+// Profile is a dynamic, shared fault configuration. One Profile can
+// drive many connections (e.g. every conn accepted by a wrapped
+// listener); per-connection state (write/read ordinals, PRNG stream) is
+// kept in the conn so stall ordinals stay deterministic per connection
+// even across rejoin redials.
+type Profile struct {
+	seed uint64
+
+	mu sync.Mutex
+	f  Faults //dc:guardedby mu
+	// conns is the number of connections attached so far; it salts each
+	// connection's PRNG stream so jitter is deterministic but not
+	// identical across connections.
+	conns uint64 //dc:guardedby mu
+	// gen increments on every Set so stalled connections wake up and
+	// re-read the faults when a test heals the profile mid-stall.
+	gen   atomic.Uint64
+	wakes []chan struct{} //dc:guardedby mu
+}
+
+// NewProfile returns a transparent profile whose injected jitter is
+// derived from seed. Arm it with Set.
+func NewProfile(seed uint64) *Profile {
+	return &Profile{seed: seed}
+}
+
+// Set replaces the active fault set and wakes any connection currently
+// blocked in an injected stall or delay so it re-reads the new faults.
+func (p *Profile) Set(f Faults) {
+	p.mu.Lock()
+	p.f = f
+	wakes := p.wakes
+	p.wakes = nil
+	p.gen.Add(1)
+	p.mu.Unlock()
+	for _, ch := range wakes {
+		close(ch)
+	}
+}
+
+// Disable clears every fault — the wrapped connections become
+// transparent again (a recovered replica).
+func (p *Profile) Disable() { p.Set(Faults{}) }
+
+// Get returns the active fault set.
+func (p *Profile) Get() Faults {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.f
+}
+
+// wake returns a channel closed at the next Set call.
+func (p *Profile) wake() <-chan struct{} {
+	ch := make(chan struct{})
+	p.mu.Lock()
+	p.wakes = append(p.wakes, ch)
+	p.mu.Unlock()
+	return ch
+}
+
+// Wrap attaches a connection to the profile.
+func (p *Profile) Wrap(c net.Conn) net.Conn {
+	p.mu.Lock()
+	p.conns++
+	ord := p.conns
+	p.mu.Unlock()
+	fc := &conn{Conn: c, p: p, closed: make(chan struct{})}
+	// Independent deterministic jitter streams per direction.
+	fc.rrng = rand.New(rand.NewPCG(p.seed, ord*2))
+	fc.wrng = rand.New(rand.NewPCG(p.seed, ord*2+1))
+	return fc
+}
+
+// WrapListener returns a listener whose accepted connections are all
+// wrapped by the profile — the node-side injection point (Node.WrapConn
+// feeds off it), so a whole replica can be degraded without touching
+// client code.
+func (p *Profile) WrapListener(l net.Listener) net.Listener {
+	return &listener{Listener: l, p: p}
+}
+
+type listener struct {
+	net.Listener
+	p *Profile
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.p.Wrap(c), nil
+}
+
+// conn injects the profile's faults around an underlying net.Conn.
+// Reads and writes each have a single owner goroutine in netrun (the
+// readLoop and sendLoop), matching net.Conn's concurrency contract; the
+// per-direction ordinals and PRNGs therefore need no lock.
+type conn struct {
+	net.Conn
+	p      *Profile
+	closed chan struct{}
+	once   sync.Once
+
+	writes int // conn-level write ordinal (single writer)
+	reads  int // conn-level read ordinal (single reader)
+	wrng   *rand.Rand
+	rrng   *rand.Rand
+
+	// deadlines mirror SetRead/WriteDeadline so injected stalls and
+	// delays still honor them (the real conn can't interrupt our
+	// artificial blocking). Stored as UnixNano; 0 = none.
+	rdeadline atomic.Int64
+	wdeadline atomic.Int64
+}
+
+func (c *conn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.rdeadline.Store(deadlineNanos(t))
+	c.wdeadline.Store(deadlineNanos(t))
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.rdeadline.Store(deadlineNanos(t))
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.wdeadline.Store(deadlineNanos(t))
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func deadlineNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// block parks the calling direction until the connection closes, the
+// direction's deadline expires, or the profile is reconfigured (in
+// which case stalled callers re-evaluate the new faults). It returns
+// the error to surface, or nil to retry.
+func (c *conn) block(deadline *atomic.Int64) error {
+	wake := c.p.wake()
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	if d := deadline.Load(); d != 0 {
+		wait := time.Until(time.Unix(0, d))
+		if wait <= 0 {
+			return errDeadline()
+		}
+		timer = time.NewTimer(wait)
+		timeout = timer.C
+		defer timer.Stop()
+	}
+	select {
+	case <-c.closed:
+		return errClosed()
+	case <-timeout:
+		return errDeadline()
+	case <-wake:
+		return nil // faults changed: caller re-reads and retries
+	}
+}
+
+// delay sleeps for d (pre-jittered), still honoring close and deadline.
+func (c *conn) delay(d time.Duration, deadline *atomic.Int64) error {
+	if d <= 0 {
+		return nil
+	}
+	if dl := deadline.Load(); dl != 0 {
+		until := time.Until(time.Unix(0, dl))
+		if until <= 0 {
+			return errDeadline()
+		}
+		// Sleep only to the deadline: the real I/O after us would fail
+		// with a deadline error anyway, surface it at the right time.
+		if d > until {
+			timer := time.NewTimer(until)
+			defer timer.Stop()
+			select {
+			case <-c.closed:
+				return errClosed()
+			case <-timer.C:
+				return errDeadline()
+			}
+		}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-c.closed:
+		return errClosed()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// injectedErr tags a fabricated failure so errors.Is(err, ErrInjected)
+// holds while the underlying cause (net.ErrClosed, deadline exceeded)
+// and its net.Error timeout semantics stay visible.
+type injectedErr struct{ cause error }
+
+func (e injectedErr) Error() string   { return "faultnet: injected: " + e.cause.Error() }
+func (e injectedErr) Unwrap() []error { return []error{ErrInjected, e.cause} }
+func (e injectedErr) Timeout() bool   { return errors.Is(e.cause, os.ErrDeadlineExceeded) }
+func (e injectedErr) Temporary() bool { return e.Timeout() }
+
+func errClosed() error   { return injectedErr{cause: net.ErrClosed} }
+func errDeadline() error { return injectedErr{cause: os.ErrDeadlineExceeded} }
+
+// jittered scales d by a seeded random factor in [1-j, 1+j].
+func jittered(d time.Duration, j float64, rng *rand.Rand) time.Duration {
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + j*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// throttle converts a byte count and a bytes/sec budget into a delay.
+func throttle(n, bps int) time.Duration {
+	if bps <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(int64(n) * int64(time.Second) / int64(bps))
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	c.writes++
+	for {
+		f := c.p.Get()
+		gen := c.p.gen.Load()
+		if f.StallAfterWrites > 0 && c.writes >= f.StallAfterWrites {
+			if err := c.block(&c.wdeadline); err != nil {
+				return 0, err
+			}
+			continue // profile changed: re-evaluate
+		}
+		d := jittered(f.WriteLatency, f.Jitter, c.wrng) + throttle(len(b), f.WriteBPS)
+		if err := c.delay(d, &c.wdeadline); err != nil {
+			return 0, err
+		}
+		if c.p.gen.Load() != gen {
+			continue // reconfigured mid-delay: re-evaluate (e.g. a stall armed)
+		}
+		if f.BlackholeWrites {
+			return len(b), nil // swallowed: peer never sees it
+		}
+		if f.MaxWriteChunk > 0 && len(b) > f.MaxWriteChunk {
+			// Trickle: deliver in chunks, re-applying latency per chunk
+			// so a large frame arrives as a slow partial stream.
+			total := 0
+			for total < len(b) {
+				end := total + f.MaxWriteChunk
+				if end > len(b) {
+					end = len(b)
+				}
+				n, err := c.Conn.Write(b[total:end])
+				total += n
+				if err != nil {
+					return total, err
+				}
+				if total < len(b) {
+					if err := c.delay(jittered(f.WriteLatency, f.Jitter, c.wrng), &c.wdeadline); err != nil {
+						return total, err
+					}
+				}
+			}
+			return total, nil
+		}
+		return c.Conn.Write(b)
+	}
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	c.reads++
+	for {
+		f := c.p.Get()
+		if f.BlackholeReads || (f.StallAfterReads > 0 && c.reads >= f.StallAfterReads) {
+			if err := c.block(&c.rdeadline); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		n, err := c.Conn.Read(b)
+		if err != nil {
+			return n, err
+		}
+		d := jittered(f.ReadLatency, f.Jitter, c.rrng) + throttle(n, f.ReadBPS)
+		if derr := c.delay(d, &c.rdeadline); derr != nil {
+			// Data already consumed from the socket: deliver it rather
+			// than drop bytes on the floor, surface the deadline on the
+			// next call.
+			return n, nil
+		}
+		return n, nil
+	}
+}

@@ -1,0 +1,257 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped client end and a raw server end of a loopback
+// TCP connection (real TCP so deadlines behave exactly as in netrun).
+func pipe(t *testing.T, p *Profile) (cl net.Conn, sv net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sv = c
+	}()
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if sv == nil {
+		t.Fatal("accept failed")
+	}
+	cl = p.Wrap(raw)
+	t.Cleanup(func() { cl.Close(); sv.Close() })
+	return cl, sv
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	p := NewProfile(1)
+	cl, sv := pipe(t, p)
+	msg := []byte("hello over faultnet")
+	if _, err := cl.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(sv, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestWriteLatencyInjected(t *testing.T) {
+	p := NewProfile(2)
+	p.Set(Faults{WriteLatency: 30 * time.Millisecond})
+	cl, sv := pipe(t, p)
+	start := time.Now()
+	if _, err := cl.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(sv, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("write delivered in %v, want >= ~30ms of injected latency", d)
+	}
+}
+
+func TestStallAfterNthWriteThenHeal(t *testing.T) {
+	p := NewProfile(3)
+	p.Set(Faults{StallAfterWrites: 2})
+	cl, sv := pipe(t, p)
+	if _, err := cl.Write([]byte("a")); err != nil {
+		t.Fatal(err) // first write passes
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Write([]byte("b"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("second write should stall, returned err=%v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Healing the profile wakes the stalled writer and the byte flows.
+	p.Disable()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(sv, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ab" {
+		t.Fatalf("got %q want %q", buf, "ab")
+	}
+}
+
+func TestStallHonorsWriteDeadline(t *testing.T) {
+	p := NewProfile(4)
+	p.Set(Faults{StallAfterWrites: 1})
+	cl, _ := pipe(t, p)
+	cl.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := cl.Write([]byte("x"))
+	if err == nil {
+		t.Fatal("stalled write with a deadline should fail")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected deadline should wrap ErrInjected, got %v", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("injected deadline should be a net.Error timeout, got %#v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("deadline fired after %v, want ~30ms", d)
+	}
+}
+
+func TestStallUnblocksOnClose(t *testing.T) {
+	p := NewProfile(5)
+	p.Set(Faults{StallAfterReads: 1})
+	cl, sv := pipe(t, p)
+	sv.Write([]byte("x"))
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cl.Close()
+	err := <-done
+	if err == nil || !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("want net.ErrClosed from stalled read after close, got %v", err)
+	}
+}
+
+func TestBlackholeWrites(t *testing.T) {
+	p := NewProfile(6)
+	p.Set(Faults{BlackholeWrites: true})
+	cl, sv := pipe(t, p)
+	n, err := cl.Write([]byte("lost"))
+	if err != nil || n != 4 {
+		t.Fatalf("blackholed write should report success, got n=%d err=%v", n, err)
+	}
+	sv.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, err := sv.Read(make([]byte, 8)); err == nil {
+		t.Fatalf("peer received %d bytes through a blackhole", n)
+	}
+}
+
+func TestMaxWriteChunkTrickles(t *testing.T) {
+	p := NewProfile(7)
+	p.Set(Faults{MaxWriteChunk: 3, WriteLatency: time.Millisecond})
+	cl, sv := pipe(t, p)
+	msg := []byte("0123456789")
+	go func() {
+		if _, err := cl.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(sv, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestDeterministicJitter(t *testing.T) {
+	// Two profiles with the same seed produce identical jitter streams
+	// for their first connection; a different seed diverges.
+	sample := func(seed uint64) []time.Duration {
+		p := NewProfile(seed)
+		fc := p.Wrap(nopConn{}).(*conn)
+		out := make([]time.Duration, 16)
+		for i := range out {
+			out[i] = jittered(time.Millisecond, 0.5, fc.wrng)
+		}
+		return out
+	}
+	a, b, c := sample(42), sample(42), sample(43)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different jitter streams")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	p := NewProfile(8)
+	p.Set(Faults{WriteLatency: 20 * time.Millisecond})
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.WrapListener(raw)
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write([]byte("y")) // wrapped: delayed
+	}()
+	cl, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	if _, err := io.ReadFull(cl, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("accepted conn not wrapped: reply in %v", d)
+	}
+}
+
+// nopConn satisfies net.Conn for jitter-stream sampling without I/O.
+type nopConn struct{}
+
+func (nopConn) Read(b []byte) (int, error)         { return 0, io.EOF }
+func (nopConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (nopConn) Close() error                       { return nil }
+func (nopConn) LocalAddr() net.Addr                { return nil }
+func (nopConn) RemoteAddr() net.Addr               { return nil }
+func (nopConn) SetDeadline(t time.Time) error      { return nil }
+func (nopConn) SetReadDeadline(t time.Time) error  { return nil }
+func (nopConn) SetWriteDeadline(t time.Time) error { return nil }

@@ -95,6 +95,14 @@ type Cluster struct {
 	// cheap path actually ran.
 	deltaCatchups atomic.Int64
 
+	// Gray-failure knobs, precomputed from DialOptions at dial time
+	// (immutable afterwards). hedgeEarnMilli/hedgeBurstMilli are the
+	// per-group token bucket parameters in milli-tokens; maxPending is
+	// the per-connection admission cap (0 = unbounded).
+	hedgeEarnMilli  int64
+	hedgeBurstMilli int64
+	maxPending      int
+
 	mu     sync.Mutex // serializes Close and Redial
 	closed bool       //dc:guardedby mu
 }
@@ -119,6 +127,10 @@ type epoch struct {
 	failed chan struct{} // closed on terminal failure
 	once   sync.Once
 	err    error // root cause; written once before failed closes
+	// hedger re-dispatches read frames that outlive their replica's
+	// latency quantile to a healthy sibling. Nil unless
+	// DialOptions.HedgeQuantile enabled hedging for this client.
+	hedger *hedger
 }
 
 // replicaGroup is one partition's replica set: the configured addresses
@@ -143,17 +155,107 @@ type replicaGroup struct {
 	// replica installed in that window would permanently miss the
 	// in-flight write.
 	writes int //dc:guardedby mu
+
+	// budget is the partition's hedge token bucket in milli-tokens:
+	// each primary read dispatch earns Cluster.hedgeEarnMilli (capped
+	// at hedgeBurstMilli), each hedge spends 1000. Rate-proportional
+	// and clock-free, so a gray partition can never amplify its own
+	// overload — hedges are a bounded fraction of real traffic.
+	budget atomic.Int64
+
+	// admitCh/waiters implement bounded pending-queue admission: when
+	// every eligible replica is at Cluster.maxPending outstanding
+	// frames, read dispatchers park on admitCh until a reply or sweep
+	// frees a slot (with a short safety-valve timeout against lost
+	// wakeups). Writes are exempt — bounding the fan-out under g.mu
+	// would stall the write path on its slowest replica.
+	admitCh chan struct{}
+	waiters atomic.Int32
+}
+
+// earnHedge credits the bucket for one primary read dispatch.
+func (g *replicaGroup) earnHedge(c *Cluster) {
+	if c.hedgeEarnMilli <= 0 {
+		return
+	}
+	for {
+		cur := g.budget.Load()
+		next := cur + c.hedgeEarnMilli
+		if next > c.hedgeBurstMilli {
+			next = c.hedgeBurstMilli
+		}
+		if next == cur || g.budget.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// takeHedge spends one hedge token; false means the budget is exhausted
+// and the hedge must be suppressed.
+func (g *replicaGroup) takeHedge() bool {
+	for {
+		cur := g.budget.Load()
+		if cur < 1000 {
+			return false
+		}
+		if g.budget.CompareAndSwap(cur, cur-1000) {
+			return true
+		}
+	}
+}
+
+// waitAdmit parks a read dispatcher until admission capacity may exist
+// again: a freed slot, epoch death, or a 1ms safety valve (wakeups are
+// best-effort, the caller re-checks by retrying the enqueue).
+func (g *replicaGroup) waitAdmit(ep *epoch) {
+	g.waiters.Add(1)
+	defer g.waiters.Add(-1)
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-g.admitCh:
+	case <-ep.failed:
+	case <-t.C:
+	}
+}
+
+// admitFreed wakes one admission waiter, if any. Non-blocking.
+func (g *replicaGroup) admitFreed() {
+	if g.waiters.Load() > 0 {
+		select {
+		case g.admitCh <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Lock ordering: a write fan-out holds g.mu while it locks each
 // member's n.mu to enqueue; failNode and the rejoin path take the locks
 // in the same order. The reverse — acquiring g.mu with n.mu held —
-// would deadlock against them, and lockguard rejects it:
+// would deadlock against them, and lockguard rejects it. pickFor claims
+// probe slots (replicaStats.mu) under g.mu, so stats nest inside the
+// group lock for the same reason:
 //
 //dc:lockorder replicaGroup.mu clusterNode.mu
+//dc:lockorder replicaGroup.mu replicaStats.mu
+
+// Probation states for latency-scored outlier ejection. A replica that
+// keeps answering but much slower than its siblings walks healthy →
+// suspect → ejected (reads shed, writes keep flowing — slow is not
+// dead) → probing (paced real batches test recovery) → readmitted
+// (back to healthy, counted in readmits). Hard I/O failures bypass
+// this machine entirely: they go through failNode/rejoin as before.
+const (
+	rsHealthy = int32(iota)
+	rsSuspect
+	rsEjected
+	rsProbing
+)
 
 // replicaStats counts one replica address's lifecycle events across
-// member churn within an epoch.
+// member churn within an epoch, and carries its latency score: a
+// windowed quantile feeding the hedge delay, an EWMA feeding the
+// relative-outlier ejection score, and the probation state machine.
 type replicaStats struct {
 	dispatched atomic.Uint64
 	failures   atomic.Uint64
@@ -167,6 +269,50 @@ type replicaStats struct {
 	// full mid-admission — the hold queue and a later snapshot cut
 	// would double-apply writes — so the whole admission is retried.
 	forceFull atomic.Bool
+
+	// Gray-failure counters (see ReplicaHealth).
+	hedges       atomic.Uint64 // hedges dispatched because this replica lagged
+	ejections    atomic.Uint64
+	probes       atomic.Uint64
+	readmits     atomic.Uint64
+	budgetDenied atomic.Uint64 // hedges suppressed by an empty token bucket
+
+	// state/ewmaNs/hedgeNs/samples are written under mu but published
+	// atomically so pickFor (under g.mu), the hedger, siblings scoring
+	// against this replica, and Health read them without taking mu.
+	state   atomic.Int32
+	ewmaNs  atomic.Int64
+	hedgeNs atomic.Int64 // current hedge delay: windowed quantile estimate
+	samples atomic.Int64
+
+	mu sync.Mutex
+	// window is a ring of the last reply latencies (read kinds only);
+	// every few samples it is re-sorted into the quantile estimate.
+	window [64]int64 //dc:guardedby mu
+	// consecBad/goodProbes are the state machine's hysteresis counters;
+	// probeDelay/nextProbe pace probe batches with the same jittered
+	// exponential backoff the rejoin loop uses, so probation retries
+	// cannot thundering-herd a recovering replica.
+	consecBad  int           //dc:guardedby mu
+	goodProbes int           //dc:guardedby mu
+	probeDelay time.Duration //dc:guardedby mu
+	nextProbe  time.Time     //dc:guardedby mu
+}
+
+// tryProbe reports whether an ejected replica is due a probe batch and,
+// when it is, claims the probe slot: the next probe is pushed out by the
+// jittered backoff (doubled on each slow probe by the observe path) and
+// the replica moves to the probing state.
+func (s *replicaStats) tryProbe(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now.Before(s.nextProbe) {
+		return false
+	}
+	s.nextProbe = now.Add(jitterBackoff(s.probeDelay))
+	s.state.Store(rsProbing)
+	s.probes.Add(1)
+	return true
 }
 
 // pickFor returns a healthy member eligible for p, round-robin.
@@ -180,20 +326,46 @@ type replicaStats struct {
 // failing, wait for the root cause) from "members exist but none can
 // serve p" (nil, false — fail the request with a clear error, the
 // epoch is fine).
-func (g *replicaGroup) pickFor(c *Cluster, p *pending) (n *clusterNode, empty bool) {
+//
+// Latency-ejected members are skipped like catching-up ones, with two
+// availability escapes: a due probe routes one real batch at the
+// ejected member (how it earns readmission), and when every otherwise-
+// eligible member is ejected the least-recently-considered one serves
+// anyway — ejection trades latency, never availability. excl names a
+// member to avoid: the hedger passes the slow origin so a hedge always
+// lands on a sibling (nil everywhere else).
+func (g *replicaGroup) pickFor(c *Cluster, p *pending, excl *clusterNode) (n *clusterNode, empty bool) {
 	minV := c.minVersionFor(g, p)
+	now := time.Now()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if len(g.members) == 0 {
 		return nil, true
 	}
+	var fallback *clusterNode
 	for range g.members {
 		g.cursor++
 		m := g.members[g.cursor%len(g.members)]
-		if m.catchingUp || m.version < minV {
+		if m == excl || m.catchingUp || m.version < minV {
+			continue
+		}
+		if s := m.stats(); s.state.Load() >= rsEjected {
+			if fallback == nil {
+				fallback = m
+			}
+			if s.tryProbe(now) {
+				return m, false
+			}
 			continue
 		}
 		return m, false
+	}
+	if fallback != nil && excl == nil {
+		// Every eligible member is ejected (e.g. both replicas of a
+		// 2-way group went gray at once): serve from one rather than
+		// fail — slower-but-correct beats unavailable. A hedge (excl
+		// set) has no such duty; its origin is still working.
+		return fallback, false
 	}
 	return nil, false
 }
@@ -264,6 +436,41 @@ type ReplicaHealth struct {
 	Failures uint64
 	// Rejoins counts times the background rejoin loop restored it.
 	Rejoins uint64
+	// State is the probation state machine's view of the replica:
+	// "healthy", "suspect", "ejected", or "probing" (see the rs*
+	// constants). Always "healthy" unless DialOptions.EjectFactor
+	// enabled latency-scored ejection.
+	State string
+	// LatencyEWMA is the smoothed reply latency of this replica's read
+	// frames (0 until it has served one).
+	LatencyEWMA time.Duration
+	// Hedges counts read frames re-dispatched to a sibling because this
+	// replica sat on them past its latency quantile.
+	Hedges uint64
+	// Ejections/Probes/Readmits count probation transitions: reads shed
+	// from the replica, paced probe batches sent to it while ejected,
+	// and full readmissions.
+	Ejections uint64
+	Probes    uint64
+	Readmits  uint64
+	// BudgetDenied counts hedges suppressed because the partition's
+	// token bucket was empty — sustained growth means the hedge budget
+	// is the binding constraint, not the slow replica.
+	BudgetDenied uint64
+}
+
+// stateName maps a probation state to its ReplicaHealth string.
+func stateName(s int32) string {
+	switch s {
+	case rsSuspect:
+		return "suspect"
+	case rsEjected:
+		return "ejected"
+	case rsProbing:
+		return "probing"
+	default:
+		return "healthy"
+	}
 }
 
 // Err returns the epoch's terminal error, or nil while healthy.
@@ -344,10 +551,47 @@ type clusterNode struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	sendq    []*pending          //dc:guardedby mu
+	sendq    []sendReq           //dc:guardedby mu
 	sendHead int                 //dc:guardedby mu
-	pending  map[uint32]*pending //dc:guardedby mu
+	pending  map[uint32]inflight //dc:guardedby mu
 	dead     bool                //dc:guardedby mu
+}
+
+// sendReq is one queue entry: a pending plus the request id this
+// particular registration uses. Ids are per-registration, not
+// per-pending, because a hedged pending is registered on two
+// connections at once — each enqueue stamps a fresh id, so a failover
+// restamp on one connection can never race the other's encode.
+type sendReq struct {
+	p     *pending
+	reqID uint32
+}
+
+// inflight is one registered request: the pending plus its send
+// timestamp, from which the read loop derives the reply-latency sample
+// feeding the hedge quantile and the ejection score.
+type inflight struct {
+	p      *pending
+	sentAt time.Time
+}
+
+// deregisterLocked removes a registration, maintains the invariant
+// "read deadline armed iff requests outstanding", and wakes an
+// admission waiter now that a queue slot freed.
+//
+//dc:holds n.mu
+func (n *clusterNode) deregisterLocked(reqID uint32) {
+	delete(n.pending, reqID)
+	if n.opTimeout > 0 {
+		if len(n.pending) == 0 {
+			// Idle connections carry no deadline; the next registration
+			// re-arms it.
+			n.conn.SetReadDeadline(time.Time{})
+		} else {
+			n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
+		}
+	}
+	n.g.admitFreed()
 }
 
 func (n *clusterNode) stats() *replicaStats { return n.g.stats[n.slot] }
@@ -420,12 +664,31 @@ func (c *Cluster) minVersionFor(g *replicaGroup, p *pending) uint32 {
 // issuing call's gather channel — or, when its replica dies first, the
 // failover path re-dispatches it per its kind. Key/position capacity is
 // recycled through the cluster's pending pool.
+//
+// Hedging puts one pending on up to two connections at once, which
+// forces three invariants the single-dispatch code never needed:
+//
+//   - keys (the request words) are immutable from dispatch until the
+//     last reference drops; replies stage their payload in the separate
+//     reply buffer instead of overwriting keys, so the losing
+//     registration can still encode/validate against them.
+//   - claimed elects exactly one resolver: whichever reply, refusal,
+//     sweep, or routing failure wins the CompareAndSwap scatters the
+//     result (or records the error) and completes p to the gather
+//     channel; everyone else just drops their copy. A pending therefore
+//     completes exactly once no matter how many replicas raced.
+//   - refs counts the live owners (the issuing gather plus each
+//     dispatch chain); the pending returns to the pool only when the
+//     count hits zero, so a straggling reply from a slow replica can
+//     never scribble on a recycled object.
 type pending struct {
-	reqID uint32
-	kind  int
-	keys  []uint32
-	pos   []int32
-	out   []int
+	kind int
+	keys []uint32
+	pos  []int32
+	out  []int
+	// reply stages payload-carrying replies (counts, scans, top-k,
+	// snapshots) for the issuing call's gather loop.
+	reply []uint32
 	// sorted marks keys as an ascending run: eligible for the v2
 	// delta-coded frames when the connection negotiated them (a v1
 	// connection just sends OpLookup — the keys are the same).
@@ -441,6 +704,46 @@ type pending struct {
 	chunk *insChunk
 	err   error
 	done  chan *pending
+
+	claimed atomic.Bool
+	refs    atomic.Int32
+	// hedged caps re-dispatch amplification at one hedge per pending
+	// (set by the hedger when it fires, checked by send loops so a
+	// hedge is never itself hedged).
+	hedged atomic.Bool
+}
+
+// claim elects the caller as p's resolver; exactly one claim per
+// lifecycle succeeds.
+func (p *pending) claim() bool { return p.claimed.CompareAndSwap(false, true) }
+
+// release drops one reference; the last one recycles p.
+func (c *Cluster) release(p *pending) {
+	if p.refs.Add(-1) == 0 {
+		c.putPending(p)
+	}
+}
+
+// finish terminates one dispatch chain with err: it completes p if this
+// chain wins the claim, and drops the chain's reference either way.
+func (c *Cluster) finish(p *pending, err error) {
+	if p.claim() {
+		p.complete(err)
+	}
+	c.release(p)
+}
+
+// hedgeable reports whether a pending kind may be re-dispatched while
+// its original is still in flight. Only the idempotent read ops are:
+// writes keep the exactly-once fan-out semantics (a hedged insert could
+// double-apply), and the catch-up kinds are pinned to one member's FIFO
+// position by the snapshot protocol.
+func hedgeable(kind int) bool {
+	switch kind {
+	case pkLookup, pkCount, pkScan, pkTopK, pkMultiGet:
+		return true
+	}
+	return false
 }
 
 // insChunk is one insert chunk's fan-out accounting: the chunk is
@@ -520,6 +823,54 @@ type DialOptions struct {
 	// with a descriptive error while rank lookups keep working.
 	// Interop tests and operators staging a rollout use it.
 	MaxVersion uint32
+
+	// HedgeQuantile (0 < q < 1, e.g. 0.99) enables hedged reads: a read
+	// frame still unanswered after its replica's q-quantile reply
+	// latency is re-dispatched to a healthy sibling, first valid reply
+	// wins, the loser's reply is discarded by request id. 0 disables
+	// hedging (the default — behavior is then identical to older
+	// clients). Writes are never hedged.
+	HedgeQuantile float64
+	// HedgeMinDelay floors the adaptive hedge delay (default 10ms): it
+	// is also the cold-start delay while a replica has no latency
+	// history yet, so the very first stalled frames still get covered.
+	HedgeMinDelay time.Duration
+	// HedgeBudget is the hedge tokens earned per dispatched read frame
+	// (default 0.1 = at most ~10% extra load from hedging at steady
+	// state); negative means no replenishment — only the initial
+	// HedgeBurst is ever available. HedgeBurst caps the bucket
+	// (default 16), bounding hedge spikes after idle periods.
+	HedgeBudget float64
+	HedgeBurst  int
+	// EjectFactor (> 1) enables latency-scored outlier ejection: a
+	// replica whose read latency stays above EjectFactor times its best
+	// sibling's EWMA (and above EjectMinLatency) walks the probation
+	// state machine and stops taking reads until paced probe batches
+	// come back fast. 0 disables ejection. Ejected replicas still
+	// receive every write — slow is not dead, and shedding writes would
+	// silently fork the replica's state.
+	EjectFactor float64
+	// EjectMinLatency is the absolute floor below which a replica is
+	// never considered an outlier regardless of ratios (default 1ms),
+	// so microsecond-scale loopback noise cannot eject anyone.
+	EjectMinLatency time.Duration
+	// ProbeBackoff/ProbeMaxBackoff pace the probe batches an ejected
+	// replica receives, with the same jittered exponential backoff the
+	// rejoin loop uses (defaults: the Rejoin values). Every slow probe
+	// doubles the delay; a fast probe pair readmits the replica.
+	ProbeBackoff    time.Duration
+	ProbeMaxBackoff time.Duration
+	// MaxPending bounds the outstanding frames (queued plus in flight)
+	// per replica connection; read dispatch blocks politely when every
+	// eligible replica is at the cap, so a gray partition degrades to
+	// slower-but-correct instead of unbounded queue growth. Default
+	// 1024; negative disables admission control.
+	MaxPending int
+	// Dialer overrides the TCP dial for every node connection (nil uses
+	// net.Dialer). The context carries the dial timeout/abort. This is
+	// the client-side fault-injection seam: tests and the dcq -chaos
+	// drill wrap the returned conn in a faultnet profile.
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
 }
 
 // GroupAddrs expands a dial address list into one replica address set
@@ -600,11 +951,39 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 	if opt.RejoinMaxBackoff <= 0 {
 		opt.RejoinMaxBackoff = 3 * time.Second
 	}
+	if opt.HedgeMinDelay <= 0 {
+		opt.HedgeMinDelay = 10 * time.Millisecond
+	}
+	if opt.HedgeBudget == 0 {
+		opt.HedgeBudget = 0.1
+	}
+	if opt.HedgeBurst <= 0 {
+		opt.HedgeBurst = 16
+	}
+	if opt.EjectMinLatency <= 0 {
+		opt.EjectMinLatency = time.Millisecond
+	}
+	if opt.ProbeBackoff <= 0 {
+		opt.ProbeBackoff = opt.RejoinBackoff
+	}
+	if opt.ProbeMaxBackoff <= 0 {
+		opt.ProbeMaxBackoff = opt.RejoinMaxBackoff
+	}
+	if opt.MaxPending == 0 {
+		opt.MaxPending = 1024
+	}
 	part, err := core.NewPartitioning(keys, len(groups))
 	if err != nil {
 		return nil, err
 	}
 	c := &Cluster{part: part, groups: groups, batch: opt.BatchKeys, opt: opt, helloVer: ProtoVersion}
+	if opt.HedgeQuantile > 0 && opt.HedgeBudget > 0 {
+		c.hedgeEarnMilli = int64(opt.HedgeBudget * 1000)
+	}
+	c.hedgeBurstMilli = int64(opt.HedgeBurst) * 1000
+	if opt.MaxPending > 0 {
+		c.maxPending = opt.MaxPending
+	}
 	if opt.MaxVersion > 0 && opt.MaxVersion < ProtoVersion {
 		c.helloVer = opt.MaxVersion
 	}
@@ -625,7 +1004,8 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 func (c *Cluster) dialEpoch() (*epoch, error) {
 	ep := &epoch{c: c, failed: make(chan struct{})}
 	for pi, addrs := range c.groups {
-		g := &replicaGroup{part: pi, addrs: addrs, stats: make([]*replicaStats, len(addrs))}
+		g := &replicaGroup{part: pi, addrs: addrs, stats: make([]*replicaStats, len(addrs)), admitCh: make(chan struct{}, 1)}
+		g.budget.Store(c.hedgeBurstMilli)
 		for slot := range addrs {
 			g.stats[slot] = new(replicaStats)
 		}
@@ -667,6 +1047,11 @@ func (c *Cluster) dialEpoch() (*epoch, error) {
 			go n.readLoop(ep)
 		}
 	}
+	if c.opt.HedgeQuantile > 0 {
+		ep.hedger = &hedger{c: c, ep: ep, wake: make(chan struct{}, 1)}
+		ep.wg.Add(1)
+		go ep.hedger.loop()
+	}
 	return ep, nil
 }
 
@@ -698,8 +1083,16 @@ func (c *Cluster) dialNode(g *replicaGroup, slot int, abort <-chan struct{}) (*c
 			}
 		}()
 	}
-	d := net.Dialer{Timeout: c.opt.Timeout}
-	dialed, err := d.DialContext(ctx, "tcp", addr)
+	var dialed net.Conn
+	var err error
+	if c.opt.Dialer != nil {
+		dctx, dcancel := context.WithTimeout(ctx, c.opt.Timeout)
+		dialed, err = c.opt.Dialer(dctx, addr)
+		dcancel()
+	} else {
+		d := net.Dialer{Timeout: c.opt.Timeout}
+		dialed, err = d.DialContext(ctx, "tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("netrun: dial partition %d replica %s: %w", g.part, addr, err)
 	}
@@ -727,7 +1120,7 @@ func (c *Cluster) dialNode(g *replicaGroup, slot int, abort <-chan struct{}) (*c
 		conn:      conn,
 		bc:        newBufferedConn(conn),
 		opTimeout: opT,
-		pending:   map[uint32]*pending{},
+		pending:   map[uint32]inflight{},
 	}
 	n.cond = sync.NewCond(&n.mu)
 	if err := hello(n, c.part.Parts[g.part], c.opt.Timeout, c.helloVer); err != nil {
@@ -799,20 +1192,27 @@ func hello(n *clusterNode, want core.Partition, timeout time.Duration, ver uint3
 	return nil
 }
 
-// enqueue hands p to the node's send loop. It reports false when the
-// node is dead — the caller must route p elsewhere. The dead check and
-// the append are under the same mutex failNode's collection takes, so a
-// pending can never be stranded in a queue nobody owns.
-func (n *clusterNode) enqueue(p *pending) bool {
+// enqueue hands p to the node's send loop under the registration id
+// reqID. It reports ok=false when p was not queued: the node is dead
+// (the caller must route p elsewhere) or, when limit > 0, the node is
+// at its admission cap (full=true — the caller may wait and retry).
+// The dead check and the append are under the same mutex failNode's
+// collection takes, so a pending can never be stranded in a queue
+// nobody owns.
+func (n *clusterNode) enqueue(p *pending, reqID uint32, limit int) (ok, full bool) {
 	n.mu.Lock()
 	if n.dead {
 		n.mu.Unlock()
-		return false
+		return false, false
 	}
-	n.sendq = append(n.sendq, p)
+	if limit > 0 && len(n.sendq)-n.sendHead+len(n.pending) >= limit {
+		n.mu.Unlock()
+		return false, true
+	}
+	n.sendq = append(n.sendq, sendReq{p: p, reqID: reqID})
 	n.mu.Unlock()
 	n.cond.Signal()
-	return true
+	return true, false
 }
 
 // failNode is the single owner of a replica's death: it closes the
@@ -862,18 +1262,19 @@ func (c *Cluster) failNode(ep *epoch, n *clusterNode, err error) {
 		n.mu.Lock()
 		n.dead = true
 		rest := make([]*pending, 0, len(n.pending)+len(n.sendq)-n.sendHead+len(held))
-		for _, p := range n.sendq[n.sendHead:] {
-			if p != nil {
-				rest = append(rest, p)
+		for _, sr := range n.sendq[n.sendHead:] {
+			if sr.p != nil {
+				rest = append(rest, sr.p)
 			}
 		}
 		n.sendq, n.sendHead = nil, 0
-		for _, p := range n.pending {
-			rest = append(rest, p)
+		for _, inf := range n.pending {
+			rest = append(rest, inf.p)
 		}
-		n.pending = map[uint32]*pending{}
+		n.pending = map[uint32]inflight{}
 		n.mu.Unlock()
 		n.cond.Broadcast()
+		g.admitFreed()
 		rest = append(rest, held...)
 		for _, p := range rest {
 			switch p.kind {
@@ -888,25 +1289,32 @@ func (c *Cluster) failNode(ep *epoch, n *clusterNode, err error) {
 				// credited.
 				switch {
 				case ep.Err() != nil:
-					p.complete(ep.err)
+					c.finish(p, ep.err)
 				case hasV3:
-					p.complete(nil)
+					c.finish(p, nil)
 				default:
-					p.complete(fmt.Errorf("netrun: partition %d lost its last full protocol-v3 replica (%s) with a write in flight: %w", g.part, n.addr, err))
+					c.finish(p, fmt.Errorf("netrun: partition %d lost its last full protocol-v3 replica (%s) with a write in flight: %w", g.part, n.addr, err))
 				}
 			case pkLoad, pkLoadAt:
 				// A load binds to this exact member; the catch-up
 				// attempt aborts and the next rejoin retries.
-				p.complete(fmt.Errorf("netrun: catch-up load to partition %d replica %s interrupted: %w", g.part, n.addr, err))
+				c.finish(p, fmt.Errorf("netrun: catch-up load to partition %d replica %s interrupted: %w", g.part, n.addr, err))
 			case pkSnapshot, pkSnapshotSince:
 				// A snapshot must not fail over: its position in this
 				// member's FIFO is what makes catch-up exactly-once
 				// (re-enqueueing it elsewhere could double-deliver
 				// writes that raced the admission). Abort the attempt;
 				// the rejoin cycle takes a fresh snapshot.
-				p.complete(fmt.Errorf("netrun: catch-up snapshot from partition %d replica %s interrupted: %w", g.part, n.addr, err))
+				c.finish(p, fmt.Errorf("netrun: catch-up snapshot from partition %d replica %s interrupted: %w", g.part, n.addr, err))
 			default:
-				c.route(ep, g, p)
+				// A read already claimed by a hedge (or a racing reply)
+				// needs nothing from this chain — drop the reference.
+				// Unclaimed reads fail over as always.
+				if p.claimed.Load() {
+					c.release(p)
+				} else {
+					c.route(ep, g, p)
+				}
 			}
 		}
 		ep.goRejoin(g, n.slot)
@@ -1075,8 +1483,8 @@ func (c *Cluster) readmitWithCatchUp(ep *epoch, g *replicaGroup, n *clusterNode)
 			uint32(rejGen), uint32(rejGen>>32),
 			uint32(n.chain), uint32(n.chain>>32))
 	}
-	snapP.reqID = c.reqID.Add(1)
-	if !sib.enqueue(snapP) {
+	snapP.refs.Store(2)
+	if ok, _ := sib.enqueue(snapP, c.reqID.Add(1), 0); !ok {
 		g.mu.Unlock()
 		c.putPending(snapP)
 		return false
@@ -1091,8 +1499,8 @@ func (c *Cluster) readmitWithCatchUp(ep *epoch, g *replicaGroup, n *clusterNode)
 
 	p := <-snapP.done
 	err := p.err
-	snapKeys := append([]uint32(nil), p.keys...)
-	c.putPending(p)
+	snapKeys := append([]uint32(nil), p.reply...)
+	c.release(p)
 	if err != nil {
 		if useDelta {
 			n.stats().forceFull.Store(true)
@@ -1114,8 +1522,8 @@ func (c *Cluster) readmitWithCatchUp(ep *epoch, g *replicaGroup, n *clusterNode)
 	}
 	loadP.keys = append(loadP.keys, snapKeys...)
 	loadP.done = make(chan *pending, 1)
-	loadP.reqID = c.reqID.Add(1)
-	if !n.enqueue(loadP) {
+	loadP.refs.Store(2)
+	if ok, _ := n.enqueue(loadP, c.reqID.Add(1), 0); !ok {
 		// n died already; its failNode swept the hold queue.
 		c.putPending(loadP)
 		return true
@@ -1123,7 +1531,7 @@ func (c *Cluster) readmitWithCatchUp(ep *epoch, g *replicaGroup, n *clusterNode)
 	n.stats().dispatched.Add(1)
 	p = <-loadP.done
 	err = p.err
-	c.putPending(p)
+	c.release(p)
 	if err != nil {
 		if useDelta {
 			n.stats().forceFull.Store(true)
@@ -1143,13 +1551,12 @@ func (c *Cluster) readmitWithCatchUp(ep *epoch, g *replicaGroup, n *clusterNode)
 	held := n.holdq
 	n.holdq = nil
 	for _, hp := range held {
-		hp.reqID = c.reqID.Add(1)
-		if n.enqueue(hp) {
+		if ok, _ := n.enqueue(hp, c.reqID.Add(1), 0); ok {
 			n.stats().dispatched.Add(1)
 		} else {
 			// n died between the load ack and the flush; the survivors
 			// hold the write (the insert sweep semantics).
-			hp.complete(nil)
+			c.finish(hp, nil)
 		}
 	}
 	g.mu.Unlock()
@@ -1189,25 +1596,26 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 			n.mu.Unlock()
 			return
 		}
-		p := n.sendq[n.sendHead]
-		n.sendq[n.sendHead] = nil
+		sr := n.sendq[n.sendHead]
+		p := sr.p
+		n.sendq[n.sendHead] = sendReq{}
 		n.sendHead++
 		if n.sendHead == len(n.sendq) {
 			n.sendq = n.sendq[:0]
 			n.sendHead = 0
 		}
-		if _, dup := n.pending[p.reqID]; dup {
+		if _, dup := n.pending[sr.reqID]; dup {
 			// The 32-bit request-id space wrapped all the way around
 			// onto a request still in flight on this connection.
 			// Registering would silently orphan the first caller, so
 			// fail this request fast and leave the in-flight one (and
 			// the connection) intact.
 			n.mu.Unlock()
-			p.complete(fmt.Errorf("netrun: request id %d wrapped onto a request still in flight on partition %d replica %s (2^32 ids exhausted while one was outstanding); retry the batch",
-				p.reqID, n.g.part, n.addr))
+			c.finish(p, fmt.Errorf("netrun: request id %d wrapped onto a request still in flight on partition %d replica %s (2^32 ids exhausted while one was outstanding); retry the batch",
+				sr.reqID, n.g.part, n.addr))
 			continue
 		}
-		n.pending[p.reqID] = p
+		n.pending[sr.reqID] = inflight{p: p, sentAt: time.Now()}
 		// Encode while still holding mu: the moment p is registered it
 		// can complete (reply or failover sweep) and be recycled by its
 		// caller, so p.keys must not be read outside the lock. After
@@ -1218,31 +1626,35 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 		// out as a plain OpLookup. The v3 kinds (insert, snapshot,
 		// load) only ever reach v3-negotiated connections — dispatch
 		// and failover enforce it.
+		// Whether to arm the hedge clock is decided here, under the same
+		// lock: once registered, p may complete and recycle the moment
+		// mu drops, so no field of p can be read after the unlock.
+		armHedge := ep.hedger != nil && hedgeable(p.kind) && !p.hedged.Load()
 		var buf []byte
 		var encErr error
 		switch {
 		case p.kind == pkInsert:
-			buf, encErr = n.bc.fw.encode(Frame{Op: OpInsert, ReqID: p.reqID, Payload: p.keys})
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpInsert, ReqID: sr.reqID, Payload: p.keys})
 		case p.kind == pkSnapshot:
-			buf, encErr = n.bc.fw.encode(Frame{Op: OpSnapshot, ReqID: p.reqID})
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpSnapshot, ReqID: sr.reqID})
 		case p.kind == pkLoad:
-			buf, encErr = n.bc.fw.encodeDeltaOp(OpLoad, p.reqID, p.keys)
+			buf, encErr = n.bc.fw.encodeDeltaOp(OpLoad, sr.reqID, p.keys)
 		case p.kind == pkSnapshotSince:
-			buf, encErr = n.bc.fw.encode(Frame{Op: OpSnapshotSince, ReqID: p.reqID, Payload: p.keys})
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpSnapshotSince, ReqID: sr.reqID, Payload: p.keys})
 		case p.kind == pkLoadAt:
-			buf, encErr = n.bc.fw.encode(Frame{Op: OpLoadAt, ReqID: p.reqID, Payload: p.keys})
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpLoadAt, ReqID: sr.reqID, Payload: p.keys})
 		case p.kind == pkCount:
-			buf, encErr = n.bc.fw.encode(Frame{Op: OpCountRange, ReqID: p.reqID, Payload: p.keys})
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpCountRange, ReqID: sr.reqID, Payload: p.keys})
 		case p.kind == pkScan:
-			buf, encErr = n.bc.fw.encode(Frame{Op: OpScanRange, ReqID: p.reqID, Payload: p.keys})
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpScanRange, ReqID: sr.reqID, Payload: p.keys})
 		case p.kind == pkTopK:
-			buf, encErr = n.bc.fw.encode(Frame{Op: OpTopK, ReqID: p.reqID, Payload: p.keys})
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpTopK, ReqID: sr.reqID, Payload: p.keys})
 		case p.kind == pkMultiGet:
-			buf, encErr = n.bc.fw.encodeDeltaOp(OpMultiGet, p.reqID, p.keys)
+			buf, encErr = n.bc.fw.encodeDeltaOp(OpMultiGet, sr.reqID, p.keys)
 		case p.sorted && n.version >= ProtoV2:
-			buf, encErr = n.bc.fw.encodeDeltaOp(OpLookupSorted, p.reqID, p.keys)
+			buf, encErr = n.bc.fw.encodeDeltaOp(OpLookupSorted, sr.reqID, p.keys)
 		default:
-			buf, encErr = n.bc.fw.encode(Frame{Op: OpLookup, ReqID: p.reqID, Payload: p.keys})
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpLookup, ReqID: sr.reqID, Payload: p.keys})
 		}
 		n.mu.Unlock()
 
@@ -1262,7 +1674,47 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 		}
 		n.armRead()
 		unflushed = true
+		if armHedge {
+			// Arm the hedge clock now that the frame is on (or in) the
+			// wire; the hedger re-checks the registration at deadline,
+			// so completed requests cost nothing. Outside n.mu: the
+			// hedger takes its own lock, then n.mu when it fires.
+			ep.hedger.schedule(n, sr.reqID, time.Now().Add(n.hedgeDelay(c)))
+		}
 	}
+}
+
+// hedgeDelay is how long a read frame may sit on this replica before it
+// is hedged: the partition's fastest view of its own read latency — the
+// minimum of the group members' windowed quantiles — floored by
+// HedgeMinDelay (which also covers the cold start before any history),
+// and capped below the op timeout so a hedge always beats a timeout.
+// The group minimum rather than n's own quantile matters for exactly
+// the gray case: a uniformly slow replica inflates its own quantile and
+// would otherwise never look overdue to the hedger.
+func (n *clusterNode) hedgeDelay(c *Cluster) time.Duration {
+	d := time.Duration(n.stats().hedgeNs.Load())
+	n.g.mu.Lock()
+	for _, m := range n.g.members {
+		if m == n || m.catchingUp {
+			continue
+		}
+		s := m.stats()
+		if s.state.Load() >= rsEjected {
+			continue
+		}
+		if q := time.Duration(s.hedgeNs.Load()); q > 0 && (d == 0 || q < d) {
+			d = q
+		}
+	}
+	n.g.mu.Unlock()
+	if d < c.opt.HedgeMinDelay {
+		d = c.opt.HedgeMinDelay
+	}
+	if n.opTimeout > 0 && d > n.opTimeout/2 {
+		d = n.opTimeout / 2
+	}
+	return d
 }
 
 func (n *clusterNode) flush() error {
@@ -1324,42 +1776,38 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			fallthrough
 		case OpRanks:
 			n.mu.Lock()
-			p, ok := n.pending[f.ReqID]
+			inf, ok := n.pending[f.ReqID]
 			// Capture the key count under the lock: on the mismatch
 			// path below p stays registered, so a concurrent failNode
 			// sweep may re-route, complete, and recycle it the moment
 			// the lock is released — p must not be read after that.
 			nKeys := 0
 			if ok {
-				nKeys = len(p.keys)
+				nKeys = len(inf.p.keys)
 			}
-			if ok && p.kind == pkLookup && len(f.Payload) == nKeys {
-				delete(n.pending, f.ReqID)
-				if n.opTimeout > 0 {
-					if len(n.pending) == 0 {
-						// Idle connections carry no deadline; the next
-						// registration re-arms it.
-						n.conn.SetReadDeadline(time.Time{})
-					} else {
-						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
-					}
-				}
+			if ok && inf.p.kind == pkLookup && len(f.Payload) == nKeys {
+				p := inf.p
+				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
-				// adj folds in the keys this client inserted into the
-				// preceding partitions: the node's static rank base
-				// predates them (see Cluster.ins).
-				adj := c.insBefore(n.g.part)
-				if p.contig {
-					base := p.posBase
-					for i, r := range f.Payload {
-						p.out[base+i] = int(r) + adj
+				n.observe(c, time.Since(inf.sentAt))
+				if p.claim() {
+					// adj folds in the keys this client inserted into the
+					// preceding partitions: the node's static rank base
+					// predates them (see Cluster.ins).
+					adj := c.insBefore(n.g.part)
+					if p.contig {
+						base := p.posBase
+						for i, r := range f.Payload {
+							p.out[base+i] = int(r) + adj
+						}
+					} else {
+						for i, pos := range p.pos {
+							p.out[pos] = int(f.Payload[i]) + adj
+						}
 					}
-				} else {
-					for i, pos := range p.pos {
-						p.out[pos] = int(f.Payload[i]) + adj
-					}
+					p.complete(nil)
 				}
-				p.complete(nil)
+				c.release(p)
 				continue
 			}
 			n.mu.Unlock()
@@ -1378,31 +1826,24 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			return
 		case OpInsertAck, OpLoadAck:
 			n.mu.Lock()
-			p, ok := n.pending[f.ReqID]
+			inf, ok := n.pending[f.ReqID]
 			kindOK, wantN := false, 0
 			if ok {
 				switch {
-				case f.Op == OpInsertAck && p.kind == pkInsert:
-					kindOK, wantN = true, len(p.keys)
-				case f.Op == OpLoadAck && p.kind == pkLoad:
-					kindOK, wantN = true, len(p.keys)
-				case f.Op == OpLoadAck && p.kind == pkLoadAt:
+				case f.Op == OpInsertAck && inf.p.kind == pkInsert:
+					kindOK, wantN = true, len(inf.p.keys)
+				case f.Op == OpLoadAck && inf.p.kind == pkLoad:
+					kindOK, wantN = true, len(inf.p.keys)
+				case f.Op == OpLoadAck && inf.p.kind == pkLoadAt:
 					// The payload carries the 5 header words ahead of
 					// the keys; the node acks only the keys.
-					kindOK, wantN = true, len(p.keys)-snapDeltaHeader
+					kindOK, wantN = true, len(inf.p.keys)-snapDeltaHeader
 				}
 			}
 			if kindOK && len(f.Payload) == 1 && int(f.Payload[0]) == wantN {
-				delete(n.pending, f.ReqID)
-				if n.opTimeout > 0 {
-					if len(n.pending) == 0 {
-						n.conn.SetReadDeadline(time.Time{})
-					} else {
-						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
-					}
-				}
+				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
-				p.complete(nil)
+				c.finish(inf.p, nil)
 				continue
 			}
 			n.mu.Unlock()
@@ -1418,19 +1859,16 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			}
 			rankScratch = vals
 			n.mu.Lock()
-			p, ok := n.pending[f.ReqID]
-			if ok && p.kind == pkSnapshot {
-				delete(n.pending, f.ReqID)
-				if n.opTimeout > 0 {
-					if len(n.pending) == 0 {
-						n.conn.SetReadDeadline(time.Time{})
-					} else {
-						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
-					}
-				}
+			inf, ok := n.pending[f.ReqID]
+			if ok && inf.p.kind == pkSnapshot {
+				p := inf.p
+				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
-				p.keys = append(p.keys[:0], vals...)
-				p.complete(nil)
+				if p.claim() {
+					p.reply = append(p.reply[:0], vals...)
+					p.complete(nil)
+				}
+				c.release(p)
 				continue
 			}
 			n.mu.Unlock()
@@ -1438,19 +1876,16 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			return
 		case OpSnapshotDelta:
 			n.mu.Lock()
-			p, ok := n.pending[f.ReqID]
-			if ok && p.kind == pkSnapshotSince && len(f.Payload) >= snapDeltaHeader {
-				delete(n.pending, f.ReqID)
-				if n.opTimeout > 0 {
-					if len(n.pending) == 0 {
-						n.conn.SetReadDeadline(time.Time{})
-					} else {
-						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
-					}
-				}
+			inf, ok := n.pending[f.ReqID]
+			if ok && inf.p.kind == pkSnapshotSince && len(f.Payload) >= snapDeltaHeader {
+				p := inf.p
+				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
-				p.keys = append(p.keys[:0], f.Payload...)
-				p.complete(nil)
+				if p.claim() {
+					p.reply = append(p.reply[:0], f.Payload...)
+					p.complete(nil)
+				}
+				c.release(p)
 				continue
 			}
 			n.mu.Unlock()
@@ -1466,42 +1901,41 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			}
 			rankScratch = vals
 			n.mu.Lock()
-			p, ok := n.pending[f.ReqID]
+			inf, ok := n.pending[f.ReqID]
 			wantN := -1
 			if ok {
-				switch p.kind {
+				switch inf.p.kind {
 				case pkCount:
-					wantN = len(p.keys) / 2
+					wantN = len(inf.p.keys) / 2
 				case pkMultiGet:
-					wantN = len(p.keys)
+					wantN = len(inf.p.keys)
 				}
 			}
 			if ok && len(vals) == wantN {
-				delete(n.pending, f.ReqID)
-				if n.opTimeout > 0 {
-					if len(n.pending) == 0 {
-						n.conn.SetReadDeadline(time.Time{})
-					} else {
-						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
-					}
-				}
+				p := inf.p
+				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
-				if p.kind == pkCount {
-					// Ranges can span partitions, so concurrent read loops
-					// must not add into shared output slots; stage the
-					// counts and let the single caller sum via p.pos.
-					p.keys = append(p.keys[:0], vals...)
-				} else if p.contig {
-					base := p.posBase
-					for i, v := range vals {
-						p.out[base+i] = int(v)
+				n.observe(c, time.Since(inf.sentAt))
+				if p.claim() {
+					if p.kind == pkCount {
+						// Ranges can span partitions, so concurrent read
+						// loops must not add into shared output slots;
+						// stage the counts and let the single caller sum
+						// via p.pos.
+						p.reply = append(p.reply[:0], vals...)
+					} else if p.contig {
+						base := p.posBase
+						for i, v := range vals {
+							p.out[base+i] = int(v)
+						}
+					} else {
+						for i, pos := range p.pos {
+							p.out[pos] = int(vals[i])
+						}
 					}
-				} else {
-					for i, pos := range p.pos {
-						p.out[pos] = int(vals[i])
-					}
+					p.complete(nil)
 				}
-				p.complete(nil)
+				c.release(p)
 				continue
 			}
 			n.mu.Unlock()
@@ -1523,19 +1957,17 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			}
 			rankScratch = vals
 			n.mu.Lock()
-			p, ok := n.pending[f.ReqID]
-			if ok && (p.kind == pkScan || p.kind == pkTopK) {
-				delete(n.pending, f.ReqID)
-				if n.opTimeout > 0 {
-					if len(n.pending) == 0 {
-						n.conn.SetReadDeadline(time.Time{})
-					} else {
-						n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
-					}
-				}
+			inf, ok := n.pending[f.ReqID]
+			if ok && (inf.p.kind == pkScan || inf.p.kind == pkTopK) {
+				p := inf.p
+				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
-				p.keys = append(p.keys[:0], vals...)
-				p.complete(nil)
+				n.observe(c, time.Since(inf.sentAt))
+				if p.claim() {
+					p.reply = append(p.reply[:0], vals...)
+					p.complete(nil)
+				}
+				c.release(p)
 				continue
 			}
 			n.mu.Unlock()
@@ -1554,19 +1986,12 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			// can cascade to epoch death, and failing over an oversized
 			// scan to a sibling would only be refused identically.
 			n.mu.Lock()
-			if p, ok := n.pending[f.ReqID]; ok {
-				switch p.kind {
+			if inf, ok := n.pending[f.ReqID]; ok {
+				switch inf.p.kind {
 				case pkSnapshot, pkLoad, pkSnapshotSince, pkLoadAt, pkCount, pkScan, pkTopK, pkMultiGet:
-					delete(n.pending, f.ReqID)
-					if n.opTimeout > 0 {
-						if len(n.pending) == 0 {
-							n.conn.SetReadDeadline(time.Time{})
-						} else {
-							n.conn.SetReadDeadline(time.Now().Add(n.opTimeout))
-						}
-					}
+					n.deregisterLocked(f.ReqID)
 					n.mu.Unlock()
-					p.complete(fmt.Errorf("netrun: partition %d replica %s refused the request (op %d)", n.g.part, n.addr, code))
+					c.finish(inf.p, fmt.Errorf("netrun: partition %d replica %s refused the request (op %d)", n.g.part, n.addr, code))
 					continue
 				}
 			}
@@ -1585,11 +2010,15 @@ func (c *Cluster) getPending() *pending {
 	p.kind = pkLookup
 	p.keys = p.keys[:0]
 	p.pos = p.pos[:0]
+	p.reply = p.reply[:0]
 	p.sorted = false
 	p.contig = false
 	p.posBase = 0
 	p.chunk = nil
 	p.err = nil
+	p.claimed.Store(false)
+	p.hedged.Store(false)
+	p.refs.Store(0)
 	return p
 }
 
@@ -1605,46 +2034,73 @@ func (c *Cluster) putPending(p *pending) {
 	if cap(p.keys) > 2*c.batch {
 		p.keys = nil
 	}
+	if cap(p.reply) > 2*c.batch {
+		p.reply = nil
+	}
 	c.pends.Put(p)
 }
 
-// route stamps p with a fresh request id and hands it to an eligible
-// healthy replica of g, retrying (with restamping) across members until
-// one accepts it. When the group is empty the epoch is failing — the
-// member that zeroed it invokes ep.fail before route can observe the
-// empty group grow stale — so waiting on ep.failed is bounded and p
-// completes with the root cause. A non-empty group with no member
-// eligible for p (e.g. only pre-v3 replicas left on a partition this
-// client has written to) fails p alone with a descriptive error; the
-// epoch stays healthy.
+// route stamps p's registration with a fresh request id and hands it to
+// an eligible healthy replica of g, retrying (with restamping) across
+// members until one accepts it. When the group is empty the epoch is
+// failing — the member that zeroed it invokes ep.fail before route can
+// observe the empty group grow stale — so waiting on ep.failed is
+// bounded and p completes with the root cause. A non-empty group with
+// no member eligible for p (e.g. only pre-v3 replicas left on a
+// partition this client has written to) fails p alone with a
+// descriptive error; the epoch stays healthy.
+//
+// route owns one dispatch-chain reference to p (set up by dispatch, or
+// inherited from the swept chain on a failover re-route): terminal
+// paths finish the chain, a successful enqueue passes the reference on
+// to the connection. Hedgeable reads dispatch under the admission cap:
+// when every eligible replica is at MaxPending outstanding frames,
+// route parks until a slot frees instead of growing the queues.
 func (c *Cluster) route(ep *epoch, g *replicaGroup, p *pending) {
+	// Read p.kind once, before the enqueue: a successful enqueue hands
+	// the chain reference to the connection, after which p may complete
+	// and recycle at any moment.
+	isRead := hedgeable(p.kind)
+	limit := 0
+	if isRead {
+		limit = c.maxPending
+	}
 	for {
 		if err := ep.Err(); err != nil {
-			p.complete(err)
+			c.finish(p, err)
 			return
 		}
-		n, empty := g.pickFor(c, p)
+		n, empty := g.pickFor(c, p, nil)
 		if n == nil {
 			if !empty {
-				p.complete(fmt.Errorf("netrun: partition %d cannot serve the request: %s", g.part, g.describeIneligible(c, p)))
+				c.finish(p, fmt.Errorf("netrun: partition %d cannot serve the request: %s", g.part, g.describeIneligible(c, p)))
 				return
 			}
 			<-ep.failed
-			p.complete(ep.err)
+			c.finish(p, ep.err)
 			return
 		}
-		p.reqID = c.reqID.Add(1)
-		if n.enqueue(p) {
+		ok, full := n.enqueue(p, c.reqID.Add(1), limit)
+		if ok {
 			n.stats().dispatched.Add(1)
+			if isRead {
+				g.earnHedge(c)
+			}
 			return
+		}
+		if full {
+			g.waitAdmit(ep)
 		}
 	}
 }
 
 // dispatch binds p to the issuing call and routes it to partition gi.
+// From here until the last reference drops, p is shared: one reference
+// belongs to the issuing call's gather loop, one to the dispatch chain.
 func (c *Cluster) dispatch(ep *epoch, gi int, p *pending, out []int, done chan *pending) {
 	p.out = out
 	p.done = done
+	p.refs.Store(2)
 	c.route(ep, ep.groups[gi], p)
 }
 
@@ -1759,7 +2215,7 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		if p.err != nil && firstErr == nil {
 			firstErr = p.err
 		}
-		c.putPending(p)
+		c.release(p)
 	}
 	c.calls.Put(nc)
 	return firstErr
@@ -1843,7 +2299,7 @@ func (c *Cluster) InsertBatch(keys []workload.Key) error {
 		if ck.remaining--; ck.remaining == 0 && !ck.failed {
 			c.ins[ck.part].Add(int64(ck.n))
 		}
-		c.putPending(p)
+		c.release(p)
 	}
 	for gi, pk := range perPart {
 		if len(pk) == 0 {
@@ -1870,18 +2326,19 @@ func (c *Cluster) InsertBatch(keys []workload.Key) error {
 				p.keys = append(p.keys, chunk...)
 				p.done = done
 				p.chunk = ck
+				p.refs.Store(2)
 				if m.catchingUp {
 					m.holdq = append(m.holdq, p)
 					targets++
 					continue
 				}
-				p.reqID = c.reqID.Add(1)
-				if m.enqueue(p) {
+				if ok, _ := m.enqueue(p, c.reqID.Add(1), 0); ok {
 					m.stats().dispatched.Add(1)
 					targets++
 				} else {
 					// The member is being failed; the survivors (and
-					// its own future catch-up) cover the write.
+					// its own future catch-up) cover the write. p never
+					// escaped, so it recycles directly.
 					c.putPending(p)
 				}
 			}
@@ -1938,14 +2395,21 @@ func (c *Cluster) Health() []ReplicaHealth {
 		for slot, addr := range g.addrs {
 			s := g.stats[slot]
 			out = append(out, ReplicaHealth{
-				Partition:  g.part,
-				Addr:       addr,
-				Healthy:    alive[slot],
-				Syncing:    syncing[slot],
-				Proto:      proto[slot],
-				Dispatched: s.dispatched.Load(),
-				Failures:   s.failures.Load(),
-				Rejoins:    s.rejoins.Load(),
+				Partition:    g.part,
+				Addr:         addr,
+				Healthy:      alive[slot],
+				Syncing:      syncing[slot],
+				Proto:        proto[slot],
+				Dispatched:   s.dispatched.Load(),
+				Failures:     s.failures.Load(),
+				Rejoins:      s.rejoins.Load(),
+				State:        stateName(s.state.Load()),
+				LatencyEWMA:  time.Duration(s.ewmaNs.Load()),
+				Hedges:       s.hedges.Load(),
+				Ejections:    s.ejections.Load(),
+				Probes:       s.probes.Load(),
+				Readmits:     s.readmits.Load(),
+				BudgetDenied: s.budgetDenied.Load(),
 			})
 		}
 	}

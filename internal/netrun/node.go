@@ -66,6 +66,13 @@ type Node struct {
 	// deployments keep answering — a v5 client excludes a capped node
 	// from the v5 query ops but keeps routing rank lookups to it.
 	MaxVersion uint32
+
+	// WrapConn, when non-nil, wraps every accepted connection before
+	// its handler starts — the server-side fault-injection seam (gray-
+	// failure tests and dcnode's -chaos drill install a faultnet
+	// profile here to slow or stall one replica deterministically).
+	// Set before Serve.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // capVersion is the highest protocol version this node will negotiate:
@@ -176,6 +183,12 @@ func (n *Node) Serve(lis net.Listener) error {
 		conn, err := lis.Accept()
 		if err != nil {
 			return err
+		}
+		if n.WrapConn != nil {
+			// Track (and later Close) the wrapper, not the raw conn:
+			// closing a faultnet wrapper wakes any injected stall, so
+			// Close never waits out a fault.
+			conn = n.WrapConn(conn)
 		}
 		n.mu.Lock()
 		if n.closed {

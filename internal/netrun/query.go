@@ -106,7 +106,7 @@ func (c *Cluster) CountRangeBatch(ranges []KeyRange, out []int) error {
 	for j, p := range pends {
 		c.dispatch(ep, gis[j], p, nil, done)
 	}
-	// The read loops stage each reply's counts in p.keys rather than
+	// The read loops stage each reply's counts in p.reply rather than
 	// adding into out: a range spanning partitions has several replies
 	// targeting the same slot, and only this single gather loop may sum
 	// them.
@@ -119,10 +119,10 @@ func (c *Cluster) CountRangeBatch(ranges []KeyRange, out []int) error {
 			}
 		} else {
 			for j, pos := range p.pos {
-				out[pos] += int(p.keys[j])
+				out[pos] += int(p.reply[j])
 			}
 		}
-		c.putPending(p)
+		c.release(p)
 	}
 	return firstErr
 }
@@ -175,7 +175,7 @@ func (c *Cluster) ScanRange(lo, hi workload.Key, limit int, buf []workload.Key) 
 			if limit >= 0 && taken >= limit {
 				break
 			}
-			for _, v := range p.keys {
+			for _, v := range p.reply {
 				if limit >= 0 && taken >= limit {
 					break
 				}
@@ -185,7 +185,7 @@ func (c *Cluster) ScanRange(lo, hi workload.Key, limit int, buf []workload.Key) 
 		}
 	}
 	for _, p := range pends {
-		c.putPending(p)
+		c.release(p)
 	}
 	return out, firstErr
 }
@@ -226,7 +226,7 @@ func (c *Cluster) TopK(k int, buf []workload.Key) ([]workload.Key, error) {
 		// ascending run, read back-to-front.
 		have := 0
 		for gi := len(pends) - 1; gi >= 0 && have < k; gi-- {
-			run := pends[gi].keys
+			run := pends[gi].reply
 			for j := len(run) - 1; j >= 0 && have < k; j-- {
 				out = append(out, workload.Key(run[j]))
 				have++
@@ -234,7 +234,7 @@ func (c *Cluster) TopK(k int, buf []workload.Key) ([]workload.Key, error) {
 		}
 	}
 	for _, p := range pends {
-		c.putPending(p)
+		c.release(p)
 	}
 	return out, firstErr
 }
@@ -304,7 +304,7 @@ func (c *Cluster) MultiGetInto(keys []workload.Key, out []int) error {
 		if p.err != nil && firstErr == nil {
 			firstErr = p.err
 		}
-		c.putPending(p)
+		c.release(p)
 	}
 	c.calls.Put(nc)
 	return firstErr

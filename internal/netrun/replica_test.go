@@ -481,8 +481,7 @@ func TestReqIDCollisionFailsFast(t *testing.T) {
 	stuck := &pending{done: make(chan *pending, 1)}
 	n.mu.Lock()
 	collide := c.reqID.Load() + 1 // the id the next dispatch will take
-	stuck.reqID = collide
-	n.pending[collide] = stuck
+	n.pending[collide] = inflight{p: stuck, sentAt: time.Now()}
 	n.mu.Unlock()
 
 	_, err := c.LookupBatch(workload.UniformQueries(10, 35))

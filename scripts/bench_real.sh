@@ -48,8 +48,11 @@ run_bench 'BenchmarkReal_' .
 # batch must stay checksum-correct (ReplicatedFailover) — and the
 # sorted-batch rows (SortedDelta and its same-parameter unsorted
 # companion, plus the CPU-bound loopback variant), which exercise the
-# protocol-v2 delta frames end to end, and the v5 scan-streaming row
-# (ScanStream: full-range ScanRange over the wire).
+# protocol-v2 delta frames end to end, the v5 scan-streaming row
+# (ScanStream: full-range ScanRange over the wire), and the gray-failure
+# row (GraySlowReplica: 8x2 with one replica answering 20ms late, a
+# hedging/ejecting client, measured after ejection settles — the steady
+# degraded-mode number).
 run_bench 'BenchmarkTCPCluster' ./internal/netrun
 
 cat "$RAW" >&2
