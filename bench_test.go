@@ -12,6 +12,7 @@ package repro_test
 import (
 	"sort"
 	"testing"
+	"time"
 
 	"repro/dcindex"
 	"repro/internal/arch"
@@ -19,8 +20,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// reportLatency reports the per-call latency distribution of a
+// benchmark's serving op as p50/p99/p99.9 metrics, so BENCH_real.json
+// carries tail behavior alongside the ns/key mean (benchcheck gates the
+// p99 column the same way it gates throughput). The log-bucketed
+// histogram's ≤12.5% bucket width is far below the >20% regression gate.
+func reportLatency(b *testing.B, h *telemetry.Histogram) {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return
+	}
+	b.ReportMetric(float64(s.P50()), "p50_ns")
+	b.ReportMetric(float64(s.P99()), "p99_ns")
+	b.ReportMetric(float64(s.P999()), "p999_ns")
+}
 
 // ---------------------------------------------------------------------
 // Table 1 — the index structure setup.
@@ -234,13 +251,17 @@ func benchRealInto(b *testing.B, layout dcindex.Layout, sorted bool) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(queries) * workload.KeyBytes))
+	var hist telemetry.Histogram
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		if err := idx.RankBatchInto(queries, out); err != nil {
 			b.Fatal(err)
 		}
+		hist.Observe(time.Since(t0))
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(queries)), "ns/key")
+	reportLatency(b, &hist)
 }
 
 func BenchmarkReal_RankBatch(b *testing.B) { benchRealInto(b, dcindex.LayoutSortedArray, false) }

@@ -19,6 +19,7 @@ package main
 import (
 	"repro/internal/analyzers/framepair"
 	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/knobdoc"
 	"repro/internal/analyzers/lockguard"
 	"repro/internal/analyzers/noalloc"
 	"repro/internal/analyzers/snappin"
@@ -29,6 +30,7 @@ func main() {
 		lockguard.Analyzer,
 		noalloc.Analyzer,
 		framepair.Analyzer,
+		knobdoc.Analyzer,
 		snappin.Analyzer,
 	)
 }

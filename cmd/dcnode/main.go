@@ -63,6 +63,18 @@
 // mixed-version rollout the negotiation table in
 // internal/netrun/protocol.go pins.
 //
+// The operations plane (protocol v6) adds two flags. -admin mounts the
+// HTTP admin endpoint on the given address: GET /metrics serves the
+// node's per-op service-time histograms (dc_node_op_ns{op=...}) in
+// Prometheus text format, /stats and /indexes report the node's
+// identity and live key count as JSON, /health is a liveness probe,
+// and the membership verbs answer 501 — reshaping is the client's
+// authority, POST to the dcq master's admin endpoint instead. -join
+// starts the node unassigned: it loads the full key file but serves an
+// empty partition until a v6 client's AddReplica names the slice of
+// the universe it should own — how a fresh machine joins a running
+// cluster without restarting the epoch (-parts/-part are ignored).
+//
 // The -chaos-* flags turn a node into a deterministic gray failure for
 // resilience drills: the node still computes correct answers, but its
 // accepted connections are wrapped in a seeded faultnet profile that
@@ -84,10 +96,12 @@ import (
 	"os"
 
 	"repro/dcindex"
+	"repro/internal/admin"
 	"repro/internal/core"
 	"repro/internal/faultnet"
 	"repro/internal/index"
 	"repro/internal/netrun"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -103,6 +117,8 @@ func main() {
 		walDir   = flag.String("wal-dir", "", "durable mode: per-partition WAL + segment directory (created if missing); acked inserts survive crashes")
 		fsyncInt = flag.Duration("fsync-interval", 0, "with -wal-dir: minimum spacing between WAL fsyncs (0 = every group commit, negative = never fsync)")
 		maxVer   = flag.Uint("max-version", 0, "cap the negotiated protocol version (0 = newest); e.g. 4 emulates a pre-v5 node for mixed-version rollouts and interop tests")
+		adminAt  = flag.String("admin", "", "mount the HTTP admin/metrics endpoint on this address (e.g. 127.0.0.1:9100; empty disables)")
+		join     = flag.Bool("join", false, "start unassigned: load the key file but serve an empty partition until a v6 client's AddReplica assigns one (-parts/-part ignored)")
 
 		chaosDelay  = flag.Duration("chaos-delay", 0, "chaos drill: delay every reply write by this much (seeded faultnet wrapper on every accepted connection)")
 		chaosStall  = flag.Int("chaos-stall-after", 0, "chaos drill: stall each accepted connection at its Nth write — the hello ack is write 1, so 2 stalls the first reply (0 disarms)")
@@ -116,8 +132,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *part < 0 || *part >= *parts {
+	if !*join && (*part < 0 || *part >= *parts) {
 		fmt.Fprintf(os.Stderr, "dcnode: -part %d out of range [0,%d)\n", *part, *parts)
+		os.Exit(2)
+	}
+	if *join && (*readonly || *walDir != "") {
+		fmt.Fprintln(os.Stderr, "dcnode: -join is incompatible with -readonly and -wal-dir (a join node must accept the assignment ops)")
 		os.Exit(2)
 	}
 	var keys []workload.Key
@@ -131,40 +151,55 @@ func main() {
 	} else {
 		keys = workload.SortedKeys(*n, *seed)
 	}
-	p, err := core.NewPartitioning(keys, *parts)
-	if err != nil {
-		log.Fatalf("dcnode: %v", err)
-	}
-	mine := p.Parts[*part]
-	mode := "updatable (v5)"
-	switch {
-	case *readonly:
-		mode = "read-only (v2)"
-	case *walDir != "":
-		mode = "durable (v5, WAL)"
-	}
-	if *maxVer > 0 {
-		mode += fmt.Sprintf(", capped at v%d", *maxVer)
-	}
-	log.Printf("dcnode: partition %d/%d: %d keys, rank base %d, %s",
-		*part, *parts, len(mine.Keys), mine.RankBase, mode)
 	var node *netrun.Node
-	if *walDir != "" && !*readonly {
-		node, err = netrun.NewDurablePartitionNode(mine.Keys, mine.RankBase, *walDir, index.StoreOptions{
-			FsyncInterval: *fsyncInt,
-			Logf:          log.Printf,
-		})
+	switch {
+	case *join:
+		node = netrun.NewJoinNode(keys)
+		log.Printf("dcnode: joinable over %d keys: serving unassigned until a v6 client's AddReplica names a partition", len(keys))
+	default:
+		p, err := core.NewPartitioning(keys, *parts)
 		if err != nil {
 			log.Fatalf("dcnode: %v", err)
 		}
-		gen, _ := node.Position()
-		log.Printf("dcnode: recovered durable state from %s: generation %d (%d logged inserts over the baseline)",
-			*walDir, gen, gen)
-	} else {
-		node = netrun.NewPartitionNode(mine.Keys, mine.RankBase)
+		mine := p.Parts[*part]
+		mode := fmt.Sprintf("updatable (v%d)", netrun.ProtoVersion)
+		switch {
+		case *readonly:
+			mode = "read-only (v2)"
+		case *walDir != "":
+			mode = fmt.Sprintf("durable (v%d, WAL)", netrun.ProtoVersion)
+		}
+		if *maxVer > 0 {
+			mode += fmt.Sprintf(", capped at v%d", *maxVer)
+		}
+		log.Printf("dcnode: partition %d/%d: %d keys, rank base %d, %s",
+			*part, *parts, len(mine.Keys), mine.RankBase, mode)
+		if *walDir != "" && !*readonly {
+			node, err = netrun.NewDurablePartitionNode(mine.Keys, mine.RankBase, *walDir, index.StoreOptions{
+				FsyncInterval: *fsyncInt,
+				Logf:          log.Printf,
+			})
+			if err != nil {
+				log.Fatalf("dcnode: %v", err)
+			}
+			gen, _ := node.Position()
+			log.Printf("dcnode: recovered durable state from %s: generation %d (%d logged inserts over the baseline)",
+				*walDir, gen, gen)
+		} else {
+			node = netrun.NewPartitionNode(mine.Keys, mine.RankBase)
+		}
 	}
 	node.ReadOnly = *readonly
 	node.MaxVersion = uint32(*maxVer)
+	if *adminAt != "" {
+		node.Telemetry = telemetry.NewRegistry()
+		srv, err := admin.Serve(*adminAt, nodeAdminConfig(node, *part, *join))
+		if err != nil {
+			log.Fatalf("dcnode: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("dcnode: admin endpoint on http://%s (/metrics /stats /health /indexes)", srv.Addr())
+	}
 	if *chaosDelay > 0 || *chaosStall > 0 {
 		// Gray-failure drill: this node keeps serving correctly but
 		// misbehaves at the transport, deterministically per seed. Point
@@ -182,5 +217,55 @@ func main() {
 	}
 	if err := netrun.ListenAndServeNode(*listen, node); err != nil {
 		log.Fatalf("dcnode: %v", err)
+	}
+}
+
+// nodeAdminConfig wires a single node's observable surfaces into the
+// admin handler: the telemetry registry behind /metrics (with computed
+// gauges refreshed per scrape), the NodeInfo snapshot behind /stats,
+// /health, and /indexes. Membership stays nil — reshaping a cluster is
+// the client's authority, so the node's verbs answer 501 with a
+// pointer at the master.
+func nodeAdminConfig(node *netrun.Node, part int, join bool) admin.Config {
+	mode := func(info netrun.NodeInfo) string {
+		switch {
+		case !info.Assigned:
+			return "joinable"
+		case node.ReadOnly:
+			return "read-only"
+		case info.Durable:
+			return "durable"
+		}
+		return "updatable"
+	}
+	return admin.Config{
+		Registry: node.Telemetry,
+		BeforeScrape: func(reg *telemetry.Registry) {
+			info := node.Info()
+			reg.Gauge("dc_node_keys").Set(int64(info.Keys))
+			reg.Gauge("dc_node_rank_base").Set(int64(info.RankBase))
+			assigned := int64(0)
+			if info.Assigned {
+				assigned = 1
+			}
+			reg.Gauge("dc_node_assigned").Set(assigned)
+			reg.Gauge("dc_node_wal_generation").Set(int64(info.Generation))
+		},
+		Stats:  func() any { return node.Info() },
+		Health: func() (bool, any) { return true, node.Info() },
+		Indexes: func() []admin.IndexInfo {
+			info := node.Info()
+			pi := part
+			if join {
+				pi = -1 // unassigned: no partition id until AddReplica names one
+			}
+			return []admin.IndexInfo{{
+				Name:      "partition",
+				Partition: pi,
+				Keys:      int64(info.Keys),
+				RankBase:  int64(info.RankBase),
+				Mode:      mode(info),
+			}}
+		},
 	}
 }

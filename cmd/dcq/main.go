@@ -49,6 +49,23 @@
 // counters:
 //
 //	dcq -connect 'host:7000|host:7100,host:7001|host:7101' -hedge -chaos 50ms
+//
+// dcq is also the load harness of the operations plane. -target-qps R
+// switches from the default closed loop (batches dispatched
+// back-to-back, latency = service time) to an open loop: batch starts
+// are scheduled at R keys/s split across masters, and each batch's
+// latency is measured from its scheduled start — so time spent queued
+// behind a saturated cluster counts against the tail instead of
+// silently stretching the run (the coordinated-omission fix). Paced
+// runs end with a per-batch latency report (p50/p99/p99.9/mean from a
+// mergeable log-bucketed histogram). -admin ADDR mounts the cluster
+// client's HTTP admin endpoint for the run: GET /metrics serves the
+// client-side per-op histograms (dc_client_op_ns{op=...}) and cluster
+// gauges, GET /stats the versioned ClusterStats tree, and the POST
+// /membership/ verbs (add-replica, drain-replica, split-partition)
+// reshape the serving cluster live — see the README's "Operations"
+// section. After any TCP run, dcq prints the failover/gray-failure
+// summary whenever any counter is nonzero, chaos drill or not.
 package main
 
 import (
@@ -66,6 +83,7 @@ import (
 	"repro/dcindex"
 	"repro/internal/faultnet"
 	"repro/internal/tab"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -88,6 +106,8 @@ func main() {
 		hedge      = flag.Bool("hedge", false, "gray-failure mode (with -connect): hedged reads, latency-scored outlier ejection, and a hedge token budget")
 		hedgeQuant = flag.Float64("hedge-quantile", 0.95, "latency quantile that arms a hedge (with -hedge)")
 		chaos      = flag.Duration("chaos", 0, "gray-failure drill (with -connect): delay replies from the first replica by this much via a seeded faultnet wrapper on its connection")
+		targetQPS  = flag.Float64("target-qps", 0, "open-loop load: pace dispatch at this many keys/s (split across masters), measuring batch latency from each batch's scheduled start so queueing delay counts; 0 = closed loop (batches back-to-back, latency = service time)")
+		adminAt    = flag.String("admin", "", "with -connect: mount the cluster client's HTTP admin endpoint (metrics, /stats, membership verbs) on this address for the run's duration")
 	)
 	flag.Parse()
 
@@ -122,16 +142,21 @@ func main() {
 		*insertRate = 0
 	}
 
+	if *targetQPS < 0 {
+		fmt.Fprintln(os.Stderr, "dcq: -target-qps must be >= 0")
+		os.Exit(2)
+	}
+
 	if *connect != "" {
 		runTCP(strings.Split(*connect, ","), keys, queries, *opName, *batch, *masters, *replicas, *optimeout, *insertRate, *seed,
-			*hedge, *hedgeQuant, *chaos)
+			*hedge, *hedgeQuant, *chaos, *targetQPS, *adminAt)
 		return
 	}
 
 	if *compare {
 		t := tab.NewTable("method", "wall time", "Mops/s", "checksum")
 		for _, m := range dcindex.Methods() {
-			el, sum, units := run(keys, queries, m, *opName, *workers, *batch, *insertRate, *seed)
+			el, sum, units := run(keys, queries, m, *opName, *workers, *batch, *insertRate, *seed, *targetQPS)
 			t.Row(m.String(), el.Round(time.Millisecond).String(),
 				fmt.Sprintf("%.1f", float64(units)/el.Seconds()/1e6),
 				fmt.Sprintf("%08x", sum))
@@ -151,9 +176,71 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dcq: unknown method %q (want A, B, C-1, C-2, C-3)\n", *methodName)
 		os.Exit(2)
 	}
-	el, sum, units := run(keys, queries, m, *opName, *workers, *batch, *insertRate, *seed)
+	el, sum, units := run(keys, queries, m, *opName, *workers, *batch, *insertRate, *seed, *targetQPS)
 	fmt.Printf("method %s, op %s: %d result units over %d keys in %s (%.1f Mops/s), checksum %08x\n",
 		m, *opName, units, len(keys), el.Round(time.Millisecond), float64(units)/el.Seconds()/1e6, sum)
+}
+
+// pacer schedules batch starts for the -target-qps open loop and
+// records every batch's latency into a shared histogram (one pacer per
+// master, one histogram per run). Open loop (interval > 0): batch i's
+// latency is measured from its scheduled start, not its actual one, so
+// time spent queued behind a saturated cluster counts against the
+// distribution — the classic coordinated-omission fix. Closed loop
+// (interval 0): batches start back-to-back and the histogram holds
+// pure service time.
+type pacer struct {
+	hist     *telemetry.Histogram
+	interval time.Duration
+	next     time.Time
+}
+
+// newPacer builds one master's pacer: qps is the whole run's target
+// rate, batch and masters divide it into this master's per-batch
+// dispatch interval.
+func newPacer(hist *telemetry.Histogram, qps float64, batch, masters int) *pacer {
+	p := &pacer{hist: hist}
+	if qps > 0 {
+		p.interval = time.Duration(float64(batch) * float64(masters) / qps * float64(time.Second))
+	}
+	return p
+}
+
+// begin blocks until the next scheduled batch start and returns the
+// timestamp latency is measured from.
+func (p *pacer) begin() time.Time {
+	if p.interval <= 0 {
+		return time.Now()
+	}
+	if p.next.IsZero() {
+		p.next = time.Now()
+	}
+	t := p.next
+	p.next = t.Add(p.interval)
+	if wait := time.Until(t); wait > 0 {
+		time.Sleep(wait)
+	}
+	return t
+}
+
+func (p *pacer) end(t0 time.Time) { p.hist.Observe(time.Since(t0)) }
+
+// printLatency reports the run's per-batch latency distribution.
+func printLatency(hist *telemetry.Histogram, qps float64) {
+	s := hist.Snapshot()
+	if s.Count == 0 {
+		return
+	}
+	loop := "closed loop"
+	if qps > 0 {
+		loop = fmt.Sprintf("open loop at %.0f keys/s", qps)
+	}
+	fmt.Printf("batch latency (%s, %d batches): p50 %s  p99 %s  p99.9 %s  mean %s\n",
+		loop, s.Count,
+		time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(s.Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(s.Quantile(0.999)).Round(time.Microsecond),
+		time.Duration(s.Mean()).Round(time.Microsecond))
 }
 
 // queryEngine is the op surface shared by the in-process Index and the
@@ -169,8 +256,9 @@ type queryEngine interface {
 // range endpoints from consecutive query pairs, topk derives k from the
 // stream, multiget uses the queries as lookup keys — and returns the
 // result-unit count and a rolling checksum. Deterministic per stream,
-// so checksums compare across methods and transports.
-func runOps(eng queryEngine, op string, queries []dcindex.Key, batch int) (int, uint32, error) {
+// so checksums compare across methods and transports. pc paces the
+// dispatches and records each call's latency.
+func runOps(eng queryEngine, op string, queries []dcindex.Key, batch int, pc *pacer) (int, uint32, error) {
 	var sum uint32
 	units := 0
 	switch op {
@@ -181,9 +269,11 @@ func runOps(eng queryEngine, op string, queries []dcindex.Key, batch int) (int, 
 			if len(ranges) == 0 {
 				return nil
 			}
+			t0 := pc.begin()
 			if err := eng.CountRangeBatch(ranges, counts[:len(ranges)]); err != nil {
 				return err
 			}
+			pc.end(t0)
 			for _, n := range counts[:len(ranges)] {
 				sum = sum*31 + uint32(n)
 			}
@@ -213,10 +303,12 @@ func runOps(eng queryEngine, op string, queries []dcindex.Key, batch int) (int, 
 			if hi < lo {
 				lo, hi = hi, lo
 			}
+			t0 := pc.begin()
 			got, err := eng.ScanRange(lo, hi, batch, buf[:0])
 			if err != nil {
 				return units, sum, err
 			}
+			pc.end(t0)
 			buf = got
 			for _, k := range got {
 				sum = sum*31 + uint32(k)
@@ -228,10 +320,12 @@ func runOps(eng queryEngine, op string, queries []dcindex.Key, batch int) (int, 
 		var buf []dcindex.Key
 		for off := 0; off < len(queries); off += batch {
 			k := 1 + int(queries[off]%1024)
+			t0 := pc.begin()
 			got, err := eng.TopK(k, buf[:0])
 			if err != nil {
 				return units, sum, err
 			}
+			pc.end(t0)
 			buf = got
 			for _, key := range got {
 				sum = sum*31 + uint32(key)
@@ -243,9 +337,11 @@ func runOps(eng queryEngine, op string, queries []dcindex.Key, batch int) (int, 
 		out := make([]int, batch)
 		for off := 0; off < len(queries); off += batch {
 			end := min(off+batch, len(queries))
+			t0 := pc.begin()
 			if err := eng.MultiGetInto(queries[off:end], out[:end-off]); err != nil {
 				return units, sum, err
 			}
+			pc.end(t0)
 			for _, n := range out[:end-off] {
 				sum = sum*31 + uint32(n)
 			}
@@ -261,24 +357,31 @@ func runOps(eng queryEngine, op string, queries []dcindex.Key, batch int) (int, 
 // With insertRate > 0 the rank stream interleaves writes: before each
 // read batch, rate*batch fresh keys (deterministic per seed) are
 // inserted into the running index.
-func run(keys, queries []dcindex.Key, m dcindex.Method, op string, workers, batch int, insertRate float64, seed uint64) (time.Duration, uint32, int) {
+func run(keys, queries []dcindex.Key, m dcindex.Method, op string, workers, batch int, insertRate float64, seed uint64, qps float64) (time.Duration, uint32, int) {
 	idx, err := dcindex.Open(keys, dcindex.Options{Method: m, Workers: workers, BatchKeys: batch})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcq:", err)
 		os.Exit(1)
 	}
 	defer idx.Close()
+	hist := telemetry.NewRegistry().Histogram("dcq_batch_ns")
+	pc := newPacer(hist, qps, batch, 1)
 	if op != "rank" {
 		start := time.Now()
-		units, sum, err := runOps(idx, op, queries, batch)
+		units, sum, err := runOps(idx, op, queries, batch, pc)
 		el := time.Since(start)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcq:", err)
 			os.Exit(1)
 		}
+		printLatency(hist, qps)
 		return el, sum, units
 	}
-	if insertRate <= 0 {
+	if insertRate <= 0 && qps <= 0 {
+		// Closed-loop whole-stream dispatch: RankBatch pipelines every
+		// batch through the worker pool at once, the peak-throughput
+		// configuration (per-batch latency is not meaningful here — pass
+		// -target-qps for the paced loop with the latency report).
 		start := time.Now()
 		ranks, err := idx.RankBatch(queries)
 		el := time.Since(start)
@@ -304,15 +407,20 @@ func run(keys, queries []dcindex.Key, m dcindex.Method, op string, workers, batc
 			}
 			inserted += n
 		}
+		t0 := pc.begin()
 		if err := idx.RankBatchInto(queries[off:end], out[off:end]); err != nil {
 			fmt.Fprintln(os.Stderr, "dcq:", err)
 			os.Exit(1)
 		}
+		pc.end(t0)
 	}
 	el := time.Since(start)
-	st := idx.UpdateStats()
-	fmt.Fprintf(os.Stderr, "dcq: %s update stats: %d keys inserted, %d merges, %d rebalances, index now %d keys\n",
-		m, st.InsertedKeys, st.Merges, st.Rebalances, idx.N())
+	if insertRate > 0 {
+		st := idx.Stats()
+		fmt.Fprintf(os.Stderr, "dcq: %s update stats: %d keys inserted, %d merges, %d rebalances, index now %d keys\n",
+			m, st.Updates.InsertedKeys, st.Updates.Merges, st.Updates.Rebalances, st.Keys)
+	}
+	printLatency(hist, qps)
 	return el, checksum(out), len(queries) + inserted
 }
 
@@ -324,7 +432,7 @@ func run(keys, queries []dcindex.Key, m dcindex.Method, op string, workers, batc
 // over and load-spread automatically; any failover that occurred is
 // summarized from Cluster.Health after the run.
 func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, masters, replicas int, opTimeout time.Duration, insertRate float64, seed uint64,
-	hedge bool, hedgeQuantile float64, chaos time.Duration) {
+	hedge bool, hedgeQuantile float64, chaos time.Duration, qps float64, adminAt string) {
 	if masters < 1 {
 		masters = 1
 	}
@@ -333,12 +441,13 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, maste
 		OpTimeout: opTimeout,
 		Replicas:  replicas,
 	}
+	opt.Admin.Addr = adminAt
 	if hedge {
 		// Gray-failure mode: hedge reads that outlive the partition's
 		// latency quantile and eject sustained outlier replicas. The
 		// budget knobs keep their library defaults.
-		opt.HedgeQuantile = hedgeQuantile
-		opt.EjectFactor = 4
+		opt.Hedging.Quantile = hedgeQuantile
+		opt.Ejection.Factor = 4
 	}
 	if chaos > 0 {
 		// Deterministic gray-failure drill: every connection to the
@@ -364,6 +473,10 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, maste
 		os.Exit(1)
 	}
 	defer c.Close()
+	if at := c.Admin(); at != "" {
+		fmt.Fprintf(os.Stderr, "dcq: admin endpoint on http://%s (/metrics /stats /health /membership/...)\n", at)
+	}
+	hist := telemetry.NewRegistry().Histogram("dcq_batch_ns")
 
 	if op != "rank" {
 		units := make([]int, masters)
@@ -377,7 +490,7 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, maste
 			wg.Add(1)
 			go func(m, lo, hi int) {
 				defer wg.Done()
-				units[m], sums[m], errs[m] = runOps(c, op, queries[lo:hi], batch)
+				units[m], sums[m], errs[m] = runOps(c, op, queries[lo:hi], batch, newPacer(hist, qps, batch, masters))
 			}(m, lo, hi)
 		}
 		wg.Wait()
@@ -397,6 +510,7 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, maste
 		}
 		fmt.Printf("TCP cluster (%d partitions, %d masters), op %s: %d result units in %s (%.1f Mops/s), checksum %08x\n",
 			c.Nodes(), masters, op, total, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e6, sum)
+		printLatency(hist, qps)
 		printHealth(c)
 		return
 	}
@@ -418,10 +532,15 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, maste
 		wg.Add(1)
 		go func(m, lo, hi int, myPool []dcindex.Key) {
 			defer wg.Done()
-			if insertRate <= 0 {
+			if insertRate <= 0 && qps <= 0 {
+				// Closed-loop whole-share dispatch: one call pipelines
+				// every batch over the shared connections at once (peak
+				// throughput; pass -target-qps for the paced loop with
+				// the per-batch latency report).
 				errs[m] = c.LookupBatchInto(queries[lo:hi], out[lo:hi])
 				return
 			}
+			pc := newPacer(hist, qps, batch, masters)
 			ins := 0
 			for off := lo; off < hi; off += batch {
 				end := min(off+batch, hi)
@@ -432,10 +551,12 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, maste
 					}
 					ins += n
 				}
+				t0 := pc.begin()
 				if err := c.LookupBatchInto(queries[off:end], out[off:end]); err != nil {
 					errs[m] = err
 					return
 				}
+				pc.end(t0)
 			}
 			insCounts[m] = ins
 		}(m, lo, hi, pool[plo:phi])
@@ -455,14 +576,18 @@ func runTCP(addrs []string, keys, queries []dcindex.Key, op string, batch, maste
 	fmt.Printf("TCP cluster (%d partitions, %d masters): %d queries (+%d inserts) in %s (%.1f Mkeys/s), checksum %08x\n",
 		c.Nodes(), masters, len(queries), inserted, el.Round(time.Millisecond),
 		float64(len(queries)+inserted)/el.Seconds()/1e6, checksum(out))
+	printLatency(hist, qps)
 	printHealth(c)
 }
 
-// printHealth summarizes per-replica liveness after a TCP run, but only
-// when something noteworthy happened: a failover, or any gray-failure
-// handling (hedges, probation transitions, denied hedges).
+// printHealth summarizes per-replica liveness after a TCP run from the
+// unified ClusterStats tree, but only when something noteworthy
+// happened: a failover, a rejoin or delta catch-up, or any
+// gray-failure handling (hedges, probation transitions, denied
+// hedges) — whichever run surfaced it, chaos drill or not.
 func printHealth(c *dcindex.TCPCluster) {
-	health := c.Health()
+	st := c.Stats()
+	health := st.Replicas
 	degraded, gray := false, false
 	for _, h := range health {
 		if !h.Healthy || h.Failures > 0 {
@@ -471,6 +596,9 @@ func printHealth(c *dcindex.TCPCluster) {
 		if h.Hedges > 0 || h.Ejections > 0 || h.Probes > 0 || h.Readmits > 0 || h.BudgetDenied > 0 || (h.State != "" && h.State != "healthy") {
 			gray = true
 		}
+	}
+	if st.DeltaCatchups > 0 {
+		degraded = true
 	}
 	if !degraded && !gray {
 		return
@@ -482,6 +610,9 @@ func printHealth(c *dcindex.TCPCluster) {
 		fmt.Println("replica health (failover occurred during the run):")
 	default:
 		fmt.Println("replica health (gray-failure handling during the run):")
+	}
+	if st.DeltaCatchups > 0 {
+		fmt.Printf("  %d delta catch-ups (rejoined replicas resynced from the positioned insert tail)\n", st.DeltaCatchups)
 	}
 	for _, h := range health {
 		state := h.State

@@ -131,7 +131,29 @@ func GenerateKeys(n int, seed uint64) []Key { return workload.SortedKeys(n, seed
 // per seed) — the paper's workload.
 func GenerateQueries(q int, seed uint64) []Key { return workload.UniformQueries(q, seed) }
 
+// DurabilityOptions groups the write-durability knobs: where the
+// write-ahead state lives and how often it is fsynced. The zero value
+// keeps the index purely in memory.
+//
+//dc:knobs ../README.md
+type DurabilityOptions struct {
+	// WALDir, when non-empty, makes writes durable: every partition
+	// keeps a write-ahead log and segment snapshots under this
+	// directory, InsertBatch returns only after the batch is fsynced,
+	// and Open recovers the directory's state — the caller's keys then
+	// serve only as the baseline for a fresh directory. Empty keeps the
+	// index purely in memory.
+	WALDir string
+	// FsyncInterval spaces WAL fsyncs apart when WALDir is set: 0
+	// fsyncs every group commit (full durability), > 0 trades a bounded
+	// post-crash ack window for throughput, < 0 never fsyncs
+	// (benchmarking only — acks are no longer crash-durable).
+	FsyncInterval time.Duration
+}
+
 // Options configures the real runtime.
+//
+//dc:knobs ../README.md
 type Options struct {
 	// Method selects the strategy; the zero value is MethodA. Use
 	// MethodC3 for the paper's recommended configuration.
@@ -166,21 +188,28 @@ type Options struct {
 	// skew partitions. Zero selects twice the initial partition size;
 	// negative disables rebalancing.
 	PartitionBudget int
-	// WALDir, when non-empty, makes writes durable: every partition
-	// keeps a write-ahead log and segment snapshots under this
-	// directory, InsertBatch returns only after the batch is fsynced,
-	// and Open recovers the directory's state — the caller's keys then
-	// serve only as the baseline for a fresh directory. Empty keeps the
-	// index purely in memory.
+	// Durability groups the write-durability knobs (WAL directory and
+	// fsync cadence). The zero value keeps the index purely in memory.
+	Durability DurabilityOptions
+	// WALDir is the flat spelling of Durability.WALDir, honored only
+	// when Durability is entirely zero.
+	//
+	// Deprecated: set Durability.WALDir.
 	WALDir string
-	// FsyncInterval spaces WAL fsyncs apart when WALDir is set: 0
-	// fsyncs every group commit (full durability), > 0 trades a bounded
-	// post-crash ack window for throughput, < 0 never fsyncs
-	// (benchmarking only — acks are no longer crash-durable).
+	// FsyncInterval is the flat spelling of Durability.FsyncInterval,
+	// honored only when Durability is entirely zero.
+	//
+	// Deprecated: set Durability.FsyncInterval.
 	FsyncInterval time.Duration
 }
 
 func (o Options) withDefaults() core.RealConfig {
+	// Zero-value-preserving fold: the nested group wins when any of its
+	// fields is set; an entirely-zero group inherits the deprecated flat
+	// fields so existing callers keep their exact behavior.
+	if o.Durability == (DurabilityOptions{}) {
+		o.Durability = DurabilityOptions{WALDir: o.WALDir, FsyncInterval: o.FsyncInterval}
+	}
 	cfg := core.RealConfig{
 		Method:          o.Method,
 		Workers:         o.Workers,
@@ -190,8 +219,8 @@ func (o Options) withDefaults() core.RealConfig {
 		SortedBatches:   o.SortedBatches,
 		MergeThreshold:  o.MergeThreshold,
 		PartitionBudget: o.PartitionBudget,
-		WALDir:          o.WALDir,
-		FsyncInterval:   o.FsyncInterval,
+		WALDir:          o.Durability.WALDir,
+		FsyncInterval:   o.Durability.FsyncInterval,
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 8
@@ -229,6 +258,8 @@ func Open(keys []Key, opt Options) (*Index, error) {
 
 // N returns the current number of indexed keys (seed keys plus applied
 // inserts).
+//
+// Deprecated: read Stats().Keys; N survives one release as a thin view.
 func (ix *Index) N() int { return ix.c.KeyCount() }
 
 // Method returns the strategy the index runs.
@@ -269,6 +300,9 @@ func (ix *Index) InsertBatch(keys []Key) error { return ix.c.InsertBatch(keys) }
 
 // UpdateStats snapshots the write-path counters: keys inserted,
 // background merges completed, rebalances installed.
+//
+// Deprecated: read Stats().Updates; UpdateStats survives one release
+// as a thin view.
 func (ix *Index) UpdateStats() core.UpdateStats { return ix.c.UpdateStats() }
 
 // KeyRange is an inclusive key interval [Lo, Hi] for CountRangeBatch.
@@ -324,8 +358,52 @@ func (ix *Index) Owner(k Key) int {
 // UpdateStats mirrors core.UpdateStats: the write-path counters.
 type UpdateStats = core.UpdateStats
 
-// Stats snapshots the runtime's work counters.
-func (ix *Index) Stats() core.RealStats { return ix.c.Stats() }
+// RuntimeStats mirrors core.RealStats: the runtime's lifetime work
+// counters (batches dispatched, keys processed, merges, and so on).
+type RuntimeStats = core.RealStats
+
+// StatsSchemaVersion identifies the shape of the Stats and
+// ClusterStats trees. Bump it on any structural change so operators
+// scraping /stats can detect a mismatch instead of silently misreading
+// fields.
+const StatsSchemaVersion = netrun.StatsSchemaVersion
+
+// Stats is the unified, versioned observability tree for an in-process
+// Index: one snapshot consolidating what N, Method, UpdateStats, and
+// the runtime work counters used to report separately. The json tags
+// are the wire schema served by the admin /stats endpoint.
+type Stats struct {
+	// SchemaVersion is StatsSchemaVersion at build time.
+	SchemaVersion int `json:"schema_version"`
+	// Method is the strategy the index runs ("A", "B", "C-1", ...).
+	Method string `json:"method"`
+	// Keys is the current indexed key count (seed keys plus applied
+	// inserts) — the value N() reports.
+	Keys int `json:"keys"`
+	// Updates are the write-path counters: keys inserted, background
+	// merges completed, rebalances installed.
+	Updates UpdateStats `json:"updates"`
+	// Runtime are the lifetime work counters of the query pipeline.
+	Runtime RuntimeStats `json:"runtime"`
+}
+
+// Stats snapshots the full observability tree in one call. Callers on
+// the pre-redesign API: the work counters formerly returned here now
+// live at Stats().Runtime, the write-path counters at Stats().Updates.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		SchemaVersion: StatsSchemaVersion,
+		Method:        ix.opt.Method.String(),
+		Keys:          ix.c.KeyCount(),
+		Updates:       ix.c.UpdateStats(),
+		Runtime:       ix.c.Stats(),
+	}
+}
+
+// ClusterStats is the TCP-side counterpart of Stats, as returned by
+// TCPCluster.Stats: the same versioned tree shape with per-replica
+// ReplicaStats rows in place of the single-process runtime counters.
+type ClusterStats = netrun.ClusterStats
 
 // Close shuts down the runtime. It is idempotent.
 func (ix *Index) Close() { ix.c.Close() }
@@ -461,6 +539,13 @@ func Sweep(o SimOptions, batchBytes ...int) ([]Report, error) {
 // identical through a failover. Pre-v5 nodes are excluded from the new
 // ops only (they fail with a descriptive availability error), never
 // from rank lookups.
+//
+// The operations plane rides the same handle: Stats returns the
+// versioned ClusterStats tree, Telemetry exposes the per-op latency
+// histograms, Admin reports the optionally mounted HTTP server
+// (TCPOptions.Admin.Addr), and the protocol-v6 live-membership ops —
+// AddReplica, DrainReplica, SplitPartition — reshape a serving cluster
+// without restarting it (see the README's "Operations" section).
 type TCPCluster = netrun.Cluster
 
 // TCPOptions configures DialClusterOptions: batch granularity, the
@@ -471,21 +556,30 @@ type TCPCluster = netrun.Cluster
 // sorted pipeline's one-sweep routing and protocol-v2 delta frames;
 // ascending streams are auto-detected either way).
 //
-// The gray-failure knobs harden replicated clusters against replicas
-// that are slow rather than dead: HedgeQuantile arms hedged reads
-// (re-dispatch to a sibling past the partition's latency quantile,
-// first valid reply wins, spend capped by the HedgeBudget/HedgeBurst
-// token bucket), EjectFactor arms latency-scored outlier ejection with
-// probed readmission (ProbeBackoff/ProbeMaxBackoff), and Dialer
+// The resilience knobs live in nested groups: Hedging arms hedged
+// reads (re-dispatch to a sibling past the partition's latency
+// quantile, first valid reply wins, spend capped by a token bucket),
+// Ejection arms latency-scored outlier ejection with probed
+// readmission, Rejoin shapes the re-dial backoff envelope, Admin
+// mounts the HTTP admin/metrics server on the client, and Dialer
 // injects a custom transport — e.g. an internal/faultnet wrapper — for
-// deterministic resilience drills.
+// deterministic resilience drills. The pre-redesign flat fields
+// (HedgeQuantile, EjectFactor, ...) survive one release as deprecated
+// aliases, honored only when their nested group is entirely zero.
 type TCPOptions = netrun.DialOptions
 
-// ReplicaHealth is one replica's liveness and traffic counters, as
-// reported by TCPCluster.Health: partition, address, current liveness,
+// ReplicaStats is one replica's liveness and traffic counters inside
+// ClusterStats: partition, address, current liveness,
 // dispatched/failure/rejoin counts for the current epoch, and the
 // gray-failure view — probation State, latency EWMA, and the
 // hedge/ejection/probe/readmit/budget-denied counters.
+type ReplicaStats = netrun.ReplicaHealth
+
+// ReplicaHealth is the pre-redesign name of ReplicaStats, as returned
+// row-wise by TCPCluster.Health.
+//
+// Deprecated: use ReplicaStats / TCPCluster.Stats().Replicas; the
+// alias survives one release.
 type ReplicaHealth = netrun.ReplicaHealth
 
 // DialCluster connects to every replica of every partition of keys and

@@ -31,8 +31,15 @@ func TestOpenRankClose(t *testing.T) {
 	if err != nil || r != 1 {
 		t.Errorf("Rank(first key) = %d, %v", r, err)
 	}
-	if s := idx.Stats(); s.KeysProcessed != 5001 {
-		t.Errorf("stats keys = %d, want 5001", s.KeysProcessed)
+	s := idx.Stats()
+	if s.Runtime.KeysProcessed != 5001 {
+		t.Errorf("stats keys = %d, want 5001", s.Runtime.KeysProcessed)
+	}
+	if s.SchemaVersion != StatsSchemaVersion || s.Keys != idx.N() || s.Method != idx.Method().String() {
+		t.Errorf("stats tree = %+v, want schema %d, %d keys, method %s", s, StatsSchemaVersion, idx.N(), idx.Method())
+	}
+	if s.Updates != idx.UpdateStats() {
+		t.Errorf("stats updates = %+v diverges from UpdateStats() = %+v", s.Updates, idx.UpdateStats())
 	}
 }
 

@@ -1,0 +1,13 @@
+package knobdoc_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analyzertest"
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/knobdoc"
+)
+
+func TestKnobDoc(t *testing.T) {
+	analyzertest.Run(t, "../testdata", []*framework.Analyzer{knobdoc.Analyzer}, "knobdocfix")
+}

@@ -80,6 +80,60 @@ func newPartitioningSorted(keys []workload.Key, parts int) (*Partitioning, error
 	return p, nil
 }
 
+// SplitPoint picks the cut index nearest the median of sorted keys
+// that separates two distinct values (keys[cut-1] < keys[cut]), the
+// precondition for splitting a partition there: a delimiter must never
+// fall inside a duplicate run, or upper-bound routing would send
+// copies of one key to two owners. ok is false when every key is equal
+// (no legal cut exists).
+func SplitPoint(keys []workload.Key) (cut int, ok bool) {
+	mid := len(keys) / 2
+	for d := 0; d < len(keys); d++ {
+		for _, c := range [2]int{mid - d, mid + d} {
+			if c >= 1 && c < len(keys) && keys[c-1] < keys[c] {
+				return c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// SplitAt returns a new Partitioning with partition part divided at
+// cut: the low half keeps keys[:cut] and part's rank base, the high
+// half serves keys[cut:] at RankBase+cut, and every later partition's
+// Slave id shifts up by one. The cut must separate distinct keys (see
+// SplitPoint). The receiver is not modified — callers swap the
+// returned table in atomically.
+func (p *Partitioning) SplitAt(part, cut int) (*Partitioning, error) {
+	if part < 0 || part >= len(p.Parts) {
+		return nil, fmt.Errorf("core: split partition %d out of range [0,%d)", part, len(p.Parts))
+	}
+	keys := p.Parts[part].Keys
+	if cut <= 0 || cut >= len(keys) {
+		return nil, fmt.Errorf("core: split cut %d out of range (0,%d)", cut, len(keys))
+	}
+	if keys[cut-1] >= keys[cut] {
+		return nil, fmt.Errorf("core: split cut %d falls inside a duplicate run of key %d", cut, keys[cut])
+	}
+	np := &Partitioning{
+		Parts:  make([]Partition, 0, len(p.Parts)+1),
+		delims: make([]workload.Key, 0, len(p.delims)+1),
+	}
+	for i, old := range p.Parts {
+		if i == part {
+			np.Parts = append(np.Parts,
+				Partition{Slave: len(np.Parts), Keys: keys[:cut], RankBase: old.RankBase},
+				Partition{Slave: len(np.Parts) + 1, Keys: keys[cut:], RankBase: old.RankBase + cut})
+		} else {
+			np.Parts = append(np.Parts, Partition{Slave: len(np.Parts), Keys: old.Keys, RankBase: old.RankBase})
+		}
+	}
+	for _, q := range np.Parts[1:] {
+		np.delims = append(np.delims, q.Keys[0])
+	}
+	return np, nil
+}
+
 // routeLinearMax is the delimiter count up to which Route counts
 // linearly instead of binary-searching: a branchless compare-and-add
 // over an L1-resident array beats a search with data-dependent branches

@@ -12,7 +12,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admin"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -62,8 +64,14 @@ var ErrClusterClosed = errors.New("netrun: cluster closed")
 // terminal failure comes back stale and is only re-synced by the
 // rejoin path, not by Redial.
 type Cluster struct {
-	part   *core.Partitioning
-	groups [][]string // replica addresses, one slice per partition
+	// part is the live routing table. It is swapped atomically by
+	// SplitPartition (under the pause write lock, with no data call in
+	// flight), so every data-path call loads it once and works against
+	// one consistent table.
+	part atomic.Pointer[core.Partitioning]
+	// groups is the configured replica address list, one slice per
+	// partition: what dialEpoch (re)dials. Membership ops rewrite it.
+	groups [][]string //dc:guardedby mu
 	batch  int
 	opt    DialOptions
 	// helloVer is the protocol version this client advertises:
@@ -103,7 +111,24 @@ type Cluster struct {
 	hedgeBurstMilli int64
 	maxPending      int
 
-	mu     sync.Mutex // serializes Close and Redial
+	// tel is the client-side telemetry registry: the read loops record
+	// one scatter-path latency sample per reply frame into the per-op
+	// histograms in opHist (series dc_client_op_ns{op=...}). Exposed by
+	// Telemetry and the auto-mounted admin endpoint (DialOptions.Admin).
+	tel    *telemetry.Registry
+	opHist [pkMax]*telemetry.Histogram
+	// adm is non-nil when DialOptions.Admin.Addr mounted an endpoint.
+	adm *admin.Server //dc:guardedby mu
+
+	// pause is the membership gate: every public data-path call holds
+	// the read side for its full duration, so SplitPartition can take
+	// the write side to quiesce the data plane while the nodes retarget
+	// and the routing table is rewritten. Uncontended outside a split —
+	// an RWMutex read lock is two atomic ops, which preserves the data
+	// path's zero-allocation property. Lock order: mu before pause.
+	pause sync.RWMutex
+
+	mu     sync.Mutex // serializes Close, Redial, and the membership ops
 	closed bool       //dc:guardedby mu
 }
 
@@ -134,16 +159,19 @@ type epoch struct {
 }
 
 // replicaGroup is one partition's replica set: the configured addresses
-// (fixed for the epoch) and the currently healthy member connections.
-// members shrinks when a replica fails and grows back when its rejoin
-// loop restores it; the round-robin cursor spreads load across whoever
-// is healthy. A member may be catching up (see clusterNode.catchingUp):
-// it is listed so writes reach it (via its hold queue) but is skipped
-// by every read until the catch-up load lands.
+// and the currently healthy member connections. members shrinks when a
+// replica fails and grows back when its rejoin loop restores it; the
+// round-robin cursor spreads load across whoever is healthy. A member
+// may be catching up (see clusterNode.catchingUp): it is listed so
+// writes reach it (via its hold queue) but is skipped by every read
+// until the catch-up load lands. addrs/stats grow under AddReplica and
+// shrink under DrainReplica (live membership), so both are guarded by
+// mu past the single-threaded dial; per-replica state is keyed by the
+// *replicaStats pointer, which survives member churn.
 type replicaGroup struct {
 	part    int
-	addrs   []string
-	stats   []*replicaStats // parallel to addrs, survives member churn
+	addrs   []string        //dc:guardedby mu
+	stats   []*replicaStats //dc:guardedby mu
 	mu      sync.Mutex
 	cursor  int            //dc:guardedby mu
 	members []*clusterNode //dc:guardedby mu
@@ -413,50 +441,51 @@ func (g *replicaGroup) remove(n *clusterNode) int {
 }
 
 // ReplicaHealth is one replica's liveness and traffic counters within
-// the current epoch (see Cluster.Health).
+// the current epoch (see Cluster.Health). The JSON shape is part of the
+// versioned ClusterStats tree (see StatsSchemaVersion).
 type ReplicaHealth struct {
 	// Partition is the partition this replica serves.
-	Partition int
+	Partition int `json:"partition"`
 	// Addr is the replica's configured address.
-	Addr string
+	Addr string `json:"addr"`
 	// Healthy reports whether the replica is currently a live group
 	// member (accepting dispatches).
-	Healthy bool
+	Healthy bool `json:"healthy"`
 	// Syncing reports that the replica is a member mid-catch-up: it
 	// receives writes (via its hold queue) but serves no reads until
 	// the sibling snapshot load completes.
-	Syncing bool
+	Syncing bool `json:"syncing"`
 	// Proto is the protocol version this replica's live connection
 	// negotiated (0 while the replica is down). Mid-rollout it tells an
 	// operator which replicas can serve the v5 query ops.
-	Proto uint32
+	Proto uint32 `json:"proto"`
 	// Dispatched counts lookup frames handed to this replica.
-	Dispatched uint64
+	Dispatched uint64 `json:"dispatched"`
 	// Failures counts times the replica was dropped from its group.
-	Failures uint64
+	Failures uint64 `json:"failures"`
 	// Rejoins counts times the background rejoin loop restored it.
-	Rejoins uint64
+	Rejoins uint64 `json:"rejoins"`
 	// State is the probation state machine's view of the replica:
 	// "healthy", "suspect", "ejected", or "probing" (see the rs*
-	// constants). Always "healthy" unless DialOptions.EjectFactor
+	// constants). Always "healthy" unless DialOptions.Ejection.Factor
 	// enabled latency-scored ejection.
-	State string
+	State string `json:"state"`
 	// LatencyEWMA is the smoothed reply latency of this replica's read
 	// frames (0 until it has served one).
-	LatencyEWMA time.Duration
+	LatencyEWMA time.Duration `json:"latency_ewma_ns"`
 	// Hedges counts read frames re-dispatched to a sibling because this
 	// replica sat on them past its latency quantile.
-	Hedges uint64
+	Hedges uint64 `json:"hedges"`
 	// Ejections/Probes/Readmits count probation transitions: reads shed
 	// from the replica, paced probe batches sent to it while ejected,
 	// and full readmissions.
-	Ejections uint64
-	Probes    uint64
-	Readmits  uint64
+	Ejections uint64 `json:"ejections"`
+	Probes    uint64 `json:"probes"`
+	Readmits  uint64 `json:"readmits"`
 	// BudgetDenied counts hedges suppressed because the partition's
 	// token bucket was empty — sustained growth means the hedge budget
 	// is the binding constraint, not the slow replica.
-	BudgetDenied uint64
+	BudgetDenied uint64 `json:"budget_denied"`
 }
 
 // stateName maps a probation state to its ReplicaHealth string.
@@ -515,8 +544,12 @@ func (ep *epoch) fail(err error) {
 // queue, the pending map, and the read-deadline decisions that depend
 // on them.
 type clusterNode struct {
-	g    *replicaGroup
-	slot int // index into g.addrs / g.stats
+	g *replicaGroup
+	// st is the replica's lifecycle counters and latency score, held
+	// directly (not via an index into g.stats): live membership grows
+	// and shrinks the group's parallel slices, and a direct pointer
+	// cannot go stale the way a slot index can.
+	st   *replicaStats
 	addr string
 	conn net.Conn
 	bc   *bufferedConn
@@ -594,7 +627,7 @@ func (n *clusterNode) deregisterLocked(reqID uint32) {
 	n.g.admitFreed()
 }
 
-func (n *clusterNode) stats() *replicaStats { return n.g.stats[n.slot] }
+func (n *clusterNode) stats() *replicaStats { return n.st }
 
 // Pending kinds: lookups scatter rank replies; inserts, snapshots, and
 // catch-up loads are the v3 write-path frames with their own reply and
@@ -639,7 +672,35 @@ const (
 	// posBase (a key's multiplicity is partition-local, so exactly one
 	// pending writes each slot). Fails over like a lookup.
 	pkMultiGet
+	// pkDrain (v6) quiesces one specific member ahead of its removal;
+	// like pkLoad it is pinned — the target dying aborts the drain. The
+	// OpMembAck reply carries the node's live key count.
+	pkDrain
+	// pkSplit (v6) retargets one specific member at half of its split
+	// partition; pinned like pkLoad. Issued only under the membership
+	// pause, so no read or write can race the identity swap.
+	pkSplit
+
+	// pkMax bounds the kind space (sizing per-kind tables).
+	pkMax
 )
+
+// pkMetricName names each pending kind's client-side latency series
+// (dc_client_op_ns{op=...}); empty means the kind is not recorded.
+var pkMetricName = [pkMax]string{
+	pkLookup:        "lookup",
+	pkInsert:        "insert",
+	pkSnapshot:      "snapshot",
+	pkLoad:          "load",
+	pkSnapshotSince: "snapshot_since",
+	pkLoadAt:        "load_at",
+	pkCount:         "count_range",
+	pkScan:          "scan_range",
+	pkTopK:          "top_k",
+	pkMultiGet:      "multi_get",
+	pkDrain:         "drain_replica",
+	pkSplit:         "split_partition",
+}
 
 // minVersionFor is the protocol version a member must have negotiated
 // to serve p: the v5 query ops need a v5 peer, snapshots (and every
@@ -647,6 +708,8 @@ const (
 // version.
 func (c *Cluster) minVersionFor(g *replicaGroup, p *pending) uint32 {
 	switch p.kind {
+	case pkDrain, pkSplit:
+		return ProtoV6
 	case pkCount, pkScan, pkTopK, pkMultiGet:
 		return ProtoV5
 	case pkSnapshot:
@@ -780,8 +843,89 @@ type netCall struct {
 	sort core.RadixScratch
 }
 
-// DialOptions configures Dial.
+// HedgeOptions groups the hedged-read knobs (see DialOptions.Hedging).
+//
+//dc:knobs ../../README.md
+type HedgeOptions struct {
+	// Quantile (0 < q < 1, e.g. 0.99) enables hedged reads: a read
+	// frame still unanswered after its replica's q-quantile reply
+	// latency is re-dispatched to a healthy sibling, first valid reply
+	// wins, the loser's reply is discarded by request id. 0 disables
+	// hedging. Writes are never hedged.
+	Quantile float64
+	// MinDelay floors the adaptive hedge delay (default 10ms); it is
+	// also the cold-start delay before a replica has latency history.
+	MinDelay time.Duration
+	// Budget is the hedge tokens earned per dispatched read frame
+	// (default 0.1 ≈ at most ~10% extra load from hedging); negative
+	// means no replenishment. Burst caps the token bucket (default 16).
+	Budget float64
+	Burst  int
+}
+
+// EjectOptions groups the latency-outlier ejection knobs (see
+// DialOptions.Ejection).
+//
+//dc:knobs ../../README.md
+type EjectOptions struct {
+	// Factor (> 1) enables latency-scored outlier ejection: a replica
+	// whose read latency stays above Factor times its best sibling's
+	// EWMA (and above MinLatency) walks the probation state machine and
+	// stops taking reads until paced probe batches come back fast. 0
+	// disables ejection. Ejected replicas still receive every write.
+	Factor float64
+	// MinLatency is the absolute floor below which a replica is never
+	// considered an outlier regardless of ratios (default 1ms).
+	MinLatency time.Duration
+	// ProbeBackoff/ProbeMaxBackoff pace the probe batches an ejected
+	// replica receives (defaults: the Rejoin values).
+	ProbeBackoff    time.Duration
+	ProbeMaxBackoff time.Duration
+}
+
+// RejoinOptions groups the failed-replica re-dial knobs (see
+// DialOptions.Rejoin).
+//
+//dc:knobs ../../README.md
+type RejoinOptions struct {
+	// Backoff is the initial delay before a failed replica is re-dialed
+	// (default 100ms); each failed attempt doubles it up to MaxBackoff
+	// (default 3s), jittered so correlated failures do not re-dial in
+	// lockstep.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// AdminOptions groups the operations-plane endpoint knobs (see
+// DialOptions.Admin).
+//
+//dc:knobs ../../README.md
+type AdminOptions struct {
+	// Addr, when non-empty, mounts the admin HTTP endpoint (metrics,
+	// stats, health, membership verbs) on that listen address for the
+	// cluster's lifetime (":0" picks a free port; see Cluster.Admin).
+	// The endpoint has no auth — bind it to loopback or an operator
+	// network.
+	Addr string
+}
+
+// DialOptions configures Dial. The nested groups (Hedging, Ejection,
+// Rejoin, Admin) are the canonical knobs; the flat fields of the same
+// meaning are deprecated aliases kept for old callers — a zero nested
+// field inherits its flat alias at dial time, so setting either works
+// and zero values keep their old defaults.
+//
+//dc:knobs ../../README.md
 type DialOptions struct {
+	// Hedging configures hedged reads.
+	Hedging HedgeOptions
+	// Ejection configures latency-outlier ejection.
+	Ejection EjectOptions
+	// Rejoin configures failed-replica re-dial backoff.
+	Rejoin RejoinOptions
+	// Admin configures the operations-plane HTTP endpoint.
+	Admin AdminOptions
+
 	// BatchKeys is the per-node message granularity (default 16384
 	// keys = 64 KB, the paper's sweet spot).
 	BatchKeys int
@@ -801,12 +945,13 @@ type DialOptions struct {
 	// Ignored when the grouped "addr|addr" syntax is used.
 	Replicas int
 	// RejoinBackoff is the initial delay before a failed replica is
-	// re-dialed (default 100ms). Each failed attempt doubles it, up to
-	// RejoinMaxBackoff, and every sleep is jittered over the upper half
-	// of the current delay so replicas that failed together (one
-	// machine, many partitions) do not re-dial in lockstep.
+	// re-dialed.
+	//
+	// Deprecated: use Rejoin.Backoff.
 	RejoinBackoff time.Duration
-	// RejoinMaxBackoff caps the rejoin backoff (default 3s).
+	// RejoinMaxBackoff caps the rejoin backoff.
+	//
+	// Deprecated: use Rejoin.MaxBackoff.
 	RejoinMaxBackoff time.Duration
 	// SortedBatches opts unsorted callers into the sorted-batch
 	// pipeline: batches that are not already ascending are sorted by
@@ -824,40 +969,30 @@ type DialOptions struct {
 	// Interop tests and operators staging a rollout use it.
 	MaxVersion uint32
 
-	// HedgeQuantile (0 < q < 1, e.g. 0.99) enables hedged reads: a read
-	// frame still unanswered after its replica's q-quantile reply
-	// latency is re-dispatched to a healthy sibling, first valid reply
-	// wins, the loser's reply is discarded by request id. 0 disables
-	// hedging (the default — behavior is then identical to older
-	// clients). Writes are never hedged.
+	// HedgeQuantile enables hedged reads.
+	//
+	// Deprecated: use Hedging.Quantile.
 	HedgeQuantile float64
-	// HedgeMinDelay floors the adaptive hedge delay (default 10ms): it
-	// is also the cold-start delay while a replica has no latency
-	// history yet, so the very first stalled frames still get covered.
+	// HedgeMinDelay floors the adaptive hedge delay.
+	//
+	// Deprecated: use Hedging.MinDelay.
 	HedgeMinDelay time.Duration
-	// HedgeBudget is the hedge tokens earned per dispatched read frame
-	// (default 0.1 = at most ~10% extra load from hedging at steady
-	// state); negative means no replenishment — only the initial
-	// HedgeBurst is ever available. HedgeBurst caps the bucket
-	// (default 16), bounding hedge spikes after idle periods.
+	// HedgeBudget and HedgeBurst bound hedge amplification.
+	//
+	// Deprecated: use Hedging.Budget and Hedging.Burst.
 	HedgeBudget float64
 	HedgeBurst  int
-	// EjectFactor (> 1) enables latency-scored outlier ejection: a
-	// replica whose read latency stays above EjectFactor times its best
-	// sibling's EWMA (and above EjectMinLatency) walks the probation
-	// state machine and stops taking reads until paced probe batches
-	// come back fast. 0 disables ejection. Ejected replicas still
-	// receive every write — slow is not dead, and shedding writes would
-	// silently fork the replica's state.
+	// EjectFactor enables latency-scored outlier ejection.
+	//
+	// Deprecated: use Ejection.Factor.
 	EjectFactor float64
-	// EjectMinLatency is the absolute floor below which a replica is
-	// never considered an outlier regardless of ratios (default 1ms),
-	// so microsecond-scale loopback noise cannot eject anyone.
+	// EjectMinLatency floors the outlier test.
+	//
+	// Deprecated: use Ejection.MinLatency.
 	EjectMinLatency time.Duration
-	// ProbeBackoff/ProbeMaxBackoff pace the probe batches an ejected
-	// replica receives, with the same jittered exponential backoff the
-	// rejoin loop uses (defaults: the Rejoin values). Every slow probe
-	// doubles the delay; a fast probe pair readmits the replica.
+	// ProbeBackoff/ProbeMaxBackoff pace probation probes.
+	//
+	// Deprecated: use Ejection.ProbeBackoff and Ejection.ProbeMaxBackoff.
 	ProbeBackoff    time.Duration
 	ProbeMaxBackoff time.Duration
 	// MaxPending bounds the outstanding frames (queued plus in flight)
@@ -945,29 +1080,62 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 	if opt.OpTimeout == 0 {
 		opt.OpTimeout = 10 * time.Second
 	}
-	if opt.RejoinBackoff <= 0 {
-		opt.RejoinBackoff = 100 * time.Millisecond
+	// Fold the deprecated flat aliases into the nested groups (a zero
+	// nested field inherits its alias), then apply defaults; everything
+	// past this point reads only the nested form.
+	if opt.Rejoin.Backoff == 0 {
+		opt.Rejoin.Backoff = opt.RejoinBackoff
 	}
-	if opt.RejoinMaxBackoff <= 0 {
-		opt.RejoinMaxBackoff = 3 * time.Second
+	if opt.Rejoin.MaxBackoff == 0 {
+		opt.Rejoin.MaxBackoff = opt.RejoinMaxBackoff
 	}
-	if opt.HedgeMinDelay <= 0 {
-		opt.HedgeMinDelay = 10 * time.Millisecond
+	if opt.Hedging.Quantile == 0 {
+		opt.Hedging.Quantile = opt.HedgeQuantile
 	}
-	if opt.HedgeBudget == 0 {
-		opt.HedgeBudget = 0.1
+	if opt.Hedging.MinDelay == 0 {
+		opt.Hedging.MinDelay = opt.HedgeMinDelay
 	}
-	if opt.HedgeBurst <= 0 {
-		opt.HedgeBurst = 16
+	if opt.Hedging.Budget == 0 {
+		opt.Hedging.Budget = opt.HedgeBudget
 	}
-	if opt.EjectMinLatency <= 0 {
-		opt.EjectMinLatency = time.Millisecond
+	if opt.Hedging.Burst == 0 {
+		opt.Hedging.Burst = opt.HedgeBurst
 	}
-	if opt.ProbeBackoff <= 0 {
-		opt.ProbeBackoff = opt.RejoinBackoff
+	if opt.Ejection.Factor == 0 {
+		opt.Ejection.Factor = opt.EjectFactor
 	}
-	if opt.ProbeMaxBackoff <= 0 {
-		opt.ProbeMaxBackoff = opt.RejoinMaxBackoff
+	if opt.Ejection.MinLatency == 0 {
+		opt.Ejection.MinLatency = opt.EjectMinLatency
+	}
+	if opt.Ejection.ProbeBackoff == 0 {
+		opt.Ejection.ProbeBackoff = opt.ProbeBackoff
+	}
+	if opt.Ejection.ProbeMaxBackoff == 0 {
+		opt.Ejection.ProbeMaxBackoff = opt.ProbeMaxBackoff
+	}
+	if opt.Rejoin.Backoff <= 0 {
+		opt.Rejoin.Backoff = 100 * time.Millisecond
+	}
+	if opt.Rejoin.MaxBackoff <= 0 {
+		opt.Rejoin.MaxBackoff = 3 * time.Second
+	}
+	if opt.Hedging.MinDelay <= 0 {
+		opt.Hedging.MinDelay = 10 * time.Millisecond
+	}
+	if opt.Hedging.Budget == 0 {
+		opt.Hedging.Budget = 0.1
+	}
+	if opt.Hedging.Burst <= 0 {
+		opt.Hedging.Burst = 16
+	}
+	if opt.Ejection.MinLatency <= 0 {
+		opt.Ejection.MinLatency = time.Millisecond
+	}
+	if opt.Ejection.ProbeBackoff <= 0 {
+		opt.Ejection.ProbeBackoff = opt.Rejoin.Backoff
+	}
+	if opt.Ejection.ProbeMaxBackoff <= 0 {
+		opt.Ejection.ProbeMaxBackoff = opt.Rejoin.MaxBackoff
 	}
 	if opt.MaxPending == 0 {
 		opt.MaxPending = 1024
@@ -976,34 +1144,126 @@ func Dial(addrs []string, keys []workload.Key, opt DialOptions) (*Cluster, error
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{part: part, groups: groups, batch: opt.BatchKeys, opt: opt, helloVer: ProtoVersion}
-	if opt.HedgeQuantile > 0 && opt.HedgeBudget > 0 {
-		c.hedgeEarnMilli = int64(opt.HedgeBudget * 1000)
+	c := &Cluster{groups: groups, batch: opt.BatchKeys, opt: opt, helloVer: ProtoVersion}
+	c.part.Store(part)
+	if opt.Hedging.Quantile > 0 && opt.Hedging.Budget > 0 {
+		c.hedgeEarnMilli = int64(opt.Hedging.Budget * 1000)
 	}
-	c.hedgeBurstMilli = int64(opt.HedgeBurst) * 1000
+	c.hedgeBurstMilli = int64(opt.Hedging.Burst) * 1000
 	if opt.MaxPending > 0 {
 		c.maxPending = opt.MaxPending
 	}
 	if opt.MaxVersion > 0 && opt.MaxVersion < ProtoVersion {
 		c.helloVer = opt.MaxVersion
 	}
+	c.tel = telemetry.NewRegistry()
+	for k, name := range pkMetricName {
+		if name != "" {
+			c.opHist[k] = c.tel.Histogram(`dc_client_op_ns{op="` + name + `"}`)
+		}
+	}
 	nParts := len(part.Parts)
 	c.ins = make([]atomic.Int64, nParts)
 	c.calls.New = func() any { return &netCall{accum: make([]*pending, nParts)} }
 	c.pends.New = func() any { return new(pending) }
+	c.mu.Lock()
 	ep, err := c.dialEpoch()
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	c.ep.Store(ep)
+	if opt.Admin.Addr != "" {
+		srv, err := admin.Serve(opt.Admin.Addr, admin.Config{
+			Registry:     c.tel,
+			BeforeScrape: c.scrapeGauges,
+			Stats:        func() any { return c.Stats() },
+			Health: func() (bool, any) {
+				err := c.Err()
+				detail := map[string]any{"partitions": c.Nodes()}
+				if err != nil {
+					detail["error"] = err.Error()
+				}
+				return err == nil, detail
+			},
+			Membership: c,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.mu.Lock()
+		c.adm = srv
+		c.mu.Unlock()
+	}
 	return c, nil
 }
 
+// Admin returns the mounted admin endpoint's listen address, or "" when
+// DialOptions.Admin.Addr did not mount one (or the cluster is closed).
+func (c *Cluster) Admin() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.adm == nil {
+		return ""
+	}
+	return c.adm.Addr()
+}
+
+// Telemetry is the client-side registry: per-op scatter latency
+// histograms (dc_client_op_ns) recorded by the connection read loops.
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.tel }
+
+// recordOp folds one reply's send-to-reply latency into the kind's
+// client-side histogram.
+func (c *Cluster) recordOp(kind int, d time.Duration) {
+	if h := c.opHist[kind]; h != nil {
+		h.Observe(d)
+	}
+}
+
+// scrapeGauges refreshes the computed gauges ahead of a /metrics render:
+// everything an operator dashboard wants that is state, not a counter.
+func (c *Cluster) scrapeGauges(r *telemetry.Registry) {
+	reps := c.Health()
+	live, hedges, failures, rejoins, ejections := 0, uint64(0), uint64(0), uint64(0), uint64(0)
+	for _, h := range reps {
+		if h.Healthy {
+			live++
+		}
+		hedges += h.Hedges
+		failures += h.Failures
+		rejoins += h.Rejoins
+		ejections += h.Ejections
+	}
+	ins := int64(0)
+	for _, v := range c.InsertedKeys() {
+		ins += v
+	}
+	r.Gauge("dc_client_partitions").Set(int64(c.Nodes()))
+	r.Gauge("dc_client_live_replicas").Set(int64(live))
+	r.Gauge("dc_client_inserted_keys").Set(ins)
+	r.Gauge("dc_client_hedges").Set(int64(hedges))
+	r.Gauge("dc_client_replica_failures").Set(int64(failures))
+	r.Gauge("dc_client_replica_rejoins").Set(int64(rejoins))
+	r.Gauge("dc_client_ejections").Set(int64(ejections))
+	r.Gauge("dc_client_delta_catchups").Set(c.deltaCatchups.Load())
+}
+
 // dialEpoch dials and handshakes every replica of every partition, then
-// starts the per-connection send and read loops.
+// starts the per-connection send and read loops. Callers hold c.mu so
+// the configured c.groups cannot be rewritten by a concurrent
+// membership op mid-dial (Dial holds it too, though the cluster is not
+// yet published there).
+//
+//dc:holds c.mu
 func (c *Cluster) dialEpoch() (*epoch, error) {
 	ep := &epoch{c: c, failed: make(chan struct{})}
 	for pi, addrs := range c.groups {
+		// Copy the configured addresses: g.addrs grows and shrinks under
+		// live membership independently of the config (which the
+		// membership ops rewrite under c.mu for the next dialEpoch).
+		addrs := append([]string(nil), addrs...)
 		g := &replicaGroup{part: pi, addrs: addrs, stats: make([]*replicaStats, len(addrs)), admitCh: make(chan struct{}, 1)}
 		g.budget.Store(c.hedgeBurstMilli)
 		for slot := range addrs {
@@ -1011,7 +1271,7 @@ func (c *Cluster) dialEpoch() (*epoch, error) {
 		}
 		ep.groups = append(ep.groups, g)
 		for slot := range addrs {
-			n, err := c.dialNode(g, slot, nil)
+			n, err := c.dialNode(g, addrs[slot], g.stats[slot], nil, false)
 			if err != nil {
 				closeEpochNodes(ep)
 				return nil, err
@@ -1047,7 +1307,7 @@ func (c *Cluster) dialEpoch() (*epoch, error) {
 			go n.readLoop(ep)
 		}
 	}
-	if c.opt.HedgeQuantile > 0 {
+	if c.opt.Hedging.Quantile > 0 {
 		ep.hedger = &hedger{c: c, ep: ep, wake: make(chan struct{}, 1)}
 		ep.wg.Add(1)
 		go ep.hedger.loop()
@@ -1057,12 +1317,14 @@ func (c *Cluster) dialEpoch() (*epoch, error) {
 
 // dialNode dials one replica address and verifies via the hello
 // handshake that it serves the expected partition. Shared by the
-// initial dial, Redial, and the rejoin loop. A non-nil abort channel
-// cancels an in-flight dial or hello the moment it closes (the rejoin
-// loop passes ep.failed, so Close never waits out a dial timeout
-// against a dead replica).
-func (c *Cluster) dialNode(g *replicaGroup, slot int, abort <-chan struct{}) (*clusterNode, error) {
-	addr := g.addrs[slot]
+// initial dial, Redial, the rejoin loop, and AddReplica. A non-nil
+// abort channel cancels an in-flight dial or hello the moment it closes
+// (the rejoin loop passes ep.failed, so Close never waits out a dial
+// timeout against a dead replica). joinOK additionally accepts an
+// unassigned join node — zero identity, protocol v6+ — which the caller
+// (AddReplica) then assigns an identity with OpAddReplica before any
+// loop starts.
+func (c *Cluster) dialNode(g *replicaGroup, addr string, st *replicaStats, abort <-chan struct{}, joinOK bool) (*clusterNode, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var connMu sync.Mutex
@@ -1115,7 +1377,7 @@ func (c *Cluster) dialNode(g *replicaGroup, slot int, abort <-chan struct{}) (*c
 	}
 	n := &clusterNode{
 		g:         g,
-		slot:      slot,
+		st:        st,
 		addr:      addr,
 		conn:      conn,
 		bc:        newBufferedConn(conn),
@@ -1123,7 +1385,7 @@ func (c *Cluster) dialNode(g *replicaGroup, slot int, abort <-chan struct{}) (*c
 		pending:   map[uint32]inflight{},
 	}
 	n.cond = sync.NewCond(&n.mu)
-	if err := hello(n, c.part.Parts[g.part], c.opt.Timeout, c.helloVer); err != nil {
+	if err := hello(n, c.part.Load().Parts[g.part], c.opt.Timeout, c.helloVer, joinOK); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("netrun: partition %d replica %s: %w", g.part, addr, err)
 	}
@@ -1139,7 +1401,7 @@ func closeEpochNodes(ep *epoch) {
 	}
 }
 
-func hello(n *clusterNode, want core.Partition, timeout time.Duration, ver uint32) error {
+func hello(n *clusterNode, want core.Partition, timeout time.Duration, ver uint32, joinOK bool) error {
 	n.conn.SetDeadline(time.Now().Add(timeout))
 	defer n.conn.SetDeadline(time.Time{})
 	// The reqID field of the hello advertises our protocol version
@@ -1177,6 +1439,16 @@ func hello(n *clusterNode, want core.Partition, timeout time.Duration, ver uint3
 	}
 	n.rankBase = int(f.Payload[0])
 	n.keyCount = int(f.Payload[1])
+	if joinOK && n.keyCount == 0 {
+		// An unassigned join node (dcnode -join): it advertises the
+		// zero identity until OpAddReplica names its partition. Only a
+		// v6 peer can be assigned one; a real partition always has at
+		// least one key, so keyCount==0 cannot be a served identity.
+		if n.version < ProtoV6 {
+			return fmt.Errorf("unassigned node negotiated protocol v%d; joining a live cluster needs v6", n.version)
+		}
+		return nil
+	}
 	if n.rankBase != want.RankBase || n.keyCount != len(want.Keys) {
 		return fmt.Errorf("partition mismatch: node serves base=%d n=%d, routing table expects base=%d n=%d",
 			n.rankBase, n.keyCount, want.RankBase, len(want.Keys))
@@ -1255,84 +1527,103 @@ func (c *Cluster) failNode(ep *epoch, n *clusterNode, err error) {
 			}
 		}
 		g.mu.Unlock()
-		// Take sole ownership of everything queued or in flight on n.
-		// dead is set in the same critical section, so a concurrent
-		// enqueue either lands before the sweep (and is collected) or
-		// observes dead and routes elsewhere.
-		n.mu.Lock()
-		n.dead = true
-		rest := make([]*pending, 0, len(n.pending)+len(n.sendq)-n.sendHead+len(held))
-		for _, sr := range n.sendq[n.sendHead:] {
-			if sr.p != nil {
-				rest = append(rest, sr.p)
-			}
-		}
-		n.sendq, n.sendHead = nil, 0
-		for _, inf := range n.pending {
-			rest = append(rest, inf.p)
-		}
-		n.pending = map[uint32]inflight{}
-		n.mu.Unlock()
-		n.cond.Broadcast()
-		g.admitFreed()
-		rest = append(rest, held...)
-		for _, p := range rest {
-			switch p.kind {
-			case pkInsert:
-				// The write reached (or will reach) every surviving v3
-				// member; this member's copy is moot now that it left
-				// the group — it reloads from a sibling on rejoin. But
-				// when no v3 survivor exists (this was the partition's
-				// only writable replica, its pre-v3 siblings never got
-				// a copy), success would ack a write no live node
-				// holds — fail it instead so the caller's chunk is not
-				// credited.
-				switch {
-				case ep.Err() != nil:
-					c.finish(p, ep.err)
-				case hasV3:
-					c.finish(p, nil)
-				default:
-					c.finish(p, fmt.Errorf("netrun: partition %d lost its last full protocol-v3 replica (%s) with a write in flight: %w", g.part, n.addr, err))
-				}
-			case pkLoad, pkLoadAt:
-				// A load binds to this exact member; the catch-up
-				// attempt aborts and the next rejoin retries.
-				c.finish(p, fmt.Errorf("netrun: catch-up load to partition %d replica %s interrupted: %w", g.part, n.addr, err))
-			case pkSnapshot, pkSnapshotSince:
-				// A snapshot must not fail over: its position in this
-				// member's FIFO is what makes catch-up exactly-once
-				// (re-enqueueing it elsewhere could double-deliver
-				// writes that raced the admission). Abort the attempt;
-				// the rejoin cycle takes a fresh snapshot.
-				c.finish(p, fmt.Errorf("netrun: catch-up snapshot from partition %d replica %s interrupted: %w", g.part, n.addr, err))
-			default:
-				// A read already claimed by a hedge (or a racing reply)
-				// needs nothing from this chain — drop the reference.
-				// Unclaimed reads fail over as always.
-				if p.claimed.Load() {
-					c.release(p)
-				} else {
-					c.route(ep, g, p)
-				}
-			}
-		}
-		ep.goRejoin(g, n.slot)
+		rest := n.collectPending(held)
+		c.settlePending(ep, n, rest, hasV3, err)
+		ep.goRejoin(g, n.addr, n.st)
 	})
 }
 
-// goRejoin starts the background rejoin loop for a failed replica slot,
-// unless the epoch is already terminal. The wg.Add is safe against
-// Close's Wait because every caller runs on a goroutine the WaitGroup
-// already counts.
-func (ep *epoch) goRejoin(g *replicaGroup, slot int) {
+// collectPending takes sole ownership of everything queued or in flight
+// on n, plus the caller-collected hold queue. dead is set in the same
+// critical section, so a concurrent enqueue either lands before the
+// sweep (and is collected) or observes dead and routes elsewhere.
+// Shared by failNode and the drain teardown.
+func (n *clusterNode) collectPending(held []*pending) []*pending {
+	n.mu.Lock()
+	n.dead = true
+	rest := make([]*pending, 0, len(n.pending)+len(n.sendq)-n.sendHead+len(held))
+	for _, sr := range n.sendq[n.sendHead:] {
+		if sr.p != nil {
+			rest = append(rest, sr.p)
+		}
+	}
+	n.sendq, n.sendHead = nil, 0
+	for _, inf := range n.pending {
+		rest = append(rest, inf.p)
+	}
+	n.pending = map[uint32]inflight{}
+	n.mu.Unlock()
+	n.cond.Broadcast()
+	n.g.admitFreed()
+	return append(rest, held...)
+}
+
+// settlePending resolves a departed member's swept pendings by kind:
+// reads fail over, writes settle against the survivors, pinned catch-up
+// and membership frames abort. Shared by failNode and the drain
+// teardown; err is the member's cause of departure.
+func (c *Cluster) settlePending(ep *epoch, n *clusterNode, rest []*pending, hasV3 bool, err error) {
+	g := n.g
+	for _, p := range rest {
+		switch p.kind {
+		case pkInsert:
+			// The write reached (or will reach) every surviving v3
+			// member; this member's copy is moot now that it left
+			// the group — it reloads from a sibling on rejoin. But
+			// when no v3 survivor exists (this was the partition's
+			// only writable replica, its pre-v3 siblings never got
+			// a copy), success would ack a write no live node
+			// holds — fail it instead so the caller's chunk is not
+			// credited.
+			switch {
+			case ep.Err() != nil:
+				c.finish(p, ep.err)
+			case hasV3:
+				c.finish(p, nil)
+			default:
+				c.finish(p, fmt.Errorf("netrun: partition %d lost its last full protocol-v3 replica (%s) with a write in flight: %w", g.part, n.addr, err))
+			}
+		case pkLoad, pkLoadAt:
+			// A load binds to this exact member; the catch-up
+			// attempt aborts and the next rejoin retries.
+			c.finish(p, fmt.Errorf("netrun: catch-up load to partition %d replica %s interrupted: %w", g.part, n.addr, err))
+		case pkSnapshot, pkSnapshotSince:
+			// A snapshot must not fail over: its position in this
+			// member's FIFO is what makes catch-up exactly-once
+			// (re-enqueueing it elsewhere could double-deliver
+			// writes that raced the admission). Abort the attempt;
+			// the rejoin cycle takes a fresh snapshot.
+			c.finish(p, fmt.Errorf("netrun: catch-up snapshot from partition %d replica %s interrupted: %w", g.part, n.addr, err))
+		case pkDrain, pkSplit:
+			// Membership ops pin to this exact member; the reshape
+			// aborts and its caller reports the failure.
+			c.finish(p, fmt.Errorf("netrun: membership op to partition %d replica %s interrupted: %w", g.part, n.addr, err))
+		default:
+			// A read already claimed by a hedge (or a racing reply)
+			// needs nothing from this chain — drop the reference.
+			// Unclaimed reads fail over as always.
+			if p.claimed.Load() {
+				c.release(p)
+			} else {
+				c.route(ep, g, p)
+			}
+		}
+	}
+}
+
+// goRejoin starts the background rejoin loop for a failed replica,
+// keyed by its address and stats (not a group slot — live membership
+// reshapes the group's slices), unless the epoch is already terminal.
+// The wg.Add is safe against Close's Wait because every caller runs on
+// a goroutine the WaitGroup already counts.
+func (ep *epoch) goRejoin(g *replicaGroup, addr string, st *replicaStats) {
 	select {
 	case <-ep.failed:
 		return
 	default:
 	}
 	ep.wg.Add(1)
-	go ep.c.rejoinLoop(ep, g, slot)
+	go ep.c.rejoinLoop(ep, g, addr, st)
 }
 
 // rejoinLoop re-dials a failed replica with capped exponential backoff
@@ -1344,18 +1635,33 @@ func (ep *epoch) goRejoin(g *replicaGroup, slot int) {
 // up from a sibling's snapshot (readmitWithCatchUp) before it serves
 // reads; a pre-v3 replica can never catch up and keeps backing off
 // until the operator replaces it.
-func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
+func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, addr string, st *replicaStats) {
 	defer ep.wg.Done()
-	backoff := c.opt.RejoinBackoff
+	backoff := c.opt.Rejoin.Backoff
 	for {
 		select {
 		case <-ep.failed:
 			return
 		case <-time.After(jitterBackoff(backoff)):
 		}
-		n, err := c.dialNode(g, slot, ep.failed)
+		// A drained replica's config entry is gone: stop re-dialing it
+		// (benign race — a drain racing this replica's failure leaves
+		// the loop running one iteration past the removal).
+		g.mu.Lock()
+		configured := false
+		for i, a := range g.addrs {
+			if a == addr && g.stats[i] == st {
+				configured = true
+				break
+			}
+		}
+		g.mu.Unlock()
+		if !configured {
+			return
+		}
+		n, err := c.dialNode(g, addr, st, ep.failed, false)
 		if err != nil {
-			backoff = nextBackoff(backoff, c.opt.RejoinMaxBackoff)
+			backoff = nextBackoff(backoff, c.opt.Rejoin.MaxBackoff)
 			continue
 		}
 		// Install under g.mu, re-checking the terminal flag: ep.fail
@@ -1390,7 +1696,7 @@ func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
 		if n.version < ProtoV3 {
 			// Stale forever: it cannot receive the missed writes.
 			n.conn.Close()
-			backoff = nextBackoff(backoff, c.opt.RejoinMaxBackoff)
+			backoff = nextBackoff(backoff, c.opt.Rejoin.MaxBackoff)
 			continue
 		}
 		if c.readmitWithCatchUp(ep, g, n) {
@@ -1398,7 +1704,7 @@ func (c *Cluster) rejoinLoop(ep *epoch, g *replicaGroup, slot int) {
 		}
 		// No snapshot source right now; retry from scratch.
 		n.conn.Close()
-		backoff = nextBackoff(backoff, c.opt.RejoinMaxBackoff)
+		backoff = nextBackoff(backoff, c.opt.Rejoin.MaxBackoff)
 		continue
 	}
 }
@@ -1651,6 +1957,10 @@ func (n *clusterNode) sendLoop(ep *epoch) {
 			buf, encErr = n.bc.fw.encode(Frame{Op: OpTopK, ReqID: sr.reqID, Payload: p.keys})
 		case p.kind == pkMultiGet:
 			buf, encErr = n.bc.fw.encodeDeltaOp(OpMultiGet, sr.reqID, p.keys)
+		case p.kind == pkDrain:
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpDrainReplica, ReqID: sr.reqID})
+		case p.kind == pkSplit:
+			buf, encErr = n.bc.fw.encode(Frame{Op: OpSplitPartition, ReqID: sr.reqID, Payload: p.keys})
 		case p.sorted && n.version >= ProtoV2:
 			buf, encErr = n.bc.fw.encodeDeltaOp(OpLookupSorted, sr.reqID, p.keys)
 		default:
@@ -1708,8 +2018,8 @@ func (n *clusterNode) hedgeDelay(c *Cluster) time.Duration {
 		}
 	}
 	n.g.mu.Unlock()
-	if d < c.opt.HedgeMinDelay {
-		d = c.opt.HedgeMinDelay
+	if d < c.opt.Hedging.MinDelay {
+		d = c.opt.Hedging.MinDelay
 	}
 	if n.opTimeout > 0 && d > n.opTimeout/2 {
 		d = n.opTimeout / 2
@@ -1789,7 +2099,9 @@ func (n *clusterNode) readLoop(ep *epoch) {
 				p := inf.p
 				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
-				n.observe(c, time.Since(inf.sentAt))
+				d := time.Since(inf.sentAt)
+				n.observe(c, d)
+				c.recordOp(pkLookup, d)
 				if p.claim() {
 					// adj folds in the keys this client inserted into the
 					// preceding partitions: the node's static rank base
@@ -1827,8 +2139,9 @@ func (n *clusterNode) readLoop(ep *epoch) {
 		case OpInsertAck, OpLoadAck:
 			n.mu.Lock()
 			inf, ok := n.pending[f.ReqID]
-			kindOK, wantN := false, 0
+			kindOK, wantN, kind := false, 0, 0
 			if ok {
+				kind = inf.p.kind
 				switch {
 				case f.Op == OpInsertAck && inf.p.kind == pkInsert:
 					kindOK, wantN = true, len(inf.p.keys)
@@ -1843,6 +2156,7 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			if kindOK && len(f.Payload) == 1 && int(f.Payload[0]) == wantN {
 				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
+				c.recordOp(kind, time.Since(inf.sentAt))
 				c.finish(inf.p, nil)
 				continue
 			}
@@ -1864,6 +2178,7 @@ func (n *clusterNode) readLoop(ep *epoch) {
 				p := inf.p
 				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
+				c.recordOp(pkSnapshot, time.Since(inf.sentAt))
 				if p.claim() {
 					p.reply = append(p.reply[:0], vals...)
 					p.complete(nil)
@@ -1881,6 +2196,7 @@ func (n *clusterNode) readLoop(ep *epoch) {
 				p := inf.p
 				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
+				c.recordOp(pkSnapshotSince, time.Since(inf.sentAt))
 				if p.claim() {
 					p.reply = append(p.reply[:0], f.Payload...)
 					p.complete(nil)
@@ -1913,9 +2229,12 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			}
 			if ok && len(vals) == wantN {
 				p := inf.p
+				kind := p.kind
 				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
-				n.observe(c, time.Since(inf.sentAt))
+				d := time.Since(inf.sentAt)
+				n.observe(c, d)
+				c.recordOp(kind, d)
 				if p.claim() {
 					if p.kind == pkCount {
 						// Ranges can span partitions, so concurrent read
@@ -1960,9 +2279,12 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			inf, ok := n.pending[f.ReqID]
 			if ok && (inf.p.kind == pkScan || inf.p.kind == pkTopK) {
 				p := inf.p
+				kind := p.kind
 				n.deregisterLocked(f.ReqID)
 				n.mu.Unlock()
-				n.observe(c, time.Since(inf.sentAt))
+				d := time.Since(inf.sentAt)
+				n.observe(c, d)
+				c.recordOp(kind, d)
 				if p.claim() {
 					p.reply = append(p.reply[:0], vals...)
 					p.complete(nil)
@@ -1972,6 +2294,27 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			}
 			n.mu.Unlock()
 			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent unsolicited key run for reqID %d", n.g.part, n.addr, f.ReqID))
+			return
+		case OpMembAck:
+			// Reply to a drain or split membership frame: one word, the
+			// node's post-op live key count.
+			n.mu.Lock()
+			inf, ok := n.pending[f.ReqID]
+			if ok && (inf.p.kind == pkDrain || inf.p.kind == pkSplit) && len(f.Payload) == 1 {
+				p := inf.p
+				kind := p.kind
+				n.deregisterLocked(f.ReqID)
+				n.mu.Unlock()
+				c.recordOp(kind, time.Since(inf.sentAt))
+				if p.claim() {
+					p.reply = append(p.reply[:0], f.Payload...)
+					p.complete(nil)
+				}
+				c.release(p)
+				continue
+			}
+			n.mu.Unlock()
+			c.failNode(ep, n, fmt.Errorf("netrun: partition %d replica %s sent unsolicited membership ack for reqID %d", n.g.part, n.addr, f.ReqID))
 			return
 		case OpErr:
 			code := uint32(0)
@@ -1988,7 +2331,7 @@ func (n *clusterNode) readLoop(ep *epoch) {
 			n.mu.Lock()
 			if inf, ok := n.pending[f.ReqID]; ok {
 				switch inf.p.kind {
-				case pkSnapshot, pkLoad, pkSnapshotSince, pkLoadAt, pkCount, pkScan, pkTopK, pkMultiGet:
+				case pkSnapshot, pkLoad, pkSnapshotSince, pkLoadAt, pkCount, pkScan, pkTopK, pkMultiGet, pkDrain, pkSplit:
 					n.deregisterLocked(f.ReqID)
 					n.mu.Unlock()
 					c.finish(inf.p, fmt.Errorf("netrun: partition %d replica %s refused the request (op %d)", n.g.part, n.addr, code))
@@ -2125,6 +2468,13 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 	if len(out) < len(queries) {
 		return fmt.Errorf("netrun: out len %d < %d queries", len(out), len(queries))
 	}
+	// The pause read lock is held for the whole call (two uncontended
+	// atomic ops): a partition split blocks new calls here, waits out
+	// the in-flight ones, and swaps the routing table with nobody
+	// mid-scatter. The epoch must be loaded under it — a call that
+	// loaded the pre-split epoch after the swap would fail spuriously.
+	c.pause.RLock()
+	defer c.pause.RUnlock()
 	ep := c.ep.Load()
 	if ep == nil {
 		return ErrClusterClosed
@@ -2165,9 +2515,10 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		sorted = true
 	}
 
+	part := c.part.Load()
 	inflight := 0
 	if sorted {
-		core.ForEachSortedRun(c.part.Delimiters(), runKeys, c.batch, func(gi, start, end int) {
+		core.ForEachSortedRun(part.Delimiters(), runKeys, c.batch, func(gi, start, end int) {
 			p := c.getPending()
 			p.sorted = true
 			for _, q := range runKeys[start:end] {
@@ -2184,7 +2535,7 @@ func (c *Cluster) LookupBatchInto(queries []workload.Key, out []int) error {
 		})
 	} else {
 		for i, q := range queries {
-			gi := c.part.Route(q)
+			gi := part.Route(q)
 			p := nc.accum[gi]
 			if p == nil {
 				p = c.getPending()
@@ -2253,6 +2604,8 @@ func (c *Cluster) Insert(k workload.Key) error {
 // Cluster.ins), which assumes this client is the deployment's only
 // writer; concurrent writing clients would need the counters shared.
 func (c *Cluster) InsertBatch(keys []workload.Key) error {
+	c.pause.RLock()
+	defer c.pause.RUnlock()
 	ep := c.ep.Load()
 	if ep == nil {
 		return ErrClusterClosed
@@ -2265,17 +2618,25 @@ func (c *Cluster) InsertBatch(keys []workload.Key) error {
 	}
 
 	groups := ep.groups
+	part := c.part.Load()
 	perPart := make([][]uint32, len(groups))
 	for _, k := range keys {
-		gi := c.part.Route(k)
+		gi := part.Route(k)
 		perPart[gi] = append(perPart[gi], uint32(k))
 	}
-	// Worst-case fan-out pendings: every chunk to every configured
-	// replica; the gather channel covers it so read loops never block.
+	// Near-worst-case fan-out pendings: every chunk to every current
+	// member plus slack for one concurrent AddReplica; sizing the
+	// gather channel to cover it keeps the read loops from blocking on
+	// completions. (A replica admitted mid-call beyond the slack only
+	// stalls a read loop momentarily — this gather loop always drains.)
 	bound := 0
 	for gi, pk := range perPart {
 		if len(pk) > 0 {
-			bound += (len(pk)/c.batch + 1) * len(c.groups[gi])
+			g := groups[gi]
+			g.mu.Lock()
+			m := len(g.members)
+			g.mu.Unlock()
+			bound += (len(pk)/c.batch + 1) * (m + 1)
 		}
 	}
 	done := make(chan *pending, bound)
@@ -2370,36 +2731,43 @@ func (c *Cluster) InsertBatch(keys []workload.Key) error {
 }
 
 // Nodes returns the number of cluster partitions (replica groups).
-func (c *Cluster) Nodes() int { return len(c.part.Parts) }
+func (c *Cluster) Nodes() int { return len(c.part.Load().Parts) }
 
 // Health snapshots per-replica liveness and traffic counters for the
 // current epoch, ordered by partition then configured address. It
 // returns nil after Close. Counters reset on Redial (a fresh epoch).
+//
+// Deprecated-adjacent note: Health remains the replica-level accessor;
+// Stats wraps it (plus the cluster-level counters) into the unified
+// versioned tree that the admin endpoint serves.
 func (c *Cluster) Health() []ReplicaHealth {
 	ep := c.ep.Load()
 	if ep == nil {
 		return nil
 	}
+	type liveInfo struct {
+		syncing bool
+		proto   uint32
+	}
 	var out []ReplicaHealth
 	for _, g := range ep.groups {
-		alive := make([]bool, len(g.addrs))
-		syncing := make([]bool, len(g.addrs))
-		proto := make([]uint32, len(g.addrs))
 		g.mu.Lock()
+		addrs := append([]string(nil), g.addrs...)
+		stats := append([]*replicaStats(nil), g.stats...)
+		live := make(map[*replicaStats]liveInfo, len(g.members))
 		for _, m := range g.members {
-			alive[m.slot] = true
-			syncing[m.slot] = m.catchingUp
-			proto[m.slot] = m.version
+			live[m.st] = liveInfo{syncing: m.catchingUp, proto: m.version}
 		}
 		g.mu.Unlock()
-		for slot, addr := range g.addrs {
-			s := g.stats[slot]
+		for i, addr := range addrs {
+			s := stats[i]
+			li, alive := live[s]
 			out = append(out, ReplicaHealth{
 				Partition:    g.part,
 				Addr:         addr,
-				Healthy:      alive[slot],
-				Syncing:      syncing[slot],
-				Proto:        proto[slot],
+				Healthy:      alive,
+				Syncing:      li.syncing,
+				Proto:        li.proto,
 				Dispatched:   s.dispatched.Load(),
 				Failures:     s.failures.Load(),
 				Rejoins:      s.rejoins.Load(),
@@ -2420,11 +2788,496 @@ func (c *Cluster) Health() []ReplicaHealth {
 // partition (indexed by partition id) — the counters that correct the
 // nodes' static rank bases on the read path.
 func (c *Cluster) InsertedKeys() []int64 {
+	// The pause read lock orders this read against SplitPartition's
+	// counter-slice swap.
+	c.pause.RLock()
+	defer c.pause.RUnlock()
 	out := make([]int64, len(c.ins))
 	for i := range c.ins {
 		out[i] = c.ins[i].Load()
 	}
 	return out
+}
+
+// StatsSchemaVersion identifies the ClusterStats JSON shape; consumers
+// (dashboards, dcq) check it before interpreting the tree.
+const StatsSchemaVersion = 1
+
+// ClusterStats is the unified operator-facing view of a Cluster: the
+// cluster-level shape and counters plus every replica's Health row, in
+// one versioned tree. It is what the admin endpoint's /stats serves and
+// what dcq's health report consumes; the older per-aspect accessors
+// (Health, InsertedKeys, Nodes, DeltaCatchups) remain as thin views of
+// the same data.
+type ClusterStats struct {
+	SchemaVersion int `json:"schema_version"`
+	// Partitions is the current partition count (grows by one per
+	// SplitPartition).
+	Partitions int `json:"partitions"`
+	// Protocol is the version this client advertises in hellos
+	// (ProtoVersion, or the DialOptions.MaxVersion cap).
+	Protocol uint32 `json:"protocol"`
+	// InsertedKeys is the per-partition rank-base correction counters.
+	InsertedKeys []int64 `json:"inserted_keys"`
+	// DeltaCatchups counts rejoins completed via the positioned delta
+	// path rather than a full snapshot load.
+	DeltaCatchups int64           `json:"delta_catchups"`
+	Replicas      []ReplicaHealth `json:"replicas"`
+}
+
+// Stats assembles the unified stats tree (see ClusterStats).
+func (c *Cluster) Stats() ClusterStats {
+	return ClusterStats{
+		SchemaVersion: StatsSchemaVersion,
+		Partitions:    c.Nodes(),
+		Protocol:      c.helloVer,
+		InsertedKeys:  c.InsertedKeys(),
+		DeltaCatchups: c.deltaCatchups.Load(),
+		Replicas:      c.Health(),
+	}
+}
+
+// errReplicaDrained is the cause a drained member's swept pendings see.
+var errReplicaDrained = errors.New("netrun: replica drained")
+
+// errSplitReconfig retires the pre-split epoch once every node of the
+// split partition acked its new identity: the connections must
+// re-handshake against the new routing table, so the old epoch's loops
+// are torn down wholesale (the same mechanism Redial rides, except
+// SplitPartition immediately dials the successor epoch itself).
+var errSplitReconfig = errors.New("netrun: epoch retired by partition split")
+
+// membershipExchange performs one synchronous membership frame exchange
+// on a connection no loop owns yet (a fresh join dial): write f, read
+// the OpMembAck, return its payload. An OpErr reply surfaces as the
+// node's refusal.
+func membershipExchange(n *clusterNode, f Frame, timeout time.Duration) ([]uint32, error) {
+	n.conn.SetDeadline(time.Now().Add(timeout))
+	defer n.conn.SetDeadline(time.Time{})
+	if err := n.bc.writeFrame(f); err != nil {
+		return nil, err
+	}
+	if err := n.bc.w.Flush(); err != nil {
+		return nil, err
+	}
+	r, err := n.bc.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch r.Op {
+	case OpMembAck:
+		return append([]uint32(nil), r.Payload...), nil
+	case OpErr:
+		code := uint32(0)
+		if len(r.Payload) > 0 {
+			code = r.Payload[0]
+		}
+		return nil, fmt.Errorf("node refused the membership op (code %d)", code)
+	default:
+		return nil, fmt.Errorf("bad membership ack (op %d)", r.Op)
+	}
+}
+
+// AddReplica joins a new replica at addr into partition part's group
+// without restarting the epoch. The node may be an unassigned join node
+// (dcnode -join, serving the zero identity until assigned) — AddReplica
+// hands it the partition's identity over OpAddReplica before any loop
+// starts — or a node already serving the exact identity, which passes
+// the ordinary hello cross-check. A partition that has absorbed writes
+// admits the newcomer through the same catch-up machinery rejoins use:
+// it takes writes immediately (hold queue) but serves no reads until a
+// sibling's snapshot lands. Requires a protocol-v6 node; returns an
+// error when the dial, handshake, or identity assignment fails — once
+// the address is registered, later failures are the rejoin loop's to
+// retry, and AddReplica reports success.
+func (c *Cluster) AddReplica(part int, addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClusterClosed
+	}
+	ep := c.ep.Load()
+	if ep == nil {
+		return ErrClusterClosed
+	}
+	if err := ep.Err(); err != nil {
+		return err
+	}
+	pt := c.part.Load()
+	if part < 0 || part >= len(pt.Parts) {
+		return fmt.Errorf("netrun: partition %d out of range [0,%d)", part, len(pt.Parts))
+	}
+	g := ep.groups[part]
+	g.mu.Lock()
+	for _, a := range g.addrs {
+		if a == addr {
+			g.mu.Unlock()
+			return fmt.Errorf("netrun: partition %d already has replica %s", part, addr)
+		}
+	}
+	g.mu.Unlock()
+
+	st := new(replicaStats)
+	n, err := c.dialNode(g, addr, st, nil, true)
+	if err != nil {
+		return err
+	}
+	if n.version < ProtoV6 {
+		n.conn.Close()
+		return fmt.Errorf("netrun: partition %d: replica %s speaks protocol v%d; live membership needs v6", part, addr, n.version)
+	}
+	want := pt.Parts[part]
+	if n.keyCount == 0 {
+		// Unassigned join node: assign the identity synchronously,
+		// before the loops take over the connection.
+		ack, aerr := membershipExchange(n, Frame{Op: OpAddReplica, ReqID: c.reqID.Add(1), Payload: []uint32{
+			uint32(want.RankBase), uint32(len(want.Keys)),
+			uint32(want.Keys[0]), uint32(want.Keys[len(want.Keys)-1]),
+		}}, c.opt.Timeout)
+		if aerr != nil {
+			n.conn.Close()
+			return fmt.Errorf("netrun: partition %d replica %s: assigning identity: %w", part, addr, aerr)
+		}
+		if len(ack) != 1 || int(ack[0]) != len(want.Keys) {
+			n.conn.Close()
+			return fmt.Errorf("netrun: partition %d replica %s acked %v for identity assignment, want [%d]", part, addr, ack, len(want.Keys))
+		}
+		n.rankBase, n.keyCount, n.liveCount = want.RankBase, len(want.Keys), len(want.Keys)
+	}
+
+	// Register the address: Health lists it, a later failure re-dials
+	// it, and the rewritten config carries it into the next dialEpoch.
+	// Plain admission is sound only while the partition is pristine
+	// (no write fanned out this epoch, no insert recorded); decided in
+	// the same g.mu section the write fan-out uses, exactly like the
+	// rejoin path.
+	g.mu.Lock()
+	g.addrs = append(g.addrs, addr)
+	g.stats = append(g.stats, st)
+	pristine := g.writes == 0 && c.ins[part].Load() == 0
+	if pristine {
+		select {
+		case <-ep.failed:
+			g.mu.Unlock()
+			n.conn.Close()
+			return ep.err
+		default:
+		}
+		g.members = append(g.members, n)
+	}
+	g.mu.Unlock()
+	c.groups[part] = append(c.groups[part], addr)
+	if pristine {
+		// The wg.Add cannot race Close's or Redial's Wait: both take
+		// c.mu first, which this call holds.
+		ep.wg.Add(2)
+		go n.sendLoop(ep)
+		go n.readLoop(ep)
+		return nil
+	}
+	// The partition absorbed writes this baseline node never saw: admit
+	// it through the catch-up path (writes flow to its hold queue, reads
+	// skip it until a sibling's snapshot lands). A join node carries no
+	// durable chain, so this always takes the full-snapshot payload.
+	if !c.readmitWithCatchUp(ep, g, n) {
+		// No snapshot source right now. The address is configured, so a
+		// rejoin loop finishes the admission in the background.
+		n.conn.Close()
+		ep.goRejoin(g, addr, st)
+	}
+	return nil
+}
+
+// DrainReplica removes the replica at addr from partition part's group
+// without restarting the epoch: the address is deconfigured (so no
+// rejoin loop resurrects it), the node is quiesced over OpDrainReplica
+// (v6 — it stops absorbing writes and keeps its final state), and the
+// member's outstanding work is settled exactly the way a failed
+// replica's is — reads fail over to siblings, acked writes stand. The
+// node process itself keeps running and serving its index; it is simply
+// no longer part of this cluster. Draining the partition's only
+// configured replica, or its last live one, is refused.
+func (c *Cluster) DrainReplica(part int, addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClusterClosed
+	}
+	ep := c.ep.Load()
+	if ep == nil {
+		return ErrClusterClosed
+	}
+	if err := ep.Err(); err != nil {
+		return err
+	}
+	pt := c.part.Load()
+	if part < 0 || part >= len(pt.Parts) {
+		return fmt.Errorf("netrun: partition %d out of range [0,%d)", part, len(pt.Parts))
+	}
+	g := ep.groups[part]
+
+	g.mu.Lock()
+	idx := -1
+	for i, a := range g.addrs {
+		if a == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		g.mu.Unlock()
+		return fmt.Errorf("netrun: partition %d has no replica %s", part, addr)
+	}
+	if len(g.addrs) == 1 {
+		g.mu.Unlock()
+		return fmt.Errorf("netrun: refusing to drain partition %d's only replica %s", part, addr)
+	}
+	var target *clusterNode
+	for _, m := range g.members {
+		if m.addr == addr {
+			target = m
+			break
+		}
+	}
+	if target != nil {
+		if len(g.members) == 1 {
+			g.mu.Unlock()
+			return fmt.Errorf("netrun: refusing to drain partition %d's last live replica %s (its siblings are down)", part, addr)
+		}
+		if target.version < ProtoV6 {
+			g.mu.Unlock()
+			return fmt.Errorf("netrun: partition %d: replica %s speaks protocol v%d; live membership needs v6", part, addr, target.version)
+		}
+	}
+	// Deconfigure the address (a rejoin loop exits at its configured
+	// check) and stop dispatching new work to the member.
+	g.addrs = append(g.addrs[:idx], g.addrs[idx+1:]...)
+	g.stats = append(g.stats[:idx], g.stats[idx+1:]...)
+	if target != nil {
+		for i, m := range g.members {
+			if m == target {
+				g.members = append(g.members[:i], g.members[i+1:]...)
+				break
+			}
+		}
+	}
+	g.mu.Unlock()
+	for i, a := range c.groups[part] {
+		if a == addr {
+			c.groups[part] = append(append([]string(nil), c.groups[part][:i]...), c.groups[part][i+1:]...)
+			break
+		}
+	}
+	if target == nil {
+		// The replica was already down: deconfiguring it is the whole
+		// drain.
+		return nil
+	}
+
+	// Quiesce the node: after the ack it accepts no further writes, so
+	// nothing this cluster does can change state it no longer reports.
+	p := c.getPending()
+	p.kind = pkDrain
+	p.done = make(chan *pending, 1)
+	p.refs.Store(2)
+	var drainErr error
+	if ok, _ := target.enqueue(p, c.reqID.Add(1), 0); ok {
+		target.stats().dispatched.Add(1)
+		r := <-p.done
+		drainErr = r.err
+		c.release(r)
+	} else {
+		c.putPending(p)
+		drainErr = fmt.Errorf("netrun: partition %d replica %s died mid-drain", part, addr)
+	}
+
+	// Tear the member down exactly once. Losing the failOnce race to a
+	// concurrent failNode is fine: the sweep ran there, and its rejoin
+	// loop exits at the deconfigured address.
+	target.failOnce.Do(func() {
+		target.conn.Close()
+		g.mu.Lock()
+		held := target.holdq
+		target.holdq = nil
+		target.catchingUp = false
+		hasV3 := false
+		for _, m := range g.members {
+			if m.version >= ProtoV3 && !m.catchingUp {
+				hasV3 = true
+				break
+			}
+		}
+		g.mu.Unlock()
+		rest := target.collectPending(held)
+		c.settlePending(ep, target, rest, hasV3, errReplicaDrained)
+	})
+	return drainErr
+}
+
+// SplitPartition divides partition part in two at the median of its
+// baseline keys, retargeting the partition's replicas onto the halves
+// live: the data plane pauses (in-flight calls drain, new ones block),
+// every replica of the partition swaps to its assigned half-identity
+// over OpSplitPartition, the routing table and insert counters are
+// rebuilt, and a fresh connection epoch is dialed against the new
+// shape. Reads and writes resume against the split layout; checksums
+// are unchanged because every live key keeps exactly one owner (the
+// split key assignment matches the new routing delimiter exactly).
+//
+// The partition's replicas divide between the halves (low half gets the
+// ceiling), so the group must have at least two members; every group in
+// the cluster must be full and settled (the reshape re-dials everyone);
+// and the split partition's members must all speak protocol v6. A
+// failure after some nodes retargeted leaves mixed identities no single
+// routing table matches: the epoch fails with the root cause and the
+// operator restores the partition's nodes before Redial.
+func (c *Cluster) SplitPartition(part int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClusterClosed
+	}
+	ep := c.ep.Load()
+	if ep == nil {
+		return ErrClusterClosed
+	}
+	if err := ep.Err(); err != nil {
+		return err
+	}
+	pt := c.part.Load()
+	if part < 0 || part >= len(pt.Parts) {
+		return fmt.Errorf("netrun: partition %d out of range [0,%d)", part, len(pt.Parts))
+	}
+	// Quiesce the data plane for the whole reshape: new calls block at
+	// the pause read lock, in-flight ones drain before Lock returns.
+	c.pause.Lock()
+	defer c.pause.Unlock()
+
+	// Preflight. Refusals here leave the cluster untouched.
+	for _, g := range ep.groups {
+		g.mu.Lock()
+		full := len(g.members) == len(g.addrs)
+		settled := true
+		for _, m := range g.members {
+			if m.catchingUp {
+				settled = false
+			}
+		}
+		g.mu.Unlock()
+		if !full || !settled {
+			return fmt.Errorf("netrun: partition %d has a down or syncing replica; a split re-dials every node, so the cluster must be fully healthy first", g.part)
+		}
+	}
+	tg := ep.groups[part]
+	tg.mu.Lock()
+	addrs := append([]string(nil), tg.addrs...)
+	byAddr := make(map[string]*clusterNode, len(tg.members))
+	for _, m := range tg.members {
+		byAddr[m.addr] = m
+	}
+	tg.mu.Unlock()
+	if len(addrs) < 2 {
+		return fmt.Errorf("netrun: partition %d has %d replica(s); a split needs at least one per half", part, len(addrs))
+	}
+	for _, a := range addrs {
+		m := byAddr[a]
+		if m == nil {
+			return fmt.Errorf("netrun: partition %d replica %s went down mid-preflight", part, a)
+		}
+		if m.version < ProtoV6 {
+			return fmt.Errorf("netrun: partition %d: replica %s speaks protocol v%d; live membership needs v6", part, a, m.version)
+		}
+	}
+
+	keys := pt.Parts[part].Keys
+	cut, ok := core.SplitPoint(keys)
+	if !ok {
+		return fmt.Errorf("netrun: partition %d cannot split: every baseline key is equal, no legal delimiter exists", part)
+	}
+	npt, err := pt.SplitAt(part, cut)
+	if err != nil {
+		return err
+	}
+	lo, hi := npt.Parts[part], npt.Parts[part+1]
+	// splitKey assigns the nodes' live keys (baseline plus inserts): the
+	// low node keeps k <= splitKey, the high node keeps k > splitKey.
+	// keys[cut]-1 makes that assignment agree exactly with the new
+	// routing delimiter keys[cut] (the high partition owns k >=
+	// keys[cut]): keys inserted strictly between keys[cut-1] and
+	// keys[cut] route low, so they must stay on the low node.
+	splitKey := uint32(keys[cut]) - 1
+
+	// Retarget every replica at its half: the first ceil(n/2) configured
+	// addresses keep the low half, the rest the high half.
+	done := make(chan *pending, len(addrs))
+	loCount := (len(addrs) + 1) / 2
+	sent := 0
+	var opErr error
+	for i, a := range addrs {
+		half, keep := lo, uint32(0)
+		if i >= loCount {
+			half, keep = hi, 1
+		}
+		p := c.getPending()
+		p.kind = pkSplit
+		p.keys = append(p.keys,
+			uint32(half.RankBase), uint32(len(half.Keys)),
+			uint32(half.Keys[0]), uint32(half.Keys[len(half.Keys)-1]),
+			splitKey, keep)
+		p.done = done
+		p.refs.Store(2)
+		if ok, _ := byAddr[a].enqueue(p, c.reqID.Add(1), 0); !ok {
+			c.putPending(p)
+			opErr = fmt.Errorf("netrun: partition %d replica %s died before its split frame was sent", part, a)
+			break
+		}
+		byAddr[a].stats().dispatched.Add(1)
+		sent++
+	}
+	for ; sent > 0; sent-- {
+		r := <-done
+		if r.err != nil && opErr == nil {
+			opErr = r.err
+		}
+		c.release(r)
+	}
+	if opErr != nil {
+		ep.fail(fmt.Errorf("netrun: partition %d split failed mid-reshape; node identities may be mixed — restore or restart the partition's nodes, then Redial: %w", part, opErr))
+		ep.wg.Wait()
+		return opErr
+	}
+
+	// Every node acked its half: retire the epoch and dial the successor
+	// against the new table. The WaitGroup barrier orders every
+	// old-epoch goroutine before the swaps below, which is what makes
+	// the plain-slice counter swap race-free.
+	ep.fail(errSplitReconfig)
+	ep.wg.Wait()
+	c.part.Store(npt)
+	ng := make([][]string, 0, len(c.groups)+1)
+	for i, as := range c.groups {
+		if i == part {
+			ng = append(ng,
+				append([]string(nil), addrs[:loCount]...),
+				append([]string(nil), addrs[loCount:]...))
+		} else {
+			ng = append(ng, as)
+		}
+	}
+	c.groups = ng
+	// Fresh counters sized to the new partition count: dialEpoch's hello
+	// seeding reconstructs each half's insert total from the nodes'
+	// live-minus-baseline counts (writes were quiesced by the pause, so
+	// no ack credit can race the seed).
+	c.ins = make([]atomic.Int64, len(npt.Parts))
+	nep, err := c.dialEpoch()
+	if err != nil {
+		// The config and routing table are already post-split and
+		// mutually consistent; Redial retries the dial against them.
+		return fmt.Errorf("netrun: partition %d split committed but the re-dial failed (Redial retries it): %w", part, err)
+	}
+	c.ep.Store(nep)
+	return nil
 }
 
 // Err reports the cluster's terminal state: nil while healthy (single-
@@ -2473,7 +3326,12 @@ func (c *Cluster) Close() {
 	c.mu.Lock()
 	c.closed = true
 	ep := c.ep.Swap(nil)
+	adm := c.adm
+	c.adm = nil
 	c.mu.Unlock()
+	if adm != nil {
+		adm.Close()
+	}
 	if ep != nil {
 		ep.fail(ErrClusterClosed)
 		ep.wg.Wait()

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultnet"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -86,12 +87,16 @@ func BenchmarkTCPClusterGraySlowReplica(b *testing.B) {
 	}
 	b.SetBytes(int64(len(queries) * workload.KeyBytes))
 	b.ReportAllocs()
+	var hist telemetry.Histogram
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		if err := c.LookupBatchInto(queries, out); err != nil {
 			b.Fatal(err)
 		}
+		hist.Observe(time.Since(t0))
 	}
+	reportBenchLatency(b, &hist)
 }
 
 // grayCluster is a replicatedCluster whose every server node wraps its

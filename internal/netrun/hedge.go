@@ -42,10 +42,10 @@ func (n *clusterNode) observe(c *Cluster, d time.Duration) {
 	// — siblingBaseline takes g.mu, and replicaStats.mu nests inside
 	// it, never around it.
 	base, hasAlt := int64(0), false
-	if c.opt.EjectFactor > 0 {
+	if c.opt.Ejection.Factor > 0 {
 		base, hasAlt = n.g.siblingBaseline(n)
 	}
-	q := c.opt.HedgeQuantile
+	q := c.opt.Hedging.Quantile
 	if q <= 0 {
 		q = 0.99
 	}
@@ -71,11 +71,11 @@ func (n *clusterNode) observe(c *Cluster, d time.Duration) {
 		slices.Sort(buf[:m])
 		s.hedgeNs.Store(buf[int(q*float64(m-1))])
 	}
-	if c.opt.EjectFactor <= 0 {
+	if c.opt.Ejection.Factor <= 0 {
 		return
 	}
-	bad := base > 0 && ns > int64(c.opt.EjectMinLatency) &&
-		float64(ns) > float64(base)*c.opt.EjectFactor
+	bad := base > 0 && ns > int64(c.opt.Ejection.MinLatency) &&
+		float64(ns) > float64(base)*c.opt.Ejection.Factor
 	switch s.state.Load() {
 	case rsHealthy, rsSuspect:
 		if !bad {
@@ -87,7 +87,7 @@ func (n *clusterNode) observe(c *Cluster, d time.Duration) {
 		switch {
 		case s.consecBad >= ejectAfter && hasAlt:
 			if s.probeDelay == 0 {
-				s.probeDelay = c.opt.ProbeBackoff
+				s.probeDelay = c.opt.Ejection.ProbeBackoff
 			}
 			s.nextProbe = now.Add(jitterBackoff(s.probeDelay))
 			s.goodProbes = 0
@@ -102,13 +102,13 @@ func (n *clusterNode) observe(c *Cluster, d time.Duration) {
 			// ejected, with the probe cadence backed off so probation
 			// retries cannot hammer a struggling replica.
 			s.goodProbes = 0
-			s.probeDelay = nextBackoff(s.probeDelay, c.opt.ProbeMaxBackoff)
+			s.probeDelay = nextBackoff(s.probeDelay, c.opt.Ejection.ProbeMaxBackoff)
 			s.state.Store(rsEjected)
 			return
 		}
 		if s.goodProbes++; s.goodProbes >= readmitProbes {
 			s.consecBad, s.goodProbes = 0, 0
-			s.probeDelay = c.opt.ProbeBackoff
+			s.probeDelay = c.opt.Ejection.ProbeBackoff
 			s.state.Store(rsHealthy)
 			s.readmits.Add(1)
 			return

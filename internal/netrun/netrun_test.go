@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -643,6 +644,7 @@ func benchConcurrent(b *testing.B, serialize *sync.Mutex, batch, perCall int, de
 	b.SetBytes(int64(callers * perCall * workload.KeyBytes))
 	b.ReportAllocs()
 	var wg sync.WaitGroup
+	var hist telemetry.Histogram
 	queries := make([][]workload.Key, callers)
 	outs := make([][]int, callers)
 	for g := range queries {
@@ -662,11 +664,27 @@ func benchConcurrent(b *testing.B, serialize *sync.Mutex, batch, perCall int, de
 					serialize.Lock()
 					defer serialize.Unlock()
 				}
+				t0 := time.Now()
 				if err := c.LookupBatchInto(queries[g], outs[g]); err != nil {
 					b.Error(err)
 				}
+				hist.Observe(time.Since(t0))
 			}(g)
 		}
 		wg.Wait()
 	}
+	reportBenchLatency(b, &hist)
+}
+
+// reportBenchLatency reports a benchmark's per-call latency tail as
+// p50/p99/p99.9 metrics for BENCH_real.json (benchcheck gates p99_ns
+// at the same threshold as throughput).
+func reportBenchLatency(b *testing.B, h *telemetry.Histogram) {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return
+	}
+	b.ReportMetric(float64(s.P50()), "p50_ns")
+	b.ReportMetric(float64(s.P99()), "p99_ns")
+	b.ReportMetric(float64(s.P999()), "p999_ns")
 }

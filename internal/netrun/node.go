@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -28,14 +31,21 @@ type Node struct {
 	// NewDurablePartitionNode): inserts append to its WAL and the ack
 	// waits for the group fsync; the v4 positioned catch-up ops serve
 	// from and apply to it.
-	dp       *index.DurablePartition
-	rankBase int
-	lo, hi   workload.Key
-	// baseN is the key count at construction. The hello handshake
-	// always advertises the baseline identity (baseN, lo, hi), not the
-	// live count: the identity is what the client's static routing
-	// table verifies, and online inserts must not change it.
-	baseN int
+	dp *index.DurablePartition
+	// ident is the node's advertised partition identity — the
+	// construction-time baseline (rank base, baseline key count, key
+	// bounds) the hello handshake reports, which online inserts never
+	// move. It is an atomic pointer because the v6 membership ops
+	// (partition assignment, split) swap it while other connections'
+	// handlers are live; the swapping client holds its membership pause
+	// (no requests in flight), so each handler reading it once per
+	// request observes a consistent identity.
+	ident atomic.Pointer[nodeIdent]
+	// universe, when non-nil, is the node's full sorted key file: the
+	// joinable configuration (dcnode -join) in which OpAddReplica may
+	// assign any [rankBase, rankBase+baseN) slice of it as this node's
+	// partition. Immutable after construction.
+	universe []workload.Key
 
 	lis     net.Listener
 	mu      sync.Mutex
@@ -73,6 +83,41 @@ type Node struct {
 	// profile here to slow or stall one replica deterministically).
 	// Set before Serve.
 	WrapConn func(net.Conn) net.Conn
+
+	// Telemetry, when non-nil, receives per-op service-time histograms
+	// (series dc_node_op_ns{op=...}) for every request this node
+	// serves; dcnode -admin exposes the registry over HTTP. Set before
+	// Serve. Nil keeps the dispatch path measurement-free.
+	Telemetry *telemetry.Registry
+}
+
+// nodeIdent is the immutable partition-identity tuple behind
+// Node.ident. baseN == 0 means unassigned (a joinable node waiting for
+// OpAddReplica).
+type nodeIdent struct {
+	rankBase int
+	baseN    int
+	lo, hi   workload.Key
+}
+
+// opMetricName labels the per-op histograms; empty entries (reply
+// ops, unknown ops) are not measured.
+var opMetricName = [32]string{
+	OpHello:          "hello",
+	OpLookup:         "lookup",
+	OpLookupSorted:   "lookup_sorted",
+	OpInsert:         "insert",
+	OpSnapshot:       "snapshot",
+	OpLoad:           "load",
+	OpSnapshotSince:  "snapshot_since",
+	OpLoadAt:         "load_at",
+	OpCountRange:     "count_range",
+	OpScanRange:      "scan_range",
+	OpTopK:           "top_k",
+	OpMultiGet:       "multi_get",
+	OpAddReplica:     "add_replica",
+	OpDrainReplica:   "drain_replica",
+	OpSplitPartition: "split_partition",
 }
 
 // capVersion is the highest protocol version this node will negotiate:
@@ -95,14 +140,31 @@ func (n *Node) capVersion() uint32 {
 // read-only (protocol v2 at most); use NewPartitionNode for an
 // updatable v3 node.
 func NewNode(idx index.Index, rankBase int, lo, hi workload.Key) *Node {
-	return &Node{
-		idx:      idx,
-		rankBase: rankBase,
-		lo:       lo,
-		hi:       hi,
-		baseN:    idx.N(),
+	n := &Node{
+		idx:   idx,
+		conns: map[net.Conn]struct{}{},
+	}
+	n.ident.Store(&nodeIdent{rankBase: rankBase, baseN: idx.N(), lo: lo, hi: hi})
+	return n
+}
+
+// NewJoinNode builds an unassigned updatable node over the full sorted
+// key file: it serves an empty partition (hello advertises the zero
+// identity) until a v6 client assigns it one with OpAddReplica, naming
+// a slice of the universe. This is how a fresh machine joins a running
+// cluster without restarting the epoch (dcnode -join).
+func NewJoinNode(universe []workload.Key) *Node {
+	arr := index.NewSortedArray(nil, 0)
+	n := &Node{
+		idx:      arr,
+		universe: universe,
 		conns:    map[net.Conn]struct{}{},
 	}
+	n.ident.Store(&nodeIdent{})
+	n.upd = index.NewUpdatableOver(nil, arr, func(keys []workload.Key) index.BatchRanker {
+		return index.NewSortedArray(keys, 0)
+	}, 0)
+	return n
 }
 
 // NewPartitionNode builds a Method C-3 node (sorted-array partition)
@@ -141,15 +203,18 @@ func NewDurablePartitionNode(partKeys []workload.Key, rankBase int, dir string, 
 	if err != nil {
 		return nil, err
 	}
-	return &Node{
-		dp:       dp,
-		upd:      dp.Upd,
+	n := &Node{
+		dp:    dp,
+		upd:   dp.Upd,
+		conns: map[net.Conn]struct{}{},
+	}
+	n.ident.Store(&nodeIdent{
 		rankBase: rankBase,
+		baseN:    len(partKeys),
 		lo:       partKeys[0],
 		hi:       partKeys[len(partKeys)-1],
-		baseN:    len(partKeys),
-		conns:    map[net.Conn]struct{}{},
-	}, nil
+	})
+	return n, nil
 }
 
 // Serve accepts connections on lis until Close. It returns the listener
@@ -245,6 +310,52 @@ func (n *Node) Position() (gen, chain uint64) {
 	return n.dp.Position()
 }
 
+// NodeInfo is a point-in-time identity-and-size snapshot of a serving
+// node, shaped for the operations plane: dcnode's /stats and /indexes
+// endpoints render it as JSON. SchemaVersion tracks StatsSchemaVersion.
+type NodeInfo struct {
+	SchemaVersion int `json:"schema_version"`
+	// Assigned is false for a join node still waiting for OpAddReplica.
+	Assigned bool `json:"assigned"`
+	// RankBase and BaseKeys are the hello identity: the global rank
+	// offset and the baseline key count (inserts do not move them).
+	RankBase int `json:"rank_base"`
+	BaseKeys int `json:"base_keys"`
+	// Keys is the live total including applied inserts.
+	Keys int `json:"keys"`
+	// Lo and Hi bound the served key sub-range (zero when unassigned).
+	Lo uint32 `json:"lo"`
+	Hi uint32 `json:"hi"`
+	// Durable is true for WAL-backed nodes; Generation is their logged
+	// insert count over the baseline.
+	Durable    bool   `json:"durable"`
+	Generation uint64 `json:"generation"`
+}
+
+// Info snapshots the node's identity and live size. Safe to call
+// concurrently with serving: the identity tuple is immutable behind an
+// atomic pointer and the updatable layer pins its own state.
+func (n *Node) Info() NodeInfo {
+	id := n.ident.Load()
+	info := NodeInfo{
+		SchemaVersion: StatsSchemaVersion,
+		Assigned:      id.baseN > 0,
+		RankBase:      id.rankBase,
+		BaseKeys:      id.baseN,
+		Keys:          id.baseN,
+		Lo:            uint32(id.lo),
+		Hi:            uint32(id.hi),
+		Durable:       n.dp != nil,
+	}
+	if n.upd != nil {
+		info.Keys = n.upd.TotalKeys()
+	}
+	if n.dp != nil {
+		info.Generation, _ = n.dp.Position()
+	}
+	return info
+}
+
 // isServing reports whether an accept loop is currently running.
 func (n *Node) isServing() bool {
 	n.mu.Lock()
@@ -299,6 +410,17 @@ func (n *Node) handle(conn net.Conn) {
 	var replyBuf []byte        // encoded delta-coded reply payload
 	var scanBuf []workload.Key // v5 scan/top-k result staging
 
+	// Per-op service-time histograms, resolved once per connection so
+	// the per-request cost is one clock read and two atomic adds.
+	var opHists [32]*telemetry.Histogram
+	if n.Telemetry != nil {
+		for op, name := range opMetricName {
+			if name != "" {
+				opHists[op] = n.Telemetry.Histogram(`dc_node_op_ns{op="` + name + `"}`)
+			}
+		}
+	}
+
 	// refuse sends OpErr and abandons the connection, the way the old
 	// binary refuses any unknown op.
 	refuse := func(f Frame) {
@@ -333,12 +455,19 @@ func (n *Node) handle(conn net.Conn) {
 			refuse(f)
 			return
 		}
+		// One identity read per request: membership ops swap the
+		// pointer, every other op serves under the snapshot it loaded.
+		id := n.ident.Load()
+		var opStart time.Time
+		if n.Telemetry != nil {
+			opStart = time.Now()
+		}
 		switch f.Op {
 		case OpHello:
 			// The identity is the construction-time baseline; inserts
 			// do not move it (see the Node doc).
 			payload := []uint32{
-				uint32(n.rankBase), uint32(n.baseN), uint32(n.lo), uint32(n.hi),
+				uint32(id.rankBase), uint32(id.baseN), uint32(id.lo), uint32(id.hi),
 			}
 			// Version negotiation: a v2+ client advertises its version
 			// in the hello reqID; answer with min(client, node) as a
@@ -360,7 +489,7 @@ func (n *Node) handle(conn net.Conn) {
 				if v >= ProtoV3 && n.upd != nil {
 					if v >= ProtoV4 && n.dp != nil {
 						gen, chain := n.dp.Position()
-						payload = append(payload, uint32(n.baseN)+uint32(gen),
+						payload = append(payload, uint32(id.baseN)+uint32(gen),
 							uint32(chain), uint32(chain>>32))
 					} else {
 						payload = append(payload, uint32(n.upd.TotalKeys()))
@@ -400,14 +529,14 @@ func (n *Node) handle(conn net.Conn) {
 			// directly; indexes without one fall back to batch search.
 			switch {
 			case n.upd != nil:
-				n.upd.RankSorted(keys, ints, n.rankBase)
+				n.upd.RankSorted(keys, ints, id.rankBase)
 			case streamer != nil:
-				streamer.RankSorted(keys, ints, n.rankBase)
+				streamer.RankSorted(keys, ints, id.rankBase)
 			case batcher != nil:
-				batcher.RankBatch(keys, ints, n.rankBase)
+				batcher.RankBatch(keys, ints, id.rankBase)
 			default:
 				for i, k := range keys {
-					ints[i] = n.rankBase + n.idx.Rank(k)
+					ints[i] = id.rankBase + n.idx.Rank(k)
 				}
 			}
 			if cap(rankBuf) < nq {
@@ -443,16 +572,16 @@ func (n *Node) handle(conn net.Conn) {
 					keys[i] = workload.Key(k)
 				}
 				if n.upd != nil {
-					n.upd.RankBatch(keys, ints, n.rankBase)
+					n.upd.RankBatch(keys, ints, id.rankBase)
 				} else {
-					batcher.RankBatch(keys, ints, n.rankBase)
+					batcher.RankBatch(keys, ints, id.rankBase)
 				}
 				for i, r := range ints {
 					ranks[i] = uint32(r)
 				}
 			} else {
 				for i, k := range f.Payload {
-					ranks[i] = uint32(n.rankBase + n.idx.Rank(workload.Key(k)))
+					ranks[i] = uint32(id.rankBase + n.idx.Rank(workload.Key(k)))
 				}
 			}
 			if !reply(Frame{Op: OpRanks, ReqID: f.ReqID, Payload: ranks}) {
@@ -555,8 +684,8 @@ func (n *Node) handle(conn net.Conn) {
 				// to full snapshots, but the store never diverges from
 				// the served state.
 				var gen uint64
-				if len(fresh) > n.baseN {
-					gen = uint64(len(fresh) - n.baseN)
+				if len(fresh) > id.baseN {
+					gen = uint64(len(fresh) - id.baseN)
 				}
 				if err := n.dp.ResetTo(fresh, gen, 0); err != nil {
 					n.logf("netrun: load reset: %v", err)
@@ -762,9 +891,115 @@ func (n *Node) handle(conn net.Conn) {
 			if !reply(Frame{Op: OpCounts, ReqID: f.ReqID, Raw: replyBuf}) {
 				return
 			}
+		case OpAddReplica:
+			// Partition assignment. The payload names a slice of this
+			// node's key universe plus its expected bounds, so a node
+			// started from a different key file refuses instead of
+			// silently serving wrong ranks. An already-assigned node
+			// accepts only a matching assignment (idempotent confirm —
+			// re-adding a drained replica takes this path).
+			if n.upd == nil || len(f.Payload) != 4 {
+				refuse(f)
+				return
+			}
+			rb, bn := int(f.Payload[0]), int(f.Payload[1])
+			lo, hi := workload.Key(f.Payload[2]), workload.Key(f.Payload[3])
+			switch {
+			case id.baseN > 0:
+				if rb != id.rankBase || bn != id.baseN || lo != id.lo || hi != id.hi {
+					n.logf("netrun: add-replica assignment [%d,+%d) does not match served identity [%d,+%d)",
+						rb, bn, id.rankBase, id.baseN)
+					if !reply(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}}) {
+						return
+					}
+					continue
+				}
+			case n.universe == nil || bn <= 0 || rb < 0 || rb+bn > len(n.universe) ||
+				n.universe[rb] != lo || n.universe[rb+bn-1] != hi:
+				n.logf("netrun: add-replica assignment [%d,+%d) invalid for a universe of %d keys",
+					rb, bn, len(n.universe))
+				if !reply(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}}) {
+					return
+				}
+				continue
+			default:
+				n.upd.Reset(n.universe[rb : rb+bn])
+				n.ident.Store(&nodeIdent{rankBase: rb, baseN: bn, lo: lo, hi: hi})
+			}
+			if !reply(Frame{Op: OpMembAck, ReqID: f.ReqID, Payload: []uint32{uint32(n.upd.TotalKeys())}}) {
+				return
+			}
+		case OpDrainReplica:
+			// Nothing to tear down server-side — the client stops
+			// routing here and detaches. Quiesce the compaction daemon
+			// so the node idles clean before the ack.
+			if n.upd == nil || len(f.Payload) != 0 {
+				refuse(f)
+				return
+			}
+			n.upd.Quiesce()
+			if !reply(Frame{Op: OpMembAck, ReqID: f.ReqID, Payload: []uint32{uint32(n.upd.TotalKeys())}}) {
+				return
+			}
+		case OpSplitPartition:
+			// Retarget this node at one half of its split partition: keep
+			// the live keys on the named side of splitKey, swap the
+			// advertised identity, keep serving. The client holds its
+			// membership pause, so no reads race the swap.
+			if n.upd == nil || len(f.Payload) != 6 {
+				refuse(f)
+				return
+			}
+			newRB, newBN := int(f.Payload[0]), int(f.Payload[1])
+			newLo, newHi := workload.Key(f.Payload[2]), workload.Key(f.Payload[3])
+			splitKey, keepHi := workload.Key(f.Payload[4]), f.Payload[5] != 0
+			if newBN <= 0 || newRB < id.rankBase || newRB+newBN > id.rankBase+id.baseN {
+				n.logf("netrun: split half [%d,+%d) not within served identity [%d,+%d)",
+					newRB, newBN, id.rankBase, id.baseN)
+				if !reply(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}}) {
+					return
+				}
+				continue
+			}
+			live := n.upd.SnapshotKeys()
+			cut := sort.Search(len(live), func(i int) bool { return live[i] > splitKey })
+			kept := live[:cut]
+			if keepHi {
+				kept = live[cut:]
+			}
+			if len(kept) < newBN {
+				// The live set must contain at least the half's static
+				// keys; fewer means the split parameters don't describe
+				// this node's state.
+				n.logf("netrun: split kept %d live keys, below the half's %d static keys", len(kept), newBN)
+				if !reply(Frame{Op: OpErr, ReqID: f.ReqID, Payload: []uint32{uint32(f.Op)}}) {
+					return
+				}
+				continue
+			}
+			if n.dp != nil {
+				// The durable position restarts at the half's generation
+				// (live minus static) with an unknown chain: the next
+				// positioned catch-up degrades to a full snapshot, but
+				// the store never diverges from the served state.
+				if err := n.dp.ResetTo(kept, uint64(len(kept)-newBN), 0); err != nil {
+					n.logf("netrun: split reset: %v", err)
+					refuse(f)
+					return
+				}
+			} else {
+				n.upd.Reset(kept)
+			}
+			n.ident.Store(&nodeIdent{rankBase: newRB, baseN: newBN, lo: newLo, hi: newHi})
+			if !reply(Frame{Op: OpMembAck, ReqID: f.ReqID, Payload: []uint32{uint32(len(kept))}}) {
+				return
+			}
 		default:
 			refuse(f)
 			return
+		}
+		if h := opHists[f.Op&31]; h != nil {
+			h.Observe(time.Since(opStart))
 		}
 	}
 }
@@ -838,6 +1073,7 @@ func ListenAndServeNode(addr string, node *Node) error {
 	if node.WriteTimeout == 0 {
 		node.WriteTimeout = 30 * time.Second
 	}
-	log.Printf("netrun: serving %d keys (rank base %d) on %s", node.baseN, node.rankBase, lis.Addr())
+	id := node.ident.Load()
+	log.Printf("netrun: serving %d keys (rank base %d) on %s", id.baseN, id.rankBase, lis.Addr())
 	return node.Serve(lis)
 }

@@ -67,6 +67,26 @@
 // partition order, top-k reads partitions from the highest down, and a
 // multiplicity never crosses a partition boundary.
 //
+// Protocol v6 adds live membership — the operations plane's reshape
+// verbs, each acknowledged by OpMembAck whose single payload word is
+// the node's live key count after the operation. OpAddReplica assigns
+// a partition identity to an unassigned node (one started with the
+// full key file but no partition, dcnode -join): its two payload words
+// are [rankBase, baseN], naming the slice [rankBase, rankBase+baseN)
+// of the node's sorted key universe; a node that already holds an
+// identity accepts the op only when it matches (an idempotent
+// confirm). OpDrainReplica (no payload) quiesces a node before the
+// client detaches it from its replica group. OpSplitPartition carries
+// six words [newRankBase, newBaseN, loKey, hiKey, splitKey, keepHi]:
+// the node filters its live key set at splitKey (keepHi 0 keeps keys
+// <= splitKey, 1 keeps the rest), atomically swaps its advertised
+// identity to the named half, and keeps serving — the client splits a
+// hot partition by sending each current replica its half, then
+// re-dialing the epoch against the doubled routing table. All three
+// flow only on v6-negotiated connections while the client holds its
+// membership pause (no reads or writes in flight), which is what makes
+// the node-side identity swap safe.
+//
 // Version negotiation rides the hello exchange, so mixed-version
 // clusters interoperate frame-for-frame:
 //
@@ -95,12 +115,13 @@
 // The full negotiation table (rows: node's highest version; columns:
 // client's; cells: negotiated version = the ops that may flow):
 //
-//	          client v1   client v2   client v3   client v4   client v5
-//	node v1       1           1           1           1           1      lookups only
-//	node v2       1           2           2           2           2      + delta-coded sorted runs
-//	node v3       1           2           3           3           3      + inserts, snapshot/load
-//	node v4       1           2           3           4           4      + positioned catch-up
-//	node v5       1           2           3           4           5      + range/scan/top-k/multiget
+//	          client v1   client v2   client v3   client v4   client v5   client v6
+//	node v1       1           1           1           1           1           1      lookups only
+//	node v2       1           2           2           2           2           2      + delta-coded sorted runs
+//	node v3       1           2           3           3           3           3      + inserts, snapshot/load
+//	node v4       1           2           3           4           4           4      + positioned catch-up
+//	node v5       1           2           3           4           5           5      + range/scan/top-k/multiget
+//	node v6       1           2           3           4           5           6      + live membership
 //
 // Op x minimum version, for every request op a client may send:
 //
@@ -109,6 +130,7 @@
 //	v3  OpInsert, OpSnapshot, OpLoad
 //	v4  OpSnapshotSince, OpLoadAt
 //	v5  OpCountRange, OpScanRange, OpTopK, OpMultiGet
+//	v6  OpAddReplica, OpDrainReplica, OpSplitPartition
 //
 // A v5 client never sends a v5 op on a connection that negotiated less
 // (dispatch and failover both re-check the member's version), so
@@ -153,8 +175,9 @@ const (
 	ProtoV3 = 3
 	ProtoV4 = 4
 	ProtoV5 = 5
+	ProtoV6 = 6
 
-	ProtoVersion = ProtoV5
+	ProtoVersion = ProtoV6
 )
 
 // Op codes.
@@ -236,6 +259,24 @@ const (
 	// request element as a plain varint run (byte payload; counts are
 	// not monotone, so no delta coding — see appendVarRun).
 	OpCounts uint8 = 22
+	// OpAddReplica (v6) assigns a partition identity to a joinable
+	// node: payload [rankBase, baseN] names the slice of the node's key
+	// universe it is to serve. A node already holding an identity
+	// accepts only a matching assignment. Answered by OpMembAck.
+	OpAddReplica uint8 = 23
+	// OpDrainReplica (v6, no payload) quiesces a node ahead of the
+	// client detaching it from its replica group. Answered by
+	// OpMembAck.
+	OpDrainReplica uint8 = 24
+	// OpSplitPartition (v6) retargets a node at one half of its split
+	// partition: payload [newRankBase, newBaseN, loKey, hiKey,
+	// splitKey, keepHi]. The node filters its live keys at splitKey
+	// (keepHi selects the side), swaps its identity to the named half,
+	// and answers OpMembAck.
+	OpSplitPartition uint8 = 25
+	// OpMembAck (v6) acknowledges a membership op; payload[0] is the
+	// node's live key count after the operation.
+	OpMembAck uint8 = 26
 )
 
 // OpSnapshotDelta/OpLoadAt payload layout: a 5-word header — kind,
@@ -290,6 +331,11 @@ var opMinVersion = map[uint8]uint32{
 	OpMultiGet:      ProtoV5,
 	OpKeysDelta:     ProtoV5,
 	OpCounts:        ProtoV5,
+
+	OpAddReplica:     ProtoV6,
+	OpDrainReplica:   ProtoV6,
+	OpSplitPartition: ProtoV6,
+	OpMembAck:        ProtoV6,
 }
 
 // OpMinVersion returns the protocol version that introduced op, or 0

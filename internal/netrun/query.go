@@ -60,6 +60,8 @@ func (c *Cluster) CountRangeBatch(ranges []KeyRange, out []int) error {
 	if len(out) < len(ranges) {
 		return fmt.Errorf("netrun: out len %d < %d ranges", len(out), len(ranges))
 	}
+	c.pause.RLock()
+	defer c.pause.RUnlock()
 	ep := c.ep.Load()
 	if ep == nil {
 		return ErrClusterClosed
@@ -75,6 +77,7 @@ func (c *Cluster) CountRangeBatch(ranges []KeyRange, out []int) error {
 	}
 
 	groups := ep.groups
+	part := c.part.Load()
 	accum := make([]*pending, len(groups))
 	var gis []int
 	var pends []*pending
@@ -82,7 +85,7 @@ func (c *Cluster) CountRangeBatch(ranges []KeyRange, out []int) error {
 		if r.Hi < r.Lo {
 			continue
 		}
-		gLo, gHi := c.part.Route(r.Lo), c.part.Route(r.Hi)
+		gLo, gHi := part.Route(r.Lo), part.Route(r.Hi)
 		for gi := gLo; gi <= gHi; gi++ {
 			p := accum[gi]
 			if p == nil {
@@ -136,6 +139,8 @@ func (c *Cluster) ScanRange(lo, hi workload.Key, limit int, buf []workload.Key) 
 	if hi < lo || limit == 0 {
 		return out, nil
 	}
+	c.pause.RLock()
+	defer c.pause.RUnlock()
 	ep := c.ep.Load()
 	if ep == nil {
 		return out, ErrClusterClosed
@@ -147,7 +152,8 @@ func (c *Cluster) ScanRange(lo, hi workload.Key, limit int, buf []workload.Key) 
 	if limit > 0 {
 		limWord = uint32(limit)
 	}
-	gLo, gHi := c.part.Route(lo), c.part.Route(hi)
+	part := c.part.Load()
+	gLo, gHi := part.Route(lo), part.Route(hi)
 	span := gHi - gLo + 1
 	done := make(chan *pending, span)
 	pends := make([]*pending, span)
@@ -196,6 +202,8 @@ func (c *Cluster) TopK(k int, buf []workload.Key) ([]workload.Key, error) {
 	if k <= 0 {
 		return out, nil
 	}
+	c.pause.RLock()
+	defer c.pause.RUnlock()
 	ep := c.ep.Load()
 	if ep == nil {
 		return out, ErrClusterClosed
@@ -259,6 +267,8 @@ func (c *Cluster) MultiGetInto(keys []workload.Key, out []int) error {
 	if len(out) < len(keys) {
 		return fmt.Errorf("netrun: out len %d < %d keys", len(out), len(keys))
 	}
+	c.pause.RLock()
+	defer c.pause.RUnlock()
 	ep := c.ep.Load()
 	if ep == nil {
 		return ErrClusterClosed
@@ -281,7 +291,7 @@ func (c *Cluster) MultiGetInto(keys []workload.Key, out []int) error {
 		runKeys, runPos = nc.sort.SortByKey(keys)
 	}
 	inflight := 0
-	core.ForEachSortedRun(c.part.Delimiters(), runKeys, c.batch, func(gi, start, end int) {
+	core.ForEachSortedRun(c.part.Load().Delimiters(), runKeys, c.batch, func(gi, start, end int) {
 		p := c.getPending()
 		p.kind = pkMultiGet
 		p.sorted = true

@@ -61,7 +61,7 @@ awk '
 	/^Benchmark/ {
 		name = $1
 		iters = $2
-		ns = mbs = nskey = bop = aop = "null"
+		ns = mbs = nskey = bop = aop = p50 = p99 = p999 = "null"
 		for (i = 3; i < NF; i++) {
 			if ($(i+1) == "ns/op")     ns    = $i
 			if ($(i+1) == "MB/s")      mbs   = $i
@@ -69,9 +69,12 @@ awk '
 			if ($(i+1) == "ns/endpoint") nskey = $i
 			if ($(i+1) == "B/op")      bop   = $i
 			if ($(i+1) == "allocs/op") aop   = $i
+			if ($(i+1) == "p50_ns")    p50   = $i
+			if ($(i+1) == "p99_ns")    p99   = $i
+			if ($(i+1) == "p999_ns")   p999  = $i
 		}
-		printf "%s{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"mb_per_s\":%s,\"ns_per_key\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
-			(n++ ? ",\n  " : "  "), name, iters, ns, mbs, nskey, bop, aop
+		printf "%s{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"mb_per_s\":%s,\"ns_per_key\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s,\"p50_ns\":%s,\"p99_ns\":%s,\"p999_ns\":%s}",
+			(n++ ? ",\n  " : "  "), name, iters, ns, mbs, nskey, bop, aop, p50, p99, p999
 	}
 	/^(goos|goarch|pkg|cpu):/ { meta[$1] = $2 }
 	BEGIN { printf "{\n\"benchmarks\": [\n" }

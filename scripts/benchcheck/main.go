@@ -1,11 +1,12 @@
 // Command benchcheck compares fresh BENCH_real.json runs against the
-// committed baseline and fails (exit 1) when any benchmark's ns_per_key
-// regressed by more than the tolerance (default 20%, generous because
-// CI runs on noisy shared VMs).
+// committed baseline and fails (exit 1) when any benchmark's gated
+// metric — ns_per_key (read-path mean) or p99_ns (per-call latency
+// tail) — regressed by more than the tolerance (default 20%, generous
+// because CI runs on noisy shared VMs).
 //
 // Variance awareness: pass several fresh files (CI runs the bench suite
 // three times) and each benchmark is judged on its best (minimum)
-// ns_per_key across them — the minimum is the run least disturbed by
+// value across them — the minimum is the run least disturbed by
 // neighbors on the shared VM, so run-to-run noise (>10% on the 1-core
 // CI container) cannot fail a healthy build. Benchmarks present on only
 // one side are reported but not fatal — new rows appear with new
@@ -27,14 +28,23 @@ import (
 	"sort"
 )
 
+// gatedMetrics are the JSON columns compared against the baseline; each
+// is a lower-is-better quantity gated at the same tolerance.
+var gatedMetrics = []struct{ key, unit string }{
+	{"ns_per_key", "ns/key"},
+	{"p99_ns", "p99 ns"},
+}
+
 type benchFile struct {
 	Benchmarks []struct {
 		Name     string   `json:"name"`
 		NsPerKey *float64 `json:"ns_per_key"`
-		MBPerS   *float64 `json:"mb_per_s"`
+		P99Ns    *float64 `json:"p99_ns"`
 	} `json:"benchmarks"`
 }
 
+// load maps "benchmark/metric" to the recorded value (nil when the row
+// does not report that metric).
 func load(path string) (map[string]*float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -44,25 +54,27 @@ func load(path string) (map[string]*float64, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]*float64, len(f.Benchmarks))
+	out := make(map[string]*float64, 2*len(f.Benchmarks))
 	for _, b := range f.Benchmarks {
-		out[b.Name] = b.NsPerKey
+		out[b.Name+"/ns_per_key"] = b.NsPerKey
+		out[b.Name+"/p99_ns"] = b.P99Ns
 	}
 	return out, nil
 }
 
-// row is one benchmark's comparison outcome, shared by the stdout
-// report and the job-summary table.
+// row is one (benchmark, metric) comparison outcome, shared by the
+// stdout report and the job-summary table.
 type row struct {
-	name         string
+	name         string // "Benchmark/metric"
+	unit         string
 	base, best   float64
 	delta        float64 // fractional
 	status       string
 	comparedBoth bool
 }
 
-// bestOf folds several fresh runs into one map of per-benchmark minimum
-// ns_per_key (with the number of runs the row appeared in).
+// bestOf folds several fresh runs into one map of per-key minimum
+// values (nil entries mark rows that never reported the metric).
 func bestOf(runs []map[string]*float64) map[string]*float64 {
 	best := make(map[string]*float64)
 	for _, run := range runs {
@@ -83,7 +95,7 @@ func bestOf(runs []map[string]*float64) map[string]*float64 {
 }
 
 func main() {
-	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns_per_key regression (vs best fresh run)")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression per gated metric (vs best fresh run)")
 	flag.Parse()
 	if flag.NArg() < 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck [-tolerance 0.20] committed.json fresh.json [fresh2.json ...]")
@@ -105,17 +117,30 @@ func main() {
 	}
 	fresh := bestOf(runs)
 
+	unitOf := func(name string) string {
+		for _, m := range gatedMetrics {
+			if len(name) > len(m.key) && name[len(name)-len(m.key):] == m.key {
+				return m.unit
+			}
+		}
+		return ""
+	}
+
 	var rows []row
 	failed := false
 	compared := 0
 	for name, base := range committed {
+		if base == nil {
+			continue // baseline row never reported this metric
+		}
 		cur, ok := fresh[name]
 		if !ok {
-			fmt.Printf("benchcheck: %-45s missing from fresh runs (renamed? update the baseline)\n", name)
+			fmt.Printf("benchcheck: %-55s missing from fresh runs (renamed? update the baseline)\n", name)
 			continue
 		}
-		if base == nil || cur == nil {
-			continue // row has no ns_per_key metric (MB/s-only benches)
+		if cur == nil {
+			fmt.Printf("benchcheck: %-55s metric disappeared from fresh runs (bench edited? update the baseline)\n", name)
+			continue
 		}
 		compared++
 		ratio := *cur / *base
@@ -124,35 +149,34 @@ func main() {
 			status = "REGRESSED"
 			failed = true
 		}
-		rows = append(rows, row{name: name, base: *base, best: *cur, delta: ratio - 1, status: status, comparedBoth: true})
+		rows = append(rows, row{name: name, unit: unitOf(name), base: *base, best: *cur, delta: ratio - 1, status: status, comparedBoth: true})
 	}
 	for name, v := range fresh {
-		if _, ok := committed[name]; !ok {
-			r := row{name: name, status: "new row"}
-			if v != nil {
-				r.best = *v
-			}
-			rows = append(rows, r)
+		if v == nil {
+			continue
+		}
+		if base, ok := committed[name]; !ok || base == nil {
+			rows = append(rows, row{name: name, unit: unitOf(name), best: *v, status: "new row"})
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	for _, r := range rows {
 		if !r.comparedBoth {
-			fmt.Printf("benchcheck: %-45s new row (no baseline yet)\n", r.name)
+			fmt.Printf("benchcheck: %-55s new row (no baseline yet)\n", r.name)
 			continue
 		}
-		fmt.Printf("benchcheck: %-45s %8.2f -> %8.2f ns/key (%+.1f%%, best of %d) %s\n",
-			r.name, r.base, r.best, r.delta*100, len(runs), r.status)
+		fmt.Printf("benchcheck: %-55s %12.2f -> %12.2f %s (%+.1f%%, best of %d) %s\n",
+			r.name, r.base, r.best, r.unit, r.delta*100, len(runs), r.status)
 	}
 
 	writeSummary(rows, len(runs), *tolerance)
 
 	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchcheck: no comparable ns_per_key rows — baseline or fresh files malformed?")
+		fmt.Fprintln(os.Stderr, "benchcheck: no comparable rows — baseline or fresh files malformed?")
 		os.Exit(1)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchcheck: ns_per_key regression beyond %.0f%% tolerance\n", *tolerance*100)
+		fmt.Fprintf(os.Stderr, "benchcheck: regression beyond %.0f%% tolerance\n", *tolerance*100)
 		os.Exit(1)
 	}
 	fmt.Printf("benchcheck: %d rows within %.0f%% tolerance (best of %d runs)\n", compared, *tolerance*100, len(runs))
@@ -173,18 +197,18 @@ func writeSummary(rows []row, nRuns int, tolerance float64) {
 	}
 	defer f.Close()
 	fmt.Fprintf(f, "### Bench regression check (best of %d runs, %.0f%% tolerance)\n\n", nRuns, tolerance*100)
-	fmt.Fprintln(f, "| benchmark | baseline ns/key | best fresh ns/key | delta | status |")
+	fmt.Fprintln(f, "| benchmark/metric | baseline | best fresh | delta | status |")
 	fmt.Fprintln(f, "|---|---:|---:|---:|---|")
 	for _, r := range rows {
 		if !r.comparedBoth {
-			fmt.Fprintf(f, "| %s | — | %.2f | — | new row |\n", r.name, r.best)
+			fmt.Fprintf(f, "| %s | — | %.2f %s | — | new row |\n", r.name, r.best, r.unit)
 			continue
 		}
 		mark := r.status
 		if mark == "REGRESSED" {
 			mark = "**REGRESSED**"
 		}
-		fmt.Fprintf(f, "| %s | %.2f | %.2f | %+.1f%% | %s |\n", r.name, r.base, r.best, r.delta*100, mark)
+		fmt.Fprintf(f, "| %s | %.2f | %.2f %s | %+.1f%% | %s |\n", r.name, r.base, r.best, r.unit, r.delta*100, mark)
 	}
 	fmt.Fprintln(f)
 }

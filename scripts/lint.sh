@@ -4,7 +4,7 @@
 # green CI lint job).
 #
 # Builds the in-repo dclint multichecker (lockguard, noalloc, framepair,
-# snappin — see internal/analyzers) and runs it over every package via
+# snappin, knobdoc — see internal/analyzers) and runs it over every package via
 # `go vet -vettool`. Any unannotated diagnostic fails the script;
 # //dc:ignore suppressions are counted and printed so reviewers see what
 # was waived and why it can't rot silently. staticcheck and govulncheck
